@@ -1,0 +1,74 @@
+// Shared helpers for the experiment-reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper on the
+// synthetic dataset registry. Two environment knobs keep the default
+// `for b in build/bench/*; do $b; done` loop fast while allowing larger
+// runs:
+//   GALE_BENCH_SCALE — dataset scale factor in (0, 1]; default 0.5
+//   GALE_BENCH_SEED  — base seed; default 1
+// The paper reports medians over 5 runs; the benches run one seed by
+// default (set GALE_BENCH_RUNS for more — the median is then reported).
+
+#ifndef GALE_BENCH_BENCH_COMMON_H_
+#define GALE_BENCH_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "eval/datasets.h"
+#include "eval/experiment.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace gale::bench {
+
+inline double EnvScale() {
+  const char* s = std::getenv("GALE_BENCH_SCALE");
+  if (s == nullptr) return 0.5;
+  const double v = std::atof(s);
+  return (v > 0.0 && v <= 1.0) ? v : 0.5;
+}
+
+inline uint64_t EnvSeed() {
+  const char* s = std::getenv("GALE_BENCH_SEED");
+  return s == nullptr ? 1 : static_cast<uint64_t>(std::atoll(s));
+}
+
+inline int EnvRuns() {
+  const char* s = std::getenv("GALE_BENCH_RUNS");
+  const int v = s == nullptr ? 1 : std::atoi(s);
+  return v > 0 ? v : 1;
+}
+
+inline double Median(std::vector<double> xs) {
+  GALE_CHECK(!xs.empty());
+  std::sort(xs.begin(), xs.end());
+  const size_t n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+inline std::string Fmt(double v, int decimals = 4) {
+  return util::FormatDouble(v, decimals);
+}
+
+// Prepares a registry dataset at the bench scale, CHECK-failing loudly on
+// pipeline errors (benches have no meaningful error recovery).
+inline std::unique_ptr<eval::PreparedDataset> Prepare(
+    const eval::DatasetSpec& spec, uint64_t seed) {
+  auto prepared = eval::PrepareDataset(spec, seed);
+  GALE_CHECK(prepared.ok()) << prepared.status();
+  return std::move(prepared).value();
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << "(scale=" << EnvScale() << ", seed=" << EnvSeed()
+            << ", runs=" << EnvRuns() << ")\n\n";
+}
+
+}  // namespace gale::bench
+
+#endif  // GALE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,83 @@
+// Reproduces the Exp-2 error-distribution robustness study (Section VIII
+// text): GALE's F1 on UserGroup1 under skewed error mixes —
+// violations-heavy, outliers-heavy, string-noise-heavy (50% of the
+// injected errors from the named class, the other two split evenly) plus
+// the uniform mix. The paper reports 82.59 ± 1.15% F1 across mixes; the
+// reproduction tracks the *stability* (small spread), not the absolute
+// level.
+
+#include <cmath>
+
+#include "bench_common.h"
+#include "util/table_printer.h"
+
+namespace gale {
+namespace {
+
+int Main() {
+  bench::PrintHeader("Exp-2: Error-distribution robustness (UG1)");
+
+  auto base = eval::DatasetByName("UG1", bench::EnvScale());
+  GALE_CHECK(base.ok()) << base.status();
+
+  struct Mix {
+    const char* name;
+    std::vector<double> weights;
+  };
+  const std::vector<Mix> mixes = {
+      {"uniform", {1.0 / 3, 1.0 / 3, 1.0 / 3}},
+      {"violations-heavy", {0.50, 0.25, 0.25}},
+      {"outliers-heavy", {0.25, 0.50, 0.25}},
+      {"string-noise-heavy", {0.25, 0.25, 0.50}},
+  };
+
+  util::TablePrinter table({"mix", "P", "R", "F1"});
+  std::vector<double> f1s;
+  for (const Mix& mix : mixes) {
+    std::vector<double> run_f1;
+    std::vector<double> run_p;
+    std::vector<double> run_r;
+    for (int run = 0; run < bench::EnvRuns(); ++run) {
+      const uint64_t seed = bench::EnvSeed() + 1000 * run;
+      eval::DatasetSpec spec = base.value();
+      spec.injector.type_mix = mix.weights;
+      auto ds = bench::Prepare(spec, seed);
+      auto sparse = eval::MakeExamples(*ds, seed, 0.10, 0.1);
+      GALE_CHECK(sparse.ok()) << sparse.status();
+
+      eval::GaleRunOptions options;
+      options.total_budget = spec.total_budget;
+      options.local_budget = spec.local_budget;
+      options.seed = seed;
+      auto gale = eval::RunGale(*ds, sparse.value(), options);
+      GALE_CHECK(gale.ok()) << gale.status();
+      run_f1.push_back(gale.value().outcome.metrics.f1);
+      run_p.push_back(gale.value().outcome.metrics.precision);
+      run_r.push_back(gale.value().outcome.metrics.recall);
+    }
+    const double f1 = bench::Median(run_f1);
+    f1s.push_back(f1);
+    table.AddRow({mix.name, bench::Fmt(bench::Median(run_p)),
+                  bench::Fmt(bench::Median(run_r)), bench::Fmt(f1)});
+  }
+  table.Print(std::cout);
+
+  double mean = 0.0;
+  for (double f : f1s) mean += f;
+  mean /= static_cast<double>(f1s.size());
+  double sq = 0.0;
+  for (double f : f1s) sq += (f - mean) * (f - mean);
+  const double stddev = std::sqrt(sq / static_cast<double>(f1s.size()));
+  std::cout << "\nGALE F1 across mixes: " << bench::Fmt(mean) << " +/- "
+            << bench::Fmt(stddev)
+            << "\nExpected shape (paper: 0.8259 +/- 0.0115 on the real "
+               "UG1): the spread across error mixes stays small — the "
+               "adversarial active loop adapts to whatever error "
+               "distribution dominates.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace gale
+
+int main() { return gale::Main(); }

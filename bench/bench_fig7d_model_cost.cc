@@ -1,0 +1,69 @@
+// Reproduces Fig. 7(d): model learning cost. Wall-clock training seconds
+// (and the recall reached, which the paper quotes alongside: "520 seconds
+// ... recall at 0.48 over UG2") for GCN, GEDet and the GALE variants over
+// the datasets. Absolute numbers shrink with the simulator scale; the
+// paper-relevant shape is the *relative* overhead of GALE versus its
+// variants and GEDet/GCN.
+
+#include "bench_common.h"
+#include "util/table_printer.h"
+
+namespace gale {
+namespace {
+
+int Main() {
+  bench::PrintHeader("Fig. 7(d): Model learning cost (seconds)");
+
+  util::TablePrinter table({"Data", "GCN", "GEDet", "GALE(-Ent.)",
+                            "GALE(-Ran.)", "GALE(-Kme.)", "GALE",
+                            "GALE recall"});
+
+  for (const std::string& name : {"ML", "UG1", "UG2"}) {
+    auto spec = eval::DatasetByName(name, bench::EnvScale());
+    GALE_CHECK(spec.ok()) << spec.status();
+    const uint64_t seed = bench::EnvSeed();
+    auto ds = bench::Prepare(spec.value(), seed);
+    auto full = eval::MakeExamples(*ds, seed);
+    GALE_CHECK(full.ok()) << full.status();
+    auto sparse = eval::MakeExamples(*ds, seed, 0.10, 0.1);
+    GALE_CHECK(sparse.ok()) << sparse.status();
+
+    std::vector<std::string> row = {name};
+    auto gcn = eval::RunGcn(*ds, full.value(), seed);
+    GALE_CHECK(gcn.ok()) << gcn.status();
+    row.push_back(bench::Fmt(gcn.value().train_seconds, 2));
+    auto gedet = eval::RunGeDet(*ds, full.value(), seed);
+    GALE_CHECK(gedet.ok()) << gedet.status();
+    row.push_back(bench::Fmt(gedet.value().train_seconds, 2));
+
+    double gale_recall = 0.0;
+    for (core::QueryStrategy strategy :
+         {core::QueryStrategy::kEntropy, core::QueryStrategy::kRandom,
+          core::QueryStrategy::kKmeans, core::QueryStrategy::kGale}) {
+      eval::GaleRunOptions options;
+      options.strategy = strategy;
+      options.total_budget = spec.value().total_budget;
+      options.local_budget = spec.value().local_budget;
+      options.seed = seed;
+      auto gale = eval::RunGale(*ds, sparse.value(), options);
+      GALE_CHECK(gale.ok()) << gale.status();
+      row.push_back(bench::Fmt(gale.value().outcome.train_seconds, 2));
+      if (strategy == core::QueryStrategy::kGale) {
+        gale_recall = gale.value().outcome.metrics.recall;
+      }
+    }
+    row.push_back(bench::Fmt(gale_recall, 3));
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape (paper): learning GALE is feasible; the "
+               "full strategy costs a modest constant factor over the "
+               "cheaper variants (paper: +33% vs -Kme., +45% vs -Ent., "
+               "+15% vs GEDet, +62% vs GCN on average).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace gale
+
+int main() { return gale::Main(); }

@@ -1,0 +1,73 @@
+// Reproduces Fig. 7(e): active-learning cost in the low-budget regime.
+// On Data Mining (OAG), k = 10 nodes are queried per iteration and the
+// model is updated; the series reports the cumulative active-learning
+// time (query selection + SGAND updates) as queries accumulate, for all
+// four strategies.
+
+#include "bench_common.h"
+#include "util/table_printer.h"
+
+namespace gale {
+namespace {
+
+int Main() {
+  bench::PrintHeader("Fig. 7(e): Active learning cost, low-budget (DM)");
+
+  auto spec = eval::DatasetByName("DM", bench::EnvScale());
+  GALE_CHECK(spec.ok()) << spec.status();
+  const uint64_t seed = bench::EnvSeed();
+
+  const size_t k = 10;
+  const int iterations = 6;
+  const std::vector<std::string> series = {"GALE(-Ent.)", "GALE(-Ran.)",
+                                           "GALE(-Kme.)", "GALE"};
+
+  // cumulative seconds per strategy per iteration
+  std::map<std::string, std::vector<double>> cumulative;
+  auto ds = bench::Prepare(spec.value(), seed);
+  auto sparse = eval::MakeExamples(*ds, seed, 0.10, 0.1);
+  GALE_CHECK(sparse.ok()) << sparse.status();
+
+  for (core::QueryStrategy strategy :
+       {core::QueryStrategy::kEntropy, core::QueryStrategy::kRandom,
+        core::QueryStrategy::kKmeans, core::QueryStrategy::kGale}) {
+    eval::GaleRunOptions options;
+    options.strategy = strategy;
+    options.total_budget = k * iterations;
+    options.local_budget = k;
+    options.seed = seed;
+    auto gale = eval::RunGale(*ds, sparse.value(), options);
+    GALE_CHECK(gale.ok()) << gale.status();
+    double total = 0.0;
+    std::vector<double>& cum = cumulative[core::QueryStrategyName(strategy)];
+    for (const core::GaleIterationStats& it : gale.value().detail.iterations) {
+      // Active-learning share: selection + incremental update (the
+      // initial SGAN training of iteration 0 is the Fig. 7(d) cost).
+      total += it.select_seconds +
+               (it.iteration == 0 ? 0.0 : it.train_seconds);
+      cum.push_back(total);
+    }
+  }
+
+  util::SeriesPrinter printer("queries", series);
+  for (int i = 0; i < iterations; ++i) {
+    std::vector<double> row;
+    for (const std::string& name : series) {
+      row.push_back(i < static_cast<int>(cumulative[name].size())
+                        ? cumulative[name][i]
+                        : 0.0);
+    }
+    printer.AddPoint(static_cast<double>((i + 1) * k), row);
+  }
+  printer.Print(std::cout);
+  std::cout << "\nExpected shape (paper): GALE's per-iteration cost sits a "
+               "bounded factor above the cheaper strategies (paper: +54% "
+               "vs -Ent., +43% vs -Ran., +33% vs -Kme.) and does not blow "
+               "up as queries accumulate, thanks to memoization.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace gale
+
+int main() { return gale::Main(); }

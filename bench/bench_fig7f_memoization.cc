@@ -1,0 +1,86 @@
+// Reproduces Fig. 7(f): the Section VII memoization optimization. GALE is
+// run with the memoization caches on (GALE) and off (U_GALE) on the Data
+// Mining (OAG) dataset for several local budgets k; reported is the
+// active-learning cost (query selection + updates) plus the cache
+// telemetry that explains the gap.
+
+#include "bench_common.h"
+#include "util/table_printer.h"
+
+namespace gale {
+namespace {
+
+int Main() {
+  bench::PrintHeader("Fig. 7(f): Memoization optimization (DM)");
+
+  auto spec = eval::DatasetByName("DM", bench::EnvScale());
+  GALE_CHECK(spec.ok()) << spec.status();
+  const uint64_t seed = bench::EnvSeed();
+
+  util::TablePrinter table({"k", "GALE sel+upd (s)", "U_GALE sel+upd (s)",
+                            "saving", "GALE PPR rows", "U_GALE PPR rows",
+                            "dist cache hit-rate"});
+
+  for (size_t k : {5, 10, 20}) {
+    auto ds = bench::Prepare(spec.value(), seed);
+    auto sparse = eval::MakeExamples(*ds, seed, 0.10, 0.1);
+    GALE_CHECK(sparse.ok()) << sparse.status();
+
+    auto run_with = [&](bool memo) {
+      eval::GaleRunOptions options;
+      options.strategy = core::QueryStrategy::kGale;
+      options.memoization = memo;
+      options.total_budget = k * 5;
+      options.local_budget = k;
+      options.seed = seed;
+      auto gale = eval::RunGale(*ds, sparse.value(), options);
+      GALE_CHECK(gale.ok()) << gale.status();
+      return std::move(gale).value();
+    };
+
+    const eval::GaleOutcome with_memo = run_with(true);
+    const eval::GaleOutcome without = run_with(false);
+
+    auto active_cost = [](const eval::GaleOutcome& outcome) {
+      double total = 0.0;
+      for (const core::GaleIterationStats& it : outcome.detail.iterations) {
+        total += it.select_seconds +
+                 (it.iteration == 0 ? 0.0 : it.train_seconds);
+      }
+      return total;
+    };
+    const double memo_cost = active_cost(with_memo);
+    const double umemo_cost = active_cost(without);
+    const auto& tm = with_memo.detail.selector_telemetry;
+    const double hit_rate =
+        static_cast<double>(tm.distance_cache_hits) /
+        std::max<double>(
+            1.0, static_cast<double>(tm.distance_cache_hits +
+                                     tm.distance_cache_misses));
+
+    table.AddRow(
+        {std::to_string(k), bench::Fmt(memo_cost, 3),
+         bench::Fmt(umemo_cost, 3),
+         bench::Fmt(100.0 * (1.0 - memo_cost / std::max(umemo_cost, 1e-9)),
+                    1) +
+             "%",
+         std::to_string(with_memo.detail.selector_telemetry.ppr_rows_computed),
+         std::to_string(without.detail.selector_telemetry.ppr_rows_computed),
+         bench::Fmt(hit_rate, 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape (paper): the memoization strategy cuts the "
+               "active-learning cost substantially (paper: ~40% at k = 10 "
+               "on DM; overall reductions up to 64%). In this "
+               "implementation the savings are dominated by the cached "
+               "Personalized-PageRank rows (P is static across "
+               "iterations); the pairwise-distance cache only pays off "
+               "when the same pair is rescored, which the greedy QSelect "
+               "rarely does across rounds.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace gale
+
+int main() { return gale::Main(); }

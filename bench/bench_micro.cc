@@ -1,0 +1,122 @@
+// Kernel micro-benchmarks (google-benchmark) for the numerical substrates
+// the experiments run on: dense/sparse products, PPR power iteration,
+// k-means, feature encoding, edit distance, and the greedy QSelect loop.
+
+#include <benchmark/benchmark.h>
+
+#include "core/query_selector.h"
+#include "core/sgan.h"
+#include "graph/feature_encoder.h"
+#include "graph/synthetic_dataset.h"
+#include "la/kmeans.h"
+#include "la/matrix.h"
+#include "la/sparse_matrix.h"
+#include "prop/ppr.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace gale {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  util::Rng rng(1);
+  la::Matrix a = la::Matrix::RandomNormal(n, n, 1.0, rng);
+  la::Matrix b = la::Matrix::RandomNormal(n, n, 1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMul(b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+la::SparseMatrix RandomAdjacency(size_t n, size_t edges, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::pair<size_t, size_t>> edge_list;
+  edge_list.reserve(edges);
+  for (size_t e = 0; e < edges; ++e) {
+    edge_list.emplace_back(rng.UniformInt(n), rng.UniformInt(n));
+  }
+  return la::SparseMatrix::NormalizedAdjacency(n, edge_list);
+}
+
+void BM_SpMM(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  la::SparseMatrix adj = RandomAdjacency(n, n * 3, 2);
+  util::Rng rng(3);
+  la::Matrix x = la::Matrix::RandomNormal(n, 64, 1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adj.Multiply(x));
+  }
+  state.SetItemsProcessed(state.iterations() * adj.nnz() * 64);
+}
+BENCHMARK(BM_SpMM)->Arg(1000)->Arg(4000);
+
+void BM_PprRow(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  la::SparseMatrix adj = RandomAdjacency(n, n * 3, 4);
+  prop::PprOptions options;
+  options.cache_rows = false;  // measure the power iteration itself
+  prop::PprEngine ppr(&adj, options);
+  size_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ppr.Row(v));
+    v = (v + 7) % n;
+  }
+}
+BENCHMARK(BM_PprRow)->Arg(1000)->Arg(4000);
+
+void BM_KMeans(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  util::Rng data_rng(5);
+  la::Matrix data = la::Matrix::RandomNormal(n, 24, 1.0, data_rng);
+  for (auto _ : state) {
+    util::Rng rng(6);
+    benchmark::DoNotOptimize(la::KMeans(data, {.num_clusters = 20}, rng));
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(1000)->Arg(4000);
+
+void BM_FeatureEncode(benchmark::State& state) {
+  graph::SyntheticConfig config;
+  config.num_nodes = static_cast<size_t>(state.range(0));
+  config.num_edges = config.num_nodes;
+  config.seed = 7;
+  auto ds = graph::GenerateSynthetic(config);
+  graph::FeatureEncoder encoder;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.Encode(ds.value().graph));
+  }
+  state.SetItemsProcessed(state.iterations() * config.num_nodes);
+}
+BENCHMARK(BM_FeatureEncode)->Arg(1000)->Arg(4000);
+
+void BM_EditDistance(benchmark::State& state) {
+  const std::string a = "cavanillesia_lepidoptera";
+  const std::string b = "cavanillesia_malvales";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::EditDistance(a, b));
+  }
+}
+BENCHMARK(BM_EditDistance);
+
+void BM_QSelectGreedy(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  la::SparseMatrix adj = RandomAdjacency(n, n * 2, 8);
+  util::Rng rng(9);
+  la::Matrix embeddings = la::Matrix::RandomNormal(n, 24, 1.0, rng);
+  std::vector<int> labels(n, core::kUnlabeled);
+  la::Matrix probs(n, 2, 0.5);
+  for (auto _ : state) {
+    core::QuerySelectorOptions options;
+    options.seed = 10;
+    core::QuerySelector selector(&adj, options);
+    benchmark::DoNotOptimize(selector.Select(embeddings, labels, probs, 10));
+  }
+}
+BENCHMARK(BM_QSelectGreedy)->Arg(500)->Arg(1500);
+
+}  // namespace
+}  // namespace gale
+
+BENCHMARK_MAIN();

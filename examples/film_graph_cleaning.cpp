@@ -1,0 +1,135 @@
+// Example 1 of the paper, end to end: a small film knowledge graph with
+// the four error cases of Fig. 1 —
+//   Case 1: v2 has release year 2014 instead of 2015 (a subtle numeric
+//           error that constraint reasoning alone cannot pin down);
+//   Case 2: v3 has rate score 3.8 instead of 7.7 (an outlier);
+//   Case 3: v4's box office is off by a small amount (in-range numeric);
+//   Case 4: v5's box office is off by a larger, still in-range amount.
+//
+// The example builds the graph explicitly, runs the base detectors and
+// shows which cases each one catches — reproducing the paper's
+// motivation: no single detector covers all four.
+//
+// Run: ./build/examples/film_graph_cleaning
+
+#include <iostream>
+
+#include "detect/detector_library.h"
+#include "detect/outlier_detector.h"
+#include "graph/attributed_graph.h"
+#include "graph/constraints.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace gale;
+using graph::AttributeValue;
+
+// Adds a film node with (name, year, score, box office in $B).
+size_t AddFilm(graph::AttributedGraph& g, size_t film_type,
+               const std::string& name, double year, double score,
+               double box_office) {
+  return g.AddNode(film_type, {AttributeValue::Text(name),
+                               AttributeValue::Number(year),
+                               AttributeValue::Number(score),
+                               AttributeValue::Number(box_office)});
+}
+
+}  // namespace
+
+int main() {
+  graph::AttributedGraph g;
+  const size_t film = g.AddNodeType(
+      "film", {{"name", graph::ValueKind::kText},
+               {"year", graph::ValueKind::kNumeric},
+               {"score", graph::ValueKind::kNumeric},
+               {"box_office", graph::ValueKind::kNumeric}});
+  const size_t person =
+      g.AddNodeType("person", {{"name", graph::ValueKind::kText}});
+  const size_t subsequent = g.AddEdgeType("subsequent");
+  const size_t directed_by = g.AddEdgeType("directedBy");
+
+  // The Fig. 1 fragment. Clean values in comments.
+  const size_t v1 = AddFilm(g, film, "Avengers: Infinity War", 2014, 7.9, 2.048);
+  const size_t v2 = AddFilm(g, film, "Avengers: Age of Ultron",
+                            2014 /* should be 2015 */, 7.3, 1.403);
+  const size_t v3 = AddFilm(g, film, "Captain America: Civil War", 2016,
+                            3.8 /* should be 7.7 */, 1.153);
+  const size_t v4 = AddFilm(g, film, "Avengers: Endgame", 2019, 8.4,
+                            2.048 /* should be 2.016... inaccurate */);
+  const size_t v5 = AddFilm(g, film, "Avatar", 2009, 7.9,
+                            2.798 /* should be 2.198 */);
+  // A population of unremarkable films so the score/box-office statistics
+  // are meaningful (types need a distribution for outlier reasoning).
+  util::Rng rng(7);
+  for (int i = 0; i < 60; ++i) {
+    AddFilm(g, film, "film_" + std::to_string(i),
+            1990 + rng.UniformInt(30), rng.Uniform(6.0, 9.0),
+            rng.Uniform(0.1, 2.3));
+  }
+  const size_t director = g.AddNode(
+      person, {AttributeValue::Text("Russo")});
+  g.AddEdge(v1, v2, subsequent);
+  g.AddEdge(v1, director, directed_by);
+  g.AddEdge(v3, director, directed_by);
+  g.AddEdge(v4, director, directed_by);
+  g.AddEdge(v5, director, directed_by);
+  g.Finalize();
+
+  std::cout << "Film graph: " << g.num_nodes() << " nodes, " << g.num_edges()
+            << " edges\nErroneous nodes (ground truth): v2=" << v2
+            << " (year), v3=" << v3 << " (score), v4=" << v4
+            << " (box office), v5=" << v5 << " (box office)\n\n";
+
+  // Run each detector class and report which cases it catches —
+  // reproducing the paper's point that each one covers a different slice.
+  auto library = detect::DetectorLibrary::MakeDefault(/*constraints=*/{});
+  GALE_CHECK_OK(library.RunAll(g));
+
+  auto report = [&](size_t v, const char* label) {
+    std::cout << "  " << label << " (node " << v << "): ";
+    const auto& detections = library.DetectionsAt(v);
+    if (detections.empty()) {
+      std::cout << "NOT caught by any base detector\n";
+      return;
+    }
+    for (const auto& d : detections) {
+      std::cout << library.detector(d.detector_index).name() << " flags '"
+                << g.attribute_def(v, d.error->attr).name << "'  ";
+    }
+    std::cout << "\n";
+  };
+  std::cout << "Base-detector coverage (the paper's motivation):\n";
+  report(v2, "Case 1: wrong year");
+  report(v3, "Case 2: outlier score");
+  report(v4, "Case 3: box office +0.03B");
+  report(v5, "Case 4: box office +0.6B");
+
+  // The score outlier is the only clean catch; the paper's answer to the
+  // rest is the learned classifier fed by active queries (see quickstart
+  // and annotation_casestudy for the full loop).
+  std::cout << "\nLOF scores over film 'score' (Case 2 stands out):\n";
+  std::vector<double> scores;
+  std::vector<size_t> nodes;
+  for (size_t v = 0; v < g.num_nodes(); ++v) {
+    if (g.node_type(v) != film) continue;
+    scores.push_back(g.value(v, 2).numeric);
+    nodes.push_back(v);
+  }
+  const std::vector<double> lof =
+      detect::LofOutlierDetector::LofScores(scores, 10);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (lof[i] > 1.8) {
+      std::cout << "  node " << nodes[i] << " ('"
+                << g.value(nodes[i], 0).text << "') score "
+                << g.value(nodes[i], 2).numeric << " -> LOF " << lof[i]
+                << "\n";
+    }
+  }
+  std::cout << "\nConclusion (paper, Section I): a single approach cannot "
+               "capture all four cases — Cases 3/4 need a trained "
+               "classifier with examples, which GALE acquires via active "
+               "queries.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Compares the four query-selection strategies on one dataset and prints
+// the per-iteration progress of each — a minimal, readable version of the
+// Fig. 7(c) experiment that a downstream user can adapt to their own
+// graph.
+//
+// Run: ./build/examples/strategy_comparison
+
+#include <iostream>
+
+#include "eval/datasets.h"
+#include "eval/experiment.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace gale;
+
+  auto spec = eval::DatasetByName("UG1", /*scale=*/0.5);
+  GALE_CHECK(spec.ok()) << spec.status();
+  auto prepared = eval::PrepareDataset(spec.value(), /*seed=*/5);
+  GALE_CHECK(prepared.ok()) << prepared.status();
+  const eval::PreparedDataset& ds = *prepared.value();
+  std::cout << "Dataset " << spec.value().name << ": "
+            << ds.dirty.num_nodes() << " nodes, "
+            << ds.truth.NumErroneousNodes() << " erroneous ("
+            << ds.constraints.size() << " mined constraints)\n\n";
+
+  auto examples = eval::MakeExamples(ds, /*seed=*/5, /*train_ratio=*/0.10,
+                                     /*initial_fraction=*/0.1);
+  GALE_CHECK(examples.ok()) << examples.status();
+  std::cout << "Cold-start examples: " << examples.value().num_examples
+            << " (" << examples.value().num_error_examples << " errors)\n\n";
+
+  util::TablePrinter table(
+      {"strategy", "P", "R", "F1", "train s", "select s/iter"});
+  for (core::QueryStrategy strategy :
+       {core::QueryStrategy::kRandom, core::QueryStrategy::kEntropy,
+        core::QueryStrategy::kKmeans, core::QueryStrategy::kGale}) {
+    eval::GaleRunOptions options;
+    options.strategy = strategy;
+    options.total_budget = 50;
+    options.local_budget = 10;
+    options.seed = 5;
+    auto outcome = eval::RunGale(ds, examples.value(), options);
+    GALE_CHECK(outcome.ok()) << outcome.status();
+    const eval::Metrics& m = outcome.value().outcome.metrics;
+    double select_total = 0.0;
+    for (const core::GaleIterationStats& it :
+         outcome.value().detail.iterations) {
+      select_total += it.select_seconds;
+    }
+    table.AddRow({core::QueryStrategyName(strategy),
+                  util::FormatDouble(m.precision, 3),
+                  util::FormatDouble(m.recall, 3),
+                  util::FormatDouble(m.f1, 3),
+                  util::FormatDouble(outcome.value().outcome.train_seconds, 2),
+                  util::FormatDouble(
+                      select_total /
+                          static_cast<double>(
+                              outcome.value().detail.iterations.size()),
+                      4)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nTypical/diverse selection (GALE) buys accuracy for a "
+               "modest extra selection cost per iteration.\n";
+  return 0;
+}

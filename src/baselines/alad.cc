@@ -1,0 +1,124 @@
+#include "baselines/alad.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gale::baselines {
+
+util::Result<std::vector<double>> Alad::Score(
+    const graph::AttributedGraph& g, const la::Matrix& features) const {
+  if (features.rows() != g.num_nodes()) {
+    return util::Status::InvalidArgument("Alad::Score: feature rows");
+  }
+  if (!g.finalized()) {
+    return util::Status::FailedPrecondition("Alad::Score: graph not "
+                                            "finalized");
+  }
+  const size_t n = g.num_nodes();
+  const size_t d = features.cols();
+
+  // Global context: per-type mean feature vector.
+  la::Matrix type_mean(g.num_node_types(), d);
+  std::vector<size_t> type_count(g.num_node_types(), 0);
+  for (size_t v = 0; v < n; ++v) {
+    const size_t t = g.node_type(v);
+    type_count[t] += 1;
+    double* acc = type_mean.RowPtr(t);
+    const double* row = features.RowPtr(v);
+    for (size_t c = 0; c < d; ++c) acc[c] += row[c];
+  }
+  for (size_t t = 0; t < g.num_node_types(); ++t) {
+    if (type_count[t] == 0) continue;
+    double* acc = type_mean.RowPtr(t);
+    for (size_t c = 0; c < d; ++c) acc[c] /= static_cast<double>(type_count[t]);
+  }
+
+  std::vector<double> local(n, 0.0);
+  std::vector<double> global(n, 0.0);
+  std::vector<double> neighbor_mean(d);
+  for (size_t v = 0; v < n; ++v) {
+    // Local context: deviation from the neighborhood mean (nodes with no
+    // neighbors fall back to the global term only).
+    const size_t deg = g.degree(v);
+    if (deg > 0) {
+      std::fill(neighbor_mean.begin(), neighbor_mean.end(), 0.0);
+      for (const graph::Neighbor* it = g.NeighborsBegin(v);
+           it != g.NeighborsEnd(v); ++it) {
+        const double* row = features.RowPtr(it->node);
+        for (size_t c = 0; c < d; ++c) neighbor_mean[c] += row[c];
+      }
+      double dist = 0.0;
+      const double* row = features.RowPtr(v);
+      for (size_t c = 0; c < d; ++c) {
+        const double diff = row[c] - neighbor_mean[c] / static_cast<double>(deg);
+        dist += diff * diff;
+      }
+      local[v] = std::sqrt(dist);
+    }
+    global[v] =
+        std::sqrt(features.RowDistanceSquared(v, type_mean, g.node_type(v)));
+  }
+
+  // Normalize each component by its population mean so the two scales are
+  // commensurable before mixing.
+  auto normalize = [n](std::vector<double>& xs) {
+    double mean = 0.0;
+    for (double x : xs) mean += x;
+    mean /= static_cast<double>(std::max<size_t>(n, 1));
+    if (mean > 1e-12) {
+      for (double& x : xs) x /= mean;
+    }
+  };
+  normalize(local);
+  normalize(global);
+
+  std::vector<double> scores(n);
+  for (size_t v = 0; v < n; ++v) {
+    scores[v] = options_.local_weight * local[v] +
+                (1.0 - options_.local_weight) * global[v];
+  }
+  return scores;
+}
+
+std::vector<uint8_t> Alad::ThresholdByValidation(
+    const std::vector<double>& scores, const std::vector<int>& val_labels) {
+  // Candidate thresholds: the validation nodes' scores, swept along the
+  // precision-recall curve; pick the threshold with the best F1.
+  std::vector<std::pair<double, int>> val;  // (score, label)
+  for (size_t v = 0; v < scores.size() && v < val_labels.size(); ++v) {
+    if (val_labels[v] == 0 || val_labels[v] == 1) {
+      // Re-encode to 1 = error for the sweep below (core labels use 0).
+      val.emplace_back(scores[v], val_labels[v] == 0 ? 1 : 0);
+    }
+  }
+  double best_threshold = std::numeric_limits<double>::max();
+  if (!val.empty()) {
+    std::sort(val.begin(), val.end(), std::greater<>());
+    size_t total_errors = 0;
+    for (const auto& [s, l] : val) total_errors += (l == 1);
+    size_t tp = 0;
+    double best_f1 = -1.0;
+    for (size_t i = 0; i < val.size(); ++i) {
+      tp += (val[i].second == 1);
+      const size_t predicted_pos = i + 1;
+      if (tp == 0 || total_errors == 0) continue;
+      const double p =
+          static_cast<double>(tp) / static_cast<double>(predicted_pos);
+      const double r =
+          static_cast<double>(tp) / static_cast<double>(total_errors);
+      const double f1 = 2.0 * p * r / (p + r);
+      if (f1 > best_f1) {
+        best_f1 = f1;
+        best_threshold = val[i].first;
+      }
+    }
+  }
+  std::vector<uint8_t> out(scores.size(), 0);
+  for (size_t v = 0; v < scores.size(); ++v) {
+    out[v] = scores[v] >= best_threshold ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace gale::baselines

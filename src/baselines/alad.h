@@ -1,0 +1,48 @@
+// Alad-style baseline (Liu et al., IJCAI'17; Section VIII competitor):
+// anomaly ranking on attributed networks that scores each node by how far
+// its attributes deviate from (a) the local context defined by its graph
+// neighborhood and (b) the global population of its node type. Nodes are
+// ranked by the combined score; the decision threshold is chosen on a
+// validation set to maximize F1 along the precision-recall curve — the
+// paper's "selected the thresholds that enable its best performance in
+// terms of AUC-PR curve".
+
+#ifndef GALE_BASELINES_ALAD_H_
+#define GALE_BASELINES_ALAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/attributed_graph.h"
+#include "la/matrix.h"
+#include "util/status.h"
+
+namespace gale::baselines {
+
+struct AladOptions {
+  // Mixing weight between local (neighborhood) and global (type) deviation.
+  double local_weight = 0.6;
+};
+
+class Alad {
+ public:
+  explicit Alad(AladOptions options = {}) : options_(options) {}
+
+  // Anomaly score per node; larger = more anomalous. `features` is any
+  // dense node representation (one row per node).
+  util::Result<std::vector<double>> Score(const graph::AttributedGraph& g,
+                                          const la::Matrix& features) const;
+
+  // Picks the score threshold maximizing F1 over the validation nodes
+  // (val_labels, core convention: 0 = error, 1 = correct, anything else =
+  // not validation) and applies it to all nodes. Output flags: 1 = error.
+  static std::vector<uint8_t> ThresholdByValidation(
+      const std::vector<double>& scores, const std::vector<int>& val_labels);
+
+ private:
+  AladOptions options_;
+};
+
+}  // namespace gale::baselines
+
+#endif  // GALE_BASELINES_ALAD_H_

@@ -1,0 +1,65 @@
+// GCN baseline (Kipf & Welling; Section VIII competitor): a two-layer
+// graph convolutional network trained semi-supervised on the labeled
+// examples to classify nodes as erroneous or correct.
+
+#ifndef GALE_BASELINES_GCN_CLASSIFIER_H_
+#define GALE_BASELINES_GCN_CLASSIFIER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "la/matrix.h"
+#include "la/sparse_matrix.h"
+#include "nn/adam.h"
+#include "nn/sequential.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace gale::baselines {
+
+struct GcnClassifierOptions {
+  size_t hidden_dim = 32;
+  double dropout = 0.3;
+  double learning_rate = 1e-2;
+  int epochs = 200;
+  int early_stop_patience = 20;
+  uint64_t seed = 21;
+};
+
+class GcnClassifier {
+ public:
+  // `adjacency` must be the symmetric normalized operator and outlive the
+  // classifier.
+  GcnClassifier(const la::SparseMatrix* adjacency, size_t feature_dim,
+                GcnClassifierOptions options = {});
+
+  GcnClassifier(const GcnClassifier&) = delete;
+  GcnClassifier& operator=(const GcnClassifier&) = delete;
+
+  // Semi-supervised training: `labels` per node using the core
+  // convention (0 = error, 1 = correct, other = unlabeled). `val_labels`
+  // optional, for early stopping.
+  util::Status Train(const la::Matrix& features,
+                     const std::vector<int>& labels,
+                     const std::vector<int>& val_labels = {});
+
+  // Per-node predictions (1 = error).
+  std::vector<uint8_t> Predict(const la::Matrix& features);
+  // P(error) per node.
+  std::vector<double> PredictErrorProbability(const la::Matrix& features);
+
+ private:
+  double ValidationF1(const la::Matrix& features,
+                      const std::vector<int>& val_labels);
+
+  const la::SparseMatrix* adjacency_;
+  GcnClassifierOptions options_;
+  util::Rng rng_;
+  nn::Sequential model_;
+  nn::Adam optimizer_;
+};
+
+}  // namespace gale::baselines
+
+#endif  // GALE_BASELINES_GCN_CLASSIFIER_H_

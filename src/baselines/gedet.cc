@@ -1,0 +1,25 @@
+#include "baselines/gedet.h"
+
+#include "util/logging.h"
+
+namespace gale::baselines {
+
+util::Status GeDet::Train(const la::Matrix& x_real,
+                          const std::vector<int>& labels,
+                          const la::Matrix& x_synthetic,
+                          const std::vector<int>& val_labels) {
+  sgan_ = std::make_unique<core::Sgan>(x_real.cols(), config_);
+  return sgan_->Train(x_real, labels, x_synthetic, val_labels);
+}
+
+std::vector<uint8_t> GeDet::Predict(const la::Matrix& x_real) {
+  GALE_CHECK(sgan_ != nullptr) << "GeDet::Predict before Train";
+  const std::vector<int> labels = sgan_->PredictLabels(x_real);
+  std::vector<uint8_t> out(labels.size());
+  for (size_t v = 0; v < labels.size(); ++v) {
+    out[v] = labels[v] == core::kLabelError ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace gale::baselines

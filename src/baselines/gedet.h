@@ -1,0 +1,43 @@
+// GEDet baseline (Guan et al., IEEE Big Data'20 — the paper's pilot
+// system): the same graph-augmented semi-supervised GAN as GALE's SGAN
+// module, trained *once* on the initially available examples. No active
+// loop, no query selection: this is the "one-shot" scheme Section III
+// contrasts GALE against, and the strongest competitor in Table IV.
+
+#ifndef GALE_BASELINES_GEDET_H_
+#define GALE_BASELINES_GEDET_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/sgan.h"
+#include "la/matrix.h"
+#include "util/status.h"
+
+namespace gale::baselines {
+
+class GeDet {
+ public:
+  explicit GeDet(core::SganConfig config = {}) : config_(config) {}
+
+  // One-shot training on the given examples (per node: core::kLabelError /
+  // core::kLabelCorrect / core::kUnlabeled). X_R / X_S as produced by
+  // core::GAugment.
+  util::Status Train(const la::Matrix& x_real, const std::vector<int>& labels,
+                     const la::Matrix& x_synthetic,
+                     const std::vector<int>& val_labels = {});
+
+  // Per-node prediction, 1 = error. Requires Train().
+  std::vector<uint8_t> Predict(const la::Matrix& x_real);
+
+  core::Sgan* sgan() { return sgan_.get(); }
+
+ private:
+  core::SganConfig config_;
+  std::unique_ptr<core::Sgan> sgan_;
+};
+
+}  // namespace gale::baselines
+
+#endif  // GALE_BASELINES_GEDET_H_

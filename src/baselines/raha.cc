@@ -1,0 +1,109 @@
+#include "baselines/raha.h"
+
+#include <limits>
+#include <memory>
+
+#include "detect/constraint_detector.h"
+#include "detect/outlier_detector.h"
+#include "detect/string_detector.h"
+#include "la/kmeans.h"
+#include "la/matrix.h"
+#include "util/rng.h"
+
+namespace gale::baselines {
+
+namespace {
+
+// The fixed configuration bank. Raha's strength comes from breadth, not
+// tuning: several sensitivities per detector family.
+std::vector<std::unique_ptr<detect::BaseDetector>> BuildBank(
+    const std::vector<graph::Constraint>& constraints) {
+  std::vector<std::unique_ptr<detect::BaseDetector>> bank;
+  bank.push_back(
+      std::make_unique<detect::ConstraintDetector>(constraints));
+  for (double z : {2.0, 2.5, 3.0, 4.0}) {
+    bank.push_back(std::make_unique<detect::ZScoreOutlierDetector>(z));
+  }
+  for (const auto& [k, threshold] :
+       std::vector<std::pair<size_t, double>>{{5, 1.5}, {10, 1.8}, {20, 2.2}}) {
+    bank.push_back(std::make_unique<detect::LofOutlierDetector>(k, threshold));
+  }
+  for (double sigma : {2.0, 2.5, 3.0}) {
+    detect::StringDetectorOptions opts;
+    opts.junk_sigma = sigma;
+    bank.push_back(std::make_unique<detect::StringNoiseDetector>(opts));
+  }
+  return bank;
+}
+
+}  // namespace
+
+size_t Raha::num_configurations() const {
+  return BuildBank(constraints_).size();
+}
+
+util::Result<std::vector<uint8_t>> Raha::Predict(
+    const graph::AttributedGraph& g,
+    const std::vector<int>& train_labels) const {
+  if (!g.finalized()) {
+    return util::Status::FailedPrecondition("Raha::Predict: graph not "
+                                            "finalized");
+  }
+  if (train_labels.size() != g.num_nodes()) {
+    return util::Status::InvalidArgument("Raha::Predict: train_labels size");
+  }
+  const size_t n = g.num_nodes();
+
+  // 1-2. Detector-signature features.
+  const auto bank = BuildBank(constraints_);
+  la::Matrix signatures(n, bank.size());
+  for (size_t c = 0; c < bank.size(); ++c) {
+    for (const detect::DetectedError& err : bank[c]->Detect(g)) {
+      signatures.At(err.node, c) = 1.0;
+    }
+  }
+
+  // 3-4. Per-type clustering + cluster-majority labeling.
+  util::Rng rng(options_.seed);
+  std::vector<uint8_t> predicted(n, 0);
+  for (size_t t = 0; t < g.num_node_types(); ++t) {
+    std::vector<size_t> members;
+    for (size_t v = 0; v < n; ++v) {
+      if (g.node_type(v) == t) members.push_back(v);
+    }
+    if (members.empty()) continue;
+
+    la::Matrix member_features = signatures.SelectRows(members);
+    la::KMeansOptions km;
+    km.num_clusters = std::min(options_.clusters_per_type, members.size());
+    util::Result<la::KMeansResult> clustering =
+        la::KMeans(member_features, km, rng);
+    if (!clustering.ok()) return clustering.status();
+    const la::KMeansResult& result = clustering.value();
+
+    // Raha's labeling protocol: one representative per cluster is shown
+    // to the user (here: the labeled member nearest its centroid) and its
+    // label propagates to the whole cluster. Clusters without any labeled
+    // member default to 'correct' (errors are the rare class).
+    const size_t num_clusters = result.centroids.rows();
+    std::vector<int> cluster_label(num_clusters, 1);
+    std::vector<double> representative_dist(
+        num_clusters, std::numeric_limits<double>::max());
+    for (size_t i = 0; i < members.size(); ++i) {
+      const int label = train_labels[members[i]];
+      if (label != 0 && label != 1) continue;
+      const size_t c = result.assignments[i];
+      if (result.distances[i] < representative_dist[c]) {
+        representative_dist[c] = result.distances[i];
+        cluster_label[c] = label;
+      }
+    }
+    for (size_t i = 0; i < members.size(); ++i) {
+      predicted[members[i]] =
+          cluster_label[result.assignments[i]] == 0 ? 1 : 0;
+    }
+  }
+  return predicted;
+}
+
+}  // namespace gale::baselines

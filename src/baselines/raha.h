@@ -1,0 +1,55 @@
+// Raha-style baseline (Mahdavi et al., SIGMOD'19; Section VIII
+// competitor): configuration-free error detection via a bank of detector
+// *configurations*.
+//
+// Pipeline (faithful to Raha's core loop, adapted from relational columns
+// to graph nodes — the paper applies Raha "to node tables with one table
+// per node type"):
+//  1. run many detector configurations (z-score thresholds, LOF settings,
+//     string-noise sensitivities, constraint subsets) over the graph;
+//  2. each node gets a binary feature vector: which configurations fired;
+//  3. cluster nodes per node type in that feature space;
+//  4. propagate the few available training labels cluster-wise (each
+//     cluster takes the majority label of its labeled members; unlabeled
+//     clusters default to 'correct').
+
+#ifndef GALE_BASELINES_RAHA_H_
+#define GALE_BASELINES_RAHA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/attributed_graph.h"
+#include "graph/constraints.h"
+#include "util/status.h"
+
+namespace gale::baselines {
+
+struct RahaOptions {
+  // Clusters per node type in detector-signature space.
+  size_t clusters_per_type = 12;
+  uint64_t seed = 31;
+};
+
+class Raha {
+ public:
+  Raha(std::vector<graph::Constraint> constraints, RahaOptions options = {})
+      : constraints_(std::move(constraints)), options_(options) {}
+
+  // `train_labels` per node, core convention: 0 = error, 1 = correct,
+  // other = unlabeled. Returns the per-node error prediction (1 = error).
+  util::Result<std::vector<uint8_t>> Predict(
+      const graph::AttributedGraph& g,
+      const std::vector<int>& train_labels) const;
+
+  // Number of detector configurations in the bank (exposed for tests).
+  size_t num_configurations() const;
+
+ private:
+  std::vector<graph::Constraint> constraints_;
+  RahaOptions options_;
+};
+
+}  // namespace gale::baselines
+
+#endif  // GALE_BASELINES_RAHA_H_

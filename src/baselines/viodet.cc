@@ -1,0 +1,14 @@
+#include "baselines/viodet.h"
+
+namespace gale::baselines {
+
+std::vector<uint8_t> VioDet::Predict(const graph::AttributedGraph& g) const {
+  std::vector<uint8_t> flagged(g.num_nodes(), 0);
+  for (const graph::Violation& v :
+       graph::CheckConstraints(g, constraints_)) {
+    flagged[v.node] = 1;
+  }
+  return flagged;
+}
+
+}  // namespace gale::baselines

@@ -1,0 +1,32 @@
+// VioDet baseline (Section VIII): constraint-based error detection that
+// flags exactly the union of the violations of a mined constraint set Σ.
+// High precision on constraint-shaped errors, low recall on everything
+// else — the behaviour Table IV reports.
+
+#ifndef GALE_BASELINES_VIODET_H_
+#define GALE_BASELINES_VIODET_H_
+
+#include <vector>
+
+#include "graph/attributed_graph.h"
+#include "graph/constraints.h"
+
+namespace gale::baselines {
+
+class VioDet {
+ public:
+  explicit VioDet(std::vector<graph::Constraint> constraints)
+      : constraints_(std::move(constraints)) {}
+
+  // Per node: 1 when any constraint is violated at the node.
+  std::vector<uint8_t> Predict(const graph::AttributedGraph& g) const;
+
+  size_t num_constraints() const { return constraints_.size(); }
+
+ private:
+  std::vector<graph::Constraint> constraints_;
+};
+
+}  // namespace gale::baselines
+
+#endif  // GALE_BASELINES_VIODET_H_

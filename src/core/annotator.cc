@@ -1,0 +1,177 @@
+#include "core/annotator.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/sgan.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace gale::core {
+
+std::string Annotation::DebugString(const graph::AttributedGraph& g) const {
+  std::ostringstream os;
+  os << "Annotation(node=" << node << ", type="
+     << g.node_type_def(g.node_type(node)).name << ")\n";
+  os << "  [Type 1] soft subgraph (" << soft_subgraph.size() << " nodes";
+  if (most_influential_labeled != SIZE_MAX) {
+    os << ", most influential labeled node: " << most_influential_labeled;
+  }
+  os << ")\n";
+  for (const SoftSubgraphEntry& e : soft_subgraph) {
+    os << "    node " << e.node << (e.is_neighbor ? " [neighbor]" : "")
+       << " influence=" << util::FormatDouble(e.influence, 4)
+       << " soft_label="
+       << (e.soft_label == kLabelError
+               ? "error"
+               : (e.soft_label == kLabelCorrect ? "correct" : "?"))
+       << "\n";
+  }
+  os << "  [Type 2] detected errors (" << detected_errors.size() << ")\n";
+  for (const DetectedAnnotation& d : detected_errors) {
+    os << "    " << d.attr_name << " = '"
+       << g.value(node, d.attr).ToString() << "' flagged by "
+       << d.detector_name << " (conf "
+       << util::FormatDouble(d.confidence, 3) << ")\n";
+  }
+  os << "  [Type 3] suggested corrections (" << suggestions.size() << ")\n";
+  for (const SuggestedCorrection& s : suggestions) {
+    os << "    " << s.attr_name << " -> '" << s.value.ToString() << "' ("
+       << s.source << ")\n";
+  }
+  os << "  [Type 4] error distribution: constraint="
+     << util::FormatDouble(error_distribution[0], 3)
+     << " outlier=" << util::FormatDouble(error_distribution[1], 3)
+     << " string=" << util::FormatDouble(error_distribution[2], 3) << "\n";
+  return os.str();
+}
+
+Annotator::Annotator(const graph::AttributedGraph* g,
+                     const detect::DetectorLibrary* library,
+                     const std::vector<graph::Constraint>* constraints,
+                     prop::PprEngine* ppr, AnnotatorOptions options)
+    : graph_(g),
+      library_(library),
+      constraints_(constraints),
+      ppr_(ppr),
+      options_(options) {
+  GALE_CHECK(g != nullptr);
+  GALE_CHECK(library != nullptr);
+  GALE_CHECK(constraints != nullptr);
+  GALE_CHECK(ppr != nullptr);
+  GALE_CHECK(library->has_results()) << "Annotator needs RunAll results";
+}
+
+Annotation Annotator::Annotate(size_t v,
+                               const std::vector<int>& example_labels,
+                               const std::vector<int>& soft_labels) const {
+  GALE_CHECK_LT(v, graph_->num_nodes());
+  Annotation out;
+  out.node = v;
+
+  auto soft_label_of = [&](size_t u) -> int {
+    if (u < soft_labels.size() &&
+        (soft_labels[u] == kLabelError || soft_labels[u] == kLabelCorrect)) {
+      return soft_labels[u];
+    }
+    if (u < example_labels.size() &&
+        (example_labels[u] == kLabelError ||
+         example_labels[u] == kLabelCorrect)) {
+      return example_labels[u];
+    }
+    return kUnlabeled;
+  };
+
+  // --- Type 1: soft subgraph (1-hop neighbors + top PPR influencers) ---
+  const std::vector<double>& influence = ppr_->Row(v);
+  std::vector<uint8_t> added(graph_->num_nodes(), 0);
+  for (const graph::Neighbor* it = graph_->NeighborsBegin(v);
+       it != graph_->NeighborsEnd(v); ++it) {
+    if (added[it->node] || it->node == v) continue;
+    added[it->node] = 1;
+    out.soft_subgraph.push_back({it->node, influence[it->node],
+                                 soft_label_of(it->node), true});
+  }
+  // Most influential non-neighbor nodes under PPR.
+  std::vector<std::pair<double, size_t>> ranked;
+  for (size_t u = 0; u < influence.size(); ++u) {
+    if (u == v || added[u]) continue;
+    if (influence[u] > 0.0) ranked.emplace_back(influence[u], u);
+  }
+  const size_t extra = std::min(options_.max_influential_nodes, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + static_cast<long>(extra),
+                    ranked.end(), std::greater<>());
+  for (size_t i = 0; i < extra; ++i) {
+    out.soft_subgraph.push_back(
+        {ranked[i].second, ranked[i].first, soft_label_of(ranked[i].second),
+         false});
+  }
+  // Most influential *labeled* node.
+  double best_influence = 0.0;
+  for (size_t u = 0; u < example_labels.size() && u < influence.size(); ++u) {
+    if (example_labels[u] != kLabelError &&
+        example_labels[u] != kLabelCorrect) {
+      continue;
+    }
+    if (influence[u] > best_influence) {
+      best_influence = influence[u];
+      out.most_influential_labeled = u;
+    }
+  }
+
+  // --- Types 2 & 3 from the detector library ---
+  for (const detect::DetectorLibrary::NodeDetection& d :
+       library_->DetectionsAt(v)) {
+    const detect::BaseDetector& detector =
+        library_->detector(d.detector_index);
+    DetectedAnnotation ann;
+    ann.attr = d.error->attr;
+    ann.attr_name = graph_->attribute_def(v, d.error->attr).name;
+    ann.detector_name = detector.name();
+    ann.confidence = d.error->confidence *
+                     library_->NormalizedConfidence(d.detector_index);
+    out.detected_errors.push_back(std::move(ann));
+
+    for (const graph::AttributeValue& s : d.error->suggestions) {
+      out.suggestions.push_back({d.error->attr,
+                                 graph_->attribute_def(v, d.error->attr).name,
+                                 s, detector.name()});
+    }
+  }
+  // Type 3 also from enforcing the constraints directly (covers attributes
+  // no detector flagged but a constraint can still repair).
+  for (size_t a = 0; a < graph_->num_attributes(v); ++a) {
+    for (graph::AttributeValue& s :
+         graph::SuggestCorrections(*graph_, *constraints_, v, a)) {
+      bool duplicate = false;
+      for (const SuggestedCorrection& existing : out.suggestions) {
+        if (existing.attr == a && existing.value == s) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) {
+        out.suggestions.push_back(
+            {a, graph_->attribute_def(v, a).name, std::move(s),
+             "constraint"});
+      }
+    }
+  }
+
+  // --- Type 4 ---
+  out.error_distribution = library_->ErrorDistributionAt(v);
+  return out;
+}
+
+std::vector<Annotation> Annotator::AnnotateAll(
+    const std::vector<size_t>& queries, const std::vector<int>& example_labels,
+    const std::vector<int>& soft_labels) const {
+  std::vector<Annotation> out;
+  out.reserve(queries.size());
+  for (size_t v : queries) {
+    out.push_back(Annotate(v, example_labels, soft_labels));
+  }
+  return out;
+}
+
+}  // namespace gale::core

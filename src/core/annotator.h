@@ -1,0 +1,104 @@
+// Query annotation module (Section VI, algorithm QAnnotate).
+//
+// For each query node v, collects into v.M the four annotation types:
+//  * Type 1, soft subgraph — v's 1-hop neighborhood plus the nodes most
+//    influenced by / influencing v under personalized PageRank, with
+//    their label-propagation soft labels; also the most influential
+//    *labeled* node (the Exp-4 case-study cue);
+//  * Type 2, detected errors — the erroneous attribute values base
+//    detectors in Ψ report at v, weighted by each detector's normalized
+//    confidence |Ψ_i|/|Ψ_{C_i}|;
+//  * Type 3, suggested corrections — candidate repairs from invertible
+//    detectors and from enforcing data constraints at v;
+//  * Type 4, error distribution — the per-class probability that v is
+//    polluted by each error type.
+
+#ifndef GALE_CORE_ANNOTATOR_H_
+#define GALE_CORE_ANNOTATOR_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "detect/detector_library.h"
+#include "graph/attributed_graph.h"
+#include "graph/constraints.h"
+#include "prop/ppr.h"
+
+namespace gale::core {
+
+// Type-1 entry: a node in the query's soft subgraph.
+struct SoftSubgraphEntry {
+  size_t node;
+  double influence;    // P_{v, node}
+  int soft_label;      // kLabelError / kLabelCorrect / kUnlabeled
+  bool is_neighbor;    // in the 1-hop induced subgraph
+};
+
+// Type-2 entry: one detector report at the query node.
+struct DetectedAnnotation {
+  size_t attr;
+  std::string attr_name;
+  std::string detector_name;
+  double confidence;  // detector confidence x normalized detector weight
+};
+
+// Type-3 entry: one suggested correction.
+struct SuggestedCorrection {
+  size_t attr;
+  std::string attr_name;
+  graph::AttributeValue value;
+  std::string source;  // "constraint", detector name, ...
+};
+
+// The full annotation v.M for one query node.
+struct Annotation {
+  size_t node = 0;
+  std::vector<SoftSubgraphEntry> soft_subgraph;          // Type 1
+  size_t most_influential_labeled = SIZE_MAX;            // Type 1 (aux)
+  std::vector<DetectedAnnotation> detected_errors;       // Type 2
+  std::vector<SuggestedCorrection> suggestions;          // Type 3
+  std::array<double, detect::kNumDetectorClasses> error_distribution{};
+                                                         // Type 4
+
+  // Human-readable rendering (what the paper's GUI would show an oracle).
+  std::string DebugString(const graph::AttributedGraph& g) const;
+};
+
+struct AnnotatorOptions {
+  // Soft-subgraph size cap beyond the 1-hop neighbors.
+  size_t max_influential_nodes = 8;
+};
+
+class Annotator {
+ public:
+  // All pointers must outlive the annotator. `library` must have results.
+  Annotator(const graph::AttributedGraph* g,
+            const detect::DetectorLibrary* library,
+            const std::vector<graph::Constraint>* constraints,
+            prop::PprEngine* ppr, AnnotatorOptions options = {});
+
+  // Annotates one query node. `example_labels` (per node) marks the
+  // current examples; `soft_labels` the latest label-propagation result
+  // (may be empty — soft labels then degrade to example labels).
+  Annotation Annotate(size_t v, const std::vector<int>& example_labels,
+                      const std::vector<int>& soft_labels) const;
+
+  // QAnnotate over a batch.
+  std::vector<Annotation> AnnotateAll(
+      const std::vector<size_t>& queries,
+      const std::vector<int>& example_labels,
+      const std::vector<int>& soft_labels) const;
+
+ private:
+  const graph::AttributedGraph* graph_;
+  const detect::DetectorLibrary* library_;
+  const std::vector<graph::Constraint>* constraints_;
+  prop::PprEngine* ppr_;
+  AnnotatorOptions options_;
+};
+
+}  // namespace gale::core
+
+#endif  // GALE_CORE_ANNOTATOR_H_

@@ -1,0 +1,57 @@
+// Graph augmentation, procedure GAugment (Sections III and VII).
+//
+// Produces the two SGAN inputs from a graph and its constraint set:
+//  * X_R — real node features: hashed attribute embeddings concatenated
+//    with GAE structural embeddings (the paper's "concatenates the
+//    attribute-level representation and node-level representation");
+//  * X_S — synthetic erroneous features: the library-guided error
+//    injector pollutes a clone of the graph (rules / outlier placement /
+//    string transformations) and the polluted nodes are re-encoded
+//    against the *clean* attribute statistics, keeping their original
+//    structural embeddings. These rows seed the generator.
+
+#ifndef GALE_CORE_AUGMENT_H_
+#define GALE_CORE_AUGMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/attributed_graph.h"
+#include "graph/constraints.h"
+#include "graph/feature_encoder.h"
+#include "la/matrix.h"
+#include "nn/gae.h"
+#include "util/status.h"
+
+namespace gale::core {
+
+struct AugmentOptions {
+  graph::FeatureEncoderOptions encoder;
+  nn::GaeOptions gae;
+  // Set false to skip the GAE (attribute features only) — cheaper, used by
+  // some ablations and tests.
+  bool use_gae = true;
+  // Set false to drop the own-minus-neighbor-mean context block (the
+  // feature ablation of bench_ablation).
+  bool include_neighbor_context = true;
+  // Node pollution rate for the synthetic-error clone.
+  double synthetic_node_rate = 0.15;
+  // Error-type mix of the synthetic pollution.
+  std::vector<double> synthetic_mix = {1.0 / 3, 1.0 / 3, 1.0 / 3};
+  uint64_t seed = 99;
+};
+
+struct AugmentResult {
+  la::Matrix x_real;                  // n x d
+  la::Matrix x_synthetic;             // m x d
+  std::vector<size_t> synthetic_nodes;  // graph node behind each X_S row
+};
+
+util::Result<AugmentResult> GAugment(
+    const graph::AttributedGraph& g,
+    const std::vector<graph::Constraint>& constraints,
+    const AugmentOptions& options);
+
+}  // namespace gale::core
+
+#endif  // GALE_CORE_AUGMENT_H_

@@ -1,0 +1,100 @@
+// The GALE framework driver: the learning loop of Fig. 3.
+//
+//   1.  cold start — Q := S(∅, ∅, G, k);  Q̃ := A(Q, Ψ, G);  V_T := O(Q̃)
+//   2.  (X_R, X_S) := GAugment(G, Ψ)            [done by the caller]
+//   3.  (G, D) := SGAN(G, V_T, X_R, X_S)
+//   4.  while i < T:
+//         Q^i  := S(H_n(X_R), V_T, G, k)
+//         Q̃^i := A(Q^i, Ψ, G)
+//         Ṽ_T := sample(V_T, η);   V_T^i := Ṽ_T ∪ O(Q̃^i)
+//         D^i := SGAND(G, V_T^i, X_R, X_S);  update M and H_n
+//   5.  return M
+//
+// The driver can be "interrupted" at any iteration: per-iteration
+// predictions are recorded, and Run() returns the full telemetry used by
+// the learning-cost experiments (Fig. 7(d)-(f)).
+
+#ifndef GALE_CORE_GALE_H_
+#define GALE_CORE_GALE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/annotator.h"
+#include "core/query_selector.h"
+#include "core/sgan.h"
+#include "detect/detector_library.h"
+#include "detect/oracle.h"
+#include "graph/attributed_graph.h"
+#include "graph/constraints.h"
+#include "la/matrix.h"
+#include "la/sparse_matrix.h"
+#include "util/status.h"
+
+namespace gale::core {
+
+struct GaleConfig {
+  SganConfig sgan;
+  QuerySelectorOptions selector;
+  // Local budget k: queries per iteration.
+  size_t local_budget = 10;
+  // Iteration count T; total budget is T * local_budget.
+  int iterations = 5;
+  // Sampling rate η of the old examples when forming V_T^i (line 10):
+  // new queries weigh more than the backlog.
+  double sample_eta = 0.7;
+  // Run the annotator on each query batch (oracle context + Exp-4).
+  bool annotate_queries = true;
+  uint64_t seed = 123;
+};
+
+struct GaleIterationStats {
+  int iteration = 0;
+  double seconds = 0.0;           // wall time of this iteration
+  double select_seconds = 0.0;    // query-selection share
+  double train_seconds = 0.0;     // SGAN/SGAND share
+  size_t new_examples = 0;
+  size_t cumulative_queries = 0;
+};
+
+struct GaleResult {
+  std::vector<int> predicted;      // per node: kLabelError / kLabelCorrect
+  la::Matrix probabilities;        // n x 2
+  std::vector<int> example_labels;  // final V_T (kUnlabeled where unqueried)
+  std::vector<GaleIterationStats> iterations;
+  std::vector<Annotation> last_annotations;  // Q̃ of the final round
+  double total_seconds = 0.0;
+  SelectorTelemetry selector_telemetry;
+};
+
+class Gale {
+ public:
+  // `g`, `library` (with RunAll done) and `constraints` must outlive the
+  // instance.
+  Gale(const graph::AttributedGraph* g,
+       const detect::DetectorLibrary* library,
+       const std::vector<graph::Constraint>* constraints, GaleConfig config);
+
+  // Runs the full loop. `x_real`/`x_synthetic` come from GAugment.
+  //  * `initial_labels` — optional pre-existing examples (per node,
+  //    kUnlabeled elsewhere); empty means a true cold start;
+  //  * `val_labels` — optional held-out labels for SGAN early stopping.
+  util::Result<GaleResult> Run(const la::Matrix& x_real,
+                               const la::Matrix& x_synthetic,
+                               detect::Oracle& oracle,
+                               const std::vector<int>& initial_labels = {},
+                               const std::vector<int>& val_labels = {});
+
+  const GaleConfig& config() const { return config_; }
+
+ private:
+  const graph::AttributedGraph* graph_;
+  const detect::DetectorLibrary* library_;
+  const std::vector<graph::Constraint>* constraints_;
+  GaleConfig config_;
+  la::SparseMatrix walk_matrix_;
+};
+
+}  // namespace gale::core
+
+#endif  // GALE_CORE_GALE_H_

@@ -1,0 +1,314 @@
+#include "core/query_selector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/sgan.h"
+#include "prop/label_propagation.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace gale::core {
+
+namespace {
+
+uint64_t PairKey(size_t u, size_t v) {
+  const uint64_t a = std::min(u, v);
+  const uint64_t b = std::max(u, v);
+  return (a << 32) | (b & 0xffffffffULL);
+}
+
+}  // namespace
+
+const char* QueryStrategyName(QueryStrategy s) {
+  switch (s) {
+    case QueryStrategy::kGale:
+      return "GALE";
+    case QueryStrategy::kRandom:
+      return "GALE(-Ran.)";
+    case QueryStrategy::kEntropy:
+      return "GALE(-Ent.)";
+    case QueryStrategy::kKmeans:
+      return "GALE(-Kme.)";
+  }
+  return "?";
+}
+
+QuerySelector::QuerySelector(const la::SparseMatrix* walk_matrix,
+                             QuerySelectorOptions options)
+    : walk_matrix_(walk_matrix),
+      options_(options),
+      rng_(options.seed),
+      ppr_(walk_matrix,
+           prop::PprOptions{.alpha = options.ppr_alpha,
+                            .cache_rows = options.memoization}) {
+  GALE_CHECK(walk_matrix != nullptr);
+}
+
+void QuerySelector::RefreshChangeFlags(const la::Matrix& embeddings) {
+  const size_t n = embeddings.rows();
+  embedding_changed_.assign(n, 1);
+  if (options_.memoization && last_embeddings_.rows() == n &&
+      last_embeddings_.cols() == embeddings.cols()) {
+    for (size_t v = 0; v < n; ++v) {
+      bool changed = false;
+      const double* a = embeddings.RowPtr(v);
+      const double* b = last_embeddings_.RowPtr(v);
+      for (size_t c = 0; c < embeddings.cols(); ++c) {
+        if (std::abs(a[c] - b[c]) > options_.embedding_tolerance) {
+          changed = true;
+          break;
+        }
+      }
+      embedding_changed_[v] = changed ? 1 : 0;
+    }
+  }
+  for (uint8_t f : embedding_changed_) {
+    if (f) {
+      ++telemetry_.nodes_changed;
+    } else {
+      ++telemetry_.nodes_unchanged;
+    }
+  }
+  last_embeddings_ = embeddings;
+}
+
+double QuerySelector::Distance(const la::Matrix& embeddings, size_t u,
+                               size_t v) {
+  if (!options_.memoization) {
+    ++telemetry_.distance_cache_misses;
+    return std::sqrt(embeddings.RowDistanceSquared(u, embeddings, v));
+  }
+  const uint64_t key = PairKey(u, v);
+  auto it = distance_cache_.find(key);
+  // A cached distance is valid only while both endpoints' embeddings are
+  // unchanged within the tolerance (Section VII: "retrieve an approximate
+  // distance ... if the embeddings are not significantly changed").
+  if (it != distance_cache_.end() && !embedding_changed_[u] &&
+      !embedding_changed_[v]) {
+    ++telemetry_.distance_cache_hits;
+    return it->second;
+  }
+  ++telemetry_.distance_cache_misses;
+  const double d = std::sqrt(embeddings.RowDistanceSquared(u, embeddings, v));
+  distance_cache_[key] = d;
+  return d;
+}
+
+util::Result<std::vector<size_t>> QuerySelector::Select(
+    const la::Matrix& embeddings, const std::vector<int>& example_labels,
+    const la::Matrix& class_probs, size_t k) {
+  if (embeddings.rows() == 0) {
+    return util::Status::InvalidArgument("QuerySelector: empty embeddings");
+  }
+  if (example_labels.size() != embeddings.rows()) {
+    return util::Status::InvalidArgument(
+        "QuerySelector: example_labels size mismatch");
+  }
+  if (k == 0) return std::vector<size_t>{};
+
+  util::WallTimer timer;
+  std::vector<size_t> unlabeled;
+  for (size_t v = 0; v < example_labels.size(); ++v) {
+    if (example_labels[v] == kUnlabeled) unlabeled.push_back(v);
+  }
+  if (unlabeled.empty()) {
+    return util::Status::FailedPrecondition("QuerySelector: no unlabeled "
+                                            "nodes left");
+  }
+  k = std::min(k, unlabeled.size());
+
+  util::Result<std::vector<size_t>> result = [&]()
+      -> util::Result<std::vector<size_t>> {
+    switch (options_.strategy) {
+      case QueryStrategy::kRandom:
+        return SelectRandom(unlabeled, k);
+      case QueryStrategy::kEntropy:
+        return SelectEntropy(unlabeled, class_probs, k);
+      case QueryStrategy::kKmeans:
+        return SelectKmeans(unlabeled, embeddings, k);
+      case QueryStrategy::kGale:
+        return SelectGale(unlabeled, embeddings, example_labels, class_probs,
+                          k);
+    }
+    return util::Status::Internal("unknown strategy");
+  }();
+  telemetry_.last_select_seconds = timer.ElapsedSeconds();
+  telemetry_.ppr_rows_computed = ppr_.num_computed_rows();
+  return result;
+}
+
+std::vector<size_t> QuerySelector::SelectRandom(
+    const std::vector<size_t>& unlabeled, size_t k) {
+  std::vector<size_t> picks =
+      rng_.SampleWithoutReplacement(unlabeled.size(), k);
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t i : picks) out.push_back(unlabeled[i]);
+  return out;
+}
+
+std::vector<size_t> QuerySelector::SelectEntropy(
+    const std::vector<size_t>& unlabeled, const la::Matrix& class_probs,
+    size_t k) {
+  if (class_probs.rows() == 0) {
+    // Cold start: no model yet, entropy is undefined — fall back to random
+    // (what uncertainty sampling degenerates to without a model).
+    return SelectRandom(unlabeled, k);
+  }
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(unlabeled.size());
+  for (size_t v : unlabeled) {
+    double entropy = 0.0;
+    for (size_t c = 0; c < class_probs.cols(); ++c) {
+      const double p = class_probs.At(v, c);
+      if (p > 1e-12) entropy -= p * std::log(p);
+    }
+    scored.emplace_back(entropy, v);
+  }
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
+                    scored.end(), [](const auto& a, const auto& b) {
+                      return a.first > b.first;
+                    });
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+util::Result<std::vector<size_t>> QuerySelector::SelectKmeans(
+    const std::vector<size_t>& unlabeled, const la::Matrix& embeddings,
+    size_t k) {
+  la::Matrix candidate = embeddings.SelectRows(unlabeled);
+  la::KMeansOptions km;
+  km.num_clusters = k;
+  util::Result<la::KMeansResult> clustering = la::KMeans(candidate, km, rng_);
+  if (!clustering.ok()) return clustering.status();
+  const la::KMeansResult& result = clustering.value();
+
+  // One representative per cluster: the point nearest its centroid.
+  const size_t num_clusters = result.centroids.rows();
+  std::vector<size_t> best(num_clusters, SIZE_MAX);
+  std::vector<double> best_dist(num_clusters,
+                                std::numeric_limits<double>::max());
+  for (size_t i = 0; i < unlabeled.size(); ++i) {
+    const size_t c = result.assignments[i];
+    if (result.distances[i] < best_dist[c]) {
+      best_dist[c] = result.distances[i];
+      best[c] = unlabeled[i];
+    }
+  }
+  std::vector<size_t> out;
+  for (size_t c = 0; c < num_clusters && out.size() < k; ++c) {
+    if (best[c] != SIZE_MAX) out.push_back(best[c]);
+  }
+  // Top up from random picks if clusters collapsed.
+  while (out.size() < k) {
+    const size_t v = unlabeled[rng_.UniformInt(unlabeled.size())];
+    if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  }
+  return out;
+}
+
+util::Result<std::vector<size_t>> QuerySelector::SelectGale(
+    const std::vector<size_t>& unlabeled, const la::Matrix& embeddings,
+    const std::vector<int>& example_labels, const la::Matrix& class_probs,
+    size_t k) {
+  RefreshChangeFlags(embeddings);
+
+  // Soft labels Ls via label propagation from the current examples.
+  std::vector<int> soft_labels(embeddings.rows(), kUnlabeled);
+  {
+    bool have_seeds = false;
+    for (int l : example_labels) {
+      if (l == kLabelError || l == kLabelCorrect) {
+        have_seeds = true;
+        break;
+      }
+    }
+    if (have_seeds) {
+      util::Result<la::Matrix> soft = prop::PropagateLabels(
+          *walk_matrix_, example_labels, 2,
+          prop::LabelPropagationOptions{.alpha = options_.ppr_alpha});
+      if (!soft.ok()) return soft.status();
+      soft_labels = prop::HardLabels(soft.value(), kUnlabeled);
+    }
+  }
+
+  // Discriminator predictions define the class sets C_l.
+  std::vector<int> predicted(embeddings.rows(), kUnlabeled);
+  if (class_probs.rows() == embeddings.rows() && class_probs.cols() >= 2) {
+    for (size_t v = 0; v < embeddings.rows(); ++v) {
+      predicted[v] = class_probs.At(v, 0) >= class_probs.At(v, 1)
+                         ? kLabelError
+                         : kLabelCorrect;
+    }
+  }
+
+  TypicalityOptions typ;
+  typ.use_topological = options_.use_topological_typicality;
+  // k' between k and 3k (paper default).
+  typ.num_clusters = static_cast<size_t>(std::clamp(
+      options_.cluster_multiplier * static_cast<double>(k),
+      static_cast<double>(k), 3.0 * static_cast<double>(k)));
+  typ.max_class_samples = options_.max_class_samples;
+  typ.seed = rng_.Next();
+  util::Result<TypicalityResult> typicality = ComputeTypicality(
+      embeddings, unlabeled, predicted, soft_labels, ppr_, typ);
+  if (!typicality.ok()) return typicality.status();
+  const std::vector<double>& t_scores = typicality.value().typicality;
+
+  // Normalize embedding distances by an estimate of the mean pairwise
+  // distance so λ keeps the same meaning across embedding scales.
+  double mean_pairwise = 0.0;
+  {
+    util::Rng probe_rng(options_.seed ^ 0xD157);
+    const size_t probes = std::min<size_t>(128, unlabeled.size());
+    size_t counted = 0;
+    for (size_t i = 0; i < probes; ++i) {
+      const size_t a = unlabeled[probe_rng.UniformInt(unlabeled.size())];
+      const size_t b = unlabeled[probe_rng.UniformInt(unlabeled.size())];
+      if (a == b) continue;
+      mean_pairwise +=
+          std::sqrt(embeddings.RowDistanceSquared(a, embeddings, b));
+      ++counted;
+    }
+    mean_pairwise = counted > 0 ? mean_pairwise / counted : 1.0;
+    if (mean_pairwise < 1e-9) mean_pairwise = 1.0;
+  }
+
+  // Greedy max-sum dispersion: B'_v(Q) = ½T(v) + λ Σ_{u in Q} d(v, u).
+  telemetry_.typicality_by_prefix.clear();
+  std::vector<size_t> selected;
+  std::vector<uint8_t> taken(unlabeled.size(), 0);
+  std::vector<double> diversity_sum(unlabeled.size(), 0.0);
+  double prefix_typicality = 0.0;
+  for (size_t round = 0; round < k; ++round) {
+    double best_gain = -std::numeric_limits<double>::max();
+    size_t best_idx = SIZE_MAX;
+    for (size_t i = 0; i < unlabeled.size(); ++i) {
+      if (taken[i]) continue;
+      const double gain = 0.5 * t_scores[i] +
+                          options_.lambda_diversity * diversity_sum[i];
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_idx = i;
+      }
+    }
+    if (best_idx == SIZE_MAX) break;
+    taken[best_idx] = 1;
+    const size_t chosen = unlabeled[best_idx];
+    selected.push_back(chosen);
+    prefix_typicality += t_scores[best_idx];
+    telemetry_.typicality_by_prefix[selected.size()] = prefix_typicality;
+    // Update running diversity sums against the newly selected node.
+    for (size_t i = 0; i < unlabeled.size(); ++i) {
+      if (taken[i]) continue;
+      diversity_sum[i] +=
+          Distance(embeddings, unlabeled[i], chosen) / mean_pairwise;
+    }
+  }
+  return selected;
+}
+
+}  // namespace gale::core

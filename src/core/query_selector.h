@@ -1,0 +1,139 @@
+// Query selection module (Section V-B) with the memoization optimizations
+// of Section VII.
+//
+// Strategies:
+//  * kGale   — algorithm QSelect: greedy 2-approximation of the
+//    diversified-typicality objective
+//      Q = argmax_{|Q|=k}  T(Q) + λ Σ_{v,v' in Q} d(h(v), h(v'))
+//    via marginal gains B'_v(Q) = ½T(v) + λ Σ_{u in Q} d(h(v), h(u))
+//    (T is additive, so F_v(Q) = ½T(Q∪{v}) − ½T(Q) = ½T(v));
+//  * kRandom — GALE(-Ran.): uniform sampling of unlabeled nodes;
+//  * kEntropy — GALE(-Ent.): highest prediction entropy first;
+//  * kKmeans — GALE(-Kme.): nodes nearest to k-means centroids.
+//
+// Memoization (toggle `memoization`; off reproduces U_GALE):
+//  (a) pairwise embedding distances cached across iterations, re-used when
+//      both endpoints' embeddings are element-wise unchanged within
+//      `embedding_tolerance`;
+//  (b) per-node changed-embedding flags recomputed per Select call;
+//  (c) a typicality dictionary keyed by |Q| recording the greedy prefix
+//      objective (cheap bookkeeping; exposed for telemetry);
+//  (d) PPR rows cached inside the shared PprEngine.
+
+#ifndef GALE_CORE_QUERY_SELECTOR_H_
+#define GALE_CORE_QUERY_SELECTOR_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/typicality.h"
+#include "la/matrix.h"
+#include "la/sparse_matrix.h"
+#include "prop/ppr.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace gale::core {
+
+enum class QueryStrategy {
+  kGale = 0,
+  kRandom,
+  kEntropy,
+  kKmeans,
+};
+
+const char* QueryStrategyName(QueryStrategy s);
+
+struct QuerySelectorOptions {
+  QueryStrategy strategy = QueryStrategy::kGale;
+  // λ of the diversity term.
+  double lambda_diversity = 0.25;
+  // k' = clamp(cluster_multiplier * k, k, 3k) clusters for clusT.
+  double cluster_multiplier = 2.0;
+  size_t max_class_samples = 48;
+  double ppr_alpha = 0.15;
+  // Disable the topological-typicality factor (clusT-only typicality) —
+  // a bench_ablation knob.
+  bool use_topological_typicality = true;
+  // Section VII memoization on/off (off = U_GALE).
+  bool memoization = true;
+  // Element-wise tolerance under which an embedding counts as unchanged;
+  // cached distances served under it are the paper's "approximate"
+  // distances d'(u, v).
+  double embedding_tolerance = 0.3;
+  uint64_t seed = 11;
+};
+
+// Telemetry counters for the learning-cost experiments (Fig. 7(e)/(f)).
+struct SelectorTelemetry {
+  size_t distance_cache_hits = 0;
+  size_t distance_cache_misses = 0;
+  size_t nodes_unchanged = 0;  // embedding unchanged since last iteration
+  size_t nodes_changed = 0;
+  double last_select_seconds = 0.0;
+  // (d) PPR power iterations actually run (cache misses of P).
+  size_t ppr_rows_computed = 0;
+  // (c) typicality of the greedy prefix, keyed by |Q|.
+  std::map<size_t, double> typicality_by_prefix;
+};
+
+class QuerySelector {
+ public:
+  // `walk_matrix` (symmetric normalized adjacency) must outlive the
+  // selector; it feeds the shared PPR engine and label propagation.
+  QuerySelector(const la::SparseMatrix* walk_matrix,
+                QuerySelectorOptions options);
+
+  // Selects up to k unlabeled query nodes.
+  //  * `embeddings` — one row per graph node (H_n(X_R); raw features on
+  //    the cold-start call);
+  //  * `example_labels` — per node: kLabelError/kLabelCorrect for current
+  //    examples V_T, kUnlabeled otherwise (labeled nodes are excluded from
+  //    the candidate pool and seed label propagation);
+  //  * `class_probs` — n x 2 discriminator probabilities; pass an empty
+  //    matrix on cold start (entropy falls back to random, topoT to 1).
+  util::Result<std::vector<size_t>> Select(const la::Matrix& embeddings,
+                                           const std::vector<int>& example_labels,
+                                           const la::Matrix& class_probs,
+                                           size_t k);
+
+  const SelectorTelemetry& telemetry() const { return telemetry_; }
+  prop::PprEngine& ppr() { return ppr_; }
+  const QuerySelectorOptions& options() const { return options_; }
+
+ private:
+  std::vector<size_t> SelectRandom(const std::vector<size_t>& unlabeled,
+                                   size_t k);
+  std::vector<size_t> SelectEntropy(const std::vector<size_t>& unlabeled,
+                                    const la::Matrix& class_probs, size_t k);
+  util::Result<std::vector<size_t>> SelectKmeans(
+      const std::vector<size_t>& unlabeled, const la::Matrix& embeddings,
+      size_t k);
+  util::Result<std::vector<size_t>> SelectGale(
+      const std::vector<size_t>& unlabeled, const la::Matrix& embeddings,
+      const std::vector<int>& example_labels, const la::Matrix& class_probs,
+      size_t k);
+
+  // Cached pairwise distance between nodes u and v in the embedding space.
+  double Distance(const la::Matrix& embeddings, size_t u, size_t v);
+  // Updates the per-node changed flags against the stored embeddings.
+  void RefreshChangeFlags(const la::Matrix& embeddings);
+
+  const la::SparseMatrix* walk_matrix_;
+  QuerySelectorOptions options_;
+  util::Rng rng_;
+  prop::PprEngine ppr_;
+  SelectorTelemetry telemetry_;
+
+  // Memoization state (Section VII).
+  la::Matrix last_embeddings_;
+  std::vector<uint8_t> embedding_changed_;
+  std::unordered_map<uint64_t, double> distance_cache_;
+};
+
+}  // namespace gale::core
+
+#endif  // GALE_CORE_QUERY_SELECTOR_H_

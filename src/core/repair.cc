@@ -1,0 +1,112 @@
+#include "core/repair.h"
+
+#include <cmath>
+#include <map>
+
+#include "core/sgan.h"
+#include "util/logging.h"
+
+namespace gale::core {
+
+RepairReport RepairGraph(graph::AttributedGraph& g,
+                         const std::vector<graph::Constraint>& constraints,
+                         const detect::DetectorLibrary& library,
+                         const std::vector<int>& predicted_labels,
+                         const RepairOptions& options) {
+  GALE_CHECK(library.has_results());
+  GALE_CHECK_EQ(predicted_labels.size(), g.num_nodes());
+
+  RepairReport report;
+  for (size_t v = 0; v < g.num_nodes(); ++v) {
+    if (predicted_labels[v] != kLabelError) continue;
+    report.nodes_considered += 1;
+
+    // Candidate repair per attribute: best suggestion, weighted by the
+    // reporting detector's confidence. Constraint enforcement is
+    // consulted for every attribute the detectors did not cover.
+    std::map<size_t, std::pair<graph::AttributeValue, std::string>> best;
+    std::map<size_t, double> best_confidence;
+    for (const detect::DetectorLibrary::NodeDetection& d :
+         library.DetectionsAt(v)) {
+      if (d.error->confidence < options.min_confidence) continue;
+      if (d.error->suggestions.empty()) continue;
+      const graph::AttributeValue& candidate = d.error->suggestions.front();
+      if (!options.apply_numeric_suggestions &&
+          candidate.kind == graph::ValueKind::kNumeric) {
+        continue;
+      }
+      auto it = best_confidence.find(d.error->attr);
+      if (it == best_confidence.end() || d.error->confidence > it->second) {
+        best_confidence[d.error->attr] = d.error->confidence;
+        best[d.error->attr] = {candidate,
+                               library.detector(d.detector_index).name()};
+      }
+    }
+    for (size_t a = 0; a < g.num_attributes(v); ++a) {
+      if (best.count(a)) continue;
+      std::vector<graph::AttributeValue> suggestions =
+          graph::SuggestCorrections(g, constraints, v, a);
+      if (!suggestions.empty()) {
+        best[a] = {std::move(suggestions.front()), "constraint"};
+      }
+    }
+
+    for (auto& [attr, suggestion] : best) {
+      auto& [value, source] = suggestion;
+      if (value.is_null() || value == g.value(v, attr)) continue;
+      report.attrs_with_suggestions += 1;
+      RepairAction action;
+      action.node = v;
+      action.attr = attr;
+      action.before = g.value(v, attr);
+      action.after = value;
+      action.source = source;
+      g.set_value(v, attr, value);
+      report.applied.push_back(std::move(action));
+    }
+  }
+  return report;
+}
+
+RepairEvaluation EvaluateRepairs(const RepairReport& report,
+                                 const graph::ErrorGroundTruth& truth) {
+  RepairEvaluation eval;
+  // Index the injected errors by (node, attr).
+  std::map<std::pair<size_t, size_t>, const graph::InjectedError*> injected;
+  for (const graph::InjectedError& e : truth.errors) {
+    injected[{e.node, e.attr}] = &e;
+  }
+  for (const RepairAction& action : report.applied) {
+    auto it = injected.find({action.node, action.attr});
+    if (it == injected.end()) {
+      eval.collateral_edits += 1;
+      continue;
+    }
+    const graph::AttributeValue& clean = it->second->original;
+    if (action.after == clean) {
+      eval.exact_fixes += 1;
+    } else if (clean.kind == graph::ValueKind::kNumeric &&
+               action.after.kind == graph::ValueKind::kNumeric &&
+               action.before.kind == graph::ValueKind::kNumeric &&
+               std::abs(action.after.numeric - clean.numeric) <
+                   std::abs(action.before.numeric - clean.numeric)) {
+      // Numeric plausibility repairs (population means) almost never hit
+      // the exact double but still move the value toward the truth.
+      eval.improved_fixes += 1;
+    } else {
+      eval.wrong_fixes += 1;
+    }
+  }
+  const size_t on_errors =
+      eval.exact_fixes + eval.improved_fixes + eval.wrong_fixes;
+  if (on_errors > 0) {
+    eval.exact_fix_rate =
+        static_cast<double>(eval.exact_fixes) / static_cast<double>(on_errors);
+    eval.useful_fix_rate =
+        static_cast<double>(eval.exact_fixes + eval.improved_fixes) /
+        static_cast<double>(on_errors);
+  }
+  return eval;
+}
+
+}  // namespace gale::core

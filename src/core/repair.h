@@ -1,0 +1,78 @@
+// Data repairing on top of GALE's detection output (Section VI: the
+// auxiliary annotation data "can also be re-used to facilitate follow-up
+// data repairing").
+//
+// RepairGraph walks the nodes the classifier marked erroneous, asks the
+// detector library and the constraint set for suggested corrections
+// (Type-3 annotations), and applies the best-supported suggestion per
+// flagged attribute. With ground truth available, EvaluateRepairs scores
+// the repairs: exact fixes, value changes that didn't recover the clean
+// value, and collateral edits on clean attributes.
+
+#ifndef GALE_CORE_REPAIR_H_
+#define GALE_CORE_REPAIR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "detect/detector_library.h"
+#include "graph/attributed_graph.h"
+#include "graph/constraints.h"
+#include "graph/error_injector.h"
+
+namespace gale::core {
+
+struct RepairOptions {
+  // Only repair attributes whose best detector confidence reaches this.
+  double min_confidence = 0.0;
+  // When false, numeric suggestions (population means from the outlier
+  // detectors) are skipped — they are plausibility repairs, not value
+  // recovery.
+  bool apply_numeric_suggestions = true;
+};
+
+// One applied (or skipped) repair.
+struct RepairAction {
+  size_t node = 0;
+  size_t attr = 0;
+  graph::AttributeValue before;
+  graph::AttributeValue after;
+  std::string source;  // detector / "constraint"
+};
+
+struct RepairReport {
+  std::vector<RepairAction> applied;
+  size_t nodes_considered = 0;   // nodes the classifier flagged
+  size_t attrs_with_suggestions = 0;
+
+  size_t num_applied() const { return applied.size(); }
+};
+
+// Applies repairs in place on `g`. `predicted_labels` uses the core
+// convention (kLabelError marks nodes to repair); `library` must hold
+// RunAll results for `g`.
+RepairReport RepairGraph(graph::AttributedGraph& g,
+                         const std::vector<graph::Constraint>& constraints,
+                         const detect::DetectorLibrary& library,
+                         const std::vector<int>& predicted_labels,
+                         const RepairOptions& options = {});
+
+struct RepairEvaluation {
+  size_t exact_fixes = 0;        // repaired to the clean value
+  size_t improved_fixes = 0;     // numeric repair moved closer to clean
+  size_t wrong_fixes = 0;        // changed an erroneous value incorrectly
+  size_t collateral_edits = 0;   // edited an attribute that was clean
+  // exact / (exact + improved + wrong)
+  double exact_fix_rate = 0.0;
+  // (exact + improved) / (exact + improved + wrong)
+  double useful_fix_rate = 0.0;
+};
+
+// Scores `report` against the injection ground truth of the same graph.
+RepairEvaluation EvaluateRepairs(const RepairReport& report,
+                                 const graph::ErrorGroundTruth& truth);
+
+}  // namespace gale::core
+
+#endif  // GALE_CORE_REPAIR_H_

@@ -1,0 +1,297 @@
+#include "core/sgan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "nn/activations.h"
+#include "nn/batch_norm.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/losses.h"
+#include "util/logging.h"
+
+namespace gale::core {
+
+namespace {
+
+// Stacks b under a.
+la::Matrix VStack(const la::Matrix& a, const la::Matrix& b) {
+  GALE_CHECK_EQ(a.cols(), b.cols());
+  la::Matrix out(a.rows() + b.rows(), a.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    std::copy(a.RowPtr(r), a.RowPtr(r) + a.cols(), out.RowPtr(r));
+  }
+  for (size_t r = 0; r < b.rows(); ++r) {
+    std::copy(b.RowPtr(r), b.RowPtr(r) + b.cols(), out.RowPtr(a.rows() + r));
+  }
+  return out;
+}
+
+}  // namespace
+
+Sgan::Sgan(size_t feature_dim, const SganConfig& config)
+    : feature_dim_(feature_dim),
+      config_(config),
+      rng_(config.seed),
+      d_optimizer_(nn::AdamOptions{.learning_rate = config.learning_rate,
+                                   .lr_decay = config.lr_decay}),
+      g_optimizer_(nn::AdamOptions{.learning_rate = config.learning_rate,
+                                   .lr_decay = config.lr_decay}) {
+  GALE_CHECK_GT(feature_dim, 0u);
+  // Discriminator: Dense -> LeakyReLU -> Dropout -> Dense -> LeakyReLU
+  // (penultimate embedding H_n) -> Dense(3 logits).
+  discriminator_.Add(
+      std::make_unique<nn::Dense>(feature_dim, config_.hidden_dim, rng_));
+  discriminator_.Add(std::make_unique<nn::LeakyRelu>(0.2));
+  discriminator_.Add(std::make_unique<nn::Dropout>(config_.dropout, rng_));
+  discriminator_.Add(std::make_unique<nn::Dense>(config_.hidden_dim,
+                                                 config_.embedding_dim, rng_));
+  discriminator_.Add(std::make_unique<nn::LeakyRelu>(0.2));
+  embed_layer_index_ = discriminator_.num_layers() - 1;
+  discriminator_.Add(
+      std::make_unique<nn::Dense>(config_.embedding_dim, 3, rng_));
+
+  // Generator: Dense -> BatchNorm -> LeakyReLU -> Dense back to feature
+  // space (the paper's Dense+BatchNorm stack).
+  generator_.Add(
+      std::make_unique<nn::Dense>(feature_dim, config_.hidden_dim, rng_));
+  generator_.Add(std::make_unique<nn::BatchNorm>(config_.hidden_dim));
+  generator_.Add(std::make_unique<nn::LeakyRelu>(0.2));
+  generator_.Add(
+      std::make_unique<nn::Dense>(config_.hidden_dim, feature_dim, rng_));
+}
+
+SganEpochStats Sgan::RunEpoch(const la::Matrix& x_real,
+                              const std::vector<int>& labels,
+                              const la::Matrix& x_synthetic, bool update_g) {
+  SganEpochStats stats;
+  const size_t n_real = x_real.rows();
+  const size_t n_syn = x_synthetic.rows();
+  const size_t n_fake = x_synthetic.rows();
+
+  // --- discriminator step ---
+  la::Matrix g_input = x_synthetic;
+  for (double& v : g_input.data()) {
+    v += rng_.Normal(0.0, config_.generator_noise);
+  }
+  la::Matrix fake = generator_.Forward(g_input, /*training=*/true);
+
+  // Batch layout: [real | injected synthetic errors X_S | G outputs].
+  // The X_S rows are erroneous by construction (the augmentation injected
+  // the errors), so they double as supervised 'error' examples — GEDet's
+  // few-shot mechanism of "enhancing examples with synthetic ones". Only
+  // G's *generated* rows carry the third, 'synthetic' label of Eq. (1).
+  const size_t total = n_real + n_syn + n_fake;
+  la::Matrix combined = VStack(VStack(x_real, x_synthetic), fake);
+  std::vector<int> combined_labels(total, kUnlabeled);
+  std::vector<uint8_t> supervised_mask(total, 0);
+  std::vector<uint8_t> is_fake(total, 0);
+  for (size_t r = 0; r < n_real; ++r) {
+    if (labels[r] == kLabelError || labels[r] == kLabelCorrect) {
+      combined_labels[r] = labels[r];
+      supervised_mask[r] = 1;
+    }
+  }
+  for (size_t r = 0; r < n_syn; ++r) {
+    combined_labels[n_real + r] = kLabelError;
+    supervised_mask[n_real + r] = 1;
+  }
+  for (size_t r = 0; r < n_fake; ++r) is_fake[n_real + n_syn + r] = 1;
+
+  // Real oracle examples carry full weight; the synthetic error examples
+  // are plentiful but noisier, so they anchor the error class at a
+  // discounted weight. No inverse-frequency balancing: the augmentation
+  // already supplies error-class mass, and balancing on top of it makes
+  // the boundary over-aggressive (precision collapses).
+  std::vector<double> row_weights(total, 0.0);
+  for (size_t r = 0; r < n_real; ++r) {
+    if (supervised_mask[r]) {
+      row_weights[r] = 1.0;
+    } else if (config_.unlabeled_correct_weight > 0.0) {
+      // Errors are rare, so an unlabeled node is correct with high prior
+      // probability: a weak 'correct' pull that covers the parts of the
+      // correct manifold no oracle example reaches.
+      combined_labels[r] = kLabelCorrect;
+      supervised_mask[r] = 1;
+      row_weights[r] = config_.unlabeled_correct_weight;
+    }
+  }
+  for (size_t r = 0; r < n_syn; ++r) {
+    row_weights[n_real + r] = config_.synthetic_example_weight;
+  }
+
+  la::Matrix logits = discriminator_.Forward(combined, /*training=*/true);
+
+  la::Matrix grad_sup;
+  const double sup_loss = nn::ConditionalCrossEntropy(
+      logits, /*num_real_classes=*/2, combined_labels, supervised_mask,
+      &grad_sup, row_weights);
+  la::Matrix grad_unsup;
+  const double unsup_loss =
+      nn::GanUnsupervisedLoss(logits, is_fake, &grad_unsup);
+
+  grad_unsup *= config_.lambda_unsupervised;
+  grad_sup += grad_unsup;
+  stats.d_loss = sup_loss + config_.lambda_unsupervised * unsup_loss;
+
+  discriminator_.ZeroGrad();
+  discriminator_.Backward(grad_sup);
+  d_optimizer_.Step(discriminator_.Parameters(), discriminator_.Gradients());
+
+  // Real-row embeddings from this pass; constants for feature matching.
+  const la::Matrix& combined_embed =
+      discriminator_.ActivationAt(embed_layer_index_);
+  la::Matrix h_real(n_real, combined_embed.cols());
+  for (size_t r = 0; r < n_real; ++r) {
+    std::copy(combined_embed.RowPtr(r),
+              combined_embed.RowPtr(r) + combined_embed.cols(),
+              h_real.RowPtr(r));
+  }
+
+  // --- generator step (feature matching) ---
+  if (update_g) {
+    la::Matrix g_input2 = x_synthetic;
+    for (double& v : g_input2.data()) {
+      v += rng_.Normal(0.0, config_.generator_noise);
+    }
+    la::Matrix fake2 = generator_.Forward(g_input2, /*training=*/true);
+    discriminator_.Forward(fake2, /*training=*/true);
+    const la::Matrix& h_fake =
+        discriminator_.ActivationAt(embed_layer_index_);
+
+    la::Matrix grad_h_fake;
+    stats.g_loss = nn::FeatureMatchingLoss(h_real, h_fake, &grad_h_fake);
+
+    // Route the gradient through D's lower layers to the fake inputs
+    // without keeping D's parameter gradients.
+    discriminator_.ZeroGrad();
+    la::Matrix grad_fake =
+        discriminator_.BackwardFrom(embed_layer_index_, grad_h_fake);
+    discriminator_.ZeroGrad();
+
+    generator_.ZeroGrad();
+    generator_.Backward(grad_fake);
+    g_optimizer_.Step(generator_.Parameters(), generator_.Gradients());
+  }
+
+  d_optimizer_.DecayLearningRate();
+  if (update_g) g_optimizer_.DecayLearningRate();
+  return stats;
+}
+
+double Sgan::ValidationF1(const la::Matrix& x_real,
+                          const std::vector<int>& val_labels) {
+  const std::vector<int> predicted = PredictLabels(x_real);
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t fn = 0;
+  for (size_t r = 0; r < val_labels.size(); ++r) {
+    if (val_labels[r] != kLabelError && val_labels[r] != kLabelCorrect) {
+      continue;
+    }
+    const bool truth_error = val_labels[r] == kLabelError;
+    const bool pred_error = predicted[r] == kLabelError;
+    if (pred_error && truth_error) ++tp;
+    if (pred_error && !truth_error) ++fp;
+    if (!pred_error && truth_error) ++fn;
+  }
+  if (tp == 0) return 0.0;
+  const double p = static_cast<double>(tp) / static_cast<double>(tp + fp);
+  const double r = static_cast<double>(tp) / static_cast<double>(tp + fn);
+  return 2.0 * p * r / (p + r);
+}
+
+util::Status Sgan::Train(const la::Matrix& x_real,
+                         const std::vector<int>& labels,
+                         const la::Matrix& x_synthetic,
+                         const std::vector<int>& val_labels) {
+  if (x_real.cols() != feature_dim_ || x_synthetic.cols() != feature_dim_) {
+    return util::Status::InvalidArgument("Sgan::Train: feature dim mismatch");
+  }
+  if (labels.size() != x_real.rows()) {
+    return util::Status::InvalidArgument("Sgan::Train: labels size");
+  }
+  if (!val_labels.empty() && val_labels.size() != x_real.rows()) {
+    return util::Status::InvalidArgument("Sgan::Train: val labels size");
+  }
+  if (x_synthetic.rows() == 0) {
+    return util::Status::InvalidArgument("Sgan::Train: empty X_S");
+  }
+
+  const bool has_val = !val_labels.empty();
+  double best_val = -1.0;
+  int stale_epochs = 0;
+  for (int epoch = 0; epoch < config_.train_epochs; ++epoch) {
+    SganEpochStats stats =
+        RunEpoch(x_real, labels, x_synthetic, /*update_g=*/true);
+    if (has_val) {
+      stats.val_f1 = ValidationF1(x_real, val_labels);
+      // Early stop: no validation improvement within the patience window
+      // (the paper's "early-stop strategy based on validation
+      // performance").
+      if (stats.val_f1 > best_val + 1e-9) {
+        best_val = stats.val_f1;
+        stale_epochs = 0;
+      } else if (++stale_epochs >= config_.early_stop_patience) {
+        epoch_stats_.push_back(stats);
+        break;
+      }
+    }
+    epoch_stats_.push_back(stats);
+  }
+  return util::Status::Ok();
+}
+
+util::Status Sgan::Update(const la::Matrix& x_real,
+                          const std::vector<int>& labels,
+                          const la::Matrix& x_synthetic, int epochs) {
+  if (x_real.cols() != feature_dim_ || x_synthetic.cols() != feature_dim_) {
+    return util::Status::InvalidArgument("Sgan::Update: feature dim mismatch");
+  }
+  if (labels.size() != x_real.rows()) {
+    return util::Status::InvalidArgument("Sgan::Update: labels size");
+  }
+  const int budget = epochs < 0 ? config_.update_epochs : epochs;
+  for (int epoch = 0; epoch < budget; ++epoch) {
+    epoch_stats_.push_back(
+        RunEpoch(x_real, labels, x_synthetic, /*update_g=*/false));
+  }
+  return util::Status::Ok();
+}
+
+la::Matrix Sgan::PredictProbabilities(const la::Matrix& x) {
+  GALE_CHECK_EQ(x.cols(), feature_dim_);
+  la::Matrix logits = discriminator_.Forward(x, /*training=*/false);
+  la::Matrix probs(x.rows(), 2);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double* l = logits.RowPtr(r);
+    const double m = std::max(l[kLabelError], l[kLabelCorrect]);
+    const double pe = std::exp(l[kLabelError] - m);
+    const double pc = std::exp(l[kLabelCorrect] - m);
+    probs.At(r, 0) = pe / (pe + pc);
+    probs.At(r, 1) = pc / (pe + pc);
+  }
+  return probs;
+}
+
+std::vector<int> Sgan::PredictLabels(const la::Matrix& x) {
+  const la::Matrix probs = PredictProbabilities(x);
+  std::vector<int> out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    out[r] = probs.At(r, 0) >= probs.At(r, 1) ? kLabelError : kLabelCorrect;
+  }
+  return out;
+}
+
+la::Matrix Sgan::Embeddings(const la::Matrix& x) {
+  GALE_CHECK_EQ(x.cols(), feature_dim_);
+  return discriminator_.ForwardUpTo(x, embed_layer_index_);
+}
+
+la::Matrix Sgan::Generate(const la::Matrix& x_synthetic) {
+  GALE_CHECK_EQ(x_synthetic.cols(), feature_dim_);
+  return generator_.Forward(x_synthetic, /*training=*/false);
+}
+
+}  // namespace gale::core

@@ -1,0 +1,64 @@
+// Diversified typicality (Section V-A).
+//
+//  * clusT(v)  = 1 / ||h(v) - c(v)||_2 — inverse distance to the centroid
+//    of v's cluster in the embedding space (k'-means);
+//  * topoT(v)  = 1 - E_{x ~ P_{v,:}} [ sum_{l != Ls(v)} (1/|C_l|)
+//                  sum_{i in C_l} P_{i,x} ] — one minus the expected
+//    influence conflict, where P is the personalized-PageRank matrix,
+//    Ls(v) the label-propagation soft label of v, and C_l the unlabeled
+//    nodes the discriminator currently predicts as class l;
+//  * T(v) = clusT(v) * topoT(v).
+//
+// The conflict expectation sums |C_l| PPR rows; we bound the work by
+// sampling at most `max_class_samples` representatives per class (the rows
+// are cached inside the shared PprEngine, which is the paper's
+// memoization of P).
+
+#ifndef GALE_CORE_TYPICALITY_H_
+#define GALE_CORE_TYPICALITY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "la/kmeans.h"
+#include "la/matrix.h"
+#include "prop/ppr.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace gale::core {
+
+struct TypicalityOptions {
+  // Number of k'-means clusters (paper: between k and 3k).
+  size_t num_clusters = 16;
+  // Per-class PPR row sample cap for the influence-conflict term.
+  size_t max_class_samples = 48;
+  // When false, topoT is fixed at 1 (clusT-only ablation).
+  bool use_topological = true;
+  uint64_t seed = 5;
+};
+
+struct TypicalityResult {
+  // All vectors are indexed like `unlabeled` (the candidate list).
+  std::vector<double> clus_t;
+  std::vector<double> topo_t;
+  std::vector<double> typicality;       // product
+  la::KMeansResult clustering;          // over the unlabeled embeddings
+};
+
+// Computes T(v) for every node in `unlabeled`.
+//  * `embeddings` — H_n(X_R), one row per graph node;
+//  * `predicted`  — the discriminator's current label per node (defines
+//    the class sets C_l); entries for labeled nodes are ignored;
+//  * `soft_labels` — Ls(v) per node from label propagation; when a node's
+//    soft label is unknown (< 0) its predicted label is used.
+// When one of the two classes is empty the conflict term vanishes and
+// topoT degenerates to 1 (the cold-start case).
+util::Result<TypicalityResult> ComputeTypicality(
+    const la::Matrix& embeddings, const std::vector<size_t>& unlabeled,
+    const std::vector<int>& predicted, const std::vector<int>& soft_labels,
+    prop::PprEngine& ppr, const TypicalityOptions& options);
+
+}  // namespace gale::core
+
+#endif  // GALE_CORE_TYPICALITY_H_

@@ -1,0 +1,58 @@
+// Base detector interface: the library Ψ of stand-alone error detectors
+// (Section II "Queries and Oracles" and Section VII "Built-in Library").
+//
+// A base detector scans the whole graph and reports suspected erroneous
+// attribute values with confidences and, when the detector is
+// "invertible", suggested corrections (the paper's Type-3 annotations).
+// GALE's built-ins cover the paper's three classes: constraint-based,
+// outlier, and string-error detectors.
+
+#ifndef GALE_DETECT_BASE_DETECTOR_H_
+#define GALE_DETECT_BASE_DETECTOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/attributed_graph.h"
+
+namespace gale::detect {
+
+// The paper's detector classes C_i.
+enum class DetectorClass {
+  kConstraint = 0,
+  kOutlier = 1,
+  kString = 2,
+};
+inline constexpr size_t kNumDetectorClasses = 3;
+
+const char* DetectorClassName(DetectorClass c);
+
+// One suspected erroneous attribute value.
+struct DetectedError {
+  size_t node;
+  size_t attr;
+  // Detector-local confidence in (0, 1].
+  double confidence;
+  // Candidate corrections, best first; empty if the detector cannot invert.
+  std::vector<graph::AttributeValue> suggestions;
+};
+
+class BaseDetector {
+ public:
+  virtual ~BaseDetector() = default;
+
+  virtual std::string name() const = 0;
+  virtual DetectorClass detector_class() const = 0;
+
+  // Scans `g` (finalized) and returns all suspected errors.
+  virtual std::vector<DetectedError> Detect(
+      const graph::AttributedGraph& g) const = 0;
+
+  // True when Detect() fills `suggestions` (Type-3 capable).
+  virtual bool invertible() const { return false; }
+};
+
+}  // namespace gale::detect
+
+#endif  // GALE_DETECT_BASE_DETECTOR_H_

@@ -1,0 +1,40 @@
+#include "detect/constraint_detector.h"
+
+#include <map>
+
+namespace gale::detect {
+
+std::vector<DetectedError> ConstraintDetector::Detect(
+    const graph::AttributedGraph& g) const {
+  const std::vector<graph::Violation> violations =
+      graph::CheckConstraints(g, constraints_);
+
+  // Coalesce multiple violations of the same (node, attr): keep the max
+  // constraint confidence, merge distinct suggestions.
+  std::map<std::pair<size_t, size_t>, DetectedError> merged;
+  for (const graph::Violation& v : violations) {
+    const double conf = constraints_[v.constraint_index].confidence;
+    auto [it, inserted] =
+        merged.try_emplace({v.node, v.attr},
+                           DetectedError{v.node, v.attr, conf, {}});
+    if (!inserted) it->second.confidence = std::max(it->second.confidence,
+                                                    conf);
+    if (!v.suggestion.is_null()) {
+      bool duplicate = false;
+      for (const graph::AttributeValue& s : it->second.suggestions) {
+        if (s == v.suggestion) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) it->second.suggestions.push_back(v.suggestion);
+    }
+  }
+
+  std::vector<DetectedError> out;
+  out.reserve(merged.size());
+  for (auto& [key, err] : merged) out.push_back(std::move(err));
+  return out;
+}
+
+}  // namespace gale::detect

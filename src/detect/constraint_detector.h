@@ -1,0 +1,42 @@
+// Constraint-based base detector: reports violations of a set of mined
+// data constraints (graph-FD fragment). Invertible — the enforcing value
+// of a violated constraint is the suggested correction.
+
+#ifndef GALE_DETECT_CONSTRAINT_DETECTOR_H_
+#define GALE_DETECT_CONSTRAINT_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "detect/base_detector.h"
+#include "graph/constraints.h"
+
+namespace gale::detect {
+
+class ConstraintDetector : public BaseDetector {
+ public:
+  // Copies `constraints`; confidence of a report is the violated
+  // constraint's mined confidence.
+  explicit ConstraintDetector(std::vector<graph::Constraint> constraints)
+      : constraints_(std::move(constraints)) {}
+
+  std::string name() const override { return "constraint"; }
+  DetectorClass detector_class() const override {
+    return DetectorClass::kConstraint;
+  }
+  bool invertible() const override { return true; }
+
+  std::vector<DetectedError> Detect(
+      const graph::AttributedGraph& g) const override;
+
+  const std::vector<graph::Constraint>& constraints() const {
+    return constraints_;
+  }
+
+ private:
+  std::vector<graph::Constraint> constraints_;
+};
+
+}  // namespace gale::detect
+
+#endif  // GALE_DETECT_CONSTRAINT_DETECTOR_H_

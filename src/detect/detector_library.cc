@@ -1,0 +1,133 @@
+#include "detect/detector_library.h"
+
+#include "detect/constraint_detector.h"
+#include "detect/outlier_detector.h"
+#include "detect/string_detector.h"
+#include "util/logging.h"
+
+namespace gale::detect {
+
+const char* DetectorClassName(DetectorClass c) {
+  switch (c) {
+    case DetectorClass::kConstraint:
+      return "constraint";
+    case DetectorClass::kOutlier:
+      return "outlier";
+    case DetectorClass::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+DetectorLibrary DetectorLibrary::MakeDefault(
+    std::vector<graph::Constraint> constraints) {
+  DetectorLibrary lib;
+  lib.Add(std::make_unique<ConstraintDetector>(std::move(constraints)));
+  lib.Add(std::make_unique<ZScoreOutlierDetector>());
+  lib.Add(std::make_unique<LofOutlierDetector>());
+  lib.Add(std::make_unique<StringNoiseDetector>());
+  return lib;
+}
+
+void DetectorLibrary::Add(std::unique_ptr<BaseDetector> detector) {
+  GALE_CHECK(detector != nullptr);
+  detectors_.push_back(std::move(detector));
+  has_results_ = false;
+}
+
+util::Status DetectorLibrary::RunAll(const graph::AttributedGraph& g) {
+  if (!g.finalized()) {
+    return util::Status::FailedPrecondition(
+        "DetectorLibrary::RunAll: graph not finalized");
+  }
+  num_nodes_ = g.num_nodes();
+  results_.clear();
+  results_.reserve(detectors_.size());
+  for (const auto& detector : detectors_) {
+    results_.push_back(detector->Detect(g));
+  }
+
+  // Per-node index.
+  per_node_.assign(num_nodes_, {});
+  for (size_t i = 0; i < results_.size(); ++i) {
+    for (const DetectedError& err : results_[i]) {
+      GALE_CHECK_LT(err.node, num_nodes_);
+      per_node_[err.node].push_back({i, &err});
+    }
+  }
+
+  // Normalized confidence |Ψ_i| / |Ψ_{C_i}|: distinct erroneous nodes per
+  // detector over distinct erroneous nodes in the detector's class.
+  std::array<size_t, kNumDetectorClasses> class_totals{};
+  std::vector<size_t> per_detector_nodes(detectors_.size(), 0);
+  {
+    std::array<std::vector<uint8_t>, kNumDetectorClasses> class_seen;
+    for (auto& seen : class_seen) seen.assign(num_nodes_, 0);
+    for (size_t i = 0; i < results_.size(); ++i) {
+      std::vector<uint8_t> seen(num_nodes_, 0);
+      const size_t cls =
+          static_cast<size_t>(detectors_[i]->detector_class());
+      for (const DetectedError& err : results_[i]) {
+        if (!seen[err.node]) {
+          seen[err.node] = 1;
+          per_detector_nodes[i] += 1;
+        }
+        class_seen[cls][err.node] = 1;
+      }
+    }
+    for (size_t c = 0; c < kNumDetectorClasses; ++c) {
+      for (uint8_t s : class_seen[c]) class_totals[c] += (s != 0);
+    }
+  }
+  normalized_confidence_.assign(detectors_.size(), 0.0);
+  for (size_t i = 0; i < detectors_.size(); ++i) {
+    const size_t cls = static_cast<size_t>(detectors_[i]->detector_class());
+    if (class_totals[cls] > 0) {
+      normalized_confidence_[i] =
+          static_cast<double>(per_detector_nodes[i]) /
+          static_cast<double>(class_totals[cls]);
+    }
+  }
+
+  has_results_ = true;
+  return util::Status::Ok();
+}
+
+const std::vector<DetectedError>& DetectorLibrary::ResultsFor(size_t i) const {
+  GALE_CHECK(has_results_) << "RunAll first";
+  GALE_CHECK_LT(i, results_.size());
+  return results_[i];
+}
+
+double DetectorLibrary::NormalizedConfidence(size_t i) const {
+  GALE_CHECK(has_results_) << "RunAll first";
+  GALE_CHECK_LT(i, normalized_confidence_.size());
+  return normalized_confidence_[i];
+}
+
+const std::vector<DetectorLibrary::NodeDetection>&
+DetectorLibrary::DetectionsAt(size_t v) const {
+  GALE_CHECK(has_results_) << "RunAll first";
+  GALE_CHECK_LT(v, per_node_.size());
+  return per_node_[v];
+}
+
+std::array<double, kNumDetectorClasses> DetectorLibrary::ErrorDistributionAt(
+    size_t v) const {
+  std::array<double, kNumDetectorClasses> dist{};
+  double total = 0.0;
+  for (const NodeDetection& d : DetectionsAt(v)) {
+    const size_t cls = static_cast<size_t>(
+        detectors_[d.detector_index]->detector_class());
+    const double w =
+        d.error->confidence * normalized_confidence_[d.detector_index];
+    dist[cls] += w;
+    total += w;
+  }
+  if (total > 0.0) {
+    for (double& w : dist) w /= total;
+  }
+  return dist;
+}
+
+}  // namespace gale::detect

@@ -1,0 +1,79 @@
+// DetectorLibrary — the library Ψ of base detectors the framework carries
+// around (Sections II, VI, VII).
+//
+// Responsibilities:
+//  * run every detector once over a graph and cache the results;
+//  * per-detector normalized confidence |Ψ_i| / |Ψ_{C_i}| (the paper's
+//    Type-2 annotation weighting);
+//  * per-node error-type distribution (Type-4): the weighted share of each
+//    detector class among the detections at a node;
+//  * per-node detected-error lookup for annotation and the ensemble
+//    oracle.
+
+#ifndef GALE_DETECT_DETECTOR_LIBRARY_H_
+#define GALE_DETECT_DETECTOR_LIBRARY_H_
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "detect/base_detector.h"
+#include "graph/constraints.h"
+#include "util/status.h"
+
+namespace gale::detect {
+
+class DetectorLibrary {
+ public:
+  DetectorLibrary() = default;
+  DetectorLibrary(DetectorLibrary&&) = default;
+  DetectorLibrary& operator=(DetectorLibrary&&) = default;
+
+  // The paper's default Ψ: constraint detector over `constraints`, z-score
+  // and LOF outlier detectors, and the string-noise detector.
+  static DetectorLibrary MakeDefault(
+      std::vector<graph::Constraint> constraints);
+
+  void Add(std::unique_ptr<BaseDetector> detector);
+  size_t num_detectors() const { return detectors_.size(); }
+  const BaseDetector& detector(size_t i) const { return *detectors_[i]; }
+
+  // Runs every detector over `g` and caches all derived structures.
+  // Must be called before the query methods below.
+  util::Status RunAll(const graph::AttributedGraph& g);
+  bool has_results() const { return has_results_; }
+
+  // Raw detections of detector `i` from the last RunAll.
+  const std::vector<DetectedError>& ResultsFor(size_t i) const;
+
+  // |Ψ_i| / |Ψ_{C_i}|: detector i's share of the detections in its class.
+  double NormalizedConfidence(size_t i) const;
+
+  // All detections at node v (across detectors), each tagged with its
+  // detector index.
+  struct NodeDetection {
+    size_t detector_index;
+    const DetectedError* error;
+  };
+  const std::vector<NodeDetection>& DetectionsAt(size_t v) const;
+
+  // True if any detector flagged node v.
+  bool NodeFlagged(size_t v) const { return !DetectionsAt(v).empty(); }
+
+  // Type-4 annotation: per-class probability that node v is "polluted" by
+  // that error type — normalized weighted sum of detector confidences.
+  // All zeros when nothing fired at v.
+  std::array<double, kNumDetectorClasses> ErrorDistributionAt(size_t v) const;
+
+ private:
+  std::vector<std::unique_ptr<BaseDetector>> detectors_;
+  bool has_results_ = false;
+  size_t num_nodes_ = 0;
+  std::vector<std::vector<DetectedError>> results_;       // per detector
+  std::vector<std::vector<NodeDetection>> per_node_;      // per node
+  std::vector<double> normalized_confidence_;             // per detector
+};
+
+}  // namespace gale::detect
+
+#endif  // GALE_DETECT_DETECTOR_LIBRARY_H_

@@ -1,0 +1,43 @@
+#include "detect/oracle.h"
+
+#include "util/logging.h"
+
+namespace gale::detect {
+
+GroundTruthOracle::GroundTruthOracle(const graph::ErrorGroundTruth* truth)
+    : truth_(truth) {
+  GALE_CHECK(truth != nullptr);
+}
+
+NodeLabel GroundTruthOracle::LabelImpl(size_t v) {
+  GALE_CHECK_LT(v, truth_->is_error.size());
+  return truth_->is_error[v] ? NodeLabel::kError : NodeLabel::kCorrect;
+}
+
+EnsembleOracle::EnsembleOracle(const DetectorLibrary* library)
+    : library_(library) {
+  GALE_CHECK(library != nullptr);
+  GALE_CHECK(library->has_results()) << "EnsembleOracle needs RunAll results";
+}
+
+NodeLabel EnsembleOracle::LabelImpl(size_t v) {
+  return library_->NodeFlagged(v) ? NodeLabel::kError : NodeLabel::kCorrect;
+}
+
+NoisyOracle::NoisyOracle(std::unique_ptr<Oracle> inner, double flip_rate,
+                         uint64_t seed)
+    : inner_(std::move(inner)), flip_rate_(flip_rate), rng_(seed) {
+  GALE_CHECK(inner_ != nullptr);
+  GALE_CHECK(flip_rate_ >= 0.0 && flip_rate_ <= 1.0);
+}
+
+NodeLabel NoisyOracle::LabelImpl(size_t v) {
+  const NodeLabel truth = inner_->Label(v);
+  if (rng_.Bernoulli(flip_rate_)) {
+    return truth == NodeLabel::kError ? NodeLabel::kCorrect
+                                      : NodeLabel::kError;
+  }
+  return truth;
+}
+
+}  // namespace gale::detect

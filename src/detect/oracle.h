@@ -1,0 +1,88 @@
+// Oracles (Section II): answer label queries for nodes.
+//
+//  * GroundTruthOracle — answers from injected ground truth (a perfect
+//    human expert; used by the accuracy experiments);
+//  * EnsembleOracle — the paper's controlled-test oracle: "an 'error'
+//    label is assigned if a base detector identified erroneous attribute
+//    values of the query";
+//  * NoisyOracle — wraps another oracle and flips answers with a fixed
+//    probability (low-quality-label ablations).
+//
+// All oracles count their queries so experiments can report labeling cost.
+
+#ifndef GALE_DETECT_ORACLE_H_
+#define GALE_DETECT_ORACLE_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "detect/detector_library.h"
+#include "graph/error_injector.h"
+#include "util/rng.h"
+
+namespace gale::detect {
+
+// Binary node label from an oracle.
+enum class NodeLabel { kCorrect = 0, kError = 1 };
+
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+
+  // Answers the query for node `v`; increments the query counter.
+  NodeLabel Label(size_t v) {
+    ++num_queries_;
+    return LabelImpl(v);
+  }
+
+  size_t num_queries() const { return num_queries_; }
+  void ResetQueryCount() { num_queries_ = 0; }
+
+ protected:
+  virtual NodeLabel LabelImpl(size_t v) = 0;
+
+ private:
+  size_t num_queries_ = 0;
+};
+
+class GroundTruthOracle : public Oracle {
+ public:
+  // `truth` must outlive the oracle.
+  explicit GroundTruthOracle(const graph::ErrorGroundTruth* truth);
+
+ protected:
+  NodeLabel LabelImpl(size_t v) override;
+
+ private:
+  const graph::ErrorGroundTruth* truth_;
+};
+
+class EnsembleOracle : public Oracle {
+ public:
+  // `library` must have results (RunAll called) and outlive the oracle.
+  explicit EnsembleOracle(const DetectorLibrary* library);
+
+ protected:
+  NodeLabel LabelImpl(size_t v) override;
+
+ private:
+  const DetectorLibrary* library_;
+};
+
+class NoisyOracle : public Oracle {
+ public:
+  // Flips the inner oracle's answer with probability `flip_rate`.
+  NoisyOracle(std::unique_ptr<Oracle> inner, double flip_rate, uint64_t seed);
+
+ protected:
+  NodeLabel LabelImpl(size_t v) override;
+
+ private:
+  std::unique_ptr<Oracle> inner_;
+  double flip_rate_;
+  util::Rng rng_;
+};
+
+}  // namespace gale::detect
+
+#endif  // GALE_DETECT_ORACLE_H_

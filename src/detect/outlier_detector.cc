@@ -1,0 +1,139 @@
+#include "detect/outlier_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/attribute_stats.h"
+#include "util/logging.h"
+
+namespace gale::detect {
+
+std::vector<DetectedError> ZScoreOutlierDetector::Detect(
+    const graph::AttributedGraph& g) const {
+  const graph::AttributeStats stats(g);
+  std::vector<DetectedError> out;
+  for (size_t v = 0; v < g.num_nodes(); ++v) {
+    const size_t t = g.node_type(v);
+    for (size_t a = 0; a < g.num_attributes(v); ++a) {
+      const graph::AttributeValue& val = g.value(v, a);
+      if (val.kind != graph::ValueKind::kNumeric) continue;
+      const double z = stats.ZScore(t, a, val.numeric);
+      if (z > threshold_) {
+        DetectedError err;
+        err.node = v;
+        err.attr = a;
+        err.confidence = std::min(1.0, z / (threshold_ * 3.0));
+        err.suggestions = {
+            graph::AttributeValue::Number(stats.Numeric(t, a).mean)};
+        out.push_back(std::move(err));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> LofOutlierDetector::LofScores(
+    const std::vector<double>& values, size_t k) {
+  const size_t n = values.size();
+  std::vector<double> scores(n, 1.0);
+  if (n <= k + 1 || k == 0) return scores;
+
+  // Sort once; in 1-D the k nearest neighbors of a point form a contiguous
+  // window around its sorted position.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> sorted(n);
+  for (size_t i = 0; i < n; ++i) sorted[i] = values[order[i]];
+
+  // For each sorted position: indices (sorted space) of the k nearest
+  // neighbors plus the k-distance.
+  std::vector<std::vector<size_t>> knn(n);
+  std::vector<double> k_distance(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t lo = i;
+    size_t hi = i;
+    auto& neighbors = knn[i];
+    neighbors.reserve(k);
+    while (neighbors.size() < k) {
+      const bool can_left = lo > 0;
+      const bool can_right = hi + 1 < n;
+      if (!can_left && !can_right) break;
+      const double dl =
+          can_left ? sorted[i] - sorted[lo - 1]
+                   : std::numeric_limits<double>::infinity();
+      const double dr =
+          can_right ? sorted[hi + 1] - sorted[i]
+                    : std::numeric_limits<double>::infinity();
+      if (dl <= dr) {
+        --lo;
+        neighbors.push_back(lo);
+      } else {
+        ++hi;
+        neighbors.push_back(hi);
+      }
+    }
+    k_distance[i] = 0.0;
+    for (size_t j : neighbors) {
+      k_distance[i] = std::max(k_distance[i], std::abs(sorted[i] - sorted[j]));
+    }
+  }
+
+  // Local reachability density and LOF, in the sorted index space.
+  constexpr double kEps = 1e-12;
+  std::vector<double> lrd(n);
+  for (size_t i = 0; i < n; ++i) {
+    double reach_sum = 0.0;
+    for (size_t j : knn[i]) {
+      reach_sum += std::max(k_distance[j], std::abs(sorted[i] - sorted[j]));
+    }
+    lrd[i] = static_cast<double>(knn[i].size()) / std::max(reach_sum, kEps);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    double ratio_sum = 0.0;
+    for (size_t j : knn[i]) ratio_sum += lrd[j] / std::max(lrd[i], kEps);
+    const double lof = ratio_sum / static_cast<double>(knn[i].size());
+    scores[order[i]] = lof;
+  }
+  return scores;
+}
+
+std::vector<DetectedError> LofOutlierDetector::Detect(
+    const graph::AttributedGraph& g) const {
+  const graph::AttributeStats stats(g);
+  std::vector<DetectedError> out;
+  // Collect the numeric population of each (type, attribute) slot.
+  for (size_t t = 0; t < g.num_node_types(); ++t) {
+    const auto& attrs = g.node_type_def(t).attributes;
+    for (size_t a = 0; a < attrs.size(); ++a) {
+      if (attrs[a].kind != graph::ValueKind::kNumeric) continue;
+      std::vector<double> values;
+      std::vector<size_t> nodes;
+      for (size_t v = 0; v < g.num_nodes(); ++v) {
+        if (g.node_type(v) != t) continue;
+        const graph::AttributeValue& val = g.value(v, a);
+        if (val.kind != graph::ValueKind::kNumeric) continue;
+        values.push_back(val.numeric);
+        nodes.push_back(v);
+      }
+      const std::vector<double> scores = LofScores(values, k_);
+      for (size_t i = 0; i < scores.size(); ++i) {
+        if (scores[i] > threshold_) {
+          DetectedError err;
+          err.node = nodes[i];
+          err.attr = a;
+          err.confidence =
+              std::min(1.0, (scores[i] - 1.0) / (threshold_ * 2.0));
+          err.suggestions = {
+              graph::AttributeValue::Number(stats.Numeric(t, a).mean)};
+          out.push_back(std::move(err));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace gale::detect

@@ -1,0 +1,71 @@
+// Outlier base detectors over numeric attributes.
+//
+// Two detectors are provided, matching the paper's outlier class:
+//  * ZScoreOutlierDetector — flags values more than `threshold` standard
+//    deviations from their (type, attribute) mean;
+//  * LofOutlierDetector — Local Outlier Factor (Breunig et al. [7], the
+//    algorithm the paper's built-in library encodes) over each numeric
+//    (type, attribute) population.
+//
+// Both suggest the population mean as a coarse correction (invertible in
+// the weak sense of "a plausible repair", which is how the paper's Type-3
+// annotation uses outlier detectors: "suggesting majority of domain
+// values").
+
+#ifndef GALE_DETECT_OUTLIER_DETECTOR_H_
+#define GALE_DETECT_OUTLIER_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "detect/base_detector.h"
+
+namespace gale::detect {
+
+class ZScoreOutlierDetector : public BaseDetector {
+ public:
+  explicit ZScoreOutlierDetector(double threshold = 3.0)
+      : threshold_(threshold) {}
+
+  std::string name() const override { return "zscore_outlier"; }
+  DetectorClass detector_class() const override {
+    return DetectorClass::kOutlier;
+  }
+  bool invertible() const override { return true; }
+
+  std::vector<DetectedError> Detect(
+      const graph::AttributedGraph& g) const override;
+
+ private:
+  double threshold_;
+};
+
+class LofOutlierDetector : public BaseDetector {
+ public:
+  // `k` neighbors for reachability density; scores above `threshold`
+  // (typically 1.5-2) are outliers.
+  explicit LofOutlierDetector(size_t k = 10, double threshold = 1.8)
+      : k_(k), threshold_(threshold) {}
+
+  std::string name() const override { return "lof_outlier"; }
+  DetectorClass detector_class() const override {
+    return DetectorClass::kOutlier;
+  }
+  bool invertible() const override { return true; }
+
+  std::vector<DetectedError> Detect(
+      const graph::AttributedGraph& g) const override;
+
+  // LOF scores for a 1-D population (exposed for tests). Returns one score
+  // per value; populations smaller than k+1 yield all-1 scores.
+  static std::vector<double> LofScores(const std::vector<double>& values,
+                                       size_t k);
+
+ private:
+  size_t k_;
+  double threshold_;
+};
+
+}  // namespace gale::detect
+
+#endif  // GALE_DETECT_OUTLIER_DETECTOR_H_

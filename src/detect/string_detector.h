@@ -1,0 +1,57 @@
+// String-noise base detector (the paper's third built-in class): catches
+// missing values, misspellings, and random string disturbance in text
+// attributes.
+//
+// Heuristics, per (node type, text attribute) population:
+//  * nulls — flagged directly;
+//  * misspellings — a token seen once whose edit distance to a much more
+//    frequent token of the same slot is <= 2; the frequent token is the
+//    suggested correction (invertible);
+//  * junk strings — tokens whose character-bigram likelihood under the
+//    slot's token population is far below typical, catching random
+//    disturbances like "qxzjvkq".
+
+#ifndef GALE_DETECT_STRING_DETECTOR_H_
+#define GALE_DETECT_STRING_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "detect/base_detector.h"
+
+namespace gale::detect {
+
+struct StringDetectorOptions {
+  // A rare token is a misspelling of a frequent one when the frequent
+  // token's count is at least this multiple of the rare token's count.
+  double misspelling_frequency_ratio = 5.0;
+  size_t max_edit_distance = 2;
+  // Junk threshold: flag tokens whose mean log-bigram probability is below
+  // (population mean - junk_sigma * population stddev).
+  double junk_sigma = 2.5;
+  // Slots with more distinct tokens than this fraction of rows are
+  // near-unique (names, ids); only null/junk checks apply there.
+  double key_like_distinct_ratio = 0.8;
+};
+
+class StringNoiseDetector : public BaseDetector {
+ public:
+  explicit StringNoiseDetector(StringDetectorOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "string_noise"; }
+  DetectorClass detector_class() const override {
+    return DetectorClass::kString;
+  }
+  bool invertible() const override { return true; }
+
+  std::vector<DetectedError> Detect(
+      const graph::AttributedGraph& g) const override;
+
+ private:
+  StringDetectorOptions options_;
+};
+
+}  // namespace gale::detect
+
+#endif  // GALE_DETECT_STRING_DETECTOR_H_

@@ -1,0 +1,68 @@
+// Dataset registry: the five processed graphs of Table III, reproduced by
+// the synthetic generator at laptop scale (scale factors documented in
+// EXPERIMENTS.md), plus the full preparation pipeline:
+//
+//   generate clean graph -> mine constraints Σ -> inject errors (ground
+//   truth) -> run detector library Ψ -> build folds -> GAugment features.
+//
+// PrepareDataset() bundles everything the experiments need so each bench
+// pays the pipeline cost once per dataset.
+
+#ifndef GALE_EVAL_DATASETS_H_
+#define GALE_EVAL_DATASETS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/augment.h"
+#include "detect/detector_library.h"
+#include "eval/splits.h"
+#include "graph/constraints.h"
+#include "graph/error_injector.h"
+#include "graph/synthetic_dataset.h"
+#include "la/sparse_matrix.h"
+#include "util/status.h"
+
+namespace gale::eval {
+
+struct DatasetSpec {
+  std::string name;                       // "SP", "DM", ...
+  graph::SyntheticConfig generator;
+  graph::ErrorInjectorConfig injector;
+  graph::MinerOptions miner;
+  // Experiment defaults (scaled from Section VIII with the graphs).
+  size_t total_budget = 50;   // K = T * k
+  size_t local_budget = 10;   // k
+};
+
+// Registry of the five Table III graphs. `scale` in (0, 1] shrinks the
+// node/edge counts uniformly (1.0 = the sizes documented in
+// EXPERIMENTS.md).
+std::vector<DatasetSpec> DefaultDatasets(double scale = 1.0);
+// Lookup by name ("SP", "DM", "ML", "UG1", "UG2").
+util::Result<DatasetSpec> DatasetByName(const std::string& name,
+                                        double scale = 1.0);
+
+// Everything the experiment runners consume. Movable, not copyable.
+struct PreparedDataset {
+  DatasetSpec spec;
+  graph::SyntheticDataset clean;         // pristine generator output
+  graph::AttributedGraph dirty;          // after injection
+  graph::ErrorGroundTruth truth;
+  std::vector<graph::Constraint> constraints;  // Σ (mined on clean graph)
+  detect::DetectorLibrary library;       // Ψ, RunAll done on dirty graph
+  Splits splits;
+  core::AugmentResult features;          // X_R / X_S over the dirty graph
+  la::SparseMatrix walk_matrix;          // normalized adjacency
+
+  std::vector<uint8_t> truth_flags() const { return truth.is_error; }
+};
+
+// Runs the full preparation pipeline with the given seed.
+util::Result<std::unique_ptr<PreparedDataset>> PrepareDataset(
+    const DatasetSpec& spec, uint64_t seed);
+
+}  // namespace gale::eval
+
+#endif  // GALE_EVAL_DATASETS_H_

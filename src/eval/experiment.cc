@@ -1,0 +1,179 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+
+#include "baselines/alad.h"
+#include "baselines/gcn_classifier.h"
+#include "baselines/gedet.h"
+#include "baselines/raha.h"
+#include "baselines/viodet.h"
+#include "detect/oracle.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace gale::eval {
+
+core::SganConfig BenchSganConfig(uint64_t seed) {
+  core::SganConfig config;
+  config.hidden_dim = 64;
+  config.embedding_dim = 24;
+  config.lambda_unsupervised = 0.3;
+  config.train_epochs = 200;
+  config.update_epochs = 15;
+  config.early_stop_patience = 30;
+  config.learning_rate = 2e-3;
+  config.seed = seed;
+  return config;
+}
+
+util::Result<ExampleSet> MakeExamples(const PreparedDataset& ds,
+                                      uint64_t seed, double train_ratio,
+                                      double initial_fraction,
+                                      double forced_error_share) {
+  ExampleSetOptions options;
+  options.train_ratio = train_ratio;
+  options.initial_fraction = initial_fraction;
+  options.forced_error_share = forced_error_share;
+  options.seed = seed;
+  return BuildExamples(ds.truth, ds.splits, options);
+}
+
+std::vector<uint8_t> ToErrorFlags(const std::vector<int>& predicted) {
+  std::vector<uint8_t> flags(predicted.size(), 0);
+  for (size_t v = 0; v < predicted.size(); ++v) {
+    flags[v] = predicted[v] == core::kLabelError ? 1 : 0;
+  }
+  return flags;
+}
+
+MethodOutcome RunVioDet(const PreparedDataset& ds) {
+  util::WallTimer timer;
+  baselines::VioDet viodet(ds.constraints);
+  const std::vector<uint8_t> predicted = viodet.Predict(ds.dirty);
+  MethodOutcome out;
+  out.method = "VioDet";
+  out.train_seconds = timer.ElapsedSeconds();
+  out.metrics =
+      ComputeMetrics(predicted, ds.truth.is_error, ds.splits.test_mask);
+  return out;
+}
+
+MethodOutcome RunAlad(const PreparedDataset& ds, const ExampleSet& examples) {
+  util::WallTimer timer;
+  baselines::Alad alad;
+  util::Result<std::vector<double>> scores =
+      alad.Score(ds.dirty, ds.features.x_real);
+  GALE_CHECK(scores.ok()) << scores.status();
+  const std::vector<uint8_t> predicted =
+      baselines::Alad::ThresholdByValidation(scores.value(),
+                                             examples.val_labels);
+  MethodOutcome out;
+  out.method = "Alad";
+  out.train_seconds = timer.ElapsedSeconds();
+  out.metrics =
+      ComputeMetrics(predicted, ds.truth.is_error, ds.splits.test_mask);
+  out.auc_pr =
+      AucPr(scores.value(), ds.truth.is_error, ds.splits.test_mask);
+  return out;
+}
+
+util::Result<MethodOutcome> RunRaha(const PreparedDataset& ds,
+                                    const ExampleSet& examples,
+                                    uint64_t seed) {
+  util::WallTimer timer;
+  baselines::RahaOptions options;
+  options.seed = seed;
+  baselines::Raha raha(ds.constraints, options);
+  util::Result<std::vector<uint8_t>> predicted =
+      raha.Predict(ds.dirty, examples.labels);
+  if (!predicted.ok()) return predicted.status();
+  MethodOutcome out;
+  out.method = "Raha";
+  out.train_seconds = timer.ElapsedSeconds();
+  out.metrics = ComputeMetrics(predicted.value(), ds.truth.is_error,
+                               ds.splits.test_mask);
+  return out;
+}
+
+util::Result<MethodOutcome> RunGcn(const PreparedDataset& ds,
+                                   const ExampleSet& examples,
+                                   uint64_t seed) {
+  util::WallTimer timer;
+  baselines::GcnClassifierOptions options;
+  options.seed = seed;
+  baselines::GcnClassifier gcn(&ds.walk_matrix, ds.features.x_real.cols(),
+                               options);
+  GALE_RETURN_IF_ERROR(
+      gcn.Train(ds.features.x_real, examples.labels, examples.val_labels));
+  const std::vector<uint8_t> predicted = gcn.Predict(ds.features.x_real);
+  MethodOutcome out;
+  out.method = "GCN";
+  out.train_seconds = timer.ElapsedSeconds();
+  out.metrics =
+      ComputeMetrics(predicted, ds.truth.is_error, ds.splits.test_mask);
+  return out;
+}
+
+util::Result<MethodOutcome> RunGeDet(const PreparedDataset& ds,
+                                     const ExampleSet& examples,
+                                     uint64_t seed) {
+  util::WallTimer timer;
+  baselines::GeDet gedet(BenchSganConfig(seed));
+  GALE_RETURN_IF_ERROR(gedet.Train(ds.features.x_real, examples.labels,
+                                   ds.features.x_synthetic,
+                                   examples.val_labels));
+  const std::vector<uint8_t> predicted = gedet.Predict(ds.features.x_real);
+  MethodOutcome out;
+  out.method = "GEDet";
+  out.train_seconds = timer.ElapsedSeconds();
+  out.metrics =
+      ComputeMetrics(predicted, ds.truth.is_error, ds.splits.test_mask);
+  return out;
+}
+
+util::Result<GaleOutcome> RunGale(const PreparedDataset& ds,
+                                  const ExampleSet& examples,
+                                  const GaleRunOptions& options) {
+  if (options.local_budget == 0 || options.total_budget == 0) {
+    return util::Status::InvalidArgument("RunGale: zero budget");
+  }
+  core::GaleConfig config;
+  config.sgan = BenchSganConfig(options.seed);
+  config.selector.strategy = options.strategy;
+  config.selector.memoization = options.memoization;
+  config.local_budget = options.local_budget;
+  config.iterations = static_cast<int>(std::max<size_t>(
+      1, (options.total_budget + options.local_budget - 1) /
+             options.local_budget));
+  config.annotate_queries = options.annotate_queries;
+  config.seed = options.seed;
+
+  core::Gale gale(&ds.dirty, &ds.library, &ds.constraints, config);
+
+  detect::GroundTruthOracle truth_oracle(&ds.truth);
+  detect::EnsembleOracle ensemble_oracle(&ds.library);
+  detect::Oracle& oracle =
+      options.ensemble_oracle
+          ? static_cast<detect::Oracle&>(ensemble_oracle)
+          : static_cast<detect::Oracle&>(truth_oracle);
+
+  util::WallTimer timer;
+  util::Result<core::GaleResult> result =
+      gale.Run(ds.features.x_real, ds.features.x_synthetic, oracle,
+               examples.labels, examples.val_labels);
+  if (!result.ok()) return result.status();
+
+  GaleOutcome out;
+  out.detail = std::move(result).value();
+  out.outcome.method =
+      options.memoization
+          ? core::QueryStrategyName(options.strategy)
+          : std::string("U_GALE");
+  out.outcome.train_seconds = timer.ElapsedSeconds();
+  out.outcome.metrics = ComputeMetrics(ToErrorFlags(out.detail.predicted),
+                                       ds.truth.is_error,
+                                       ds.splits.test_mask);
+  return out;
+}
+
+}  // namespace gale::eval

@@ -1,0 +1,74 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace gale::eval {
+
+std::string Metrics::ToString() const {
+  return "P=" + util::FormatDouble(precision, 4) +
+         " R=" + util::FormatDouble(recall, 4) +
+         " F1=" + util::FormatDouble(f1, 4);
+}
+
+Metrics ComputeMetrics(const std::vector<uint8_t>& predicted,
+                       const std::vector<uint8_t>& truth,
+                       const std::vector<uint8_t>& mask) {
+  GALE_CHECK_EQ(predicted.size(), truth.size());
+  Metrics m;
+  for (size_t v = 0; v < predicted.size(); ++v) {
+    if (!mask.empty() && (v >= mask.size() || mask[v] == 0)) continue;
+    m.evaluated_nodes += 1;
+    const bool pred = predicted[v] != 0;
+    const bool real = truth[v] != 0;
+    if (pred && real) m.true_positives += 1;
+    if (pred && !real) m.false_positives += 1;
+    if (!pred && real) m.false_negatives += 1;
+  }
+  if (m.true_positives > 0) {
+    m.precision = static_cast<double>(m.true_positives) /
+                  static_cast<double>(m.true_positives + m.false_positives);
+    m.recall = static_cast<double>(m.true_positives) /
+               static_cast<double>(m.true_positives + m.false_negatives);
+    m.f1 = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  }
+  return m;
+}
+
+double AucPr(const std::vector<double>& scores,
+             const std::vector<uint8_t>& truth,
+             const std::vector<uint8_t>& mask) {
+  GALE_CHECK_EQ(scores.size(), truth.size());
+  std::vector<std::pair<double, uint8_t>> ranked;
+  size_t positives = 0;
+  for (size_t v = 0; v < scores.size(); ++v) {
+    if (!mask.empty() && (v >= mask.size() || mask[v] == 0)) continue;
+    ranked.emplace_back(scores[v], truth[v]);
+    positives += (truth[v] != 0);
+  }
+  if (positives == 0 || ranked.empty()) return 0.0;
+  std::sort(ranked.begin(), ranked.end(), std::greater<>());
+
+  // Trapezoidal integration over the PR curve at each distinct threshold.
+  double auc = 0.0;
+  double prev_recall = 0.0;
+  size_t tp = 0;
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    tp += (ranked[i].second != 0);
+    // Close the threshold group at the last entry of equal score.
+    if (i + 1 < ranked.size() && ranked[i + 1].first == ranked[i].first) {
+      continue;
+    }
+    const double precision =
+        static_cast<double>(tp) / static_cast<double>(i + 1);
+    const double recall =
+        static_cast<double>(tp) / static_cast<double>(positives);
+    auc += precision * (recall - prev_recall);
+    prev_recall = recall;
+  }
+  return auc;
+}
+
+}  // namespace gale::eval

@@ -1,0 +1,41 @@
+// Evaluation metrics (Section VIII): precision, recall, F1 over a node
+// mask, plus AUC-PR for ranking detectors (Alad's native metric).
+
+#ifndef GALE_EVAL_METRICS_H_
+#define GALE_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gale::eval {
+
+struct Metrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+  size_t evaluated_nodes = 0;
+
+  std::string ToString() const;
+};
+
+// P = |Err_d ∩ Err| / |Err_d|, R = |Err_d ∩ Err| / |Err|, F = 2PR/(P+R),
+// restricted to nodes with mask != 0 (empty mask = all nodes).
+// `predicted`/`truth`: 1 = error.
+Metrics ComputeMetrics(const std::vector<uint8_t>& predicted,
+                       const std::vector<uint8_t>& truth,
+                       const std::vector<uint8_t>& mask = {});
+
+// Area under the precision-recall curve of `scores` (higher = more likely
+// error) against `truth`, restricted to `mask`. Returns 0 when the mask
+// holds no positive node.
+double AucPr(const std::vector<double>& scores,
+             const std::vector<uint8_t>& truth,
+             const std::vector<uint8_t>& mask = {});
+
+}  // namespace gale::eval
+
+#endif  // GALE_EVAL_METRICS_H_

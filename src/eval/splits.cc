@@ -1,0 +1,119 @@
+#include "eval/splits.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace gale::eval {
+
+Splits MakeSplits(size_t num_nodes, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<size_t> order(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) order[i] = i;
+  rng.Shuffle(order);
+
+  Splits s;
+  s.train_mask.assign(num_nodes, 0);
+  s.val_mask.assign(num_nodes, 0);
+  s.test_mask.assign(num_nodes, 0);
+  // 10 folds: 6 train, 1 validation, 3 test.
+  const size_t train_end = num_nodes * 6 / 10;
+  const size_t val_end = num_nodes * 7 / 10;
+  for (size_t i = 0; i < num_nodes; ++i) {
+    if (i < train_end) {
+      s.train_mask[order[i]] = 1;
+    } else if (i < val_end) {
+      s.val_mask[order[i]] = 1;
+    } else {
+      s.test_mask[order[i]] = 1;
+    }
+  }
+  return s;
+}
+
+util::Result<ExampleSet> BuildExamples(const graph::ErrorGroundTruth& truth,
+                                       const Splits& splits,
+                                       const ExampleSetOptions& options) {
+  const size_t n = truth.is_error.size();
+  if (splits.train_mask.size() != n) {
+    return util::Status::InvalidArgument("BuildExamples: split size");
+  }
+  if (options.train_ratio <= 0.0 || options.train_ratio > 0.6) {
+    return util::Status::InvalidArgument(
+        "BuildExamples: train_ratio must be in (0, 0.6]");
+  }
+  util::Rng rng(options.seed);
+
+  std::vector<size_t> train_errors;
+  std::vector<size_t> train_correct;
+  for (size_t v = 0; v < n; ++v) {
+    if (!splits.train_mask[v]) continue;
+    (truth.is_error[v] ? train_errors : train_correct).push_back(v);
+  }
+  rng.Shuffle(train_errors);
+  rng.Shuffle(train_correct);
+
+  const size_t target_total = std::max<size_t>(
+      1, static_cast<size_t>(options.train_ratio * static_cast<double>(n)));
+
+  size_t want_errors;
+  size_t want_correct;
+  if (options.forced_error_share >= 0.0) {
+    // Fig. 7(a) mode: hit p_e exactly, shrinking V_T if errors run short.
+    const double pe = std::clamp(options.forced_error_share, 0.01, 0.99);
+    want_errors = std::min(
+        train_errors.size(),
+        static_cast<size_t>(pe * static_cast<double>(target_total)));
+    // Re-derive the total from the achievable error count to keep p_e.
+    const size_t total =
+        std::max<size_t>(1, static_cast<size_t>(
+                                static_cast<double>(want_errors) / pe));
+    want_correct = std::min(train_correct.size(), total - want_errors);
+  } else {
+    // Default: all erroneous train nodes (Table III oversampling) plus
+    // correct fill.
+    want_errors = std::min(train_errors.size(), target_total);
+    want_correct = std::min(train_correct.size(), target_total - want_errors);
+  }
+
+  // Assemble V_T, then keep only the initial fraction (active-learning
+  // cold start). The kept subset is stratified so that tiny fractions
+  // still see at least one node of each available class.
+  std::vector<size_t> vt_errors(train_errors.begin(),
+                                train_errors.begin() + want_errors);
+  std::vector<size_t> vt_correct(train_correct.begin(),
+                                 train_correct.begin() + want_correct);
+  const double f = std::clamp(options.initial_fraction, 0.0, 1.0);
+  const size_t keep_errors = static_cast<size_t>(
+      std::max(f * static_cast<double>(vt_errors.size()),
+               vt_errors.empty() ? 0.0 : 1.0));
+  const size_t keep_correct = static_cast<size_t>(
+      std::max(f * static_cast<double>(vt_correct.size()),
+               vt_correct.empty() ? 0.0 : 1.0));
+
+  ExampleSet out;
+  out.labels.assign(n, kExampleUnlabeled);
+  for (size_t v = 0; v < n; ++v) {
+    if (!splits.train_mask[v]) out.labels[v] = kExampleExcluded;
+  }
+  for (size_t i = 0; i < keep_errors && i < vt_errors.size(); ++i) {
+    out.labels[vt_errors[i]] = kExampleError;
+    out.num_error_examples += 1;
+    out.num_examples += 1;
+  }
+  for (size_t i = 0; i < keep_correct && i < vt_correct.size(); ++i) {
+    out.labels[vt_correct[i]] = kExampleCorrect;
+    out.num_examples += 1;
+  }
+
+  out.val_labels.assign(n, kExampleUnlabeled);
+  for (size_t v = 0; v < n; ++v) {
+    if (splits.val_mask[v]) {
+      out.val_labels[v] = truth.is_error[v] ? kExampleError : kExampleCorrect;
+    }
+  }
+  return out;
+}
+
+}  // namespace gale::eval

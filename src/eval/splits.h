@@ -1,0 +1,69 @@
+// Train/validation/test folds and labeled-example construction.
+//
+// Matching Section VIII: nodes are randomly partitioned into 10 folds —
+// 6 train, 1 validation, 3 test. The labeled example set V_T is drawn
+// from the train folds: all erroneous train nodes are included (the
+// paper's Table III shows V_T strongly oversamples errors) and correct
+// nodes fill the remainder up to p_t * |V| examples. The data-imbalance
+// sweep (Fig. 7(a)) instead fixes the error share p_e = |V^e| / |V_T|.
+
+#ifndef GALE_EVAL_SPLITS_H_
+#define GALE_EVAL_SPLITS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/error_injector.h"
+#include "util/status.h"
+
+namespace gale::eval {
+
+// Node-label conventions of the evaluation harness (match core/sgan.h).
+inline constexpr int kExampleError = 0;
+inline constexpr int kExampleCorrect = 1;
+inline constexpr int kExampleUnlabeled = -1;
+// Nodes outside the training pool: never queried, never used as examples.
+inline constexpr int kExampleExcluded = -2;
+
+struct Splits {
+  std::vector<uint8_t> train_mask;  // 60% of nodes
+  std::vector<uint8_t> val_mask;    // 10%
+  std::vector<uint8_t> test_mask;   // 30%
+};
+
+Splits MakeSplits(size_t num_nodes, uint64_t seed);
+
+struct ExampleSetOptions {
+  // Training-data ratio p_t = |V_T| / |V|.
+  double train_ratio = 0.10;
+  // Fraction of the initially available examples handed to active-learning
+  // methods at cold start (Table IV: "initialized by using 10% of the
+  // training nodes V_T"). 1.0 = the full V_T (competitor setting).
+  double initial_fraction = 1.0;
+  // When >= 0, forces the class imbalance p_e = |V^e| / |V_T| (Fig. 7(a));
+  // |V_T| shrinks if too few erroneous train nodes exist. < 0 keeps the
+  // default include-all-errors policy.
+  double forced_error_share = -1.0;
+  uint64_t seed = 3;
+};
+
+struct ExampleSet {
+  // Per node: kExampleError / kExampleCorrect on labeled V_T members,
+  // kExampleUnlabeled on unlabeled *train* nodes, kExampleExcluded on
+  // validation/test nodes. Feed directly to Gale::Run / GeDet / GCN.
+  std::vector<int> labels;
+  // Per node: validation labels for early stopping (error/correct on the
+  // validation fold, kExampleUnlabeled elsewhere).
+  std::vector<int> val_labels;
+  size_t num_examples = 0;        // |V_T|
+  size_t num_error_examples = 0;  // |V^e|
+};
+
+// Builds the labeled example set from ground truth and the fold masks.
+util::Result<ExampleSet> BuildExamples(const graph::ErrorGroundTruth& truth,
+                                       const Splits& splits,
+                                       const ExampleSetOptions& options);
+
+}  // namespace gale::eval
+
+#endif  // GALE_EVAL_SPLITS_H_

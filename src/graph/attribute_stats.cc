@@ -1,0 +1,97 @@
+#include "graph/attribute_stats.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace gale::graph {
+
+AttributeStats::AttributeStats(const AttributedGraph& g) {
+  // Lay out one slot per (type, attribute).
+  type_offsets_.assign(g.num_node_types() + 1, 0);
+  for (size_t t = 0; t < g.num_node_types(); ++t) {
+    type_offsets_[t + 1] =
+        type_offsets_[t] + g.node_type_def(t).attributes.size();
+  }
+  const size_t total_slots = type_offsets_.back();
+  numeric_.assign(total_slots, {});
+  text_.assign(total_slots, {});
+
+  // First pass: sums for means, plus text frequencies.
+  std::vector<double> sums(total_slots, 0.0);
+  for (size_t v = 0; v < g.num_nodes(); ++v) {
+    const size_t t = g.node_type(v);
+    for (size_t a = 0; a < g.num_attributes(v); ++a) {
+      const AttributeValue& val = g.value(v, a);
+      if (val.is_null()) continue;
+      const size_t slot = type_offsets_[t] + a;
+      if (val.kind == ValueKind::kNumeric) {
+        NumericStats& s = numeric_[slot];
+        if (s.count == 0) {
+          s.min = s.max = val.numeric;
+        } else {
+          s.min = std::min(s.min, val.numeric);
+          s.max = std::max(s.max, val.numeric);
+        }
+        s.count += 1;
+        sums[slot] += val.numeric;
+      } else {
+        TextStats& s = text_[slot];
+        s.count += 1;
+        s.values[val.text] += 1;
+        for (const std::string& tok : util::SplitWhitespace(val.text)) {
+          s.tokens[tok] += 1;
+        }
+      }
+    }
+  }
+  for (size_t slot = 0; slot < total_slots; ++slot) {
+    if (numeric_[slot].count > 0) {
+      numeric_[slot].mean =
+          sums[slot] / static_cast<double>(numeric_[slot].count);
+    }
+  }
+
+  // Second pass: variances.
+  std::vector<double> sq(total_slots, 0.0);
+  for (size_t v = 0; v < g.num_nodes(); ++v) {
+    const size_t t = g.node_type(v);
+    for (size_t a = 0; a < g.num_attributes(v); ++a) {
+      const AttributeValue& val = g.value(v, a);
+      if (val.kind != ValueKind::kNumeric) continue;
+      const size_t slot = type_offsets_[t] + a;
+      const double d = val.numeric - numeric_[slot].mean;
+      sq[slot] += d * d;
+    }
+  }
+  for (size_t slot = 0; slot < total_slots; ++slot) {
+    if (numeric_[slot].count > 1) {
+      numeric_[slot].stddev = std::sqrt(
+          sq[slot] / static_cast<double>(numeric_[slot].count - 1));
+    }
+  }
+}
+
+size_t AttributeStats::SlotIndex(size_t type, size_t attr) const {
+  GALE_CHECK_LT(type + 1, type_offsets_.size());
+  const size_t slot = type_offsets_[type] + attr;
+  GALE_CHECK_LT(slot, type_offsets_[type + 1]);
+  return slot;
+}
+
+const NumericStats& AttributeStats::Numeric(size_t type, size_t attr) const {
+  return numeric_[SlotIndex(type, attr)];
+}
+
+const TextStats& AttributeStats::Text(size_t type, size_t attr) const {
+  return text_[SlotIndex(type, attr)];
+}
+
+double AttributeStats::ZScore(size_t type, size_t attr, double value) const {
+  const NumericStats& s = Numeric(type, attr);
+  if (s.count < 2 || s.stddev < 1e-12) return 0.0;
+  return std::abs(value - s.mean) / s.stddev;
+}
+
+}  // namespace gale::graph

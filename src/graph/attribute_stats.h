@@ -1,0 +1,56 @@
+// Per-(node type, attribute) statistics over a graph: mean/stddev for
+// numeric attributes and value/token frequencies for text attributes.
+// Shared by the error injector (to place outliers relative to the value
+// distribution) and the outlier/string base detectors.
+
+#ifndef GALE_GRAPH_ATTRIBUTE_STATS_H_
+#define GALE_GRAPH_ATTRIBUTE_STATS_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/attributed_graph.h"
+
+namespace gale::graph {
+
+struct NumericStats {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct TextStats {
+  size_t count = 0;                        // non-null values
+  std::map<std::string, size_t> values;    // full-value frequencies
+  std::map<std::string, size_t> tokens;    // whitespace-token frequencies
+};
+
+// Statistics for every (type, attribute) slot of a graph, computed once.
+class AttributeStats {
+ public:
+  // Scans all nodes of `g`. O(sum of attribute values).
+  explicit AttributeStats(const AttributedGraph& g);
+
+  // Stats for numeric attribute `attr` of node type `type`. Zeroed stats
+  // (count == 0) when the slot is not numeric or has no values.
+  const NumericStats& Numeric(size_t type, size_t attr) const;
+  const TextStats& Text(size_t type, size_t attr) const;
+
+  // |value - mean| / stddev, or 0 when stddev is degenerate.
+  double ZScore(size_t type, size_t attr, double value) const;
+
+ private:
+  size_t SlotIndex(size_t type, size_t attr) const;
+
+  std::vector<size_t> type_offsets_;
+  std::vector<NumericStats> numeric_;
+  std::vector<TextStats> text_;
+};
+
+}  // namespace gale::graph
+
+#endif  // GALE_GRAPH_ATTRIBUTE_STATS_H_

@@ -1,0 +1,159 @@
+#include "graph/attributed_graph.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace gale::graph {
+
+bool AttributeValue::operator==(const AttributeValue& other) const {
+  if (kind != other.kind) return false;
+  switch (kind) {
+    case ValueKind::kNull:
+      return true;
+    case ValueKind::kNumeric:
+      return numeric == other.numeric;
+    case ValueKind::kText:
+      return text == other.text;
+  }
+  return false;
+}
+
+std::string AttributeValue::ToString() const {
+  switch (kind) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kNumeric: {
+      // Trim trailing zeros for readability.
+      std::string s = util::FormatDouble(numeric, 6);
+      while (!s.empty() && s.back() == '0') s.pop_back();
+      if (!s.empty() && s.back() == '.') s.pop_back();
+      return s;
+    }
+    case ValueKind::kText:
+      return text;
+  }
+  return "?";
+}
+
+size_t AttributedGraph::AddNodeType(std::string name,
+                                    std::vector<AttributeDef> attributes) {
+  for (const NodeTypeDef& t : node_types_) {
+    GALE_CHECK(t.name != name) << "duplicate node type " << name;
+  }
+  node_types_.push_back({std::move(name), std::move(attributes)});
+  return node_types_.size() - 1;
+}
+
+size_t AttributedGraph::AddEdgeType(std::string name) {
+  edge_type_names_.push_back(std::move(name));
+  return edge_type_names_.size() - 1;
+}
+
+const NodeTypeDef& AttributedGraph::node_type_def(size_t type_id) const {
+  GALE_CHECK_LT(type_id, node_types_.size());
+  return node_types_[type_id];
+}
+
+const std::string& AttributedGraph::edge_type_name(
+    size_t edge_type_id) const {
+  GALE_CHECK_LT(edge_type_id, edge_type_names_.size());
+  return edge_type_names_[edge_type_id];
+}
+
+util::Result<size_t> AttributedGraph::AttributeIndex(
+    size_t type_id, const std::string& name) const {
+  if (type_id >= node_types_.size()) {
+    return util::Status::OutOfRange("no such node type");
+  }
+  const auto& attrs = node_types_[type_id].attributes;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (attrs[i].name == name) return i;
+  }
+  return util::Status::NotFound("attribute '" + name + "' not in type '" +
+                                node_types_[type_id].name + "'");
+}
+
+size_t AttributedGraph::AddNode(size_t type_id,
+                                std::vector<AttributeValue> values) {
+  GALE_CHECK_LT(type_id, node_types_.size());
+  GALE_CHECK_EQ(values.size(), node_types_[type_id].attributes.size())
+      << "value count mismatch for type " << node_types_[type_id].name;
+  node_type_of_.push_back(type_id);
+  node_values_.push_back(std::move(values));
+  return node_type_of_.size() - 1;
+}
+
+void AttributedGraph::AddEdge(size_t u, size_t v, size_t edge_type) {
+  GALE_CHECK(!finalized_) << "AddEdge after Finalize";
+  GALE_CHECK_LT(u, num_nodes());
+  GALE_CHECK_LT(v, num_nodes());
+  GALE_CHECK_LT(edge_type, edge_type_names_.size());
+  edges_.emplace_back(u, v, edge_type);
+}
+
+void AttributedGraph::Finalize() {
+  GALE_CHECK(!finalized_) << "double Finalize";
+  const size_t n = num_nodes();
+  adj_offsets_.assign(n + 1, 0);
+  for (const auto& [u, v, t] : edges_) {
+    adj_offsets_[u + 1] += 1;
+    if (u != v) adj_offsets_[v + 1] += 1;
+  }
+  for (size_t i = 0; i < n; ++i) adj_offsets_[i + 1] += adj_offsets_[i];
+  adj_entries_.resize(adj_offsets_[n]);
+  std::vector<size_t> cursor(adj_offsets_.begin(), adj_offsets_.end() - 1);
+  for (const auto& [u, v, t] : edges_) {
+    adj_entries_[cursor[u]++] = {v, t};
+    if (u != v) adj_entries_[cursor[v]++] = {u, t};
+  }
+  finalized_ = true;
+}
+
+size_t AttributedGraph::degree(size_t v) const {
+  GALE_CHECK(finalized_);
+  GALE_CHECK_LT(v, num_nodes());
+  return adj_offsets_[v + 1] - adj_offsets_[v];
+}
+
+const Neighbor* AttributedGraph::NeighborsBegin(size_t v) const {
+  GALE_CHECK(finalized_) << "neighbor access before Finalize";
+  GALE_CHECK_LT(v, num_nodes());
+  return adj_entries_.data() + adj_offsets_[v];
+}
+
+const Neighbor* AttributedGraph::NeighborsEnd(size_t v) const {
+  GALE_CHECK(finalized_);
+  GALE_CHECK_LT(v, num_nodes());
+  return adj_entries_.data() + adj_offsets_[v + 1];
+}
+
+std::vector<std::pair<size_t, size_t>> AttributedGraph::EdgePairs() const {
+  std::vector<std::pair<size_t, size_t>> pairs;
+  pairs.reserve(edges_.size());
+  for (const auto& [u, v, t] : edges_) pairs.emplace_back(u, v);
+  return pairs;
+}
+
+const AttributeValue& AttributedGraph::value(size_t v, size_t attr) const {
+  GALE_CHECK_LT(v, num_nodes());
+  GALE_CHECK_LT(attr, node_values_[v].size());
+  return node_values_[v][attr];
+}
+
+void AttributedGraph::set_value(size_t v, size_t attr, AttributeValue val) {
+  GALE_CHECK_LT(v, num_nodes());
+  GALE_CHECK_LT(attr, node_values_[v].size());
+  node_values_[v][attr] = std::move(val);
+}
+
+const AttributeDef& AttributedGraph::attribute_def(size_t v,
+                                                   size_t attr) const {
+  GALE_CHECK_LT(v, num_nodes());
+  const auto& attrs = node_types_[node_type_of_[v]].attributes;
+  GALE_CHECK_LT(attr, attrs.size());
+  return attrs[attr];
+}
+
+}  // namespace gale::graph

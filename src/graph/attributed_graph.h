@@ -1,0 +1,151 @@
+// Attributed heterogeneous graph: typed nodes carrying attribute tuples,
+// typed undirected edges, CSR neighbor access (Section II of the paper).
+//
+// Construction protocol:
+//   AttributedGraph g;
+//   size_t film = g.AddNodeType("film", {{"name", ValueKind::kText}, ...});
+//   size_t seq  = g.AddEdgeType("subsequent");
+//   size_t v = g.AddNode(film, {AttributeValue::Text("Avengers"), ...});
+//   g.AddEdge(u, v, seq);
+//   g.Finalize();   // builds CSR; graph becomes read-only
+//
+// After Finalize() the topology is immutable, but attribute *values* stay
+// mutable (the error injector perturbs them in place).
+
+#ifndef GALE_GRAPH_ATTRIBUTED_GRAPH_H_
+#define GALE_GRAPH_ATTRIBUTED_GRAPH_H_
+
+#include <cstddef>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gale::graph {
+
+// The kind of a node attribute value.
+enum class ValueKind {
+  kNull = 0,   // missing value
+  kNumeric,    // double
+  kText,       // free string / categorical
+};
+
+// One attribute value; a tagged union of nothing, a double, or a string.
+struct AttributeValue {
+  ValueKind kind = ValueKind::kNull;
+  double numeric = 0.0;
+  std::string text;
+
+  static AttributeValue Null() { return {}; }
+  static AttributeValue Number(double v) {
+    AttributeValue a;
+    a.kind = ValueKind::kNumeric;
+    a.numeric = v;
+    return a;
+  }
+  static AttributeValue Text(std::string s) {
+    AttributeValue a;
+    a.kind = ValueKind::kText;
+    a.text = std::move(s);
+    return a;
+  }
+
+  bool is_null() const { return kind == ValueKind::kNull; }
+
+  bool operator==(const AttributeValue& other) const;
+  bool operator!=(const AttributeValue& other) const {
+    return !(*this == other);
+  }
+
+  // "null", "3.14", or the text.
+  std::string ToString() const;
+};
+
+// Declared attribute of a node type.
+struct AttributeDef {
+  std::string name;
+  ValueKind kind = ValueKind::kText;
+};
+
+// Schema of a node type.
+struct NodeTypeDef {
+  std::string name;
+  std::vector<AttributeDef> attributes;
+};
+
+// A neighbor entry: adjacent node plus the connecting edge's type.
+struct Neighbor {
+  size_t node;
+  size_t edge_type;
+};
+
+class AttributedGraph {
+ public:
+  AttributedGraph() = default;
+
+  // --- schema ---
+  // Registers a node type; returns its id. Duplicate names are an error
+  // surfaced via CHECK (schema construction is programmatic).
+  size_t AddNodeType(std::string name, std::vector<AttributeDef> attributes);
+  size_t AddEdgeType(std::string name);
+
+  size_t num_node_types() const { return node_types_.size(); }
+  size_t num_edge_types() const { return edge_type_names_.size(); }
+  const NodeTypeDef& node_type_def(size_t type_id) const;
+  const std::string& edge_type_name(size_t edge_type_id) const;
+
+  // Index of the attribute called `name` in `type_id`'s schema, or an error.
+  util::Result<size_t> AttributeIndex(size_t type_id,
+                                      const std::string& name) const;
+
+  // --- construction ---
+  // Adds a node of `type_id` with one value per declared attribute.
+  size_t AddNode(size_t type_id, std::vector<AttributeValue> values);
+  // Adds an undirected edge. Must be called before Finalize().
+  void AddEdge(size_t u, size_t v, size_t edge_type);
+  // Freezes the topology and builds the CSR neighbor index.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  // --- topology access ---
+  size_t num_nodes() const { return node_type_of_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+  size_t node_type(size_t v) const { return node_type_of_[v]; }
+  size_t degree(size_t v) const;
+  // Neighbors of v; requires Finalize().
+  const Neighbor* NeighborsBegin(size_t v) const;
+  const Neighbor* NeighborsEnd(size_t v) const;
+  // Undirected edge list (u, v) without types (for adjacency builders).
+  std::vector<std::pair<size_t, size_t>> EdgePairs() const;
+  const std::vector<std::tuple<size_t, size_t, size_t>>& edges() const {
+    return edges_;
+  }
+
+  // --- attribute access ---
+  size_t num_attributes(size_t v) const {
+    return node_types_[node_type_of_[v]].attributes.size();
+  }
+  const AttributeValue& value(size_t v, size_t attr) const;
+  void set_value(size_t v, size_t attr, AttributeValue val);
+  const AttributeDef& attribute_def(size_t v, size_t attr) const;
+
+  // Deep copy (used to keep a ground-truth snapshot before injection).
+  AttributedGraph Clone() const { return *this; }
+
+ private:
+  std::vector<NodeTypeDef> node_types_;
+  std::vector<std::string> edge_type_names_;
+  std::vector<size_t> node_type_of_;
+  std::vector<std::vector<AttributeValue>> node_values_;
+  std::vector<std::tuple<size_t, size_t, size_t>> edges_;  // (u, v, type)
+
+  bool finalized_ = false;
+  std::vector<size_t> adj_offsets_;   // CSR offsets, size n+1
+  std::vector<Neighbor> adj_entries_;
+};
+
+}  // namespace gale::graph
+
+#endif  // GALE_GRAPH_ATTRIBUTED_GRAPH_H_

@@ -1,0 +1,109 @@
+// Graph data constraints: the fragment of graph functional dependencies
+// (Fan et al.) that GALE's base detectors, VioDet baseline, error injector,
+// and Type-3 correction suggestions operate on.
+//
+// Three constraint kinds are supported:
+//  * kEdgeAgreement — nodes of type t connected by an edge of type e must
+//    agree on attribute A (the paper's "value bindings enforced by data
+//    constraints" contextualized by graph patterns);
+//  * kFunctionalDependency — within node type t, the value of attribute
+//    A_lhs determines the value of attribute A_rhs (mapping mined from
+//    data);
+//  * kDomain — within node type t, attribute A takes values from a finite
+//    high-support domain.
+//
+// `ConstraintMiner` discovers constraints of all three kinds from a
+// (possibly dirty) graph with minimum-support and minimum-confidence
+// thresholds, mirroring the paper's discovery setup (Section VIII, "Error
+// Generation": support 1000/10/20, confidence 0.9/0.8/0.85).
+
+#ifndef GALE_GRAPH_CONSTRAINTS_H_
+#define GALE_GRAPH_CONSTRAINTS_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph/attributed_graph.h"
+#include "util/status.h"
+
+namespace gale::graph {
+
+enum class ConstraintKind {
+  kEdgeAgreement,
+  kFunctionalDependency,
+  kDomain,
+};
+
+const char* ConstraintKindName(ConstraintKind kind);
+
+// One mined constraint. Fields are used depending on `kind`; see the file
+// comment. `support` counts the matches witnessed during mining and
+// `confidence` is the fraction of matches satisfying the consequent.
+struct Constraint {
+  ConstraintKind kind;
+  size_t node_type = 0;
+  size_t edge_type = 0;                   // kEdgeAgreement only
+  size_t attr = 0;                        // agreement / domain / FD-rhs attr
+  size_t lhs_attr = 0;                    // kFunctionalDependency only
+  std::map<std::string, std::string> fd_mapping;  // lhs value -> rhs value
+  std::set<std::string> domain;           // kDomain only
+  size_t support = 0;
+  double confidence = 0.0;
+
+  std::string DebugString(const AttributedGraph& g) const;
+};
+
+// A detected violation: `node`'s attribute `attr` conflicts with
+// `constraint_index`; `suggestion` is the value the constraint would
+// enforce (may be null when no unique repair exists).
+struct Violation {
+  size_t node;
+  size_t attr;
+  size_t constraint_index;
+  AttributeValue suggestion;
+};
+
+struct MinerOptions {
+  size_t min_support = 10;
+  double min_confidence = 0.8;
+  // Domains with more than this many distinct values are not constraints.
+  size_t max_domain_size = 24;
+};
+
+// Mines constraints of all three kinds from `g`. `g` must be finalized.
+class ConstraintMiner {
+ public:
+  explicit ConstraintMiner(MinerOptions options) : options_(options) {}
+
+  util::Result<std::vector<Constraint>> Mine(const AttributedGraph& g) const;
+
+ private:
+  void MineEdgeAgreement(const AttributedGraph& g,
+                         std::vector<Constraint>* out) const;
+  void MineFunctionalDependencies(const AttributedGraph& g,
+                                  std::vector<Constraint>* out) const;
+  void MineDomains(const AttributedGraph& g,
+                   std::vector<Constraint>* out) const;
+
+  MinerOptions options_;
+};
+
+// Evaluates `constraints` over `g` and returns all violations.
+// For kEdgeAgreement both endpoints of a disagreeing edge are reported
+// (the rule cannot tell which endpoint is wrong — Example 1, Case 1).
+std::vector<Violation> CheckConstraints(
+    const AttributedGraph& g, const std::vector<Constraint>& constraints);
+
+// Suggests repairs for node `v`, attribute `attr` by "enforcing" each
+// applicable constraint (paper's Type-3 annotations). Multiple candidate
+// values may be returned, most-supported first.
+std::vector<AttributeValue> SuggestCorrections(
+    const AttributedGraph& g, const std::vector<Constraint>& constraints,
+    size_t v, size_t attr);
+
+}  // namespace gale::graph
+
+#endif  // GALE_GRAPH_CONSTRAINTS_H_

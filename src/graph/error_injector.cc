@@ -1,0 +1,297 @@
+#include "graph/error_injector.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace gale::graph {
+
+const char* ErrorTypeName(ErrorType type) {
+  switch (type) {
+    case ErrorType::kConstraintViolation:
+      return "ConstraintViolation";
+    case ErrorType::kOutlier:
+      return "Outlier";
+    case ErrorType::kStringNoise:
+      return "StringNoise";
+  }
+  return "Unknown";
+}
+
+size_t ErrorGroundTruth::NumErroneousNodes() const {
+  size_t count = 0;
+  for (uint8_t e : is_error) count += (e != 0);
+  return count;
+}
+
+namespace {
+
+// Per-(type, attr) index of which constraints constrain the slot.
+class CoverageIndex {
+ public:
+  CoverageIndex(const AttributedGraph& g,
+                const std::vector<Constraint>& constraints) {
+    offsets_.assign(g.num_node_types() + 1, 0);
+    for (size_t t = 0; t < g.num_node_types(); ++t) {
+      offsets_[t + 1] = offsets_[t] + g.node_type_def(t).attributes.size();
+    }
+    covering_.resize(offsets_.back());
+    for (size_t ci = 0; ci < constraints.size(); ++ci) {
+      const Constraint& k = constraints[ci];
+      covering_[offsets_[k.node_type] + k.attr].push_back(ci);
+    }
+  }
+
+  const std::vector<size_t>& Covering(size_t type, size_t attr) const {
+    return covering_[offsets_[type] + attr];
+  }
+  bool IsCovered(size_t type, size_t attr) const {
+    return !Covering(type, attr).empty();
+  }
+
+ private:
+  std::vector<size_t> offsets_;
+  std::vector<std::vector<size_t>> covering_;
+};
+
+// A different frequent value of the same slot, or nullopt-like Null.
+AttributeValue DifferentVocabValue(const TextStats& stats,
+                                   const std::string& current,
+                                   util::Rng& rng) {
+  std::vector<const std::string*> candidates;
+  for (const auto& [value, count] : stats.values) {
+    if (value != current && count >= 2) candidates.push_back(&value);
+  }
+  if (candidates.empty()) {
+    for (const auto& [value, count] : stats.values) {
+      if (value != current) candidates.push_back(&value);
+    }
+  }
+  if (candidates.empty()) return AttributeValue::Null();
+  return AttributeValue::Text(*candidates[rng.UniformInt(candidates.size())]);
+}
+
+// Injects a single-character typo into `s` (substitute/delete/insert).
+std::string Typo(const std::string& s, util::Rng& rng) {
+  if (s.empty()) return "x";
+  std::string out = s;
+  const size_t pos = rng.UniformInt(out.size());
+  const char c = static_cast<char>('a' + rng.UniformInt(26));
+  switch (rng.UniformInt(3)) {
+    case 0:  // substitute
+      out[pos] = (out[pos] == c) ? static_cast<char>('a' + (c - 'a' + 1) % 26)
+                                 : c;
+      break;
+    case 1:  // delete
+      out.erase(pos, 1);
+      if (out.empty()) out = "x";
+      break;
+    default:  // insert
+      out.insert(out.begin() + static_cast<ptrdiff_t>(pos), c);
+      break;
+  }
+  return out;
+}
+
+std::string RandomJunk(util::Rng& rng) {
+  const size_t len = 5 + rng.UniformInt(8);
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>("qxzjvkw"[rng.UniformInt(7)]));
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Result<ErrorGroundTruth> ErrorInjector::Inject(
+    AttributedGraph& g, const std::vector<Constraint>& constraints) const {
+  if (!g.finalized()) {
+    return util::Status::FailedPrecondition("ErrorInjector: graph not "
+                                            "finalized");
+  }
+  if (config_.type_mix.size() != 3) {
+    return util::Status::InvalidArgument("ErrorInjector: type_mix must have "
+                                         "3 entries");
+  }
+  double mix_sum = 0.0;
+  for (double w : config_.type_mix) {
+    if (w < 0.0) {
+      return util::Status::InvalidArgument("ErrorInjector: negative mix");
+    }
+    mix_sum += w;
+  }
+  if (mix_sum <= 0.0) {
+    return util::Status::InvalidArgument("ErrorInjector: zero mix");
+  }
+
+  util::Rng rng(config_.seed);
+  const AttributeStats stats(g);  // clean-graph statistics
+  const CoverageIndex coverage(g, constraints);
+
+  ErrorGroundTruth truth;
+  truth.is_error.assign(g.num_nodes(), 0);
+  truth.node_errors.assign(g.num_nodes(), {});
+
+  for (size_t v = 0; v < g.num_nodes(); ++v) {
+    if (!rng.Bernoulli(config_.node_error_rate)) continue;
+    const size_t t = g.node_type(v);
+    const size_t num_attrs = g.num_attributes(v);
+    if (num_attrs == 0) continue;
+
+    // Select the attributes to pollute; force at least one.
+    std::vector<size_t> chosen;
+    for (size_t a = 0; a < num_attrs; ++a) {
+      if (rng.Bernoulli(config_.attribute_error_rate)) chosen.push_back(a);
+    }
+    if (chosen.empty()) chosen.push_back(rng.UniformInt(num_attrs));
+
+    std::vector<uint8_t> already_polluted(num_attrs, 0);
+    for (size_t a : chosen) {
+      const bool detectable = rng.Bernoulli(config_.detectable_rate);
+      // A non-detectable text error must not land on a constrained slot —
+      // the swap would register as a violation (the paper ensures string
+      // noise "alone [is] not leading to violations of Σ"). Redirect to an
+      // unconstrained text attribute when one exists.
+      if (!detectable && g.attribute_def(v, a).kind == ValueKind::kText &&
+          coverage.IsCovered(t, a)) {
+        // Prefer non-key-like slots: swapping a unique identifier (a
+        // name) produces an error no detector or classifier could ever
+        // see, which would only dilute the benchmark.
+        auto key_like = [&](size_t attr) {
+          const TextStats& slot = stats.Text(t, attr);
+          return slot.count > 0 &&
+                 static_cast<double>(slot.values.size()) >
+                     0.8 * static_cast<double>(slot.count);
+        };
+        std::vector<size_t> uncovered_nonkey;
+        std::vector<size_t> uncovered_any;
+        for (size_t alt = 0; alt < num_attrs; ++alt) {
+          if (g.attribute_def(v, alt).kind != ValueKind::kText ||
+              coverage.IsCovered(t, alt)) {
+            continue;
+          }
+          uncovered_any.push_back(alt);
+          if (!key_like(alt)) uncovered_nonkey.push_back(alt);
+        }
+        // Fallback order: non-key uncovered slot > any uncovered slot >
+        // stay put. Staying on a covered slot would turn the "subtle"
+        // error into a constraint violation.
+        const std::vector<size_t>& pool =
+            !uncovered_nonkey.empty() ? uncovered_nonkey : uncovered_any;
+        if (!pool.empty()) {
+          a = pool[rng.UniformInt(pool.size())];
+        }
+      }
+      if (already_polluted[a]) continue;
+      const AttributeValue original = g.value(v, a);
+      const ValueKind kind = g.attribute_def(v, a).kind;
+
+      // Restrict the requested mix to the types feasible for this slot.
+      std::vector<double> weights = config_.type_mix;
+      const bool numeric_slot = (kind == ValueKind::kNumeric);
+      const bool covered = coverage.IsCovered(t, a);
+      if (numeric_slot) {
+        weights[static_cast<size_t>(ErrorType::kConstraintViolation)] = 0.0;
+        weights[static_cast<size_t>(ErrorType::kStringNoise)] = 0.0;
+      } else {
+        weights[static_cast<size_t>(ErrorType::kOutlier)] = 0.0;
+        // Detectable constraint violations need a covering constraint.
+        if (detectable && !covered) {
+          weights[static_cast<size_t>(ErrorType::kConstraintViolation)] = 0.0;
+        }
+      }
+      double feasible = 0.0;
+      for (double w : weights) feasible += w;
+      if (feasible <= 0.0) {
+        // Requested mix has no feasible type here (e.g. outliers-only mix
+        // on a text slot): fall back to any feasible type.
+        if (numeric_slot) {
+          weights = {0.0, 1.0, 0.0};
+        } else {
+          weights = {(detectable && covered) ? 1.0 : 0.0, 0.0, 1.0};
+        }
+      }
+      const ErrorType type = static_cast<ErrorType>(rng.Categorical(weights));
+
+      AttributeValue polluted;
+      switch (type) {
+        case ErrorType::kOutlier: {
+          const NumericStats& s = stats.Numeric(t, a);
+          const double sigma =
+              s.stddev > 1e-12 ? s.stddev : std::max(std::abs(s.mean), 1.0);
+          const double sign = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+          // Detectable: far outside any plausible range (z in [6, 10]).
+          // Subtle: wrong but below the outlier detectors' radar
+          // (z in [1.8, 3.2]) — the box-office Cases 3/4 of Example 1:
+          // off, statistically suspicious to a trained model, invisible
+          // to a threshold detector.
+          const double z = detectable ? rng.Uniform(6.0, 10.0)
+                                      : rng.Uniform(1.8, 3.2);
+          polluted = AttributeValue::Number(s.mean + sign * z * sigma);
+          if (!detectable && polluted == original) {
+            polluted.numeric += sigma * 0.25;
+          }
+          break;
+        }
+        case ErrorType::kConstraintViolation: {
+          const TextStats& s = stats.Text(t, a);
+          if (detectable) {
+            // Swap in a different legal-looking value: breaks FD mappings
+            // and edge agreement while staying inside the domain, or an
+            // out-of-domain junk value when the slot is domain-constrained
+            // only.
+            polluted = DifferentVocabValue(s, original.text, rng);
+            if (polluted.is_null()) {
+              polluted = AttributeValue::Text(RandomJunk(rng));
+            }
+          } else {
+            // Subtle: a plausible swap on a (preferably) unconstrained
+            // slot; VioDet cannot see it.
+            polluted = DifferentVocabValue(s, original.text, rng);
+            if (polluted.is_null()) {
+              polluted = AttributeValue::Text(original.text + "_alt");
+            }
+          }
+          break;
+        }
+        case ErrorType::kStringNoise: {
+          if (detectable) {
+            switch (rng.UniformInt(3)) {
+              case 0:
+                polluted = AttributeValue::Text(Typo(original.text, rng));
+                break;
+              case 1:
+                polluted = AttributeValue::Null();
+                break;
+              default:
+                polluted = AttributeValue::Text(RandomJunk(rng));
+                break;
+            }
+          } else {
+            // Plausible vocabulary swap: wrong, but neither a violation
+            // nor a lexical anomaly.
+            const TextStats& s = stats.Text(t, a);
+            polluted = DifferentVocabValue(s, original.text, rng);
+            if (polluted.is_null()) {
+              polluted = AttributeValue::Text(Typo(original.text, rng));
+            }
+          }
+          break;
+        }
+      }
+      if (polluted == original) continue;  // no-op perturbation: skip
+
+      already_polluted[a] = 1;
+      g.set_value(v, a, polluted);
+      truth.is_error[v] = 1;
+      truth.node_errors[v].push_back(truth.errors.size());
+      truth.errors.push_back({v, a, type, original, detectable});
+    }
+  }
+  return truth;
+}
+
+}  // namespace gale::graph

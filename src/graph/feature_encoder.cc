@@ -1,0 +1,172 @@
+#include "graph/feature_encoder.h"
+
+#include <cmath>
+
+#include "la/pca.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace gale::graph {
+
+namespace {
+
+// Signed hashing: bucket = h mod D, sign from an independent bit of h.
+inline void HashInto(const std::string& token, double weight, double* buckets,
+                     size_t dims) {
+  const uint64_t h = util::Fnv1aHash(token);
+  const size_t bucket = static_cast<size_t>(h % dims);
+  const double sign = ((h >> 61) & 1) ? 1.0 : -1.0;
+  buckets[bucket] += sign * weight;
+}
+
+}  // namespace
+
+size_t FeatureEncoder::RawDims(const AttributedGraph& g) const {
+  size_t d = options_.hash_dims;
+  if (options_.include_type_onehot) d += g.num_node_types();
+  if (options_.include_degree) d += 1;
+  if (options_.include_quality_channels) d += kNumQualityChannels;
+  return d;
+}
+
+void FeatureEncoder::EncodeNode(const AttributedGraph& g,
+                                const AttributeStats& stats, size_t v,
+                                double* row, size_t row_len) const {
+  GALE_CHECK_EQ(row_len, RawDims(g));
+  std::fill(row, row + row_len, 0.0);
+
+  size_t offset = 0;
+  if (options_.include_type_onehot) {
+    row[g.node_type(v)] = 1.0;
+    offset += g.num_node_types();
+  }
+  if (options_.include_degree) {
+    row[offset] = std::log1p(static_cast<double>(g.degree(v)));
+    offset += 1;
+  }
+
+  const size_t t = g.node_type(v);
+  const auto& attr_defs = g.node_type_def(t).attributes;
+
+  if (options_.include_quality_channels) {
+    // [max |z|, mean |z|, rarest-token rarity, null fraction].
+    double max_z = 0.0;
+    double sum_z = 0.0;
+    size_t numeric_count = 0;
+    double max_rarity = 0.0;
+    size_t null_count = 0;
+    for (size_t a = 0; a < attr_defs.size(); ++a) {
+      const AttributeValue& val = g.value(v, a);
+      if (val.is_null()) {
+        ++null_count;
+        continue;
+      }
+      if (val.kind == ValueKind::kNumeric) {
+        const double z = stats.ZScore(t, a, val.numeric);
+        max_z = std::max(max_z, z);
+        sum_z += z;
+        ++numeric_count;
+      } else {
+        const TextStats& slot = stats.Text(t, a);
+        // Key-like slots (names, ids) are all-singletons; rarity carries
+        // no signal there.
+        if (slot.count > 0 &&
+            static_cast<double>(slot.values.size()) >
+                0.8 * static_cast<double>(slot.count)) {
+          continue;
+        }
+        for (const std::string& tok : util::SplitWhitespace(val.text)) {
+          auto it = slot.tokens.find(tok);
+          const size_t count = it == slot.tokens.end() ? 0 : it->second;
+          // Rarity ~ 1 for unseen/singleton tokens, ~ 0 for common ones.
+          const double rarity =
+              1.0 / std::log2(2.0 + static_cast<double>(count));
+          max_rarity = std::max(max_rarity, rarity);
+        }
+      }
+    }
+    row[offset + 0] = std::min(max_z, 12.0);
+    row[offset + 1] =
+        numeric_count > 0
+            ? std::min(sum_z / static_cast<double>(numeric_count), 12.0)
+            : 0.0;
+    row[offset + 2] = max_rarity;
+    row[offset + 3] = attr_defs.empty()
+                          ? 0.0
+                          : static_cast<double>(null_count) /
+                                static_cast<double>(attr_defs.size());
+    offset += kNumQualityChannels;
+  }
+
+  double* buckets = row + offset;
+  const size_t dims = options_.hash_dims;
+  for (size_t a = 0; a < attr_defs.size(); ++a) {
+    const AttributeDef& def = attr_defs[a];
+    const AttributeValue& val = g.value(v, a);
+    if (val.is_null()) {
+      HashInto(def.name + "=<null>", 1.0, buckets, dims);
+      continue;
+    }
+    if (val.kind == ValueKind::kNumeric) {
+      // z-score through a signed bucket, |z| through a second one: outlier
+      // magnitude is visible regardless of the hashed sign.
+      const double z = (val.numeric - stats.Numeric(t, a).mean) /
+                       std::max(stats.Numeric(t, a).stddev, 1e-9);
+      HashInto(def.name + "#z", z, buckets, dims);
+      HashInto(def.name + "#abs", std::abs(z), buckets, dims);
+    } else {
+      const std::vector<std::string> tokens =
+          util::SplitWhitespace(val.text);
+      const double w =
+          1.0 / std::sqrt(static_cast<double>(std::max<size_t>(1,
+                                                               tokens.size())));
+      for (const std::string& tok : tokens) {
+        HashInto(def.name + "=" + tok, w, buckets, dims);
+      }
+    }
+  }
+}
+
+util::Result<la::Matrix> FeatureEncoder::Encode(
+    const AttributedGraph& g) const {
+  if (options_.include_degree && !g.finalized()) {
+    return util::Status::FailedPrecondition(
+        "FeatureEncoder: degree channel needs a finalized graph");
+  }
+  if (options_.hash_dims == 0) {
+    return util::Status::InvalidArgument("FeatureEncoder: hash_dims == 0");
+  }
+  const AttributeStats stats(g);
+  const size_t raw = RawDims(g);
+  la::Matrix features(g.num_nodes(), raw);
+  for (size_t v = 0; v < g.num_nodes(); ++v) {
+    EncodeNode(g, stats, v, features.RowPtr(v), raw);
+  }
+
+  if (options_.pca_dims == 0 || options_.pca_dims >= options_.hash_dims) {
+    return features;
+  }
+
+  // PCA-compress only the hashed content block; keep the structural
+  // channels (type, degree) verbatim.
+  const size_t keep = raw - options_.hash_dims;
+  la::Matrix hashed(g.num_nodes(), options_.hash_dims);
+  for (size_t v = 0; v < g.num_nodes(); ++v) {
+    std::copy(features.RowPtr(v) + keep, features.RowPtr(v) + raw,
+              hashed.RowPtr(v));
+  }
+  la::Pca pca(options_.pca_dims);
+  util::Result<la::Matrix> reduced = pca.FitTransform(hashed);
+  if (!reduced.ok()) return reduced.status();
+
+  la::Matrix out(g.num_nodes(), keep + options_.pca_dims);
+  for (size_t v = 0; v < g.num_nodes(); ++v) {
+    std::copy(features.RowPtr(v), features.RowPtr(v) + keep, out.RowPtr(v));
+    std::copy(reduced.value().RowPtr(v),
+              reduced.value().RowPtr(v) + options_.pca_dims,
+              out.RowPtr(v) + keep);
+  }
+  return out;
+}
+
+}  // namespace gale::graph

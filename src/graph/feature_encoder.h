@@ -1,0 +1,75 @@
+// Feature engineering (Section VII "Feature Engineering"): maps each node's
+// attribute tuple to a dense vector.
+//
+// The paper uses word embeddings of attribute tokens plus GAE structural
+// embeddings, concatenated and PCA-reduced. We substitute deterministic
+// *feature hashing* for the word embeddings (see DESIGN.md): each token of
+// each attribute value is hashed — together with its attribute name — into
+// a fixed number of signed buckets, so that value perturbations move the
+// node's vector. Numeric attributes contribute their z-score through the
+// same hashed buckets (plus an |z| channel so that outliers are visible
+// regardless of sign). Node type one-hots and a normalized log-degree are
+// appended.
+//
+// In addition, four *quality channels* summarize per-node value quality —
+// max and mean numeric |z|, the rarity of the node's rarest text token,
+// and the fraction of null attributes. A word-embedding encoder carries
+// token frequency implicitly; hashing does not, so these channels restore
+// the signal (outliers, junk strings, missing values) explicitly.
+//
+// Output layout (per node row):
+//   [ type one-hot | log-degree | quality channels | hashed buckets ]
+// optionally followed by PCA compression of the bucket block.
+
+#ifndef GALE_GRAPH_FEATURE_ENCODER_H_
+#define GALE_GRAPH_FEATURE_ENCODER_H_
+
+#include <cstddef>
+
+#include "graph/attribute_stats.h"
+#include "graph/attributed_graph.h"
+#include "la/matrix.h"
+#include "util/status.h"
+
+namespace gale::graph {
+
+struct FeatureEncoderOptions {
+  // Hash-bucket count for the attribute-content block.
+  size_t hash_dims = 64;
+  // When > 0, the hashed block is PCA-compressed to this many dimensions
+  // (type one-hot and degree channels are kept verbatim).
+  size_t pca_dims = 0;
+  bool include_type_onehot = true;
+  bool include_degree = true;
+  bool include_quality_channels = true;
+};
+
+// Number of quality channels when enabled.
+inline constexpr size_t kNumQualityChannels = 4;
+
+class FeatureEncoder {
+ public:
+  explicit FeatureEncoder(FeatureEncoderOptions options = {})
+      : options_(options) {}
+
+  // Encodes all nodes of `g` into an n x d matrix. Requires a finalized
+  // graph when include_degree is set.
+  util::Result<la::Matrix> Encode(const AttributedGraph& g) const;
+
+  // Encodes a single node into a feature row of the same layout, reusing
+  // pre-computed stats (for incremental paths and tests).
+  void EncodeNode(const AttributedGraph& g, const AttributeStats& stats,
+                  size_t v, double* row, size_t row_len) const;
+
+  // Dimensionality of the raw (pre-PCA) encoding for graph `g`.
+  size_t RawDims(const AttributedGraph& g) const;
+
+  const FeatureEncoderOptions& options() const { return options_; }
+
+ private:
+  FeatureEncoderOptions options_;
+};
+
+}  // namespace gale::graph
+
+#endif  // GALE_GRAPH_FEATURE_ENCODER_H_

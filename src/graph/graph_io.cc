@@ -1,0 +1,283 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace gale::graph {
+
+namespace {
+
+constexpr char kGraphHeader[] = "# gale-graph v1";
+constexpr char kTruthHeader[] = "# gale-truth v1";
+
+std::string EncodeValue(const AttributeValue& value) {
+  switch (value.kind) {
+    case ValueKind::kNull:
+      return "-";
+    case ValueKind::kNumeric: {
+      std::ostringstream os;
+      os.precision(17);
+      os << "N:" << value.numeric;
+      return os.str();
+    }
+    case ValueKind::kText:
+      return "T:" + EscapeToken(value.text);
+  }
+  return "-";
+}
+
+util::Result<AttributeValue> DecodeValue(const std::string& token) {
+  if (token == "-") return AttributeValue::Null();
+  if (util::StartsWith(token, "N:")) {
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str() + 2, &end);
+    if (end == token.c_str() + 2) {
+      return util::Status::InvalidArgument("bad numeric value: " + token);
+    }
+    return AttributeValue::Number(v);
+  }
+  if (util::StartsWith(token, "T:")) {
+    util::Result<std::string> text = UnescapeToken(token.substr(2));
+    if (!text.ok()) return text.status();
+    return AttributeValue::Text(std::move(text).value());
+  }
+  return util::Status::InvalidArgument("bad value token: " + token);
+}
+
+}  // namespace
+
+std::string EscapeToken(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case ' ':
+        out += "\\s";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  // An empty token must still occupy a field.
+  if (out.empty()) out = "\\e";
+  return out;
+}
+
+util::Result<std::string> UnescapeToken(const std::string& token) {
+  if (token == "\\e") return std::string();
+  std::string out;
+  out.reserve(token.size());
+  for (size_t i = 0; i < token.size(); ++i) {
+    if (token[i] != '\\') {
+      out.push_back(token[i]);
+      continue;
+    }
+    if (i + 1 >= token.size()) {
+      return util::Status::InvalidArgument("dangling escape in: " + token);
+    }
+    ++i;
+    switch (token[i]) {
+      case 's':
+        out.push_back(' ');
+        break;
+      case 't':
+        out.push_back('\t');
+        break;
+      case 'n':
+        out.push_back('\n');
+        break;
+      case '\\':
+        out.push_back('\\');
+        break;
+      case 'e':
+        break;  // empty marker inside a longer token: ignore
+      default:
+        return util::Status::InvalidArgument("bad escape in: " + token);
+    }
+  }
+  return out;
+}
+
+util::Status WriteGraph(const AttributedGraph& g, std::ostream& os) {
+  os << kGraphHeader << "\n";
+  for (size_t t = 0; t < g.num_node_types(); ++t) {
+    const NodeTypeDef& def = g.node_type_def(t);
+    os << "nodetype " << EscapeToken(def.name);
+    for (const AttributeDef& attr : def.attributes) {
+      os << " " << EscapeToken(attr.name) << ":"
+         << (attr.kind == ValueKind::kNumeric ? "num" : "text");
+    }
+    os << "\n";
+  }
+  for (size_t e = 0; e < g.num_edge_types(); ++e) {
+    os << "edgetype " << EscapeToken(g.edge_type_name(e)) << "\n";
+  }
+  for (size_t v = 0; v < g.num_nodes(); ++v) {
+    os << "node " << g.node_type(v);
+    for (size_t a = 0; a < g.num_attributes(v); ++a) {
+      os << " " << EncodeValue(g.value(v, a));
+    }
+    os << "\n";
+  }
+  for (const auto& [u, v, et] : g.edges()) {
+    os << "edge " << u << " " << v << " " << et << "\n";
+  }
+  if (!os.good()) return util::Status::Internal("stream write failed");
+  return util::Status::Ok();
+}
+
+util::Result<AttributedGraph> ReadGraph(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || util::Trim(line) != kGraphHeader) {
+    return util::Status::InvalidArgument("missing gale-graph header");
+  }
+  AttributedGraph g;
+  size_t line_number = 1;
+  while (std::getline(is, line)) {
+    ++line_number;
+    const std::string trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const std::vector<std::string> fields = util::SplitWhitespace(trimmed);
+    const std::string& kind = fields[0];
+    auto fail = [&](const std::string& what) {
+      return util::Status::InvalidArgument(
+          "line " + std::to_string(line_number) + ": " + what);
+    };
+
+    if (kind == "nodetype") {
+      if (fields.size() < 2) return fail("nodetype needs a name");
+      util::Result<std::string> name = UnescapeToken(fields[1]);
+      if (!name.ok()) return name.status();
+      std::vector<AttributeDef> attrs;
+      for (size_t i = 2; i < fields.size(); ++i) {
+        const size_t colon = fields[i].rfind(':');
+        if (colon == std::string::npos) return fail("bad attribute spec");
+        util::Result<std::string> attr_name =
+            UnescapeToken(fields[i].substr(0, colon));
+        if (!attr_name.ok()) return attr_name.status();
+        const std::string kind_token = fields[i].substr(colon + 1);
+        if (kind_token != "num" && kind_token != "text") {
+          return fail("bad attribute kind '" + kind_token + "'");
+        }
+        attrs.push_back({std::move(attr_name).value(),
+                         kind_token == "num" ? ValueKind::kNumeric
+                                             : ValueKind::kText});
+      }
+      g.AddNodeType(std::move(name).value(), std::move(attrs));
+    } else if (kind == "edgetype") {
+      if (fields.size() != 2) return fail("edgetype needs a name");
+      util::Result<std::string> name = UnescapeToken(fields[1]);
+      if (!name.ok()) return name.status();
+      g.AddEdgeType(std::move(name).value());
+    } else if (kind == "node") {
+      if (fields.size() < 2) return fail("node needs a type");
+      const size_t type_id = std::strtoull(fields[1].c_str(), nullptr, 10);
+      if (type_id >= g.num_node_types()) return fail("node type out of range");
+      const size_t expected = g.node_type_def(type_id).attributes.size();
+      if (fields.size() != 2 + expected) {
+        return fail("node value count mismatch");
+      }
+      std::vector<AttributeValue> values;
+      values.reserve(expected);
+      for (size_t i = 2; i < fields.size(); ++i) {
+        util::Result<AttributeValue> value = DecodeValue(fields[i]);
+        if (!value.ok()) return value.status();
+        values.push_back(std::move(value).value());
+      }
+      g.AddNode(type_id, std::move(values));
+    } else if (kind == "edge") {
+      if (fields.size() != 4) return fail("edge needs u v type");
+      const size_t u = std::strtoull(fields[1].c_str(), nullptr, 10);
+      const size_t v = std::strtoull(fields[2].c_str(), nullptr, 10);
+      const size_t et = std::strtoull(fields[3].c_str(), nullptr, 10);
+      if (u >= g.num_nodes() || v >= g.num_nodes() ||
+          et >= g.num_edge_types()) {
+        return fail("edge endpoint or type out of range");
+      }
+      g.AddEdge(u, v, et);
+    } else {
+      return fail("unknown record '" + kind + "'");
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+util::Status SaveGraph(const AttributedGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return util::Status::NotFound("cannot open for write: " + path);
+  }
+  return WriteGraph(g, out);
+}
+
+util::Result<AttributedGraph> LoadGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return util::Status::NotFound("cannot open for read: " + path);
+  }
+  return ReadGraph(in);
+}
+
+util::Status WriteGroundTruth(const ErrorGroundTruth& truth,
+                              std::ostream& os) {
+  os << kTruthHeader << "\n";
+  for (const InjectedError& e : truth.errors) {
+    os << "error " << e.node << " " << e.attr << " "
+       << static_cast<int>(e.type) << " " << (e.detectable ? 1 : 0) << " "
+       << EncodeValue(e.original) << "\n";
+  }
+  if (!os.good()) return util::Status::Internal("stream write failed");
+  return util::Status::Ok();
+}
+
+util::Result<ErrorGroundTruth> ReadGroundTruth(std::istream& is,
+                                               size_t num_nodes) {
+  std::string line;
+  if (!std::getline(is, line) || util::Trim(line) != kTruthHeader) {
+    return util::Status::InvalidArgument("missing gale-truth header");
+  }
+  ErrorGroundTruth truth;
+  truth.is_error.assign(num_nodes, 0);
+  truth.node_errors.assign(num_nodes, {});
+  while (std::getline(is, line)) {
+    const std::string trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const std::vector<std::string> fields = util::SplitWhitespace(trimmed);
+    if (fields.size() != 6 || fields[0] != "error") {
+      return util::Status::InvalidArgument("bad truth record: " + trimmed);
+    }
+    InjectedError e;
+    e.node = std::strtoull(fields[1].c_str(), nullptr, 10);
+    e.attr = std::strtoull(fields[2].c_str(), nullptr, 10);
+    const int type = std::atoi(fields[3].c_str());
+    if (type < 0 || type > 2) {
+      return util::Status::InvalidArgument("bad error type: " + fields[3]);
+    }
+    e.type = static_cast<ErrorType>(type);
+    e.detectable = fields[4] == "1";
+    util::Result<AttributeValue> original = DecodeValue(fields[5]);
+    if (!original.ok()) return original.status();
+    e.original = std::move(original).value();
+    if (e.node >= num_nodes) {
+      return util::Status::OutOfRange("truth node out of range");
+    }
+    truth.is_error[e.node] = 1;
+    truth.node_errors[e.node].push_back(truth.errors.size());
+    truth.errors.push_back(std::move(e));
+  }
+  return truth;
+}
+
+}  // namespace gale::graph

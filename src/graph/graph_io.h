@@ -1,0 +1,52 @@
+// Plain-text serialization of attributed graphs and injected ground
+// truth, so datasets and experiment artifacts can be saved, diffed and
+// reloaded. The format is line-oriented and versioned:
+//
+//   # gale-graph v1
+//   nodetype <name> <attr>:<num|text> ...
+//   edgetype <name>
+//   node <type_id> <value> <value> ...
+//   edge <u> <v> <edge_type_id>
+//
+// Values are encoded as `-` (null), `N:<double>`, or `T:<escaped text>`
+// with backslash escapes for whitespace, and fields are space-separated.
+// Node ids are implicit (declaration order), matching AttributedGraph's
+// contiguous ids.
+
+#ifndef GALE_GRAPH_GRAPH_IO_H_
+#define GALE_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/attributed_graph.h"
+#include "graph/error_injector.h"
+#include "util/status.h"
+
+namespace gale::graph {
+
+// Writes `g` (finalized or not; edges are preserved) to `os`.
+util::Status WriteGraph(const AttributedGraph& g, std::ostream& os);
+
+// Parses a graph written by WriteGraph. The returned graph is finalized.
+util::Result<AttributedGraph> ReadGraph(std::istream& is);
+
+// File convenience wrappers.
+util::Status SaveGraph(const AttributedGraph& g, const std::string& path);
+util::Result<AttributedGraph> LoadGraph(const std::string& path);
+
+// Ground-truth serialization ("# gale-truth v1"): one line per injected
+// error — node, attr, type, detectable, original value.
+util::Status WriteGroundTruth(const ErrorGroundTruth& truth,
+                              std::ostream& os);
+util::Result<ErrorGroundTruth> ReadGroundTruth(std::istream& is,
+                                               size_t num_nodes);
+
+// Escape helpers (exposed for tests): reversible encoding of arbitrary
+// text into a single whitespace-free token.
+std::string EscapeToken(const std::string& raw);
+util::Result<std::string> UnescapeToken(const std::string& token);
+
+}  // namespace gale::graph
+
+#endif  // GALE_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,156 @@
+#include "graph/synthetic_dataset.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace gale::graph {
+
+namespace {
+
+// Pronounceable deterministic token ("bakelu", "sorami", ...) for index i.
+std::string VocabToken(size_t i) {
+  static const char* kConsonants = "bdfgklmnprstvz";
+  static const char* kVowels = "aeiou";
+  std::string out;
+  size_t x = i + 1;
+  for (int s = 0; s < 3; ++s) {
+    out.push_back(kConsonants[x % 14]);
+    x /= 14;
+    out.push_back(kVowels[x % 5]);
+    x /= 5;
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Result<SyntheticDataset> GenerateSynthetic(
+    const SyntheticConfig& config) {
+  if (config.num_nodes == 0 || config.num_communities == 0 ||
+      config.num_node_types == 0 || config.num_edge_types == 0) {
+    return util::Status::InvalidArgument(
+        "GenerateSynthetic: nodes, communities, node and edge types must be "
+        "positive");
+  }
+  if (config.vocab_size == 0) {
+    return util::Status::InvalidArgument("GenerateSynthetic: empty vocab");
+  }
+
+  util::Rng rng(config.seed);
+  SyntheticDataset ds;
+  ds.config = config;
+  AttributedGraph& g = ds.graph;
+
+  // --- schema: identical attribute layout for every type keeps the
+  // generator simple; types still differ in their value distributions.
+  std::vector<AttributeDef> attrs = {
+      {"name", ValueKind::kText},    {"title", ValueKind::kText},
+      {"group", ValueKind::kText},   {"label", ValueKind::kText},
+      {"region", ValueKind::kText},
+  };
+  for (size_t m = 0; m < config.numeric_attrs; ++m) {
+    attrs.push_back({"num" + std::to_string(m), ValueKind::kNumeric});
+  }
+  for (size_t t = 0; t < config.num_node_types; ++t) {
+    g.AddNodeType("type" + std::to_string(t), attrs);
+  }
+  for (size_t e = 0; e < config.num_edge_types; ++e) {
+    g.AddEdgeType("edge" + std::to_string(e));
+  }
+
+  // --- per-(type, numeric attr) base means; communities shift them.
+  std::vector<std::vector<double>> base_mean(config.num_node_types);
+  for (size_t t = 0; t < config.num_node_types; ++t) {
+    base_mean[t].resize(config.numeric_attrs);
+    for (size_t m = 0; m < config.numeric_attrs; ++m) {
+      base_mean[t][m] = rng.Uniform(-5.0, 5.0);
+    }
+  }
+  std::vector<double> community_shift(config.num_communities);
+  for (double& s : community_shift) s = rng.Uniform(-2.0, 2.0);
+
+  // "label" is a deterministic function of "group": the planted FD. Use
+  // fewer labels than communities so the FD is non-trivial.
+  const size_t num_labels = std::max<size_t>(2, config.num_communities / 2);
+  const size_t num_regions = std::max<size_t>(2, config.num_communities / 3);
+
+  // --- nodes ---
+  ds.community.resize(config.num_nodes);
+  for (size_t v = 0; v < config.num_nodes; ++v) {
+    const size_t c = rng.UniformInt(config.num_communities);
+    ds.community[v] = c;
+    const size_t t = rng.UniformInt(config.num_node_types);
+
+    std::vector<AttributeValue> values;
+    values.reserve(attrs.size());
+    // name: near-unique free text.
+    values.push_back(AttributeValue::Text(
+        VocabToken(rng.UniformInt(config.vocab_size)) + "_" +
+        std::to_string(v)));
+    // title: bag of vocabulary tokens, biased toward a community-specific
+    // sub-vocabulary so that attribute embeddings cluster by community.
+    {
+      std::string title;
+      for (size_t k = 0; k < config.title_tokens; ++k) {
+        size_t tok;
+        if (rng.Bernoulli(0.8)) {
+          const size_t band = config.vocab_size / config.num_communities;
+          const size_t lo = c * band;
+          tok = lo + rng.UniformInt(std::max<size_t>(band, 1));
+        } else {
+          tok = rng.UniformInt(config.vocab_size);
+        }
+        if (k > 0) title.push_back(' ');
+        title += VocabToken(tok % config.vocab_size);
+      }
+      values.push_back(AttributeValue::Text(std::move(title)));
+    }
+    // group: the community marker (FD lhs).
+    values.push_back(AttributeValue::Text("g" + std::to_string(c)));
+    // label = FD(group).
+    values.push_back(
+        AttributeValue::Text("L" + std::to_string(c % num_labels)));
+    // region: agrees within a community, with a small planted noise rate.
+    size_t region = c % num_regions;
+    if (rng.Bernoulli(config.clean_noise_rate)) {
+      region = rng.UniformInt(num_regions);
+    }
+    values.push_back(AttributeValue::Text("r" + std::to_string(region)));
+    // numeric attributes.
+    for (size_t m = 0; m < config.numeric_attrs; ++m) {
+      values.push_back(AttributeValue::Number(
+          rng.Normal(base_mean[t][m] + community_shift[c], 1.0)));
+    }
+    g.AddNode(t, std::move(values));
+  }
+
+  // --- edges: planted partition ---
+  // Bucket nodes per community for intra-community sampling.
+  std::vector<std::vector<size_t>> members(config.num_communities);
+  for (size_t v = 0; v < config.num_nodes; ++v) {
+    members[ds.community[v]].push_back(v);
+  }
+  for (size_t e = 0; e < config.num_edges; ++e) {
+    const size_t u = rng.UniformInt(config.num_nodes);
+    size_t v = u;
+    if (rng.Bernoulli(config.intra_community_fraction) &&
+        members[ds.community[u]].size() > 1) {
+      const auto& bucket = members[ds.community[u]];
+      do {
+        v = bucket[rng.UniformInt(bucket.size())];
+      } while (v == u);
+    } else {
+      do {
+        v = rng.UniformInt(config.num_nodes);
+      } while (v == u && config.num_nodes > 1);
+    }
+    if (u == v) continue;
+    g.AddEdge(u, v, rng.UniformInt(config.num_edge_types));
+  }
+  g.Finalize();
+  return ds;
+}
+
+}  // namespace gale::graph

@@ -1,0 +1,125 @@
+#include "la/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gale::la {
+
+namespace {
+
+// k-means++ seeding: first centroid uniform, subsequent ones proportional
+// to squared distance from the nearest chosen centroid.
+Matrix SeedCentroids(const Matrix& data, size_t k, util::Rng& rng) {
+  const size_t n = data.rows();
+  Matrix centroids(k, data.cols());
+
+  std::vector<size_t> chosen;
+  chosen.push_back(rng.UniformInt(n));
+  std::vector<double> min_dist(n, std::numeric_limits<double>::max());
+
+  while (chosen.size() < k) {
+    const size_t last = chosen.back();
+    for (size_t i = 0; i < n; ++i) {
+      min_dist[i] =
+          std::min(min_dist[i], data.RowDistanceSquared(i, data, last));
+    }
+    const size_t next = rng.Categorical(min_dist);
+    chosen.push_back(next);
+  }
+  for (size_t c = 0; c < k; ++c) {
+    std::copy(data.RowPtr(chosen[c]), data.RowPtr(chosen[c]) + data.cols(),
+              centroids.RowPtr(c));
+  }
+  return centroids;
+}
+
+}  // namespace
+
+util::Result<KMeansResult> KMeans(const Matrix& data,
+                                  const KMeansOptions& options,
+                                  util::Rng& rng) {
+  if (data.rows() == 0 || data.cols() == 0) {
+    return util::Status::InvalidArgument("KMeans: empty data");
+  }
+  if (options.num_clusters == 0) {
+    return util::Status::InvalidArgument("KMeans: num_clusters == 0");
+  }
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  const size_t k = std::min(options.num_clusters, n);
+
+  KMeansResult result;
+  result.centroids = SeedCentroids(data, k, rng);
+  result.assignments.assign(n, 0);
+  result.distances.assign(n, 0.0);
+
+  std::vector<size_t> counts(k, 0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      size_t best = 0;
+      double best_dist = std::numeric_limits<double>::max();
+      for (size_t c = 0; c < k; ++c) {
+        const double dist = data.RowDistanceSquared(i, result.centroids, c);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = c;
+        }
+      }
+      if (result.assignments[i] != best) {
+        result.assignments[i] = best;
+        changed = true;
+      }
+      result.distances[i] = best_dist;  // squared, sqrt'ed at the end
+    }
+
+    // Update step.
+    Matrix new_centroids(k, d);
+    counts.assign(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t c = result.assignments[i];
+      counts[c] += 1;
+      double* acc = new_centroids.RowPtr(c);
+      const double* row = data.RowPtr(i);
+      for (size_t j = 0; j < d; ++j) acc[j] += row[j];
+    }
+    double movement = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Empty cluster: re-seed at the farthest point to keep k clusters.
+        size_t far = 0;
+        double far_dist = -1.0;
+        for (size_t i = 0; i < n; ++i) {
+          if (result.distances[i] > far_dist) {
+            far_dist = result.distances[i];
+            far = i;
+          }
+        }
+        std::copy(data.RowPtr(far), data.RowPtr(far) + d,
+                  new_centroids.RowPtr(c));
+        changed = true;
+      } else {
+        double* acc = new_centroids.RowPtr(c);
+        for (size_t j = 0; j < d; ++j) {
+          acc[j] /= static_cast<double>(counts[c]);
+        }
+      }
+      movement +=
+          new_centroids.RowDistanceSquared(c, result.centroids, c);
+    }
+    result.centroids = std::move(new_centroids);
+    if (!changed || movement < options.tolerance) break;
+  }
+
+  result.inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    result.inertia += result.distances[i];
+    result.distances[i] = std::sqrt(result.distances[i]);
+  }
+  return result;
+}
+
+}  // namespace gale::la

@@ -1,0 +1,45 @@
+// Lloyd's k-means with k-means++ initialization.
+//
+// Used in two places:
+//  * the clustering-typicality term clusT(v) of the query selector
+//    (Section V-A), which needs each node's distance to its centroid, and
+//  * the GALE(-Kme.) baseline strategy (nodes nearest to the centroids).
+
+#ifndef GALE_LA_KMEANS_H_
+#define GALE_LA_KMEANS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "la/matrix.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace gale::la {
+
+struct KMeansResult {
+  Matrix centroids;                 // k x d
+  std::vector<size_t> assignments;  // per input row, centroid index
+  std::vector<double> distances;    // per input row, Euclidean distance to
+                                    // its centroid
+  double inertia = 0.0;             // sum of squared distances
+  int iterations = 0;               // Lloyd iterations executed
+};
+
+struct KMeansOptions {
+  size_t num_clusters = 8;
+  int max_iterations = 100;
+  // Stop when no assignment changes or centroid movement is below this.
+  double tolerance = 1e-6;
+};
+
+// Runs k-means on `data` (rows = points). Fails on empty data or
+// num_clusters == 0; when there are fewer points than clusters, the number
+// of clusters is reduced to the number of points.
+util::Result<KMeansResult> KMeans(const Matrix& data,
+                                  const KMeansOptions& options,
+                                  util::Rng& rng);
+
+}  // namespace gale::la
+
+#endif  // GALE_LA_KMEANS_H_

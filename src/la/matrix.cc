@@ -1,0 +1,264 @@
+#include "la/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace gale::la {
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::Zeros(size_t rows, size_t cols) { return Matrix(rows, cols); }
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::RandomUniform(size_t rows, size_t cols, double scale,
+                             util::Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.data_) v = rng.Uniform(-scale, scale);
+  return m;
+}
+
+Matrix Matrix::RandomNormal(size_t rows, size_t cols, double stddev,
+                            util::Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.data_) v = rng.Normal(0.0, stddev);
+  return m;
+}
+
+Matrix Matrix::GlorotUniform(size_t fan_in, size_t fan_out, util::Rng& rng) {
+  const double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  return RandomUniform(fan_in, fan_out, limit, rng);
+}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    GALE_CHECK_EQ(rows[r].size(), m.cols_) << "ragged row " << r;
+    for (size_t c = 0; c < m.cols_; ++c) m.At(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+std::vector<double> Matrix::RowVector(size_t r) const {
+  GALE_CHECK_LT(r, rows_);
+  return std::vector<double>(RowPtr(r), RowPtr(r) + cols_);
+}
+
+void Matrix::SetRow(size_t r, const std::vector<double>& values) {
+  GALE_CHECK_LT(r, rows_);
+  GALE_CHECK_EQ(values.size(), cols_);
+  std::copy(values.begin(), values.end(), RowPtr(r));
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  GALE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  GALE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+Matrix& Matrix::ElementwiseMul(const Matrix& other) {
+  GALE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::Apply(const std::function<double(double)>& f) {
+  for (double& v : data_) v = f(v);
+  return *this;
+}
+
+void Matrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  Matrix out = *this;
+  out += other;
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  Matrix out = *this;
+  out -= other;
+  return out;
+}
+
+Matrix Matrix::operator*(double scalar) const {
+  Matrix out = *this;
+  out *= scalar;
+  return out;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  GALE_CHECK_EQ(cols_, other.rows_) << "MatMul shape mismatch";
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a_row = RowPtr(i);
+    double* out_row = out.RowPtr(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = a_row[k];
+      if (a == 0.0) continue;
+      const double* b_row = other.RowPtr(k);
+      for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::TransposedMatMul(const Matrix& other) const {
+  GALE_CHECK_EQ(rows_, other.rows_) << "TransposedMatMul shape mismatch";
+  Matrix out(cols_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* a_row = RowPtr(r);
+    const double* b_row = other.RowPtr(r);
+    for (size_t i = 0; i < cols_; ++i) {
+      const double a = a_row[i];
+      if (a == 0.0) continue;
+      double* out_row = out.RowPtr(i);
+      for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MatMulTransposed(const Matrix& other) const {
+  GALE_CHECK_EQ(cols_, other.cols_) << "MatMulTransposed shape mismatch";
+  Matrix out(rows_, other.rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a_row = RowPtr(i);
+    for (size_t j = 0; j < other.rows_; ++j) {
+      const double* b_row = other.RowPtr(j);
+      double acc = 0.0;
+      for (size_t k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
+      out.At(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out.At(c, r) = At(r, c);
+  }
+  return out;
+}
+
+Matrix& Matrix::AddRowBroadcast(const Matrix& row_vector) {
+  GALE_CHECK_EQ(row_vector.rows(), 1u);
+  GALE_CHECK_EQ(row_vector.cols(), cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    double* row = RowPtr(r);
+    const double* b = row_vector.RowPtr(0);
+    for (size_t c = 0; c < cols_; ++c) row[c] += b[c];
+  }
+  return *this;
+}
+
+Matrix Matrix::ColMean() const {
+  Matrix out = ColSum();
+  if (rows_ > 0) out *= 1.0 / static_cast<double>(rows_);
+  return out;
+}
+
+Matrix Matrix::ColSum() const {
+  Matrix out(1, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    double* acc = out.RowPtr(0);
+    for (size_t c = 0; c < cols_; ++c) acc[c] += row[c];
+  }
+  return out;
+}
+
+double Matrix::Sum() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v;
+  return acc;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Matrix::RowSquaredNorm(size_t r) const {
+  GALE_CHECK_LT(r, rows_);
+  const double* row = RowPtr(r);
+  double acc = 0.0;
+  for (size_t c = 0; c < cols_; ++c) acc += row[c] * row[c];
+  return acc;
+}
+
+Matrix Matrix::SelectRows(const std::vector<size_t>& row_indices) const {
+  Matrix out(row_indices.size(), cols_);
+  for (size_t i = 0; i < row_indices.size(); ++i) {
+    GALE_CHECK_LT(row_indices[i], rows_);
+    std::copy(RowPtr(row_indices[i]), RowPtr(row_indices[i]) + cols_,
+              out.RowPtr(i));
+  }
+  return out;
+}
+
+double Matrix::RowDistanceSquared(size_t r, const Matrix& other,
+                                  size_t s) const {
+  GALE_CHECK_EQ(cols_, other.cols_);
+  GALE_CHECK_LT(r, rows_);
+  GALE_CHECK_LT(s, other.rows_);
+  const double* a = RowPtr(r);
+  const double* b = other.RowPtr(s);
+  double acc = 0.0;
+  for (size_t c = 0; c < cols_; ++c) {
+    const double d = a[c] - b[c];
+    acc += d * d;
+  }
+  return acc;
+}
+
+bool Matrix::AllClose(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Matrix::DebugString() const {
+  std::ostringstream os;
+  os << "Matrix(" << rows_ << "x" << cols_ << ")";
+  if (rows_ <= 8 && cols_ <= 8) {
+    os << " [";
+    for (size_t r = 0; r < rows_; ++r) {
+      os << (r == 0 ? "[" : " [");
+      for (size_t c = 0; c < cols_; ++c) {
+        os << At(r, c) << (c + 1 < cols_ ? ", " : "");
+      }
+      os << "]" << (r + 1 < rows_ ? "\n" : "");
+    }
+    os << "]";
+  }
+  return os.str();
+}
+
+}  // namespace gale::la

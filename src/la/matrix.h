@@ -1,0 +1,133 @@
+// Dense row-major matrix of doubles: the numerical workhorse for the
+// neural-network stack, feature engineering, and the query selector.
+//
+// Design notes:
+//  * Row-major storage so that per-node feature rows are contiguous; the
+//    learning code mostly iterates row-wise (one row per graph node).
+//  * All shape violations are programming errors and fail fast via
+//    GALE_CHECK rather than returning Status: shape mismatches inside the
+//    training loop indicate a bug, not recoverable input.
+//  * No expression templates: the matrices here are small (thousands of
+//    rows, tens-to-hundreds of columns) and clarity wins.
+
+#ifndef GALE_LA_MATRIX_H_
+#define GALE_LA_MATRIX_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace gale::la {
+
+class Matrix {
+ public:
+  // An empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  // A rows x cols matrix initialized to `fill`.
+  Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  // Factory helpers.
+  static Matrix Zeros(size_t rows, size_t cols);
+  static Matrix Identity(size_t n);
+  // Entries i.i.d. uniform in [-scale, scale].
+  static Matrix RandomUniform(size_t rows, size_t cols, double scale,
+                              util::Rng& rng);
+  // Entries i.i.d. N(0, stddev^2).
+  static Matrix RandomNormal(size_t rows, size_t cols, double stddev,
+                             util::Rng& rng);
+  // Glorot/Xavier-uniform initialization for a fan_in x fan_out weight.
+  static Matrix GlorotUniform(size_t fan_in, size_t fan_out, util::Rng& rng);
+  // Builds a matrix from nested initializer-style data (row vectors).
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  double& operator()(size_t r, size_t c) { return At(r, c); }
+  double operator()(size_t r, size_t c) const { return At(r, c); }
+
+  // Raw pointer to row `r` (cols() contiguous doubles).
+  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
+  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+  // Copies row `r` out as a vector.
+  std::vector<double> RowVector(size_t r) const;
+  // Overwrites row `r` with `values` (size must equal cols()).
+  void SetRow(size_t r, const std::vector<double>& values);
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  // --- elementwise, in place ---
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+  // Hadamard (elementwise) product.
+  Matrix& ElementwiseMul(const Matrix& other);
+  // Applies `f` to every entry.
+  Matrix& Apply(const std::function<double(double)>& f);
+  void Fill(double value);
+
+  // --- elementwise, copying ---
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  Matrix operator*(double scalar) const;
+
+  // Matrix product this(rows x k) * other(k x cols); checks shapes.
+  Matrix MatMul(const Matrix& other) const;
+  // this^T * other without materializing the transpose.
+  Matrix TransposedMatMul(const Matrix& other) const;
+  // this * other^T without materializing the transpose.
+  Matrix MatMulTransposed(const Matrix& other) const;
+
+  Matrix Transposed() const;
+
+  // Adds `row_vector` (1 x cols) to every row; the bias broadcast.
+  Matrix& AddRowBroadcast(const Matrix& row_vector);
+
+  // Column means as a 1 x cols matrix.
+  Matrix ColMean() const;
+  // Column sums as a 1 x cols matrix.
+  Matrix ColSum() const;
+
+  // Sum of all entries.
+  double Sum() const;
+  // Frobenius norm.
+  double FrobeniusNorm() const;
+  // Squared L2 norm of row r.
+  double RowSquaredNorm(size_t r) const;
+
+  // Extracts the sub-matrix of the given rows (in the given order).
+  Matrix SelectRows(const std::vector<size_t>& row_indices) const;
+
+  // Squared Euclidean distance between row r of this and row s of other.
+  double RowDistanceSquared(size_t r, const Matrix& other, size_t s) const;
+
+  // True if all entries of the two matrices differ by at most `tol`.
+  bool AllClose(const Matrix& other, double tol) const;
+
+  // Debug string "Matrix(3x4)" plus contents for small matrices.
+  std::string DebugString() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace gale::la
+
+#endif  // GALE_LA_MATRIX_H_

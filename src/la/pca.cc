@@ -1,0 +1,109 @@
+#include "la/pca.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace gale::la {
+
+namespace {
+
+constexpr int kMaxPowerIterations = 300;
+constexpr double kConvergenceTol = 1e-9;
+
+// Leading eigenvector of symmetric `cov` by power iteration. Returns the
+// eigenvalue; the eigenvector is written into `vec`.
+double PowerIteration(const Matrix& cov, util::Rng& rng,
+                      std::vector<double>& vec) {
+  const size_t d = cov.rows();
+  vec.assign(d, 0.0);
+  for (double& v : vec) v = rng.Normal();
+
+  double eigenvalue = 0.0;
+  for (int iter = 0; iter < kMaxPowerIterations; ++iter) {
+    // next = cov * vec
+    std::vector<double> next(d, 0.0);
+    for (size_t r = 0; r < d; ++r) {
+      const double* row = cov.RowPtr(r);
+      double acc = 0.0;
+      for (size_t c = 0; c < d; ++c) acc += row[c] * vec[c];
+      next[r] = acc;
+    }
+    double norm = 0.0;
+    for (double v : next) norm += v * v;
+    norm = std::sqrt(norm);
+    if (norm < 1e-15) {
+      // cov annihilated the vector: remaining spectrum is ~zero.
+      return 0.0;
+    }
+    for (double& v : next) v /= norm;
+    double diff = 0.0;
+    for (size_t i = 0; i < d; ++i) diff += std::abs(next[i] - vec[i]);
+    vec = std::move(next);
+    eigenvalue = norm;
+    if (diff < kConvergenceTol) break;
+  }
+  return eigenvalue;
+}
+
+}  // namespace
+
+util::Status Pca::Fit(const Matrix& data) {
+  if (data.rows() == 0 || data.cols() == 0) {
+    return util::Status::InvalidArgument("Pca::Fit: empty input");
+  }
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  num_components_ = std::min(num_components_, d);
+
+  mean_ = data.ColMean();
+  Matrix centered = data;
+  for (size_t r = 0; r < n; ++r) {
+    double* row = centered.RowPtr(r);
+    const double* m = mean_.RowPtr(0);
+    for (size_t c = 0; c < d; ++c) row[c] -= m[c];
+  }
+
+  // cov = centered^T centered / n  (d x d).
+  Matrix cov = centered.TransposedMatMul(centered);
+  cov *= 1.0 / static_cast<double>(n);
+
+  components_ = Matrix(d, num_components_);
+  explained_variance_.clear();
+  util::Rng rng(0x9CA5);  // fixed: PCA must be deterministic across runs
+  for (size_t k = 0; k < num_components_; ++k) {
+    std::vector<double> vec;
+    const double eigenvalue = PowerIteration(cov, rng, vec);
+    explained_variance_.push_back(eigenvalue);
+    for (size_t i = 0; i < d; ++i) components_.At(i, k) = vec[i];
+    if (eigenvalue <= 0.0) continue;
+    // Deflate: cov -= lambda v v^T.
+    for (size_t r = 0; r < d; ++r) {
+      double* row = cov.RowPtr(r);
+      for (size_t c = 0; c < d; ++c) row[c] -= eigenvalue * vec[r] * vec[c];
+    }
+  }
+  fitted_ = true;
+  return util::Status::Ok();
+}
+
+Matrix Pca::Transform(const Matrix& data) const {
+  GALE_CHECK(fitted_) << "Pca::Transform before Fit";
+  GALE_CHECK_EQ(data.cols(), mean_.cols());
+  Matrix centered = data;
+  for (size_t r = 0; r < centered.rows(); ++r) {
+    double* row = centered.RowPtr(r);
+    const double* m = mean_.RowPtr(0);
+    for (size_t c = 0; c < centered.cols(); ++c) row[c] -= m[c];
+  }
+  return centered.MatMul(components_);
+}
+
+util::Result<Matrix> Pca::FitTransform(const Matrix& data) {
+  GALE_RETURN_IF_ERROR(Fit(data));
+  return Transform(data);
+}
+
+}  // namespace gale::la

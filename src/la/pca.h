@@ -1,0 +1,52 @@
+// Principal component analysis, used by the feature encoder to compress the
+// hashed attribute embeddings before they enter the SGAN (Section VII of the
+// paper uses PCA to reduce training cost).
+//
+// The eigen-decomposition of the covariance matrix is computed with power
+// iteration plus deflation, which is plenty for the modest feature
+// dimensions used here (<= a few hundred).
+
+#ifndef GALE_LA_PCA_H_
+#define GALE_LA_PCA_H_
+
+#include <cstddef>
+
+#include "la/matrix.h"
+#include "util/status.h"
+
+namespace gale::la {
+
+class Pca {
+ public:
+  // `num_components` target dimensionality; capped at the input dimension
+  // when Fit() sees the data.
+  explicit Pca(size_t num_components) : num_components_(num_components) {}
+
+  // Learns the mean and the top principal directions of `data`
+  // (rows = samples). Returns InvalidArgument for empty input.
+  util::Status Fit(const Matrix& data);
+
+  // Projects `data` onto the learned components. Requires Fit() first.
+  Matrix Transform(const Matrix& data) const;
+
+  // Fit followed by Transform on the same data.
+  util::Result<Matrix> FitTransform(const Matrix& data);
+
+  bool fitted() const { return fitted_; }
+  size_t num_components() const { return num_components_; }
+  // Variance captured by each kept component, descending.
+  const std::vector<double>& explained_variance() const {
+    return explained_variance_;
+  }
+
+ private:
+  size_t num_components_;
+  bool fitted_ = false;
+  Matrix mean_;        // 1 x d
+  Matrix components_;  // d x num_components (columns are directions)
+  std::vector<double> explained_variance_;
+};
+
+}  // namespace gale::la
+
+#endif  // GALE_LA_PCA_H_

@@ -1,0 +1,124 @@
+#include "la/sparse_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace gale::la {
+
+SparseMatrix SparseMatrix::FromTriplets(size_t rows, size_t cols,
+                                        std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    GALE_CHECK_LT(t.row, rows);
+    GALE_CHECK_LT(t.col, cols);
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+
+  for (size_t i = 0; i < triplets.size();) {
+    size_t j = i;
+    double sum = 0.0;
+    while (j < triplets.size() && triplets[j].row == triplets[i].row &&
+           triplets[j].col == triplets[i].col) {
+      sum += triplets[j].value;
+      ++j;
+    }
+    m.col_idx_.push_back(triplets[i].col);
+    m.values_.push_back(sum);
+    m.row_ptr_[triplets[i].row + 1] += 1;
+    i = j;
+  }
+  for (size_t r = 0; r < rows; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+  return m;
+}
+
+SparseMatrix SparseMatrix::NormalizedAdjacency(
+    size_t n, const std::vector<std::pair<size_t, size_t>>& edges) {
+  // Degrees of A + I (self loop contributes 1 to every node).
+  std::vector<double> degree(n, 1.0);
+  for (const auto& [u, v] : edges) {
+    GALE_CHECK_LT(u, n);
+    GALE_CHECK_LT(v, n);
+    degree[u] += 1.0;
+    degree[v] += 1.0;
+  }
+  std::vector<double> inv_sqrt(n);
+  for (size_t i = 0; i < n; ++i) inv_sqrt[i] = 1.0 / std::sqrt(degree[i]);
+
+  std::vector<Triplet> triplets;
+  triplets.reserve(2 * edges.size() + n);
+  for (size_t i = 0; i < n; ++i) {
+    triplets.push_back({i, i, inv_sqrt[i] * inv_sqrt[i]});
+  }
+  for (const auto& [u, v] : edges) {
+    if (u == v) continue;  // self loops already added above
+    const double w = inv_sqrt[u] * inv_sqrt[v];
+    triplets.push_back({u, v, w});
+    triplets.push_back({v, u, w});
+  }
+  return FromTriplets(n, n, std::move(triplets));
+}
+
+Matrix SparseMatrix::Multiply(const Matrix& dense) const {
+  GALE_CHECK_EQ(cols_, dense.rows()) << "SpMM shape mismatch";
+  Matrix out(rows_, dense.cols());
+  for (size_t r = 0; r < rows_; ++r) {
+    double* out_row = out.RowPtr(r);
+    for (size_t k = RowBegin(r); k < RowEnd(r); ++k) {
+      const double w = values_[k];
+      const double* in_row = dense.RowPtr(col_idx_[k]);
+      for (size_t c = 0; c < dense.cols(); ++c) out_row[c] += w * in_row[c];
+    }
+  }
+  return out;
+}
+
+Matrix SparseMatrix::TransposedMultiply(const Matrix& dense) const {
+  GALE_CHECK_EQ(rows_, dense.rows()) << "SpMM^T shape mismatch";
+  Matrix out(cols_, dense.cols());
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* in_row = dense.RowPtr(r);
+    for (size_t k = RowBegin(r); k < RowEnd(r); ++k) {
+      const double w = values_[k];
+      double* out_row = out.RowPtr(col_idx_[k]);
+      for (size_t c = 0; c < dense.cols(); ++c) out_row[c] += w * in_row[c];
+    }
+  }
+  return out;
+}
+
+std::vector<double> SparseMatrix::MultiplyVector(
+    const std::vector<double>& v) const {
+  GALE_CHECK_EQ(cols_, v.size());
+  std::vector<double> out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (size_t k = RowBegin(r); k < RowEnd(r); ++k) {
+      acc += values_[k] * v[col_idx_[k]];
+    }
+    out[r] = acc;
+  }
+  return out;
+}
+
+Matrix SparseMatrix::ToDense() const {
+  Matrix out(rows_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = RowBegin(r); k < RowEnd(r); ++k) {
+      out.At(r, col_idx_[k]) = values_[k];
+    }
+  }
+  return out;
+}
+
+}  // namespace gale::la

@@ -1,0 +1,70 @@
+// Compressed sparse row (CSR) matrix, used for graph adjacency operators:
+// the symmetric normalized adjacency of GCN layers, the label-propagation
+// operator, and personalized-PageRank walks.
+
+#ifndef GALE_LA_SPARSE_MATRIX_H_
+#define GALE_LA_SPARSE_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace gale::la {
+
+// One nonzero entry (used to build a SparseMatrix).
+struct Triplet {
+  size_t row;
+  size_t col;
+  double value;
+};
+
+// Immutable CSR matrix. Duplicate (row, col) triplets are summed.
+class SparseMatrix {
+ public:
+  SparseMatrix() : rows_(0), cols_(0) {}
+
+  // Builds from triplets; duplicates are coalesced by summation.
+  static SparseMatrix FromTriplets(size_t rows, size_t cols,
+                                   std::vector<Triplet> triplets);
+
+  // The symmetric renormalized adjacency of Kipf-Welling GCNs:
+  //   D̃^{-1/2} (A + I) D̃^{-1/2}
+  // with D̃ the degree matrix of A + I. `edges` holds undirected edges as
+  // (u, v) pairs; each is expanded to both directions.
+  static SparseMatrix NormalizedAdjacency(
+      size_t n, const std::vector<std::pair<size_t, size_t>>& edges);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t nnz() const { return values_.size(); }
+
+  // Row access: entries of row r live at indices [RowBegin(r), RowEnd(r)).
+  size_t RowBegin(size_t r) const { return row_ptr_[r]; }
+  size_t RowEnd(size_t r) const { return row_ptr_[r + 1]; }
+  size_t ColIndex(size_t k) const { return col_idx_[k]; }
+  double Value(size_t k) const { return values_[k]; }
+
+  // Sparse x dense product: (rows x cols) * (cols x d) -> rows x d.
+  Matrix Multiply(const Matrix& dense) const;
+
+  // this^T * dense, without materializing the transpose.
+  Matrix TransposedMultiply(const Matrix& dense) const;
+
+  // Sparse-matrix by dense-vector product.
+  std::vector<double> MultiplyVector(const std::vector<double>& v) const;
+
+  // Densifies; only for tests/small matrices.
+  Matrix ToDense() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<size_t> row_ptr_;  // size rows_ + 1
+  std::vector<size_t> col_idx_;  // size nnz
+  std::vector<double> values_;   // size nnz
+};
+
+}  // namespace gale::la
+
+#endif  // GALE_LA_SPARSE_MATRIX_H_

@@ -1,0 +1,76 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace gale::nn {
+
+la::Matrix Relu::Forward(const la::Matrix& input, bool /*training*/) {
+  input_cache_ = input;
+  la::Matrix out = input;
+  out.Apply([](double v) { return v > 0.0 ? v : 0.0; });
+  return out;
+}
+
+la::Matrix Relu::Backward(const la::Matrix& grad_output) {
+  GALE_CHECK_EQ(grad_output.rows(), input_cache_.rows());
+  la::Matrix grad = grad_output;
+  for (size_t i = 0; i < grad.data().size(); ++i) {
+    if (input_cache_.data()[i] <= 0.0) grad.data()[i] = 0.0;
+  }
+  return grad;
+}
+
+la::Matrix LeakyRelu::Forward(const la::Matrix& input, bool /*training*/) {
+  input_cache_ = input;
+  la::Matrix out = input;
+  const double slope = negative_slope_;
+  out.Apply([slope](double v) { return v > 0.0 ? v : slope * v; });
+  return out;
+}
+
+la::Matrix LeakyRelu::Backward(const la::Matrix& grad_output) {
+  GALE_CHECK_EQ(grad_output.rows(), input_cache_.rows());
+  la::Matrix grad = grad_output;
+  for (size_t i = 0; i < grad.data().size(); ++i) {
+    if (input_cache_.data()[i] <= 0.0) grad.data()[i] *= negative_slope_;
+  }
+  return grad;
+}
+
+la::Matrix Sigmoid::Forward(const la::Matrix& input, bool /*training*/) {
+  la::Matrix out = input;
+  out.Apply([](double v) { return 1.0 / (1.0 + std::exp(-v)); });
+  output_cache_ = out;
+  return out;
+}
+
+la::Matrix Sigmoid::Backward(const la::Matrix& grad_output) {
+  GALE_CHECK_EQ(grad_output.rows(), output_cache_.rows());
+  la::Matrix grad = grad_output;
+  for (size_t i = 0; i < grad.data().size(); ++i) {
+    const double s = output_cache_.data()[i];
+    grad.data()[i] *= s * (1.0 - s);
+  }
+  return grad;
+}
+
+la::Matrix Tanh::Forward(const la::Matrix& input, bool /*training*/) {
+  la::Matrix out = input;
+  out.Apply([](double v) { return std::tanh(v); });
+  output_cache_ = out;
+  return out;
+}
+
+la::Matrix Tanh::Backward(const la::Matrix& grad_output) {
+  GALE_CHECK_EQ(grad_output.rows(), output_cache_.rows());
+  la::Matrix grad = grad_output;
+  for (size_t i = 0; i < grad.data().size(); ++i) {
+    const double t = output_cache_.data()[i];
+    grad.data()[i] *= 1.0 - t * t;
+  }
+  return grad;
+}
+
+}  // namespace gale::nn

@@ -1,0 +1,59 @@
+// Elementwise activation layers: ReLU, LeakyReLU, Sigmoid, Tanh.
+
+#ifndef GALE_NN_ACTIVATIONS_H_
+#define GALE_NN_ACTIVATIONS_H_
+
+#include <string>
+
+#include "la/matrix.h"
+#include "nn/layer.h"
+
+namespace gale::nn {
+
+class Relu : public Layer {
+ public:
+  la::Matrix Forward(const la::Matrix& input, bool training) override;
+  la::Matrix Backward(const la::Matrix& grad_output) override;
+  std::string name() const override { return "Relu"; }
+
+ private:
+  la::Matrix input_cache_;
+};
+
+class LeakyRelu : public Layer {
+ public:
+  explicit LeakyRelu(double negative_slope = 0.2)
+      : negative_slope_(negative_slope) {}
+
+  la::Matrix Forward(const la::Matrix& input, bool training) override;
+  la::Matrix Backward(const la::Matrix& grad_output) override;
+  std::string name() const override { return "LeakyRelu"; }
+
+ private:
+  double negative_slope_;
+  la::Matrix input_cache_;
+};
+
+class Sigmoid : public Layer {
+ public:
+  la::Matrix Forward(const la::Matrix& input, bool training) override;
+  la::Matrix Backward(const la::Matrix& grad_output) override;
+  std::string name() const override { return "Sigmoid"; }
+
+ private:
+  la::Matrix output_cache_;
+};
+
+class Tanh : public Layer {
+ public:
+  la::Matrix Forward(const la::Matrix& input, bool training) override;
+  la::Matrix Backward(const la::Matrix& grad_output) override;
+  std::string name() const override { return "Tanh"; }
+
+ private:
+  la::Matrix output_cache_;
+};
+
+}  // namespace gale::nn
+
+#endif  // GALE_NN_ACTIVATIONS_H_

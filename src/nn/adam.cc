@@ -1,0 +1,44 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace gale::nn {
+
+void Adam::Step(const std::vector<la::Matrix*>& params,
+                const std::vector<la::Matrix*>& grads) {
+  GALE_CHECK_EQ(params.size(), grads.size());
+  if (m_.empty()) {
+    m_.reserve(params.size());
+    v_.reserve(params.size());
+    for (const la::Matrix* p : params) {
+      m_.emplace_back(p->rows(), p->cols());
+      v_.emplace_back(p->rows(), p->cols());
+    }
+  }
+  GALE_CHECK_EQ(m_.size(), params.size()) << "parameter list changed";
+
+  ++step_;
+  const double bias1 = 1.0 - std::pow(options_.beta1, step_);
+  const double bias2 = 1.0 - std::pow(options_.beta2, step_);
+  for (size_t i = 0; i < params.size(); ++i) {
+    la::Matrix& p = *params[i];
+    const la::Matrix& g = *grads[i];
+    GALE_CHECK(p.rows() == g.rows() && p.cols() == g.cols());
+    la::Matrix& m = m_[i];
+    la::Matrix& v = v_[i];
+    for (size_t j = 0; j < p.data().size(); ++j) {
+      const double grad = g.data()[j];
+      m.data()[j] = options_.beta1 * m.data()[j] + (1.0 - options_.beta1) * grad;
+      v.data()[j] =
+          options_.beta2 * v.data()[j] + (1.0 - options_.beta2) * grad * grad;
+      const double m_hat = m.data()[j] / bias1;
+      const double v_hat = v.data()[j] / bias2;
+      p.data()[j] -= options_.learning_rate * m_hat /
+                     (std::sqrt(v_hat) + options_.epsilon);
+    }
+  }
+}
+
+}  // namespace gale::nn

@@ -1,0 +1,49 @@
+// Adam optimizer (Kingma & Ba), the optimizer named by the paper's SGAN
+// training loop (Section IV). Supports learning-rate decay, mirroring the
+// "reduce learning rate β" step of procedure SGAN.
+
+#ifndef GALE_NN_ADAM_H_
+#define GALE_NN_ADAM_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace gale::nn {
+
+struct AdamOptions {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  // Multiplicative decay applied by DecayLearningRate().
+  double lr_decay = 0.98;
+};
+
+class Adam {
+ public:
+  explicit Adam(AdamOptions options = {}) : options_(options) {}
+
+  // Applies one update to `params` given `grads` (index-aligned lists, the
+  // shapes must match pairwise and stay fixed across calls). Moment buffers
+  // are allocated lazily on the first step.
+  void Step(const std::vector<la::Matrix*>& params,
+            const std::vector<la::Matrix*>& grads);
+
+  // Shrinks the learning rate by the configured decay factor.
+  void DecayLearningRate() { options_.learning_rate *= options_.lr_decay; }
+
+  double learning_rate() const { return options_.learning_rate; }
+  void set_learning_rate(double lr) { options_.learning_rate = lr; }
+  int64_t step_count() const { return step_; }
+
+ private:
+  AdamOptions options_;
+  int64_t step_ = 0;
+  std::vector<la::Matrix> m_;  // first moments, aligned with params
+  std::vector<la::Matrix> v_;  // second moments
+};
+
+}  // namespace gale::nn
+
+#endif  // GALE_NN_ADAM_H_

@@ -1,0 +1,53 @@
+// Batch normalization over features (BatchNorm1d). The paper's G and D
+// "consist of a sequence of transpose convolution and batch normalization
+// layers"; our MLP equivalents use Dense + BatchNorm.
+//
+// Training mode normalizes with batch statistics and updates running
+// estimates; eval mode uses the running estimates.
+
+#ifndef GALE_NN_BATCH_NORM_H_
+#define GALE_NN_BATCH_NORM_H_
+
+#include <string>
+#include <vector>
+
+#include "la/matrix.h"
+#include "nn/layer.h"
+
+namespace gale::nn {
+
+class BatchNorm : public Layer {
+ public:
+  explicit BatchNorm(size_t num_features, double momentum = 0.9,
+                     double epsilon = 1e-5);
+
+  la::Matrix Forward(const la::Matrix& input, bool training) override;
+  la::Matrix Backward(const la::Matrix& grad_output) override;
+
+  std::vector<la::Matrix*> Parameters() override { return {&gamma_, &beta_}; }
+  std::vector<la::Matrix*> Gradients() override {
+    return {&grad_gamma_, &grad_beta_};
+  }
+  void ZeroGrad() override;
+
+  std::string name() const override { return "BatchNorm"; }
+
+ private:
+  double momentum_;
+  double epsilon_;
+  la::Matrix gamma_;  // 1 x d, scale
+  la::Matrix beta_;   // 1 x d, shift
+  la::Matrix grad_gamma_;
+  la::Matrix grad_beta_;
+  la::Matrix running_mean_;  // 1 x d
+  la::Matrix running_var_;   // 1 x d
+
+  // Backward-pass caches (training mode only).
+  la::Matrix normalized_cache_;       // x_hat
+  std::vector<double> inv_std_cache_;  // per feature
+  size_t batch_size_cache_ = 0;
+};
+
+}  // namespace gale::nn
+
+#endif  // GALE_NN_BATCH_NORM_H_

@@ -1,0 +1,34 @@
+#include "nn/dense.h"
+
+#include "util/logging.h"
+
+namespace gale::nn {
+
+Dense::Dense(size_t in_features, size_t out_features, util::Rng& rng)
+    : weight_(la::Matrix::GlorotUniform(in_features, out_features, rng)),
+      bias_(1, out_features),
+      grad_weight_(in_features, out_features),
+      grad_bias_(1, out_features) {}
+
+la::Matrix Dense::Forward(const la::Matrix& input, bool /*training*/) {
+  GALE_CHECK_EQ(input.cols(), weight_.rows()) << "Dense input width";
+  input_cache_ = input;
+  la::Matrix out = input.MatMul(weight_);
+  out.AddRowBroadcast(bias_);
+  return out;
+}
+
+la::Matrix Dense::Backward(const la::Matrix& grad_output) {
+  GALE_CHECK_EQ(grad_output.rows(), input_cache_.rows());
+  GALE_CHECK_EQ(grad_output.cols(), weight_.cols());
+  grad_weight_ += input_cache_.TransposedMatMul(grad_output);
+  grad_bias_ += grad_output.ColSum();
+  return grad_output.MatMulTransposed(weight_);
+}
+
+void Dense::ZeroGrad() {
+  grad_weight_.Fill(0.0);
+  grad_bias_.Fill(0.0);
+}
+
+}  // namespace gale::nn

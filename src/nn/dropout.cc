@@ -1,0 +1,36 @@
+#include "nn/dropout.h"
+
+#include "util/logging.h"
+
+namespace gale::nn {
+
+Dropout::Dropout(double rate, util::Rng& rng) : rate_(rate), rng_(rng) {
+  GALE_CHECK(rate >= 0.0 && rate < 1.0) << "dropout rate " << rate;
+}
+
+la::Matrix Dropout::Forward(const la::Matrix& input, bool training) {
+  last_training_ = training;
+  if (!training || rate_ == 0.0) return input;
+  const double keep = 1.0 - rate_;
+  mask_ = la::Matrix(input.rows(), input.cols());
+  la::Matrix out = input;
+  for (size_t i = 0; i < out.data().size(); ++i) {
+    if (rng_.Bernoulli(rate_)) {
+      mask_.data()[i] = 0.0;
+      out.data()[i] = 0.0;
+    } else {
+      mask_.data()[i] = 1.0 / keep;
+      out.data()[i] *= 1.0 / keep;
+    }
+  }
+  return out;
+}
+
+la::Matrix Dropout::Backward(const la::Matrix& grad_output) {
+  if (!last_training_ || rate_ == 0.0) return grad_output;
+  la::Matrix grad = grad_output;
+  grad.ElementwiseMul(mask_);
+  return grad;
+}
+
+}  // namespace gale::nn

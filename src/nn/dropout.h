@@ -1,0 +1,36 @@
+// Inverted dropout: entries are zeroed with probability `rate` during
+// training and scaled by 1/(1-rate) so evaluation requires no rescaling.
+// The paper adds dropout layers to G and D "to prevent overfitting".
+
+#ifndef GALE_NN_DROPOUT_H_
+#define GALE_NN_DROPOUT_H_
+
+#include <string>
+
+#include "la/matrix.h"
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace gale::nn {
+
+class Dropout : public Layer {
+ public:
+  // `rng` must outlive the layer (it is owned by the enclosing model).
+  Dropout(double rate, util::Rng& rng);
+
+  la::Matrix Forward(const la::Matrix& input, bool training) override;
+  la::Matrix Backward(const la::Matrix& grad_output) override;
+  std::string name() const override { return "Dropout"; }
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  util::Rng& rng_;
+  la::Matrix mask_;        // scale factors of the last training forward
+  bool last_training_ = false;
+};
+
+}  // namespace gale::nn
+
+#endif  // GALE_NN_DROPOUT_H_

@@ -1,0 +1,105 @@
+#include "nn/gae.h"
+
+#include <cmath>
+
+#include "nn/activations.h"
+#include "nn/losses.h"
+#include "util/logging.h"
+
+namespace gale::nn {
+
+Gae::Gae(const la::SparseMatrix* adjacency,
+         std::vector<std::pair<size_t, size_t>> edges, size_t in_features,
+         const GaeOptions& options)
+    : adjacency_(adjacency),
+      edges_(std::move(edges)),
+      options_(options),
+      rng_(options.seed),
+      optimizer_(AdamOptions{.learning_rate = options.learning_rate}) {
+  GALE_CHECK(adjacency_ != nullptr);
+  encoder_.Add(std::make_unique<GcnLayer>(adjacency_, in_features,
+                                          options_.hidden_dim, rng_));
+  encoder_.Add(std::make_unique<Relu>());
+  encoder_.Add(std::make_unique<GcnLayer>(adjacency_, options_.hidden_dim,
+                                          options_.embedding_dim, rng_));
+}
+
+util::Result<double> Gae::Train(const la::Matrix& features) {
+  if (features.rows() != adjacency_->rows()) {
+    return util::Status::InvalidArgument(
+        "Gae::Train: feature rows must equal node count");
+  }
+  if (edges_.empty()) {
+    return util::Status::FailedPrecondition("Gae::Train: no edges");
+  }
+  const size_t n = features.rows();
+  const size_t num_negatives = static_cast<size_t>(
+      std::ceil(options_.negative_ratio * static_cast<double>(edges_.size())));
+
+  double last_loss = 0.0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    la::Matrix z = encoder_.Forward(features, /*training=*/true);
+
+    // Sample the reconstruction pairs: all positives + fresh negatives.
+    std::vector<std::pair<size_t, size_t>> pairs = edges_;
+    std::vector<double> targets(edges_.size(), 1.0);
+    for (size_t i = 0; i < num_negatives; ++i) {
+      size_t u = rng_.UniformInt(n);
+      size_t v = rng_.UniformInt(n);
+      pairs.emplace_back(u, v);
+      targets.push_back(0.0);
+    }
+
+    // Decoder forward.
+    std::vector<double> probs(pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      double dot = 0.0;
+      const double* zu = z.RowPtr(pairs[i].first);
+      const double* zv = z.RowPtr(pairs[i].second);
+      for (size_t c = 0; c < z.cols(); ++c) dot += zu[c] * zv[c];
+      probs[i] = 1.0 / (1.0 + std::exp(-dot));
+    }
+
+    std::vector<double> grad_probs;
+    last_loss = BinaryCrossEntropy(probs, targets, &grad_probs);
+
+    // Backprop through sigmoid and the inner product into dL/dZ.
+    la::Matrix grad_z(n, z.cols());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      const double dsig = probs[i] * (1.0 - probs[i]);
+      const double ddot = grad_probs[i] * dsig;
+      const size_t u = pairs[i].first;
+      const size_t v = pairs[i].second;
+      const double* zu = z.RowPtr(u);
+      const double* zv = z.RowPtr(v);
+      double* gu = grad_z.RowPtr(u);
+      double* gv = grad_z.RowPtr(v);
+      for (size_t c = 0; c < z.cols(); ++c) {
+        gu[c] += ddot * zv[c];
+        gv[c] += ddot * zu[c];
+      }
+    }
+
+    encoder_.ZeroGrad();
+    encoder_.Backward(grad_z);
+    optimizer_.Step(encoder_.Parameters(), encoder_.Gradients());
+  }
+  return last_loss;
+}
+
+la::Matrix Gae::Encode(const la::Matrix& features) {
+  return encoder_.Forward(features, /*training=*/false);
+}
+
+double Gae::EdgeProbability(const la::Matrix& embeddings, size_t u,
+                            size_t v) const {
+  GALE_CHECK_LT(u, embeddings.rows());
+  GALE_CHECK_LT(v, embeddings.rows());
+  double dot = 0.0;
+  const double* zu = embeddings.RowPtr(u);
+  const double* zv = embeddings.RowPtr(v);
+  for (size_t c = 0; c < embeddings.cols(); ++c) dot += zu[c] * zv[c];
+  return 1.0 / (1.0 + std::exp(-dot));
+}
+
+}  // namespace gale::nn

@@ -1,0 +1,67 @@
+// Graph autoencoder (Kipf & Welling GAE): a two-layer GCN encoder trained
+// to reconstruct edges with an inner-product decoder,
+//   p(u ~ v) = sigmoid(z_u . z_v).
+//
+// GALE's graph-augmentation step (Section III/VII) feeds the node attribute
+// embeddings through a GAE to obtain structure-aware node representations,
+// which are concatenated with the attribute features as SGAN input.
+
+#ifndef GALE_NN_GAE_H_
+#define GALE_NN_GAE_H_
+
+#include <memory>
+#include <vector>
+
+#include "la/matrix.h"
+#include "la/sparse_matrix.h"
+#include "nn/adam.h"
+#include "nn/gcn_layer.h"
+#include "nn/sequential.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace gale::nn {
+
+struct GaeOptions {
+  size_t hidden_dim = 32;
+  size_t embedding_dim = 16;
+  int epochs = 80;
+  double learning_rate = 1e-2;
+  // Number of negative (non-edge) samples per positive edge.
+  double negative_ratio = 1.0;
+  uint64_t seed = 17;
+};
+
+class Gae {
+ public:
+  // `adjacency` is the normalized operator; `edges` the raw undirected edge
+  // list used as positive reconstruction targets. Both must outlive Train.
+  Gae(const la::SparseMatrix* adjacency,
+      std::vector<std::pair<size_t, size_t>> edges, size_t in_features,
+      const GaeOptions& options);
+
+  // Trains the encoder; returns the final reconstruction loss.
+  util::Result<double> Train(const la::Matrix& features);
+
+  // Encodes features into embeddings (eval mode). Valid after construction
+  // (untrained encodings are random projections) but intended post-Train.
+  la::Matrix Encode(const la::Matrix& features);
+
+  // Decoder probability for one pair under the current encoder.
+  double EdgeProbability(const la::Matrix& embeddings, size_t u,
+                         size_t v) const;
+
+  size_t embedding_dim() const { return options_.embedding_dim; }
+
+ private:
+  const la::SparseMatrix* adjacency_;
+  std::vector<std::pair<size_t, size_t>> edges_;
+  GaeOptions options_;
+  util::Rng rng_;
+  Sequential encoder_;
+  Adam optimizer_;
+};
+
+}  // namespace gale::nn
+
+#endif  // GALE_NN_GAE_H_

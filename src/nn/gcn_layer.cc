@@ -1,0 +1,42 @@
+#include "nn/gcn_layer.h"
+
+#include "util/logging.h"
+
+namespace gale::nn {
+
+GcnLayer::GcnLayer(const la::SparseMatrix* adjacency, size_t in_features,
+                   size_t out_features, util::Rng& rng)
+    : adjacency_(adjacency),
+      weight_(la::Matrix::GlorotUniform(in_features, out_features, rng)),
+      bias_(1, out_features),
+      grad_weight_(in_features, out_features),
+      grad_bias_(1, out_features) {
+  GALE_CHECK(adjacency != nullptr);
+  GALE_CHECK_EQ(adjacency->rows(), adjacency->cols());
+}
+
+la::Matrix GcnLayer::Forward(const la::Matrix& input, bool /*training*/) {
+  GALE_CHECK_EQ(input.rows(), adjacency_->rows()) << "GCN needs full batch";
+  GALE_CHECK_EQ(input.cols(), weight_.rows());
+  propagated_cache_ = adjacency_->Multiply(input);  // Â X
+  la::Matrix out = propagated_cache_.MatMul(weight_);
+  out.AddRowBroadcast(bias_);
+  return out;
+}
+
+la::Matrix GcnLayer::Backward(const la::Matrix& grad_output) {
+  GALE_CHECK_EQ(grad_output.rows(), adjacency_->rows());
+  GALE_CHECK_EQ(grad_output.cols(), weight_.cols());
+  // dW = (Â X)^T dY;  db = 1^T dY;  dX = Â^T (dY W^T) = Â (dY W^T).
+  grad_weight_ += propagated_cache_.TransposedMatMul(grad_output);
+  grad_bias_ += grad_output.ColSum();
+  la::Matrix grad_propagated = grad_output.MatMulTransposed(weight_);
+  return adjacency_->Multiply(grad_propagated);  // symmetric Â
+}
+
+void GcnLayer::ZeroGrad() {
+  grad_weight_.Fill(0.0);
+  grad_bias_.Fill(0.0);
+}
+
+}  // namespace gale::nn

@@ -1,0 +1,51 @@
+// Graph convolution layer (Kipf & Welling): H' = Â H W + b, with Â the
+// symmetric renormalized adjacency. Â is shared and owned by the caller
+// (one copy per graph, reused across layers and models).
+//
+// Full-batch semantics: Forward expects one row per graph node. Because Â
+// is symmetric, the backward pass uses Â again in place of Â^T.
+
+#ifndef GALE_NN_GCN_LAYER_H_
+#define GALE_NN_GCN_LAYER_H_
+
+#include <string>
+#include <vector>
+
+#include "la/matrix.h"
+#include "la/sparse_matrix.h"
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace gale::nn {
+
+class GcnLayer : public Layer {
+ public:
+  // `adjacency` must outlive the layer.
+  GcnLayer(const la::SparseMatrix* adjacency, size_t in_features,
+           size_t out_features, util::Rng& rng);
+
+  la::Matrix Forward(const la::Matrix& input, bool training) override;
+  la::Matrix Backward(const la::Matrix& grad_output) override;
+
+  std::vector<la::Matrix*> Parameters() override { return {&weight_, &bias_}; }
+  std::vector<la::Matrix*> Gradients() override {
+    return {&grad_weight_, &grad_bias_};
+  }
+  void ZeroGrad() override;
+
+  std::string name() const override { return "GcnLayer"; }
+
+  const la::Matrix& weight() const { return weight_; }
+
+ private:
+  const la::SparseMatrix* adjacency_;  // not owned
+  la::Matrix weight_;                  // in x out
+  la::Matrix bias_;                    // 1 x out
+  la::Matrix grad_weight_;
+  la::Matrix grad_bias_;
+  la::Matrix propagated_cache_;  // Â X from the last forward
+};
+
+}  // namespace gale::nn
+
+#endif  // GALE_NN_GCN_LAYER_H_

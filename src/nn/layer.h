@@ -1,0 +1,49 @@
+// Layer interface for the GALE neural-network stack.
+//
+// Forward/backward contracts:
+//  * Forward(x, training) consumes a batch (rows = samples) and caches
+//    whatever it needs for the backward pass.
+//  * Backward(grad_output) consumes dL/d(output), accumulates dL/d(params)
+//    into the layer's gradient buffers, and returns dL/d(input).
+//  * Parameters() / Gradients() expose aligned lists of tensors so an
+//    optimizer (nn::Adam) can step them; ZeroGrad() clears accumulations.
+//
+// The stack is deliberately eager and single-threaded: model sizes in this
+// reproduction are small MLPs/GCNs, and determinism matters more than
+// throughput.
+
+#ifndef GALE_NN_LAYER_H_
+#define GALE_NN_LAYER_H_
+
+#include <string>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace gale::nn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // Runs the layer on `input`; `training` toggles dropout/batch-norm modes.
+  virtual la::Matrix Forward(const la::Matrix& input, bool training) = 0;
+
+  // Backpropagates `grad_output` (dL/doutput of the most recent Forward).
+  // Returns dL/dinput. Must be called at most once per Forward.
+  virtual la::Matrix Backward(const la::Matrix& grad_output) = 0;
+
+  // Trainable tensors and their gradient buffers, index-aligned. Layers
+  // without parameters return empty lists.
+  virtual std::vector<la::Matrix*> Parameters() { return {}; }
+  virtual std::vector<la::Matrix*> Gradients() { return {}; }
+
+  // Clears accumulated gradients.
+  virtual void ZeroGrad() {}
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace gale::nn
+
+#endif  // GALE_NN_LAYER_H_

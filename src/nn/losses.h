@@ -1,0 +1,78 @@
+// Loss functions with fused gradient computation.
+//
+// Each Compute* returns the mean loss over the contributing rows and writes
+// dL/dlogits into `grad` (same shape as logits), already divided by the row
+// count so it can be fed straight into Layer::Backward.
+
+#ifndef GALE_NN_LOSSES_H_
+#define GALE_NN_LOSSES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace gale::nn {
+
+// Row-wise softmax of `logits` (numerically stabilized).
+la::Matrix Softmax(const la::Matrix& logits);
+
+// Multi-class cross entropy restricted to rows with mask[r] != 0.
+// `labels[r]` is the class index of row r (ignored when masked out).
+// Masked-out rows contribute zero loss and zero gradient.
+// `row_weights` (optional, empty = all ones) rescales each row's
+// contribution — used for inverse-class-frequency balancing under the
+// paper's heavily imbalanced error class.
+double SoftmaxCrossEntropy(const la::Matrix& logits,
+                           const std::vector<int>& labels,
+                           const std::vector<uint8_t>& mask, la::Matrix* grad,
+                           const std::vector<double>& row_weights = {});
+
+// The paper's supervised term log P(y|x, y <= K): cross entropy of the
+// softmax restricted to the first `num_real_classes` logits. The remaining
+// ("synthetic") logits receive zero gradient — conditioning on y <= K
+// removes them from the probability. Rows with mask[r] == 0 contribute
+// nothing.
+double ConditionalCrossEntropy(const la::Matrix& logits,
+                               size_t num_real_classes,
+                               const std::vector<int>& labels,
+                               const std::vector<uint8_t>& mask,
+                               la::Matrix* grad,
+                               const std::vector<double>& row_weights = {});
+
+// Inverse-frequency weights for a binary labeling: rows of class c get
+// total_active / (2 * count_c), capped at `cap`. Rows with mask == 0 get
+// weight 0. Returns an empty vector when a class is absent (weighting
+// would be degenerate — callers fall back to unweighted loss).
+std::vector<double> BalancedRowWeights(const std::vector<int>& labels,
+                                       const std::vector<uint8_t>& mask,
+                                       double cap = 10.0);
+
+// GAN discriminator unsupervised losses over a (K+1)-way head in which the
+// last class ("synthetic") plays the role of "fake":
+//  * for real rows:  -log P(y <= K | x)  (the sample is not synthetic)
+//  * for fake rows:  -log P(y == K+1 | x)
+// `is_fake[r]` selects the branch per row. Implements the second and third
+// terms of the paper's Eq. (1).
+double GanUnsupervisedLoss(const la::Matrix& logits,
+                           const std::vector<uint8_t>& is_fake,
+                           la::Matrix* grad);
+
+// Feature-matching loss (Salimans et al.): squared L2 distance between the
+// column means of real and generated intermediate features,
+//   || mean(real) - mean(fake) ||^2.
+// Writes dL/dfake_features into grad_fake (real features are treated as
+// constants, as in the paper's L(G)).
+double FeatureMatchingLoss(const la::Matrix& real_features,
+                           const la::Matrix& fake_features,
+                           la::Matrix* grad_fake);
+
+// Binary cross entropy on probabilities (already sigmoided), averaged over
+// all entries; used by the graph autoencoder's edge reconstruction.
+double BinaryCrossEntropy(const std::vector<double>& probs,
+                          const std::vector<double>& targets,
+                          std::vector<double>* grad_probs);
+
+}  // namespace gale::nn
+
+#endif  // GALE_NN_LOSSES_H_

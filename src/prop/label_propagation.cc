@@ -1,0 +1,60 @@
+#include "prop/label_propagation.h"
+
+#include <cmath>
+
+namespace gale::prop {
+
+util::Result<la::Matrix> PropagateLabels(
+    const la::SparseMatrix& S, const std::vector<int>& labels,
+    size_t num_classes, const LabelPropagationOptions& options) {
+  if (labels.size() != S.rows()) {
+    return util::Status::InvalidArgument(
+        "PropagateLabels: labels size must equal node count");
+  }
+  if (num_classes == 0) {
+    return util::Status::InvalidArgument("PropagateLabels: num_classes == 0");
+  }
+  const size_t n = S.rows();
+
+  la::Matrix seeds(n, num_classes);
+  for (size_t v = 0; v < n; ++v) {
+    if (labels[v] >= 0 && static_cast<size_t>(labels[v]) < num_classes) {
+      seeds.At(v, static_cast<size_t>(labels[v])) = 1.0;
+    }
+  }
+
+  la::Matrix f = seeds;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    la::Matrix next = S.Multiply(f);
+    next *= 1.0 - options.alpha;
+    la::Matrix scaled_seeds = seeds;
+    scaled_seeds *= options.alpha;
+    next += scaled_seeds;
+    double diff = 0.0;
+    for (size_t i = 0; i < next.data().size(); ++i) {
+      diff += std::abs(next.data()[i] - f.data()[i]);
+    }
+    f = std::move(next);
+    if (diff < options.tolerance) break;
+  }
+  return f;
+}
+
+std::vector<int> HardLabels(const la::Matrix& soft, int fallback) {
+  std::vector<int> out(soft.rows(), fallback);
+  for (size_t r = 0; r < soft.rows(); ++r) {
+    const double* row = soft.RowPtr(r);
+    double best = 0.0;
+    int best_class = fallback;
+    for (size_t c = 0; c < soft.cols(); ++c) {
+      if (row[c] > best) {
+        best = row[c];
+        best_class = static_cast<int>(c);
+      }
+    }
+    out[r] = best_class;
+  }
+  return out;
+}
+
+}  // namespace gale::prop

@@ -1,0 +1,41 @@
+// Label propagation (Zhu 2005; the paper's soft-label update of Section
+// V-A): iterates
+//   F <- (1 - alpha) * S * F + alpha * Y
+// where Y holds one-hot rows for labeled nodes (zero rows otherwise) and S
+// is the symmetric normalized adjacency. The fixpoint equals P*Y up to the
+// restart normalization, matching the paper's L_s(v) = argmax_j (P Y)_vj.
+
+#ifndef GALE_PROP_LABEL_PROPAGATION_H_
+#define GALE_PROP_LABEL_PROPAGATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "la/matrix.h"
+#include "la/sparse_matrix.h"
+#include "util/status.h"
+
+namespace gale::prop {
+
+struct LabelPropagationOptions {
+  // Restart (teleport) weight on the seed labels.
+  double alpha = 0.15;
+  int max_iterations = 50;
+  double tolerance = 1e-6;
+};
+
+// `labels[v]` in [0, num_classes) for seeds, any negative value for
+// unlabeled nodes. Returns the n x num_classes soft-label matrix. When no
+// seed of some class exists, that column simply stays at zero.
+// Fails when labels.size() != S.rows() or num_classes == 0.
+util::Result<la::Matrix> PropagateLabels(
+    const la::SparseMatrix& S, const std::vector<int>& labels,
+    size_t num_classes, const LabelPropagationOptions& options = {});
+
+// Hard labels from a soft-label matrix: argmax per row; rows that are all
+// zero (unreachable from every seed) get `fallback`.
+std::vector<int> HardLabels(const la::Matrix& soft, int fallback);
+
+}  // namespace gale::prop
+
+#endif  // GALE_PROP_LABEL_PROPAGATION_H_

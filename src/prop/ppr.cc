@@ -1,0 +1,49 @@
+#include "prop/ppr.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace gale::prop {
+
+PprEngine::PprEngine(const la::SparseMatrix* walk_matrix, PprOptions options)
+    : walk_matrix_(walk_matrix), options_(options) {
+  GALE_CHECK(walk_matrix != nullptr);
+  GALE_CHECK_EQ(walk_matrix->rows(), walk_matrix->cols());
+  GALE_CHECK(options_.alpha > 0.0 && options_.alpha < 1.0);
+}
+
+std::vector<double> PprEngine::ComputeRow(size_t v) const {
+  const size_t n = walk_matrix_->rows();
+  GALE_CHECK_LT(v, n);
+  std::vector<double> p(n, 0.0);
+  p[v] = 1.0;
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    std::vector<double> next = walk_matrix_->MultiplyVector(p);
+    double diff = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double value = (1.0 - options_.alpha) * next[i];
+      if (i == v) value += options_.alpha;
+      diff += std::abs(value - p[i]);
+      next[i] = value;
+    }
+    p = std::move(next);
+    if (diff < options_.tolerance) break;
+  }
+  return p;
+}
+
+const std::vector<double>& PprEngine::Row(size_t v) {
+  if (options_.cache_rows) {
+    auto it = cache_.find(v);
+    if (it != cache_.end()) return it->second;
+    ++computed_rows_;
+    auto [inserted, ok] = cache_.emplace(v, ComputeRow(v));
+    return inserted->second;
+  }
+  ++computed_rows_;
+  scratch_ = ComputeRow(v);
+  return scratch_;
+}
+
+}  // namespace gale::prop

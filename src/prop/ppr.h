@@ -1,0 +1,61 @@
+// Personalized PageRank rows of the matrix
+//   P = alpha * (I - (1 - alpha) * S)^{-1}
+// with S the symmetric renormalized adjacency (Section V-A of the paper:
+// "P_v is the Personalized PageRank probability vector for node v").
+//
+// Rows are computed on demand by power iteration
+//   p <- alpha * e_v + (1 - alpha) * S p
+// and cached: the paper's Section VII observes that "P remains static once
+// computed" and memoizes it. The cache can be disabled to reproduce the
+// U_GALE ablation.
+
+#ifndef GALE_PROP_PPR_H_
+#define GALE_PROP_PPR_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "la/sparse_matrix.h"
+#include "util/status.h"
+
+namespace gale::prop {
+
+struct PprOptions {
+  // Restart probability alpha.
+  double alpha = 0.15;
+  int max_iterations = 60;
+  double tolerance = 1e-8;
+  bool cache_rows = true;
+};
+
+class PprEngine {
+ public:
+  // `walk_matrix` must outlive the engine; it should be the symmetric
+  // normalized adjacency D̃^{-1/2}ÃD̃^{-1/2} of the graph.
+  PprEngine(const la::SparseMatrix* walk_matrix, PprOptions options = {});
+
+  // Row v of P (length n, sums to ~1). Cached when caching is enabled.
+  const std::vector<double>& Row(size_t v);
+
+  bool IsCached(size_t v) const { return cache_.count(v) > 0; }
+  size_t num_cached_rows() const { return cache_.size(); }
+  size_t num_computed_rows() const { return computed_rows_; }
+  void ClearCache() { cache_.clear(); }
+
+  double alpha() const { return options_.alpha; }
+  size_t num_nodes() const { return walk_matrix_->rows(); }
+
+ private:
+  std::vector<double> ComputeRow(size_t v) const;
+
+  const la::SparseMatrix* walk_matrix_;
+  PprOptions options_;
+  std::unordered_map<size_t, std::vector<double>> cache_;
+  std::vector<double> scratch_;  // reused when caching is off
+  size_t computed_rows_ = 0;     // total power iterations run (telemetry)
+};
+
+}  // namespace gale::prop
+
+#endif  // GALE_PROP_PPR_H_

@@ -1,0 +1,93 @@
+// Minimal logging and invariant-checking facility.
+//
+// GALE_LOG(INFO) << "...";          — leveled logging to stderr.
+// GALE_CHECK(cond) << "context";    — aborts with file:line when violated.
+// GALE_CHECK_OK(status);            — aborts when a Status is not OK.
+//
+// Checks are always on (including release builds): this library favors
+// fail-fast diagnostics over silently corrupt numerical state, which in a
+// learning system is otherwise very hard to trace.
+
+#ifndef GALE_UTIL_LOGGING_H_
+#define GALE_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "util/status.h"
+
+namespace gale::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are discarded.
+// Not synchronized: set once at startup (tests/benches) before threads run.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Like LogMessage but calls std::abort() on destruction. Used by checks.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  template <typename T>
+  FatalMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace gale::util
+
+#define GALE_LOG(severity)                                          \
+  ::gale::util::LogMessage(::gale::util::LogLevel::k##severity,     \
+                           __FILE__, __LINE__)
+
+#define GALE_CHECK(condition)                                       \
+  if (condition) {                                                  \
+  } else /* NOLINT */                                               \
+    ::gale::util::FatalMessage(__FILE__, __LINE__, #condition)
+
+#define GALE_CHECK_OK(status_expr)                                  \
+  do {                                                              \
+    ::gale::util::Status _gale_chk = (status_expr);                 \
+    GALE_CHECK(_gale_chk.ok()) << _gale_chk.ToString();             \
+  } while (0)
+
+#define GALE_CHECK_EQ(a, b) GALE_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define GALE_CHECK_NE(a, b) GALE_CHECK((a) != (b))
+#define GALE_CHECK_LT(a, b) GALE_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define GALE_CHECK_LE(a, b) GALE_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define GALE_CHECK_GT(a, b) GALE_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define GALE_CHECK_GE(a, b) GALE_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#endif  // GALE_UTIL_LOGGING_H_

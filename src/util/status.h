@@ -1,0 +1,152 @@
+// Status and Result<T>: exception-free error propagation for the GALE
+// library, in the style of RocksDB/Arrow status objects.
+//
+// Every fallible public API in this repository returns either a Status (for
+// operations with no payload) or a Result<T> (for operations that produce a
+// value). Callers are expected to check `ok()` before using a Result's
+// value; accessing the value of a failed Result aborts the process with a
+// diagnostic (see util/logging.h).
+//
+// Example:
+//   gale::util::Result<Matrix> m = LoadMatrix(path);
+//   if (!m.ok()) return m.status();
+//   Use(m.value());
+
+#ifndef GALE_UTIL_STATUS_H_
+#define GALE_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace gale::util {
+
+// Machine-readable category of a failure. Mirrors the subset of canonical
+// status codes this library needs.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kAlreadyExists,
+  kUnimplemented,
+  kInternal,
+};
+
+// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value carrying a code and a human-readable message.
+// Copyable and movable; the default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Either a T or a non-OK Status. Accessing value() on an error aborts.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error Status keeps call sites
+  // terse: `return my_matrix;` or `return Status::InvalidArgument(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {
+    // A Result must never hold an OK status without a value; normalize a
+    // misuse into an internal error so callers can still observe failure.
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return *std::move(value_);
+  }
+
+  // Returns the contained value or `fallback` when this Result is an error.
+  T value_or(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!value_.has_value()) {
+      // Not using logging.h here to avoid a circular include; the message
+      // still identifies the failure before aborting.
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+}  // namespace gale::util
+
+// Propagates a non-OK Status from an expression that yields a Status.
+#define GALE_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::gale::util::Status _gale_status = (expr);      \
+    if (!_gale_status.ok()) return _gale_status;     \
+  } while (0)
+
+#endif  // GALE_UTIL_STATUS_H_

@@ -1,0 +1,48 @@
+// String helpers shared across the library: tokenization for the feature
+// encoder, edit distance for the string-noise detector, and small
+// formatting utilities for reports.
+
+#ifndef GALE_UTIL_STRING_UTIL_H_
+#define GALE_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gale::util {
+
+// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+// Splits `s` on any whitespace run, dropping empty tokens.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string Trim(std::string_view s);
+
+// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Levenshtein edit distance (insert/delete/substitute, unit costs).
+// Used by the string-noise detector to find near-miss misspellings, with an
+// optional cap: once the distance provably exceeds `max_distance` the
+// function returns max_distance + 1 without finishing the table.
+size_t EditDistance(std::string_view a, std::string_view b,
+                    size_t max_distance = SIZE_MAX);
+
+// FNV-1a 64-bit hash; the feature encoder's token hashing is built on it.
+uint64_t Fnv1aHash(std::string_view s);
+
+// Formats `value` with `decimals` digits after the point ("0.7321").
+std::string FormatDouble(double value, int decimals);
+
+}  // namespace gale::util
+
+#endif  // GALE_UTIL_STRING_UTIL_H_

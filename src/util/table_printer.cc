@@ -1,0 +1,65 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "util/string_util.h"
+
+namespace gale::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c >= widths.size()) widths.resize(c + 1, 0);
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << cell;
+    }
+    os << "\n";
+  };
+
+  print_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  os << Join(header_, ",") << "\n";
+  for (const auto& row : rows_) os << Join(row, ",") << "\n";
+}
+
+SeriesPrinter::SeriesPrinter(std::string x_name,
+                             std::vector<std::string> series_names)
+    : x_name_(std::move(x_name)), series_names_(std::move(series_names)) {}
+
+void SeriesPrinter::AddPoint(double x, const std::vector<double>& values) {
+  points_.emplace_back(x, values);
+}
+
+void SeriesPrinter::Print(std::ostream& os) const {
+  for (const auto& [x, values] : points_) {
+    os << x_name_ << "=" << FormatDouble(x, 3);
+    for (size_t i = 0; i < series_names_.size() && i < values.size(); ++i) {
+      os << "  " << series_names_[i] << "=" << FormatDouble(values[i], 4);
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace gale::util

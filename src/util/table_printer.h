@@ -1,0 +1,59 @@
+// Fixed-width table and series printers used by the benchmark harness to
+// emit rows in the same layout as the paper's tables and figure series.
+//
+// Example:
+//   TablePrinter t({"Data", "Met.", "VioDet", "GALE"});
+//   t.AddRow({"SP", "F1", "0.38", "0.77"});
+//   t.Print(std::cout);
+
+#ifndef GALE_UTIL_TABLE_PRINTER_H_
+#define GALE_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gale::util {
+
+// Accumulates rows and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Appends one row; missing cells print empty, extras are kept.
+  void AddRow(std::vector<std::string> cells);
+
+  // Writes the header, a rule, and all rows to `os`.
+  void Print(std::ostream& os) const;
+
+  // Comma-separated dump (header + rows) for machine consumption.
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints an (x, series...) line chart as text rows:
+//   x=0.10  GCN=0.41  GALE=0.62 ...
+// Used for the Fig. 7 sweeps.
+class SeriesPrinter {
+ public:
+  SeriesPrinter(std::string x_name, std::vector<std::string> series_names);
+
+  // Appends one sweep point; `values` aligns with the series names.
+  void AddPoint(double x, const std::vector<double>& values);
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::string x_name_;
+  std::vector<std::string> series_names_;
+  std::vector<std::pair<double, std::vector<double>>> points_;
+};
+
+}  // namespace gale::util
+
+#endif  // GALE_UTIL_TABLE_PRINTER_H_

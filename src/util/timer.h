@@ -1,0 +1,31 @@
+// Wall-clock timing for the learning-cost experiments (Fig. 7(d)-(f)).
+
+#ifndef GALE_UTIL_TIMER_H_
+#define GALE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace gale::util {
+
+// Monotonic stopwatch. Started on construction; Restart() re-arms it.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gale::util
+
+#endif  // GALE_UTIL_TIMER_H_

@@ -1,0 +1,151 @@
+// Tests for the ablation toggles used by bench_ablation: feature-block
+// switches in GAugment, the topological-typicality switch in the
+// selector, and the SGAN supervision weights.
+
+#include <gtest/gtest.h>
+
+#include "core/augment.h"
+#include "core/query_selector.h"
+#include "core/sgan.h"
+#include "core/typicality.h"
+#include "graph/constraints.h"
+#include "graph/synthetic_dataset.h"
+
+namespace gale::core {
+namespace {
+
+struct Fixture {
+  graph::SyntheticDataset dataset;
+  std::vector<graph::Constraint> constraints;
+};
+
+Fixture MakeFixture(uint64_t seed = 3) {
+  graph::SyntheticConfig config;
+  config.num_nodes = 500;
+  config.num_edges = 650;
+  config.seed = seed;
+  auto ds = graph::GenerateSynthetic(config);
+  EXPECT_TRUE(ds.ok());
+  graph::ConstraintMiner miner({.min_support = 10, .min_confidence = 0.8});
+  auto constraints = miner.Mine(ds.value().graph);
+  EXPECT_TRUE(constraints.ok());
+  return {std::move(ds).value(), std::move(constraints).value()};
+}
+
+TEST(AugmentTogglesTest, NeighborContextControlsWidth) {
+  Fixture f = MakeFixture();
+  AugmentOptions with_context;
+  with_context.gae.epochs = 5;
+  AugmentOptions without = with_context;
+  without.include_neighbor_context = false;
+
+  auto a = GAugment(f.dataset.graph, f.constraints, with_context);
+  auto b = GAugment(f.dataset.graph, f.constraints, without);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(a.value().x_real.cols(), b.value().x_real.cols());
+  // The X_S layout always matches X_R.
+  EXPECT_EQ(b.value().x_real.cols(), b.value().x_synthetic.cols());
+
+  // Both context blocks off: width is the raw attribute encoding only.
+  AugmentOptions bare = without;
+  bare.use_gae = false;
+  auto c = GAugment(f.dataset.graph, f.constraints, bare);
+  ASSERT_TRUE(c.ok());
+  graph::FeatureEncoder encoder(bare.encoder);
+  EXPECT_EQ(c.value().x_real.cols(), encoder.RawDims(f.dataset.graph));
+}
+
+TEST(AugmentTogglesTest, DeterministicUnderSeed) {
+  Fixture f = MakeFixture();
+  AugmentOptions options;
+  options.gae.epochs = 5;
+  options.seed = 123;
+  auto a = GAugment(f.dataset.graph, f.constraints, options);
+  auto b = GAugment(f.dataset.graph, f.constraints, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a.value().x_real.AllClose(b.value().x_real, 0.0));
+  EXPECT_TRUE(a.value().x_synthetic.AllClose(b.value().x_synthetic, 0.0));
+  EXPECT_EQ(a.value().synthetic_nodes, b.value().synthetic_nodes);
+}
+
+TEST(TypicalityTogglesTest, DisablingTopoTFixesItAtOne) {
+  // Embeddings with two predicted classes so the conflict term would
+  // normally engage.
+  la::SparseMatrix walk = la::SparseMatrix::NormalizedAdjacency(
+      8, {{0, 1}, {1, 2}, {2, 3}, {4, 5}, {5, 6}, {6, 7}, {3, 4}});
+  util::Rng rng(5);
+  la::Matrix embeddings = la::Matrix::RandomNormal(8, 4, 1.0, rng);
+  std::vector<int> predicted = {0, 0, 0, 0, 1, 1, 1, 1};
+  std::vector<size_t> unlabeled = {0, 1, 2, 3, 4, 5, 6, 7};
+  prop::PprEngine ppr(&walk);
+
+  TypicalityOptions with_topo;
+  with_topo.num_clusters = 2;
+  TypicalityOptions without = with_topo;
+  without.use_topological = false;
+
+  auto on = ComputeTypicality(embeddings, unlabeled, predicted, predicted,
+                              ppr, with_topo);
+  auto off = ComputeTypicality(embeddings, unlabeled, predicted, predicted,
+                               ppr, without);
+  ASSERT_TRUE(on.ok());
+  ASSERT_TRUE(off.ok());
+  bool any_below_one = false;
+  for (double t : on.value().topo_t) any_below_one |= (t < 1.0);
+  EXPECT_TRUE(any_below_one) << "conflict term should engage when enabled";
+  for (double t : off.value().topo_t) EXPECT_DOUBLE_EQ(t, 1.0);
+}
+
+TEST(SganTogglesTest, SyntheticWeightZeroStillTrains) {
+  util::Rng rng(7);
+  la::Matrix x_real = la::Matrix::RandomNormal(120, 6, 1.0, rng);
+  la::Matrix x_syn = la::Matrix::RandomNormal(30, 6, 1.0, rng);
+  std::vector<int> labels(120, kUnlabeled);
+  for (size_t i = 0; i < 10; ++i) labels[i] = kLabelError;
+  for (size_t i = 10; i < 30; ++i) labels[i] = kLabelCorrect;
+
+  SganConfig config;
+  config.hidden_dim = 16;
+  config.embedding_dim = 8;
+  config.train_epochs = 20;
+  config.synthetic_example_weight = 0.0;
+  config.unlabeled_correct_weight = 0.0;
+  Sgan sgan(6, config);
+  ASSERT_TRUE(sgan.Train(x_real, labels, x_syn).ok());
+  const std::vector<int> predicted = sgan.PredictLabels(x_real);
+  for (int p : predicted) {
+    EXPECT_TRUE(p == kLabelError || p == kLabelCorrect);
+  }
+}
+
+TEST(SelectorTogglesTest, TopoToggleKeepsSelectionValid) {
+  Fixture f = MakeFixture();
+  la::SparseMatrix walk = la::SparseMatrix::NormalizedAdjacency(
+      f.dataset.graph.num_nodes(), f.dataset.graph.EdgePairs());
+  util::Rng rng(9);
+  la::Matrix embeddings =
+      la::Matrix::RandomNormal(f.dataset.graph.num_nodes(), 8, 1.0, rng);
+  std::vector<int> labels(f.dataset.graph.num_nodes(), kUnlabeled);
+  labels[0] = kLabelError;
+  labels[1] = kLabelCorrect;
+  la::Matrix probs(f.dataset.graph.num_nodes(), 2, 0.5);
+
+  for (bool topo : {true, false}) {
+    QuerySelectorOptions options;
+    options.use_topological_typicality = topo;
+    options.seed = 11;
+    QuerySelector selector(&walk, options);
+    auto selected = selector.Select(embeddings, labels, probs, 6);
+    ASSERT_TRUE(selected.ok());
+    EXPECT_EQ(selected.value().size(), 6u);
+    for (size_t v : selected.value()) {
+      EXPECT_NE(v, 0u);
+      EXPECT_NE(v, 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gale::core

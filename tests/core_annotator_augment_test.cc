@@ -1,0 +1,221 @@
+// Tests for the annotation module (QAnnotate) and graph augmentation
+// (GAugment).
+
+#include <gtest/gtest.h>
+
+#include "core/annotator.h"
+#include "core/augment.h"
+#include "core/sgan.h"
+#include "graph/error_injector.h"
+#include "graph/synthetic_dataset.h"
+#include "la/sparse_matrix.h"
+
+namespace gale::core {
+namespace {
+
+struct Fixture {
+  graph::SyntheticDataset dataset;
+  std::vector<graph::Constraint> constraints;
+  graph::AttributedGraph dirty;
+  graph::ErrorGroundTruth truth;
+  detect::DetectorLibrary library;
+  la::SparseMatrix walk;
+};
+
+Fixture MakeFixture(uint64_t seed = 3) {
+  graph::SyntheticConfig config;
+  config.num_nodes = 900;
+  config.num_edges = 1100;
+  config.seed = seed;
+  auto ds = graph::GenerateSynthetic(config);
+  EXPECT_TRUE(ds.ok());
+  graph::ConstraintMiner miner({.min_support = 10, .min_confidence = 0.8});
+  auto constraints = miner.Mine(ds.value().graph);
+  EXPECT_TRUE(constraints.ok());
+
+  Fixture f{std::move(ds).value(), std::move(constraints).value(),
+            {}, {}, {}, {}};
+  f.dirty = f.dataset.graph.Clone();
+  graph::ErrorInjectorConfig inject;
+  inject.node_error_rate = 0.08;
+  inject.detectable_rate = 1.0;
+  inject.seed = seed ^ 77;
+  auto truth = graph::ErrorInjector(inject).Inject(f.dirty, f.constraints);
+  EXPECT_TRUE(truth.ok());
+  f.truth = std::move(truth).value();
+  f.library = detect::DetectorLibrary::MakeDefault(f.constraints);
+  EXPECT_TRUE(f.library.RunAll(f.dirty).ok());
+  f.walk = la::SparseMatrix::NormalizedAdjacency(f.dirty.num_nodes(),
+                                                 f.dirty.EdgePairs());
+  return f;
+}
+
+TEST(AnnotatorTest, SoftSubgraphContainsAllNeighbors) {
+  Fixture f = MakeFixture();
+  prop::PprEngine ppr(&f.walk);
+  Annotator annotator(&f.dirty, &f.library, &f.constraints, &ppr);
+
+  // Pick a node with degree >= 2.
+  size_t v = 0;
+  while (f.dirty.degree(v) < 2) ++v;
+  std::vector<int> labels(f.dirty.num_nodes(), kUnlabeled);
+  Annotation ann = annotator.Annotate(v, labels, {});
+
+  std::set<size_t> in_subgraph;
+  size_t neighbor_entries = 0;
+  for (const SoftSubgraphEntry& e : ann.soft_subgraph) {
+    in_subgraph.insert(e.node);
+    neighbor_entries += e.is_neighbor;
+  }
+  for (const graph::Neighbor* it = f.dirty.NeighborsBegin(v);
+       it != f.dirty.NeighborsEnd(v); ++it) {
+    if (it->node == v) continue;
+    EXPECT_TRUE(in_subgraph.count(it->node))
+        << "1-hop neighbor " << it->node << " missing";
+  }
+  EXPECT_GE(neighbor_entries, 2u);
+}
+
+TEST(AnnotatorTest, MostInfluentialLabeledNodeIsTracked) {
+  Fixture f = MakeFixture();
+  prop::PprEngine ppr(&f.walk);
+  Annotator annotator(&f.dirty, &f.library, &f.constraints, &ppr);
+
+  size_t v = 0;
+  while (f.dirty.degree(v) < 1) ++v;
+  const size_t neighbor = f.dirty.NeighborsBegin(v)->node;
+
+  std::vector<int> labels(f.dirty.num_nodes(), kUnlabeled);
+  Annotation no_labels = annotator.Annotate(v, labels, {});
+  EXPECT_EQ(no_labels.most_influential_labeled, SIZE_MAX);
+
+  labels[neighbor] = kLabelError;
+  Annotation with_label = annotator.Annotate(v, labels, {});
+  EXPECT_EQ(with_label.most_influential_labeled, neighbor)
+      << "a labeled direct neighbor dominates PPR influence";
+}
+
+TEST(AnnotatorTest, DetectedErrorsAppearOnFlaggedNodes) {
+  Fixture f = MakeFixture();
+  prop::PprEngine ppr(&f.walk);
+  Annotator annotator(&f.dirty, &f.library, &f.constraints, &ppr);
+  std::vector<int> labels(f.dirty.num_nodes(), kUnlabeled);
+
+  size_t flagged = SIZE_MAX;
+  for (size_t v = 0; v < f.dirty.num_nodes(); ++v) {
+    if (f.library.NodeFlagged(v)) {
+      flagged = v;
+      break;
+    }
+  }
+  ASSERT_NE(flagged, SIZE_MAX);
+  Annotation ann = annotator.Annotate(flagged, labels, {});
+  EXPECT_FALSE(ann.detected_errors.empty());
+  double dist_sum = ann.error_distribution[0] + ann.error_distribution[1] +
+                    ann.error_distribution[2];
+  EXPECT_NEAR(dist_sum, 1.0, 1e-9);
+  for (const DetectedAnnotation& d : ann.detected_errors) {
+    EXPECT_FALSE(d.attr_name.empty());
+    EXPECT_FALSE(d.detector_name.empty());
+    EXPECT_GT(d.confidence, 0.0);
+  }
+}
+
+TEST(AnnotatorTest, SuggestionsIncludeTrueValueForFdViolation) {
+  Fixture f = MakeFixture();
+  prop::PprEngine ppr(&f.walk);
+  Annotator annotator(&f.dirty, &f.library, &f.constraints, &ppr);
+  std::vector<int> labels(f.dirty.num_nodes(), kUnlabeled);
+
+  // Find a detectable constraint violation on the 'label' attribute: the
+  // FD enforcement should suggest exactly the clean value.
+  size_t hits = 0;
+  size_t suggested_true = 0;
+  for (const graph::InjectedError& e : f.truth.errors) {
+    if (e.type != graph::ErrorType::kConstraintViolation || !e.detectable) {
+      continue;
+    }
+    Annotation ann = annotator.Annotate(e.node, labels, {});
+    for (const SuggestedCorrection& s : ann.suggestions) {
+      if (s.attr == e.attr) {
+        ++hits;
+        if (s.value == e.original) ++suggested_true;
+        break;
+      }
+    }
+    if (hits >= 20) break;
+  }
+  ASSERT_GT(hits, 5u);
+  // Enforcing the constraints should recover the clean value most of the
+  // time (edge-agreement repairs can suggest a neighbor's equally-valid
+  // alternative).
+  EXPECT_GT(static_cast<double>(suggested_true) / hits, 0.5);
+}
+
+TEST(AnnotatorTest, DebugStringMentionsAllTypes) {
+  Fixture f = MakeFixture();
+  prop::PprEngine ppr(&f.walk);
+  Annotator annotator(&f.dirty, &f.library, &f.constraints, &ppr);
+  std::vector<int> labels(f.dirty.num_nodes(), kUnlabeled);
+  Annotation ann = annotator.Annotate(0, labels, {});
+  const std::string s = ann.DebugString(f.dirty);
+  EXPECT_NE(s.find("[Type 1]"), std::string::npos);
+  EXPECT_NE(s.find("[Type 2]"), std::string::npos);
+  EXPECT_NE(s.find("[Type 3]"), std::string::npos);
+  EXPECT_NE(s.find("[Type 4]"), std::string::npos);
+}
+
+TEST(GAugmentTest, ShapesAreConsistent) {
+  Fixture f = MakeFixture();
+  AugmentOptions options;
+  options.gae.epochs = 20;
+  options.seed = 5;
+  auto result = GAugment(f.dirty, f.constraints, options);
+  ASSERT_TRUE(result.ok());
+  const AugmentResult& r = result.value();
+  EXPECT_EQ(r.x_real.rows(), f.dirty.num_nodes());
+  EXPECT_EQ(r.x_real.cols(), r.x_synthetic.cols());
+  EXPECT_EQ(r.x_synthetic.rows(), r.synthetic_nodes.size());
+  EXPECT_GT(r.x_synthetic.rows(), 0u);
+  for (size_t v : r.synthetic_nodes) EXPECT_LT(v, f.dirty.num_nodes());
+}
+
+TEST(GAugmentTest, SyntheticRowsDifferFromTheirRealCounterparts) {
+  Fixture f = MakeFixture();
+  AugmentOptions options;
+  options.gae.epochs = 20;
+  options.seed = 7;
+  auto result = GAugment(f.dirty, f.constraints, options);
+  ASSERT_TRUE(result.ok());
+  const AugmentResult& r = result.value();
+  size_t moved = 0;
+  for (size_t i = 0; i < r.synthetic_nodes.size(); ++i) {
+    const double d =
+        r.x_synthetic.RowDistanceSquared(i, r.x_real, r.synthetic_nodes[i]);
+    moved += (d > 1e-9);
+  }
+  EXPECT_GT(static_cast<double>(moved) / r.synthetic_nodes.size(), 0.9)
+      << "synthetic pollution must move the encoded features";
+}
+
+TEST(GAugmentTest, NoGaeModeShrinksWidth) {
+  Fixture f = MakeFixture();
+  AugmentOptions with_gae;
+  with_gae.gae.epochs = 10;
+  AugmentOptions without;
+  without.use_gae = false;
+  auto a = GAugment(f.dirty, f.constraints, with_gae);
+  auto b = GAugment(f.dirty, f.constraints, without);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(a.value().x_real.cols(), b.value().x_real.cols());
+}
+
+TEST(GAugmentTest, RequiresFinalizedGraphWithEdges) {
+  graph::AttributedGraph g;
+  g.AddNodeType("t", {{"a", graph::ValueKind::kText}});
+  EXPECT_FALSE(GAugment(g, {}, {}).ok());
+}
+
+}  // namespace
+}  // namespace gale::core

@@ -1,0 +1,157 @@
+#include "core/repair.h"
+
+#include <gtest/gtest.h>
+
+#include "core/sgan.h"
+#include "graph/synthetic_dataset.h"
+
+namespace gale::core {
+namespace {
+
+struct Fixture {
+  graph::SyntheticDataset dataset;
+  std::vector<graph::Constraint> constraints;
+  graph::AttributedGraph dirty;
+  graph::ErrorGroundTruth truth;
+  detect::DetectorLibrary library;
+};
+
+Fixture MakeFixture(uint64_t seed = 5) {
+  graph::SyntheticConfig config;
+  config.num_nodes = 1000;
+  config.num_edges = 1300;
+  config.seed = seed;
+  auto ds = graph::GenerateSynthetic(config);
+  EXPECT_TRUE(ds.ok());
+  graph::ConstraintMiner miner({.min_support = 10, .min_confidence = 0.8});
+  auto constraints = miner.Mine(ds.value().graph);
+  EXPECT_TRUE(constraints.ok());
+
+  Fixture f{std::move(ds).value(), std::move(constraints).value(), {}, {},
+            {}};
+  f.dirty = f.dataset.graph.Clone();
+  graph::ErrorInjectorConfig inject;
+  inject.node_error_rate = 0.08;
+  inject.detectable_rate = 1.0;  // repairable errors
+  inject.seed = seed ^ 0x2E;
+  auto truth = graph::ErrorInjector(inject).Inject(f.dirty, f.constraints);
+  EXPECT_TRUE(truth.ok());
+  f.truth = std::move(truth).value();
+  f.library = detect::DetectorLibrary::MakeDefault(f.constraints);
+  EXPECT_TRUE(f.library.RunAll(f.dirty).ok());
+  return f;
+}
+
+// A perfect classifier: predicted = ground truth.
+std::vector<int> OracleLabels(const Fixture& f) {
+  std::vector<int> labels(f.dirty.num_nodes(), kLabelCorrect);
+  for (size_t v = 0; v < labels.size(); ++v) {
+    if (f.truth.is_error[v]) labels[v] = kLabelError;
+  }
+  return labels;
+}
+
+TEST(RepairTest, NoFlaggedNodesMeansNoRepairs) {
+  Fixture f = MakeFixture();
+  graph::AttributedGraph g = f.dirty.Clone();
+  std::vector<int> all_correct(g.num_nodes(), kLabelCorrect);
+  RepairReport report =
+      RepairGraph(g, f.constraints, f.library, all_correct);
+  EXPECT_EQ(report.num_applied(), 0u);
+  EXPECT_EQ(report.nodes_considered, 0u);
+}
+
+TEST(RepairTest, RepairsRecoverCleanValuesOnDetectableErrors) {
+  Fixture f = MakeFixture();
+  graph::AttributedGraph g = f.dirty.Clone();
+  RepairReport report =
+      RepairGraph(g, f.constraints, f.library, OracleLabels(f));
+  ASSERT_GT(report.num_applied(), 0u);
+  EXPECT_GT(report.nodes_considered, 0u);
+
+  RepairEvaluation eval = EvaluateRepairs(report, f.truth);
+  EXPECT_GT(eval.exact_fixes, 0u);
+  // Constraint-enforced text repairs recover exact values; numeric mean
+  // repairs count as improvements. Together they should dominate.
+  EXPECT_GT(eval.useful_fix_rate, 0.6)
+      << "exact=" << eval.exact_fixes << " improved=" << eval.improved_fixes
+      << " wrong=" << eval.wrong_fixes;
+  EXPECT_GT(eval.exact_fix_rate, 0.3);
+
+  // The graph must actually have changed where the report says so.
+  for (const RepairAction& action : report.applied) {
+    EXPECT_EQ(g.value(action.node, action.attr), action.after);
+    EXPECT_NE(action.before, action.after);
+  }
+}
+
+TEST(RepairTest, RepairReducesViolations) {
+  Fixture f = MakeFixture();
+  graph::AttributedGraph g = f.dirty.Clone();
+  const size_t before = graph::CheckConstraints(g, f.constraints).size();
+  RepairGraph(g, f.constraints, f.library, OracleLabels(f));
+  const size_t after = graph::CheckConstraints(g, f.constraints).size();
+  EXPECT_LT(after, before) << "repairing flagged nodes must reduce the "
+                              "violation count";
+}
+
+TEST(RepairTest, NumericSuggestionsCanBeDisabled) {
+  Fixture f = MakeFixture();
+  graph::AttributedGraph g1 = f.dirty.Clone();
+  graph::AttributedGraph g2 = f.dirty.Clone();
+  RepairReport with_numeric =
+      RepairGraph(g1, f.constraints, f.library, OracleLabels(f),
+                  {.apply_numeric_suggestions = true});
+  RepairReport without_numeric =
+      RepairGraph(g2, f.constraints, f.library, OracleLabels(f),
+                  {.apply_numeric_suggestions = false});
+  size_t numeric_with = 0;
+  for (const RepairAction& a : with_numeric.applied) {
+    numeric_with += (a.after.kind == graph::ValueKind::kNumeric);
+  }
+  size_t numeric_without = 0;
+  for (const RepairAction& a : without_numeric.applied) {
+    numeric_without += (a.after.kind == graph::ValueKind::kNumeric);
+  }
+  EXPECT_GT(numeric_with, 0u);
+  EXPECT_EQ(numeric_without, 0u);
+}
+
+TEST(RepairTest, MinConfidenceFiltersDetectorRepairs) {
+  Fixture f = MakeFixture();
+  graph::AttributedGraph g1 = f.dirty.Clone();
+  graph::AttributedGraph g2 = f.dirty.Clone();
+  RepairReport all = RepairGraph(g1, f.constraints, f.library,
+                                 OracleLabels(f), {.min_confidence = 0.0});
+  RepairReport strict = RepairGraph(g2, f.constraints, f.library,
+                                    OracleLabels(f),
+                                    {.min_confidence = 0.99});
+  EXPECT_LE(strict.num_applied(), all.num_applied());
+}
+
+TEST(RepairEvaluationTest, CollateralEditsAreCounted) {
+  graph::ErrorGroundTruth truth;
+  truth.is_error.assign(4, 0);
+  truth.node_errors.assign(4, {});
+  truth.is_error[1] = 1;
+  truth.node_errors[1].push_back(0);
+  truth.errors.push_back({1, 0, graph::ErrorType::kStringNoise,
+                          graph::AttributeValue::Text("clean"), true});
+
+  RepairReport report;
+  report.applied.push_back({1, 0, graph::AttributeValue::Text("dirty"),
+                            graph::AttributeValue::Text("clean"), "test"});
+  report.applied.push_back({1, 0, graph::AttributeValue::Text("dirty"),
+                            graph::AttributeValue::Text("other"), "test"});
+  report.applied.push_back({2, 0, graph::AttributeValue::Text("fine"),
+                            graph::AttributeValue::Text("edit"), "test"});
+  RepairEvaluation eval = EvaluateRepairs(report, truth);
+  EXPECT_EQ(eval.exact_fixes, 1u);
+  EXPECT_EQ(eval.wrong_fixes, 1u);
+  EXPECT_EQ(eval.collateral_edits, 1u);
+  EXPECT_DOUBLE_EQ(eval.exact_fix_rate, 0.5);
+  EXPECT_DOUBLE_EQ(eval.useful_fix_rate, 0.5);
+}
+
+}  // namespace
+}  // namespace gale::core

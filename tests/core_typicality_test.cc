@@ -1,0 +1,134 @@
+#include "core/typicality.h"
+
+#include <gtest/gtest.h>
+
+#include "core/sgan.h"
+#include "la/sparse_matrix.h"
+
+namespace gale::core {
+namespace {
+
+// A path graph whose embeddings form two blobs: nodes 0..4 near (0,0)
+// (class error), nodes 5..9 near (10,10) (class correct). Node 0 sits at
+// the blob center; node 4 at its edge.
+struct Fixture {
+  la::SparseMatrix walk;
+  la::Matrix embeddings;
+  std::vector<int> predicted;
+  std::vector<int> soft_labels;
+  std::vector<size_t> unlabeled;
+};
+
+Fixture MakeFixture() {
+  Fixture f;
+  std::vector<std::pair<size_t, size_t>> edges;
+  for (size_t i = 0; i + 1 < 10; ++i) edges.emplace_back(i, i + 1);
+  f.walk = la::SparseMatrix::NormalizedAdjacency(10, edges);
+  f.embeddings = la::Matrix(10, 2);
+  const double offsets[5] = {0.0, 0.1, -0.1, 0.2, 1.2};
+  for (size_t i = 0; i < 5; ++i) {
+    f.embeddings.At(i, 0) = offsets[i];
+    f.embeddings.At(i, 1) = offsets[i];
+    f.embeddings.At(i + 5, 0) = 10.0 + offsets[i];
+    f.embeddings.At(i + 5, 1) = 10.0 + offsets[i];
+  }
+  f.predicted.assign(10, kLabelCorrect);
+  for (size_t i = 0; i < 5; ++i) f.predicted[i] = kLabelError;
+  f.soft_labels = f.predicted;
+  f.unlabeled.assign({0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  return f;
+}
+
+TEST(TypicalityTest, RejectsBadInputs) {
+  Fixture f = MakeFixture();
+  prop::PprEngine ppr(&f.walk);
+  TypicalityOptions options;
+  options.num_clusters = 2;
+  EXPECT_FALSE(ComputeTypicality(f.embeddings, {}, f.predicted,
+                                 f.soft_labels, ppr, options)
+                   .ok());
+  std::vector<int> short_vec(3, 0);
+  EXPECT_FALSE(ComputeTypicality(f.embeddings, f.unlabeled, short_vec,
+                                 f.soft_labels, ppr, options)
+                   .ok());
+}
+
+TEST(TypicalityTest, CentralNodesGetHigherClusT) {
+  Fixture f = MakeFixture();
+  prop::PprEngine ppr(&f.walk);
+  TypicalityOptions options;
+  options.num_clusters = 2;
+  auto result = ComputeTypicality(f.embeddings, f.unlabeled, f.predicted,
+                                  f.soft_labels, ppr, options);
+  ASSERT_TRUE(result.ok());
+  const TypicalityResult& t = result.value();
+  // Node 4 (index 4) is 1.2 away from its blob center; nodes 0-3 are much
+  // closer, so clusT(4) must be the smallest in the first blob.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_GT(t.clus_t[i], t.clus_t[4]) << "i=" << i;
+  }
+  for (double c : t.clus_t) EXPECT_GT(c, 0.0);
+}
+
+TEST(TypicalityTest, TopoTInUnitRangeAndConflictLowersIt) {
+  Fixture f = MakeFixture();
+  prop::PprEngine ppr(&f.walk);
+  TypicalityOptions options;
+  options.num_clusters = 2;
+  auto result = ComputeTypicality(f.embeddings, f.unlabeled, f.predicted,
+                                  f.soft_labels, ppr, options);
+  ASSERT_TRUE(result.ok());
+  const TypicalityResult& t = result.value();
+  for (double v : t.topo_t) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  // Node 4 borders the opposite class on the path (its neighbor 5 is
+  // 'correct'); node 0 sits at the far end surrounded by its own class.
+  // Node 4's influence conflict must be higher -> lower topoT.
+  EXPECT_GT(t.topo_t[0], t.topo_t[4]);
+}
+
+TEST(TypicalityTest, TypicalityIsProduct) {
+  Fixture f = MakeFixture();
+  prop::PprEngine ppr(&f.walk);
+  TypicalityOptions options;
+  options.num_clusters = 2;
+  auto result = ComputeTypicality(f.embeddings, f.unlabeled, f.predicted,
+                                  f.soft_labels, ppr, options);
+  ASSERT_TRUE(result.ok());
+  const TypicalityResult& t = result.value();
+  for (size_t i = 0; i < t.typicality.size(); ++i) {
+    EXPECT_NEAR(t.typicality[i], t.clus_t[i] * t.topo_t[i], 1e-12);
+  }
+}
+
+TEST(TypicalityTest, SingleClassDegeneratesToPureClusT) {
+  // When the discriminator predicts one class everywhere (cold start),
+  // there is no influence conflict and topoT == 1.
+  Fixture f = MakeFixture();
+  std::vector<int> one_class(10, kLabelCorrect);
+  prop::PprEngine ppr(&f.walk);
+  TypicalityOptions options;
+  options.num_clusters = 2;
+  auto result = ComputeTypicality(f.embeddings, f.unlabeled, one_class,
+                                  one_class, ppr, options);
+  ASSERT_TRUE(result.ok());
+  for (double v : result.value().topo_t) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(TypicalityTest, SubsetOfCandidatesOnly) {
+  Fixture f = MakeFixture();
+  prop::PprEngine ppr(&f.walk);
+  TypicalityOptions options;
+  options.num_clusters = 2;
+  std::vector<size_t> some = {1, 6, 8};
+  auto result = ComputeTypicality(f.embeddings, some, f.predicted,
+                                  f.soft_labels, ppr, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().typicality.size(), 3u);
+  EXPECT_EQ(result.value().clustering.assignments.size(), 3u);
+}
+
+}  // namespace
+}  // namespace gale::core

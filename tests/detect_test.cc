@@ -1,0 +1,241 @@
+// Tests for the base detectors, the detector library, and the oracles.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "detect/constraint_detector.h"
+#include "detect/detector_library.h"
+#include "detect/oracle.h"
+#include "detect/outlier_detector.h"
+#include "detect/string_detector.h"
+#include "graph/error_injector.h"
+#include "graph/synthetic_dataset.h"
+
+namespace gale::detect {
+namespace {
+
+struct Fixture {
+  graph::SyntheticDataset dataset;
+  std::vector<graph::Constraint> constraints;
+  graph::AttributedGraph dirty;
+  graph::ErrorGroundTruth truth;
+};
+
+Fixture MakeFixture(double node_error_rate = 0.05, uint64_t seed = 5,
+                    std::vector<double> mix = {1.0 / 3, 1.0 / 3, 1.0 / 3},
+                    double detectable = 1.0) {
+  graph::SyntheticConfig config;
+  config.num_nodes = 1200;
+  config.num_edges = 1500;
+  config.seed = seed;
+  auto ds = graph::GenerateSynthetic(config);
+  EXPECT_TRUE(ds.ok());
+  graph::ConstraintMiner miner({.min_support = 10, .min_confidence = 0.8});
+  auto constraints = miner.Mine(ds.value().graph);
+  EXPECT_TRUE(constraints.ok());
+
+  Fixture f{std::move(ds).value(), std::move(constraints).value(), {}, {}};
+  f.dirty = f.dataset.graph.Clone();
+  graph::ErrorInjectorConfig inject;
+  inject.node_error_rate = node_error_rate;
+  inject.type_mix = std::move(mix);
+  inject.detectable_rate = detectable;
+  inject.seed = seed ^ 0xBEEF;
+  auto truth = graph::ErrorInjector(inject).Inject(f.dirty, f.constraints);
+  EXPECT_TRUE(truth.ok());
+  f.truth = std::move(truth).value();
+  return f;
+}
+
+TEST(ZScoreOutlierDetectorTest, CatchesPlantedExtremes) {
+  Fixture f = MakeFixture(0.08, 7, {0.0, 1.0, 0.0});
+  ZScoreOutlierDetector detector(3.0);
+  auto detections = detector.Detect(f.dirty);
+  EXPECT_FALSE(detections.empty());
+  // Every detection must be on a truly erroneous node (clean numeric
+  // values stay well within 3 sigma by construction at this scale).
+  size_t on_errors = 0;
+  for (const DetectedError& e : detections) {
+    on_errors += f.truth.is_error[e.node];
+    EXPECT_GT(e.confidence, 0.0);
+    EXPECT_LE(e.confidence, 1.0);
+    ASSERT_FALSE(e.suggestions.empty()) << "invertible detector";
+  }
+  EXPECT_GT(static_cast<double>(on_errors) /
+                static_cast<double>(detections.size()),
+            0.9);
+}
+
+TEST(LofScoresTest, OutlierGetsHighScore) {
+  std::vector<double> values;
+  for (int i = 0; i < 50; ++i) values.push_back(i * 0.1);
+  values.push_back(100.0);  // isolated point
+  auto scores = LofOutlierDetector::LofScores(values, 5);
+  ASSERT_EQ(scores.size(), values.size());
+  double max_inlier = 0.0;
+  for (size_t i = 0; i < 50; ++i) max_inlier = std::max(max_inlier, scores[i]);
+  EXPECT_GT(scores[50], 5.0);
+  EXPECT_LT(max_inlier, 3.0);
+}
+
+TEST(LofScoresTest, UniformDataScoresNearOne) {
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(static_cast<double>(i));
+  auto scores = LofOutlierDetector::LofScores(values, 5);
+  for (size_t i = 5; i + 5 < scores.size(); ++i) {
+    EXPECT_NEAR(scores[i], 1.0, 0.2) << "interior points are inliers";
+  }
+}
+
+TEST(LofScoresTest, TinyPopulationsAreNeutral) {
+  auto scores = LofOutlierDetector::LofScores({1.0, 2.0}, 5);
+  EXPECT_EQ(scores, (std::vector<double>{1.0, 1.0}));
+}
+
+TEST(ConstraintDetectorTest, MergesPerNodeAttr) {
+  Fixture f = MakeFixture(0.10, 9, {1.0, 0.0, 0.0});
+  ConstraintDetector detector(f.constraints);
+  auto detections = detector.Detect(f.dirty);
+  EXPECT_FALSE(detections.empty());
+  // No duplicate (node, attr) pairs.
+  std::set<std::pair<size_t, size_t>> seen;
+  for (const DetectedError& e : detections) {
+    EXPECT_TRUE(seen.insert({e.node, e.attr}).second);
+  }
+}
+
+TEST(StringNoiseDetectorTest, CatchesNullsAndJunk) {
+  Fixture f = MakeFixture(0.10, 11, {0.0, 0.0, 1.0});
+  StringNoiseDetector detector;
+  auto detections = detector.Detect(f.dirty);
+  EXPECT_FALSE(detections.empty());
+  // Count how many flagged nodes are truly erroneous — the precision on a
+  // string-noise-only pollution should be decent.
+  std::set<size_t> flagged;
+  for (const DetectedError& e : detections) flagged.insert(e.node);
+  size_t correct_flags = 0;
+  for (size_t v : flagged) correct_flags += f.truth.is_error[v];
+  EXPECT_GT(static_cast<double>(correct_flags) /
+                static_cast<double>(flagged.size()),
+            0.5);
+}
+
+TEST(DetectorLibraryTest, DefaultLibraryShape) {
+  Fixture f = MakeFixture();
+  DetectorLibrary lib = DetectorLibrary::MakeDefault(f.constraints);
+  EXPECT_EQ(lib.num_detectors(), 4u);
+  EXPECT_FALSE(lib.has_results());
+  ASSERT_TRUE(lib.RunAll(f.dirty).ok());
+  EXPECT_TRUE(lib.has_results());
+}
+
+TEST(DetectorLibraryTest, NormalizedConfidencesWithinClassSumAboveOne) {
+  // |Ψ_i| / |Ψ_{C_i}| is a share of the class union: each detector's value
+  // is in [0, 1], and within a class the max is 1 only if one detector
+  // covers the whole union.
+  Fixture f = MakeFixture(0.15);
+  DetectorLibrary lib = DetectorLibrary::MakeDefault(f.constraints);
+  ASSERT_TRUE(lib.RunAll(f.dirty).ok());
+  for (size_t i = 0; i < lib.num_detectors(); ++i) {
+    const double c = lib.NormalizedConfidence(i);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
+}
+
+TEST(DetectorLibraryTest, ErrorDistributionIsNormalized) {
+  Fixture f = MakeFixture(0.15);
+  DetectorLibrary lib = DetectorLibrary::MakeDefault(f.constraints);
+  ASSERT_TRUE(lib.RunAll(f.dirty).ok());
+  size_t flagged_nodes = 0;
+  for (size_t v = 0; v < f.dirty.num_nodes(); ++v) {
+    auto dist = lib.ErrorDistributionAt(v);
+    double sum = dist[0] + dist[1] + dist[2];
+    if (lib.NodeFlagged(v)) {
+      ++flagged_nodes;
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+    } else {
+      EXPECT_DOUBLE_EQ(sum, 0.0);
+    }
+  }
+  EXPECT_GT(flagged_nodes, 0u);
+}
+
+TEST(DetectorLibraryTest, RequiresFinalizedGraph) {
+  graph::AttributedGraph g;
+  g.AddNodeType("t", {{"a", graph::ValueKind::kText}});
+  DetectorLibrary lib = DetectorLibrary::MakeDefault({});
+  EXPECT_FALSE(lib.RunAll(g).ok());
+}
+
+TEST(GroundTruthOracleTest, AnswersFromTruthAndCounts) {
+  Fixture f = MakeFixture();
+  GroundTruthOracle oracle(&f.truth);
+  size_t errors = 0;
+  for (size_t v = 0; v < 100; ++v) {
+    const NodeLabel label = oracle.Label(v);
+    EXPECT_EQ(label == NodeLabel::kError, f.truth.is_error[v] != 0);
+    errors += (label == NodeLabel::kError);
+  }
+  EXPECT_EQ(oracle.num_queries(), 100u);
+  oracle.ResetQueryCount();
+  EXPECT_EQ(oracle.num_queries(), 0u);
+}
+
+TEST(EnsembleOracleTest, MatchesLibraryFlags) {
+  Fixture f = MakeFixture();
+  DetectorLibrary lib = DetectorLibrary::MakeDefault(f.constraints);
+  ASSERT_TRUE(lib.RunAll(f.dirty).ok());
+  EnsembleOracle oracle(&lib);
+  for (size_t v = 0; v < 200; ++v) {
+    EXPECT_EQ(oracle.Label(v) == NodeLabel::kError, lib.NodeFlagged(v));
+  }
+}
+
+TEST(EnsembleOracleTest, DetectsMostDetectableErrorsOnly) {
+  // With detectable_rate 1.0 the ensemble oracle should label most
+  // erroneous nodes 'error'; with 0.0 it should miss most of them.
+  for (double rate : {1.0, 0.0}) {
+    Fixture f = MakeFixture(0.10, 21, {1.0 / 3, 1.0 / 3, 1.0 / 3}, rate);
+    DetectorLibrary lib = DetectorLibrary::MakeDefault(f.constraints);
+    ASSERT_TRUE(lib.RunAll(f.dirty).ok());
+    EnsembleOracle oracle(&lib);
+    size_t caught = 0;
+    size_t total = 0;
+    for (size_t v = 0; v < f.dirty.num_nodes(); ++v) {
+      if (!f.truth.is_error[v]) continue;
+      ++total;
+      caught += (oracle.Label(v) == NodeLabel::kError);
+    }
+    ASSERT_GT(total, 0u);
+    const double recall =
+        static_cast<double>(caught) / static_cast<double>(total);
+    if (rate == 1.0) {
+      EXPECT_GT(recall, 0.6);
+    } else {
+      EXPECT_LT(recall, 0.45);
+    }
+  }
+}
+
+TEST(NoisyOracleTest, FlipRateZeroAndOne) {
+  Fixture f = MakeFixture();
+  {
+    NoisyOracle oracle(std::make_unique<GroundTruthOracle>(&f.truth), 0.0, 1);
+    for (size_t v = 0; v < 50; ++v) {
+      EXPECT_EQ(oracle.Label(v) == NodeLabel::kError,
+                f.truth.is_error[v] != 0);
+    }
+  }
+  {
+    NoisyOracle oracle(std::make_unique<GroundTruthOracle>(&f.truth), 1.0, 1);
+    for (size_t v = 0; v < 50; ++v) {
+      EXPECT_NE(oracle.Label(v) == NodeLabel::kError,
+                f.truth.is_error[v] != 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gale::detect

@@ -1,0 +1,123 @@
+// Determinism and consistency of the experiment harness: identical seeds
+// must produce identical datasets and identical method outcomes — the
+// property every bench binary's reproducibility rests on.
+
+#include <gtest/gtest.h>
+
+#include "eval/datasets.h"
+#include "eval/experiment.h"
+
+namespace gale::eval {
+namespace {
+
+TEST(DatasetDeterminismTest, SameSeedSameDataset) {
+  auto spec = DatasetByName("UG2", 0.3);
+  ASSERT_TRUE(spec.ok());
+  auto a = PrepareDataset(spec.value(), 77);
+  auto b = PrepareDataset(spec.value(), 77);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  EXPECT_EQ(a.value()->truth.is_error, b.value()->truth.is_error);
+  EXPECT_EQ(a.value()->constraints.size(), b.value()->constraints.size());
+  EXPECT_TRUE(
+      a.value()->features.x_real.AllClose(b.value()->features.x_real, 0.0));
+  EXPECT_TRUE(a.value()->features.x_synthetic.AllClose(
+      b.value()->features.x_synthetic, 0.0));
+  EXPECT_EQ(a.value()->splits.test_mask, b.value()->splits.test_mask);
+}
+
+TEST(DatasetDeterminismTest, DifferentSeedDifferentErrors) {
+  auto spec = DatasetByName("UG2", 0.3);
+  ASSERT_TRUE(spec.ok());
+  auto a = PrepareDataset(spec.value(), 77);
+  auto b = PrepareDataset(spec.value(), 78);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value()->truth.is_error, b.value()->truth.is_error);
+}
+
+TEST(RunnerConsistencyTest, VioDetMatchesDirectComputation) {
+  auto spec = DatasetByName("UG2", 0.3);
+  ASSERT_TRUE(spec.ok());
+  auto ds = PrepareDataset(spec.value(), 5);
+  ASSERT_TRUE(ds.ok());
+
+  const MethodOutcome outcome = RunVioDet(*ds.value());
+  // Recompute by hand from the violation set.
+  std::vector<uint8_t> flagged(ds.value()->dirty.num_nodes(), 0);
+  for (const graph::Violation& v :
+       graph::CheckConstraints(ds.value()->dirty, ds.value()->constraints)) {
+    flagged[v.node] = 1;
+  }
+  const Metrics direct = ComputeMetrics(flagged, ds.value()->truth.is_error,
+                                        ds.value()->splits.test_mask);
+  EXPECT_DOUBLE_EQ(outcome.metrics.f1, direct.f1);
+  EXPECT_DOUBLE_EQ(outcome.metrics.precision, direct.precision);
+  EXPECT_EQ(outcome.method, "VioDet");
+}
+
+TEST(RunnerConsistencyTest, GaleRunIsSeedDeterministic) {
+  auto spec = DatasetByName("UG2", 0.3);
+  ASSERT_TRUE(spec.ok());
+  spec.value().total_budget = 10;
+  spec.value().local_budget = 5;
+  auto ds = PrepareDataset(spec.value(), 9);
+  ASSERT_TRUE(ds.ok());
+  auto examples = MakeExamples(*ds.value(), 9, 0.10, 0.1);
+  ASSERT_TRUE(examples.ok());
+
+  GaleRunOptions options;
+  options.total_budget = 10;
+  options.local_budget = 5;
+  options.seed = 9;
+  auto a = RunGale(*ds.value(), examples.value(), options);
+  auto b = RunGale(*ds.value(), examples.value(), options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().detail.predicted, b.value().detail.predicted);
+  EXPECT_DOUBLE_EQ(a.value().outcome.metrics.f1,
+                   b.value().outcome.metrics.f1);
+}
+
+TEST(BenchConfigTest, SganConfigIsSane) {
+  const core::SganConfig config = BenchSganConfig(3);
+  EXPECT_GT(config.hidden_dim, config.embedding_dim / 2);
+  EXPECT_GT(config.train_epochs, config.update_epochs);
+  EXPECT_GT(config.learning_rate, 0.0);
+  EXPECT_EQ(config.seed, 3u);
+}
+
+TEST(EnsembleOracleOptionTest, SwitchesOracle) {
+  auto spec = DatasetByName("UG2", 0.3);
+  ASSERT_TRUE(spec.ok());
+  spec.value().total_budget = 10;
+  spec.value().local_budget = 5;
+  auto ds = PrepareDataset(spec.value(), 13);
+  ASSERT_TRUE(ds.ok());
+  auto examples = MakeExamples(*ds.value(), 13, 0.10, 0.1);
+  ASSERT_TRUE(examples.ok());
+
+  GaleRunOptions options;
+  options.total_budget = 10;
+  options.local_budget = 5;
+  options.seed = 13;
+  options.ensemble_oracle = true;
+  auto result = RunGale(*ds.value(), examples.value(), options);
+  ASSERT_TRUE(result.ok());
+  // With the ensemble oracle, labels assigned to queried nodes must match
+  // the detector-flag status, not the ground truth.
+  for (size_t v = 0; v < result.value().detail.example_labels.size(); ++v) {
+    const int label = result.value().detail.example_labels[v];
+    if (examples.value().labels[v] != kExampleUnlabeled) continue;
+    if (label == core::kLabelError) {
+      EXPECT_TRUE(ds.value()->library.NodeFlagged(v));
+    }
+    if (label == core::kLabelCorrect) {
+      EXPECT_FALSE(ds.value()->library.NodeFlagged(v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gale::eval

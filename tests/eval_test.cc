@@ -1,0 +1,257 @@
+// Tests for metrics, splits, dataset registry and experiment runners.
+
+#include <gtest/gtest.h>
+
+#include "eval/datasets.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/splits.h"
+
+namespace gale::eval {
+namespace {
+
+TEST(MetricsTest, HandComputedValues) {
+  // truth:      1 1 0 0 1
+  // predicted:  1 0 1 0 1
+  std::vector<uint8_t> truth = {1, 1, 0, 0, 1};
+  std::vector<uint8_t> predicted = {1, 0, 1, 0, 1};
+  Metrics m = ComputeMetrics(predicted, truth);
+  EXPECT_EQ(m.true_positives, 2u);
+  EXPECT_EQ(m.false_positives, 1u);
+  EXPECT_EQ(m.false_negatives, 1u);
+  EXPECT_NEAR(m.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.recall, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.f1, 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(m.evaluated_nodes, 5u);
+}
+
+TEST(MetricsTest, MaskRestrictsEvaluation) {
+  std::vector<uint8_t> truth = {1, 0, 1, 0};
+  std::vector<uint8_t> predicted = {1, 1, 0, 0};
+  std::vector<uint8_t> mask = {1, 1, 0, 0};
+  Metrics m = ComputeMetrics(predicted, truth, mask);
+  EXPECT_EQ(m.evaluated_nodes, 2u);
+  EXPECT_EQ(m.true_positives, 1u);
+  EXPECT_EQ(m.false_positives, 1u);
+  EXPECT_EQ(m.false_negatives, 0u);
+}
+
+TEST(MetricsTest, ZeroPredictionsYieldZeroMetrics) {
+  std::vector<uint8_t> truth = {1, 0};
+  std::vector<uint8_t> predicted = {0, 0};
+  Metrics m = ComputeMetrics(predicted, truth);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+}
+
+TEST(AucPrTest, PerfectRankingIsOne) {
+  std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  std::vector<uint8_t> truth = {1, 1, 0, 0};
+  EXPECT_NEAR(AucPr(scores, truth), 1.0, 1e-9);
+}
+
+TEST(AucPrTest, RandomishRankingNearBaseRate) {
+  // Constant scores: one threshold group, precision = base rate.
+  std::vector<double> scores(100, 0.5);
+  std::vector<uint8_t> truth(100, 0);
+  for (size_t i = 0; i < 25; ++i) truth[i] = 1;
+  EXPECT_NEAR(AucPr(scores, truth), 0.25, 1e-9);
+}
+
+TEST(AucPrTest, NoPositivesIsZero) {
+  EXPECT_DOUBLE_EQ(AucPr({0.5, 0.2}, {0, 0}), 0.0);
+}
+
+TEST(SplitsTest, FoldsPartitionAllNodes) {
+  Splits s = MakeSplits(1000, 3);
+  size_t train = 0;
+  size_t val = 0;
+  size_t test = 0;
+  for (size_t v = 0; v < 1000; ++v) {
+    const int memberships = s.train_mask[v] + s.val_mask[v] + s.test_mask[v];
+    EXPECT_EQ(memberships, 1) << "node in exactly one fold";
+    train += s.train_mask[v];
+    val += s.val_mask[v];
+    test += s.test_mask[v];
+  }
+  EXPECT_EQ(train, 600u);
+  EXPECT_EQ(val, 100u);
+  EXPECT_EQ(test, 300u);
+}
+
+TEST(SplitsTest, DeterministicUnderSeed) {
+  Splits a = MakeSplits(500, 9);
+  Splits b = MakeSplits(500, 9);
+  EXPECT_EQ(a.train_mask, b.train_mask);
+  Splits c = MakeSplits(500, 10);
+  EXPECT_NE(a.train_mask, c.train_mask);
+}
+
+graph::ErrorGroundTruth FakeTruth(size_t n, size_t num_errors) {
+  graph::ErrorGroundTruth truth;
+  truth.is_error.assign(n, 0);
+  truth.node_errors.assign(n, {});
+  for (size_t v = 0; v < num_errors; ++v) truth.is_error[v * 7 % n] = 1;
+  return truth;
+}
+
+TEST(BuildExamplesTest, IncludesAllTrainErrorsByDefault) {
+  const size_t n = 1000;
+  graph::ErrorGroundTruth truth = FakeTruth(n, 60);
+  Splits splits = MakeSplits(n, 1);
+  auto examples = BuildExamples(truth, splits, {.train_ratio = 0.1});
+  ASSERT_TRUE(examples.ok());
+  const ExampleSet& ex = examples.value();
+
+  size_t train_errors = 0;
+  for (size_t v = 0; v < n; ++v) {
+    if (splits.train_mask[v] && truth.is_error[v]) ++train_errors;
+  }
+  EXPECT_EQ(ex.num_error_examples, train_errors);
+  EXPECT_NEAR(static_cast<double>(ex.num_examples), 100.0, 1.0);
+
+  // Labels only on train nodes; excluded elsewhere.
+  for (size_t v = 0; v < n; ++v) {
+    if (!splits.train_mask[v]) {
+      EXPECT_EQ(ex.labels[v], kExampleExcluded);
+    } else {
+      EXPECT_NE(ex.labels[v], kExampleExcluded);
+    }
+  }
+}
+
+TEST(BuildExamplesTest, InitialFractionShrinksTheSet) {
+  const size_t n = 1000;
+  graph::ErrorGroundTruth truth = FakeTruth(n, 60);
+  Splits splits = MakeSplits(n, 1);
+  auto full = BuildExamples(truth, splits, {.train_ratio = 0.1});
+  auto tenth = BuildExamples(
+      truth, splits, {.train_ratio = 0.1, .initial_fraction = 0.1});
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(tenth.ok());
+  EXPECT_LT(tenth.value().num_examples, full.value().num_examples / 5);
+  EXPECT_GE(tenth.value().num_error_examples, 1u)
+      << "stratified keep: at least one error example survives";
+}
+
+TEST(BuildExamplesTest, ForcedErrorShareIsRespected) {
+  const size_t n = 2000;
+  graph::ErrorGroundTruth truth = FakeTruth(n, 200);
+  Splits splits = MakeSplits(n, 2);
+  for (double pe : {0.2, 0.5, 0.8}) {
+    auto examples = BuildExamples(
+        truth, splits, {.train_ratio = 0.1, .forced_error_share = pe});
+    ASSERT_TRUE(examples.ok());
+    const ExampleSet& ex = examples.value();
+    ASSERT_GT(ex.num_examples, 10u);
+    const double actual = static_cast<double>(ex.num_error_examples) /
+                          static_cast<double>(ex.num_examples);
+    EXPECT_NEAR(actual, pe, 0.08) << "pe=" << pe;
+  }
+}
+
+TEST(BuildExamplesTest, ValidationLabelsCoverValFold) {
+  const size_t n = 500;
+  graph::ErrorGroundTruth truth = FakeTruth(n, 30);
+  Splits splits = MakeSplits(n, 3);
+  auto examples = BuildExamples(truth, splits, {});
+  ASSERT_TRUE(examples.ok());
+  for (size_t v = 0; v < n; ++v) {
+    if (splits.val_mask[v]) {
+      EXPECT_EQ(examples.value().val_labels[v],
+                truth.is_error[v] ? kExampleError : kExampleCorrect);
+    } else {
+      EXPECT_EQ(examples.value().val_labels[v], kExampleUnlabeled);
+    }
+  }
+}
+
+TEST(BuildExamplesTest, RejectsBadRatios) {
+  graph::ErrorGroundTruth truth = FakeTruth(100, 5);
+  Splits splits = MakeSplits(100, 4);
+  EXPECT_FALSE(BuildExamples(truth, splits, {.train_ratio = 0.0}).ok());
+  EXPECT_FALSE(BuildExamples(truth, splits, {.train_ratio = 0.7}).ok());
+}
+
+TEST(DatasetRegistryTest, FiveDatasetsWithExpectedNames) {
+  auto specs = DefaultDatasets(0.25);
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_EQ(specs[0].name, "SP");
+  EXPECT_EQ(specs[4].name, "UG2");
+  EXPECT_TRUE(DatasetByName("ML").ok());
+  EXPECT_FALSE(DatasetByName("nope").ok());
+}
+
+TEST(DatasetRegistryTest, ScaleShrinksGraphs) {
+  auto full = DatasetByName("SP", 1.0);
+  auto small = DatasetByName("SP", 0.25);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(small.ok());
+  EXPECT_LT(small.value().generator.num_nodes,
+            full.value().generator.num_nodes);
+}
+
+TEST(PrepareDatasetTest, PipelineProducesConsistentBundle) {
+  auto spec = DatasetByName("UG2", 0.3);
+  ASSERT_TRUE(spec.ok());
+  auto prepared = PrepareDataset(spec.value(), 21);
+  ASSERT_TRUE(prepared.ok());
+  const PreparedDataset& ds = *prepared.value();
+  EXPECT_EQ(ds.dirty.num_nodes(), ds.clean.graph.num_nodes());
+  EXPECT_EQ(ds.features.x_real.rows(), ds.dirty.num_nodes());
+  EXPECT_GT(ds.features.x_synthetic.rows(), 0u);
+  EXPECT_GT(ds.constraints.size(), 0u);
+  EXPECT_TRUE(ds.library.has_results());
+  EXPECT_GT(ds.truth.NumErroneousNodes(), 0u);
+  EXPECT_EQ(ds.walk_matrix.rows(), ds.dirty.num_nodes());
+}
+
+TEST(ExperimentTest, RunnersProduceTestFoldMetrics) {
+  auto spec = DatasetByName("UG2", 0.3);
+  ASSERT_TRUE(spec.ok());
+  // Shrink budgets for the test.
+  spec.value().total_budget = 20;
+  spec.value().local_budget = 5;
+  auto prepared = PrepareDataset(spec.value(), 23);
+  ASSERT_TRUE(prepared.ok());
+  const PreparedDataset& ds = *prepared.value();
+
+  auto examples = MakeExamples(ds, 23);
+  ASSERT_TRUE(examples.ok());
+
+  MethodOutcome viodet = RunVioDet(ds);
+  EXPECT_EQ(viodet.method, "VioDet");
+  EXPECT_GT(viodet.metrics.evaluated_nodes, 0u);
+
+  MethodOutcome alad = RunAlad(ds, examples.value());
+  EXPECT_GE(alad.auc_pr, 0.0);
+
+  auto raha = RunRaha(ds, examples.value(), 23);
+  ASSERT_TRUE(raha.ok());
+
+  auto gale_examples = MakeExamples(ds, 23, 0.10, 0.1);
+  ASSERT_TRUE(gale_examples.ok());
+  GaleRunOptions options;
+  options.total_budget = 20;
+  options.local_budget = 5;
+  options.seed = 23;
+  auto gale = RunGale(ds, gale_examples.value(), options);
+  ASSERT_TRUE(gale.ok());
+  EXPECT_EQ(gale.value().outcome.method, "GALE");
+  EXPECT_EQ(gale.value().detail.iterations.size(), 4u);
+  EXPECT_GT(gale.value().outcome.train_seconds, 0.0);
+
+  options.memoization = false;
+  auto ugale = RunGale(ds, gale_examples.value(), options);
+  ASSERT_TRUE(ugale.ok());
+  EXPECT_EQ(ugale.value().outcome.method, "U_GALE");
+}
+
+TEST(ExperimentTest, ToErrorFlags) {
+  std::vector<int> predicted = {0, 1, 0, 1, -1};
+  EXPECT_EQ(ToErrorFlags(predicted),
+            (std::vector<uint8_t>{1, 0, 1, 0, 0}));
+}
+
+}  // namespace
+}  // namespace gale::eval

@@ -1,0 +1,127 @@
+#include "graph/attributed_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace gale::graph {
+namespace {
+
+AttributedGraph TinyFilmGraph() {
+  AttributedGraph g;
+  const size_t film = g.AddNodeType(
+      "film", {{"name", ValueKind::kText}, {"year", ValueKind::kNumeric}});
+  const size_t person = g.AddNodeType("person", {{"name", ValueKind::kText}});
+  const size_t seq = g.AddEdgeType("subsequent");
+  const size_t directed = g.AddEdgeType("directedBy");
+
+  const size_t v0 = g.AddNode(
+      film, {AttributeValue::Text("Avengers"), AttributeValue::Number(2012)});
+  const size_t v1 = g.AddNode(film, {AttributeValue::Text("Avengers 2"),
+                                     AttributeValue::Number(2015)});
+  const size_t p = g.AddNode(person, {AttributeValue::Text("Whedon")});
+  g.AddEdge(v0, v1, seq);
+  g.AddEdge(v0, p, directed);
+  g.AddEdge(v1, p, directed);
+  g.Finalize();
+  return g;
+}
+
+TEST(AttributeValueTest, EqualityByKindAndPayload) {
+  EXPECT_EQ(AttributeValue::Null(), AttributeValue::Null());
+  EXPECT_EQ(AttributeValue::Number(3.0), AttributeValue::Number(3.0));
+  EXPECT_NE(AttributeValue::Number(3.0), AttributeValue::Number(4.0));
+  EXPECT_EQ(AttributeValue::Text("x"), AttributeValue::Text("x"));
+  EXPECT_NE(AttributeValue::Text("x"), AttributeValue::Text("y"));
+  EXPECT_NE(AttributeValue::Text("3"), AttributeValue::Number(3.0));
+  EXPECT_NE(AttributeValue::Null(), AttributeValue::Text(""));
+}
+
+TEST(AttributeValueTest, ToString) {
+  EXPECT_EQ(AttributeValue::Null().ToString(), "null");
+  EXPECT_EQ(AttributeValue::Text("hi").ToString(), "hi");
+  EXPECT_EQ(AttributeValue::Number(2015).ToString(), "2015");
+  EXPECT_EQ(AttributeValue::Number(3.5).ToString(), "3.5");
+}
+
+TEST(AttributedGraphTest, SchemaAccessors) {
+  AttributedGraph g = TinyFilmGraph();
+  EXPECT_EQ(g.num_node_types(), 2u);
+  EXPECT_EQ(g.num_edge_types(), 2u);
+  EXPECT_EQ(g.node_type_def(0).name, "film");
+  EXPECT_EQ(g.edge_type_name(1), "directedBy");
+
+  auto idx = g.AttributeIndex(0, "year");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx.value(), 1u);
+  EXPECT_FALSE(g.AttributeIndex(0, "bogus").ok());
+  EXPECT_FALSE(g.AttributeIndex(9, "name").ok());
+}
+
+TEST(AttributedGraphTest, TopologyCounts) {
+  AttributedGraph g = TinyFilmGraph();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(2), 2u);
+}
+
+TEST(AttributedGraphTest, NeighborsCarryEdgeTypes) {
+  AttributedGraph g = TinyFilmGraph();
+  int subsequent_count = 0;
+  int directed_count = 0;
+  for (const Neighbor* it = g.NeighborsBegin(0); it != g.NeighborsEnd(0);
+       ++it) {
+    if (it->edge_type == 0) ++subsequent_count;
+    if (it->edge_type == 1) ++directed_count;
+  }
+  EXPECT_EQ(subsequent_count, 1);
+  EXPECT_EQ(directed_count, 1);
+}
+
+TEST(AttributedGraphTest, EdgePairs) {
+  AttributedGraph g = TinyFilmGraph();
+  auto pairs = g.EdgePairs();
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0], (std::pair<size_t, size_t>{0, 1}));
+}
+
+TEST(AttributedGraphTest, ValueAccessAndMutation) {
+  AttributedGraph g = TinyFilmGraph();
+  EXPECT_EQ(g.value(0, 0).text, "Avengers");
+  EXPECT_DOUBLE_EQ(g.value(1, 1).numeric, 2015.0);
+  g.set_value(1, 1, AttributeValue::Number(2014));
+  EXPECT_DOUBLE_EQ(g.value(1, 1).numeric, 2014.0);
+  EXPECT_EQ(g.attribute_def(1, 1).name, "year");
+}
+
+TEST(AttributedGraphTest, CloneIsDeep) {
+  AttributedGraph g = TinyFilmGraph();
+  AttributedGraph copy = g.Clone();
+  copy.set_value(0, 0, AttributeValue::Text("changed"));
+  EXPECT_EQ(g.value(0, 0).text, "Avengers");
+  EXPECT_EQ(copy.value(0, 0).text, "changed");
+  EXPECT_EQ(copy.num_edges(), g.num_edges());
+}
+
+TEST(AttributedGraphTest, SelfLoopCountsOnceInAdjacency) {
+  AttributedGraph g;
+  const size_t t = g.AddNodeType("t", {{"a", ValueKind::kText}});
+  const size_t e = g.AddEdgeType("e");
+  const size_t v = g.AddNode(t, {AttributeValue::Text("x")});
+  g.AddEdge(v, v, e);
+  g.Finalize();
+  EXPECT_EQ(g.degree(v), 1u);
+  EXPECT_EQ(g.NeighborsBegin(v)->node, v);
+}
+
+TEST(AttributedGraphTest, IsolatedNodeHasNoNeighbors) {
+  AttributedGraph g;
+  const size_t t = g.AddNodeType("t", {{"a", ValueKind::kText}});
+  g.AddEdgeType("e");
+  g.AddNode(t, {AttributeValue::Text("x")});
+  g.Finalize();
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_EQ(g.NeighborsBegin(0), g.NeighborsEnd(0));
+}
+
+}  // namespace
+}  // namespace gale::graph

@@ -1,0 +1,196 @@
+#include "graph/constraints.h"
+
+#include <gtest/gtest.h>
+
+namespace gale::graph {
+namespace {
+
+// A graph where "group" determines "label" (FD), "region" agrees across
+// edges, and "status" has a small domain {open, closed}.
+AttributedGraph ConstraintGraph(size_t copies) {
+  AttributedGraph g;
+  const size_t t = g.AddNodeType("t", {{"group", ValueKind::kText},
+                                       {"label", ValueKind::kText},
+                                       {"region", ValueKind::kText},
+                                       {"status", ValueKind::kText}});
+  const size_t e = g.AddEdgeType("e");
+  // Blocks of 4 nodes: group gX -> label LX, region rX, edges inside the
+  // block so region agreement holds.
+  for (size_t b = 0; b < copies; ++b) {
+    const std::string gx = "g" + std::to_string(b % 3);
+    const std::string lx = "L" + std::to_string(b % 3);
+    const std::string rx = "r" + std::to_string(b % 3);
+    size_t first = g.num_nodes();
+    for (int i = 0; i < 4; ++i) {
+      g.AddNode(t, {AttributeValue::Text(gx), AttributeValue::Text(lx),
+                    AttributeValue::Text(rx),
+                    AttributeValue::Text(i % 2 ? "open" : "closed")});
+    }
+    g.AddEdge(first, first + 1, e);
+    g.AddEdge(first + 1, first + 2, e);
+    g.AddEdge(first + 2, first + 3, e);
+  }
+  g.Finalize();
+  return g;
+}
+
+TEST(ConstraintMinerTest, RequiresFinalizedGraph) {
+  AttributedGraph g;
+  g.AddNodeType("t", {{"a", ValueKind::kText}});
+  ConstraintMiner miner({.min_support = 1, .min_confidence = 0.5});
+  EXPECT_FALSE(miner.Mine(g).ok());
+}
+
+TEST(ConstraintMinerTest, FindsAllThreeKinds) {
+  AttributedGraph g = ConstraintGraph(20);
+  ConstraintMiner miner({.min_support = 10, .min_confidence = 0.85});
+  auto constraints = miner.Mine(g);
+  ASSERT_TRUE(constraints.ok());
+  bool has_fd = false;
+  bool has_agreement = false;
+  bool has_domain = false;
+  for (const Constraint& k : constraints.value()) {
+    if (k.kind == ConstraintKind::kFunctionalDependency) has_fd = true;
+    if (k.kind == ConstraintKind::kEdgeAgreement) has_agreement = true;
+    if (k.kind == ConstraintKind::kDomain) has_domain = true;
+    EXPECT_GE(k.confidence, 0.85);
+    EXPECT_GE(k.support, 10u);
+  }
+  EXPECT_TRUE(has_fd);
+  EXPECT_TRUE(has_agreement);
+  EXPECT_TRUE(has_domain);
+}
+
+TEST(ConstraintMinerTest, FdMappingIsCorrect) {
+  AttributedGraph g = ConstraintGraph(20);
+  ConstraintMiner miner({.min_support = 10, .min_confidence = 0.9});
+  auto constraints = miner.Mine(g);
+  ASSERT_TRUE(constraints.ok());
+  for (const Constraint& k : constraints.value()) {
+    if (k.kind != ConstraintKind::kFunctionalDependency) continue;
+    if (g.node_type_def(k.node_type).attributes[k.lhs_attr].name != "group" ||
+        g.node_type_def(k.node_type).attributes[k.attr].name != "label") {
+      continue;
+    }
+    EXPECT_EQ(k.fd_mapping.at("g0"), "L0");
+    EXPECT_EQ(k.fd_mapping.at("g2"), "L2");
+    EXPECT_DOUBLE_EQ(k.confidence, 1.0);
+    return;
+  }
+  FAIL() << "group -> label FD not mined";
+}
+
+TEST(ConstraintMinerTest, RespectsSupportThreshold) {
+  AttributedGraph g = ConstraintGraph(2);  // only 8 nodes
+  ConstraintMiner miner({.min_support = 100, .min_confidence = 0.5});
+  auto constraints = miner.Mine(g);
+  ASSERT_TRUE(constraints.ok());
+  EXPECT_TRUE(constraints.value().empty());
+}
+
+TEST(CheckConstraintsTest, DetectsFdViolationWithSuggestion) {
+  AttributedGraph g = ConstraintGraph(20);
+  ConstraintMiner miner({.min_support = 10, .min_confidence = 0.9});
+  auto constraints = miner.Mine(g);
+  ASSERT_TRUE(constraints.ok());
+  ASSERT_TRUE(CheckConstraints(g, constraints.value()).empty())
+      << "clean graph must have no violations";
+
+  // Break the FD at node 0: group g0 but label L2.
+  auto label_idx = g.AttributeIndex(0, "label");
+  ASSERT_TRUE(label_idx.ok());
+  g.set_value(0, label_idx.value(), AttributeValue::Text("L2"));
+
+  auto violations = CheckConstraints(g, constraints.value());
+  ASSERT_FALSE(violations.empty());
+  bool found = false;
+  for (const Violation& v : violations) {
+    if (v.node == 0 && v.attr == label_idx.value()) {
+      found = true;
+      EXPECT_EQ(v.suggestion.text, "L0");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CheckConstraintsTest, EdgeAgreementFlagsBothEndpoints) {
+  AttributedGraph g = ConstraintGraph(20);
+  ConstraintMiner miner({.min_support = 10, .min_confidence = 0.9});
+  auto constraints = miner.Mine(g);
+  ASSERT_TRUE(constraints.ok());
+
+  auto region_idx = g.AttributeIndex(0, "region");
+  ASSERT_TRUE(region_idx.ok());
+  g.set_value(0, region_idx.value(), AttributeValue::Text("r_wrong"));
+
+  auto violations = CheckConstraints(g, constraints.value());
+  bool flagged_0 = false;
+  bool flagged_neighbor = false;
+  for (const Violation& v : violations) {
+    if (v.attr != region_idx.value()) continue;
+    if (v.node == 0) flagged_0 = true;
+    if (v.node == 1) flagged_neighbor = true;
+  }
+  // The disagreeing edge (0, 1) reports both suspects — Example 1's
+  // "either v1 or v2" vagueness.
+  EXPECT_TRUE(flagged_0);
+  EXPECT_TRUE(flagged_neighbor);
+}
+
+TEST(CheckConstraintsTest, DomainViolationSuggestsNearestValue) {
+  AttributedGraph g = ConstraintGraph(30);
+  ConstraintMiner miner({.min_support = 10, .min_confidence = 0.9});
+  auto constraints = miner.Mine(g);
+  ASSERT_TRUE(constraints.ok());
+
+  auto status_idx = g.AttributeIndex(0, "status");
+  ASSERT_TRUE(status_idx.ok());
+  g.set_value(0, status_idx.value(), AttributeValue::Text("opeen"));
+
+  auto violations = CheckConstraints(g, constraints.value());
+  bool found = false;
+  for (const Violation& v : violations) {
+    if (v.node == 0 && v.attr == status_idx.value()) {
+      found = true;
+      EXPECT_EQ(v.suggestion.text, "open") << "nearest by edit distance";
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SuggestCorrectionsTest, FdBeatsOtherSources) {
+  AttributedGraph g = ConstraintGraph(20);
+  ConstraintMiner miner({.min_support = 10, .min_confidence = 0.9});
+  auto constraints = miner.Mine(g);
+  ASSERT_TRUE(constraints.ok());
+
+  auto label_idx = g.AttributeIndex(0, "label");
+  ASSERT_TRUE(label_idx.ok());
+  g.set_value(0, label_idx.value(), AttributeValue::Text("L2"));
+  auto suggestions =
+      SuggestCorrections(g, constraints.value(), 0, label_idx.value());
+  ASSERT_FALSE(suggestions.empty());
+  EXPECT_EQ(suggestions[0].text, "L0");
+}
+
+TEST(SuggestCorrectionsTest, NoSuggestionsOnCleanNode) {
+  AttributedGraph g = ConstraintGraph(20);
+  ConstraintMiner miner({.min_support = 10, .min_confidence = 0.9});
+  auto constraints = miner.Mine(g);
+  ASSERT_TRUE(constraints.ok());
+  auto suggestions = SuggestCorrections(g, constraints.value(), 0, 1);
+  EXPECT_TRUE(suggestions.empty());
+}
+
+TEST(ConstraintTest, DebugStringMentionsKind) {
+  AttributedGraph g = ConstraintGraph(20);
+  ConstraintMiner miner({.min_support = 10, .min_confidence = 0.9});
+  auto constraints = miner.Mine(g);
+  ASSERT_TRUE(constraints.ok());
+  ASSERT_FALSE(constraints.value().empty());
+  const std::string s = constraints.value()[0].DebugString(g);
+  EXPECT_NE(s.find("support="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gale::graph

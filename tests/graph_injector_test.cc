@@ -1,0 +1,198 @@
+#include "graph/error_injector.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/constraints.h"
+#include "graph/synthetic_dataset.h"
+
+namespace gale::graph {
+namespace {
+
+struct Fixture {
+  SyntheticDataset dataset;
+  std::vector<Constraint> constraints;
+};
+
+Fixture MakeFixture(uint64_t seed = 5) {
+  SyntheticConfig config;
+  config.num_nodes = 1500;
+  config.num_edges = 1800;
+  config.seed = seed;
+  auto ds = GenerateSynthetic(config);
+  EXPECT_TRUE(ds.ok());
+  ConstraintMiner miner({.min_support = 10, .min_confidence = 0.8});
+  auto constraints = miner.Mine(ds.value().graph);
+  EXPECT_TRUE(constraints.ok());
+  return {std::move(ds).value(), std::move(constraints).value()};
+}
+
+TEST(ErrorInjectorTest, RejectsBadConfigs) {
+  Fixture f = MakeFixture();
+  {
+    ErrorInjectorConfig config;
+    config.type_mix = {1.0, 1.0};  // wrong arity
+    AttributedGraph g = f.dataset.graph.Clone();
+    EXPECT_FALSE(ErrorInjector(config).Inject(g, f.constraints).ok());
+  }
+  {
+    ErrorInjectorConfig config;
+    config.type_mix = {0.0, 0.0, 0.0};
+    AttributedGraph g = f.dataset.graph.Clone();
+    EXPECT_FALSE(ErrorInjector(config).Inject(g, f.constraints).ok());
+  }
+  {
+    ErrorInjectorConfig config;
+    config.type_mix = {1.0, -1.0, 1.0};
+    AttributedGraph g = f.dataset.graph.Clone();
+    EXPECT_FALSE(ErrorInjector(config).Inject(g, f.constraints).ok());
+  }
+}
+
+TEST(ErrorInjectorTest, GroundTruthIsConsistent) {
+  Fixture f = MakeFixture();
+  AttributedGraph g = f.dataset.graph.Clone();
+  ErrorInjectorConfig config;
+  config.node_error_rate = 0.05;
+  config.seed = 9;
+  auto truth = ErrorInjector(config).Inject(g, f.constraints);
+  ASSERT_TRUE(truth.ok());
+  const ErrorGroundTruth& t = truth.value();
+
+  EXPECT_GT(t.NumErroneousNodes(), 0u);
+  EXPECT_EQ(t.is_error.size(), g.num_nodes());
+  EXPECT_EQ(t.node_errors.size(), g.num_nodes());
+
+  // Every recorded error must describe a real difference between the
+  // dirty graph and the original value, and is_error must match.
+  for (const InjectedError& e : t.errors) {
+    EXPECT_TRUE(t.is_error[e.node]);
+    EXPECT_NE(g.value(e.node, e.attr), e.original)
+        << "polluted value must differ from v*.A";
+    EXPECT_EQ(f.dataset.graph.value(e.node, e.attr), e.original)
+        << "`original` must be the clean graph's value";
+  }
+  // And nodes marked erroneous must have at least one recorded error.
+  for (size_t v = 0; v < g.num_nodes(); ++v) {
+    if (t.is_error[v]) {
+      EXPECT_FALSE(t.node_errors[v].empty());
+    } else {
+      EXPECT_TRUE(t.node_errors[v].empty());
+    }
+  }
+}
+
+TEST(ErrorInjectorTest, NodeErrorRateControlsVolume) {
+  Fixture f = MakeFixture();
+  auto inject_with_rate = [&](double rate) {
+    AttributedGraph g = f.dataset.graph.Clone();
+    ErrorInjectorConfig config;
+    config.node_error_rate = rate;
+    config.seed = 11;
+    auto truth = ErrorInjector(config).Inject(g, f.constraints);
+    EXPECT_TRUE(truth.ok());
+    return truth.value().NumErroneousNodes();
+  };
+  const size_t low = inject_with_rate(0.01);
+  const size_t high = inject_with_rate(0.2);
+  EXPECT_GT(high, low * 4);
+  // Binomial expectation: 1500 * rate, within generous bounds.
+  EXPECT_NEAR(static_cast<double>(low), 15.0, 15.0);
+  EXPECT_NEAR(static_cast<double>(high), 300.0, 80.0);
+}
+
+TEST(ErrorInjectorTest, DeterministicUnderSeed) {
+  Fixture f = MakeFixture();
+  ErrorInjectorConfig config;
+  config.node_error_rate = 0.05;
+  config.seed = 17;
+  AttributedGraph g1 = f.dataset.graph.Clone();
+  AttributedGraph g2 = f.dataset.graph.Clone();
+  auto t1 = ErrorInjector(config).Inject(g1, f.constraints);
+  auto t2 = ErrorInjector(config).Inject(g2, f.constraints);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(t1.value().is_error, t2.value().is_error);
+  EXPECT_EQ(t1.value().errors.size(), t2.value().errors.size());
+}
+
+TEST(ErrorInjectorTest, TypeMixIsRespected) {
+  Fixture f = MakeFixture();
+  AttributedGraph g = f.dataset.graph.Clone();
+  ErrorInjectorConfig config;
+  config.node_error_rate = 0.3;  // lots of errors for stable counts
+  config.type_mix = {0.0, 1.0, 0.0};  // outliers only
+  config.seed = 19;
+  auto truth = ErrorInjector(config).Inject(g, f.constraints);
+  ASSERT_TRUE(truth.ok());
+  size_t outliers = 0;
+  size_t others = 0;
+  for (const InjectedError& e : truth.value().errors) {
+    if (e.type == ErrorType::kOutlier) {
+      ++outliers;
+    } else {
+      ++others;
+    }
+  }
+  EXPECT_GT(outliers, 0u);
+  // Text slots cannot take outliers, so some fallback errors are expected,
+  // but outliers must dominate among numeric-capable slots. With 2 numeric
+  // of 7 attrs, fallbacks exist; just check outliers are well represented.
+  EXPECT_GT(outliers * 3, others);
+}
+
+TEST(ErrorInjectorTest, DetectableOutliersAreFarSubtleAreNear) {
+  Fixture f = MakeFixture();
+  AttributedGraph g = f.dataset.graph.Clone();
+  ErrorInjectorConfig config;
+  config.node_error_rate = 0.3;
+  config.type_mix = {0.0, 1.0, 0.0};
+  config.detectable_rate = 0.5;
+  config.seed = 23;
+  auto truth = ErrorInjector(config).Inject(g, f.constraints);
+  ASSERT_TRUE(truth.ok());
+
+  const AttributeStats clean_stats(f.dataset.graph);
+  for (const InjectedError& e : truth.value().errors) {
+    if (e.type != ErrorType::kOutlier) continue;
+    const double z = clean_stats.ZScore(g.node_type(e.node), e.attr,
+                                        g.value(e.node, e.attr).numeric);
+    if (e.detectable) {
+      EXPECT_GT(z, 4.0) << "detectable outlier must be extreme";
+    } else {
+      EXPECT_LT(z, 3.5) << "subtle outlier must stay in the normal band";
+    }
+  }
+}
+
+TEST(ErrorInjectorTest, DetectableConstraintViolationsAreViolations) {
+  Fixture f = MakeFixture();
+  AttributedGraph g = f.dataset.graph.Clone();
+  ErrorInjectorConfig config;
+  config.node_error_rate = 0.2;
+  config.type_mix = {1.0, 0.0, 0.0};
+  config.detectable_rate = 1.0;
+  config.seed = 29;
+  auto truth = ErrorInjector(config).Inject(g, f.constraints);
+  ASSERT_TRUE(truth.ok());
+
+  // Collect violating (node, attr) pairs from the constraint checker.
+  std::set<std::pair<size_t, size_t>> violating;
+  for (const Violation& v : CheckConstraints(g, f.constraints)) {
+    violating.insert({v.node, v.attr});
+  }
+  size_t caught = 0;
+  size_t total = 0;
+  for (const InjectedError& e : truth.value().errors) {
+    if (e.type != ErrorType::kConstraintViolation || !e.detectable) continue;
+    ++total;
+    caught += violating.count({e.node, e.attr});
+  }
+  ASSERT_GT(total, 0u);
+  // Detectable violations target constrained slots with changed values —
+  // the vast majority must register as violations (edge-agreement swaps to
+  // the same community value can occasionally evade).
+  EXPECT_GT(static_cast<double>(caught) / static_cast<double>(total), 0.7);
+}
+
+}  // namespace
+}  // namespace gale::graph

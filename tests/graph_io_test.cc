@@ -1,0 +1,175 @@
+#include "graph/graph_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/constraints.h"
+#include "graph/synthetic_dataset.h"
+
+namespace gale::graph {
+namespace {
+
+TEST(EscapeTokenTest, RoundTripsSpecialCharacters) {
+  for (const std::string raw :
+       {std::string("plain"), std::string("two words"),
+        std::string("tab\tnewline\n"), std::string("back\\slash"),
+        std::string(""), std::string(" leading and trailing "),
+        std::string("\\e literal")}) {
+    const std::string escaped = EscapeToken(raw);
+    // Escaped tokens must be single whitespace-free fields.
+    for (char c : escaped) {
+      EXPECT_FALSE(c == ' ' || c == '\t' || c == '\n') << escaped;
+    }
+    auto back = UnescapeToken(escaped);
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_EQ(back.value(), raw);
+  }
+}
+
+TEST(EscapeTokenTest, RejectsMalformedEscapes) {
+  EXPECT_FALSE(UnescapeToken("dangling\\").ok());
+  EXPECT_FALSE(UnescapeToken("bad\\q").ok());
+}
+
+TEST(GraphIoTest, RoundTripsSyntheticGraph) {
+  SyntheticConfig config;
+  config.num_nodes = 200;
+  config.num_edges = 260;
+  config.seed = 3;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  const AttributedGraph& g = ds.value().graph;
+
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteGraph(g, buffer).ok());
+  auto loaded = ReadGraph(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const AttributedGraph& h = loaded.value();
+
+  ASSERT_EQ(h.num_nodes(), g.num_nodes());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  ASSERT_EQ(h.num_node_types(), g.num_node_types());
+  ASSERT_EQ(h.num_edge_types(), g.num_edge_types());
+  EXPECT_TRUE(h.finalized());
+  for (size_t t = 0; t < g.num_node_types(); ++t) {
+    EXPECT_EQ(h.node_type_def(t).name, g.node_type_def(t).name);
+    ASSERT_EQ(h.node_type_def(t).attributes.size(),
+              g.node_type_def(t).attributes.size());
+  }
+  for (size_t v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(h.node_type(v), g.node_type(v));
+    for (size_t a = 0; a < g.num_attributes(v); ++a) {
+      EXPECT_EQ(h.value(v, a), g.value(v, a)) << "node " << v << " attr " << a;
+    }
+  }
+  EXPECT_EQ(h.edges(), g.edges());
+}
+
+TEST(GraphIoTest, RoundTripsNullsAndWeirdText) {
+  AttributedGraph g;
+  const size_t t = g.AddNodeType("weird type", {{"a b", ValueKind::kText},
+                                                {"n", ValueKind::kNumeric}});
+  const size_t e = g.AddEdgeType("edge with space");
+  g.AddNode(t, {AttributeValue::Text("multi word\twith tab"),
+                AttributeValue::Number(-1.5e-7)});
+  g.AddNode(t, {AttributeValue::Null(), AttributeValue::Number(42)});
+  g.AddEdge(0, 1, e);
+  g.Finalize();
+
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteGraph(g, buffer).ok());
+  auto loaded = ReadGraph(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value().value(0, 0).text, "multi word\twith tab");
+  EXPECT_TRUE(loaded.value().value(1, 0).is_null());
+  EXPECT_DOUBLE_EQ(loaded.value().value(0, 1).numeric, -1.5e-7);
+  EXPECT_EQ(loaded.value().node_type_def(0).name, "weird type");
+  EXPECT_EQ(loaded.value().edge_type_name(0), "edge with space");
+}
+
+TEST(GraphIoTest, RejectsCorruptInput) {
+  {
+    std::stringstream empty("");
+    EXPECT_FALSE(ReadGraph(empty).ok());
+  }
+  {
+    std::stringstream bad_header("# not a graph\n");
+    EXPECT_FALSE(ReadGraph(bad_header).ok());
+  }
+  {
+    std::stringstream bad_record("# gale-graph v1\nwhatisthis 1 2\n");
+    EXPECT_FALSE(ReadGraph(bad_record).ok());
+  }
+  {
+    std::stringstream bad_edge(
+        "# gale-graph v1\nnodetype t a:text\nedgetype e\n"
+        "node 0 T:x\nedge 0 7 0\n");
+    EXPECT_FALSE(ReadGraph(bad_edge).ok());
+  }
+  {
+    std::stringstream bad_count(
+        "# gale-graph v1\nnodetype t a:text b:num\nnode 0 T:x\n");
+    EXPECT_FALSE(ReadGraph(bad_count).ok());
+  }
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  SyntheticConfig config;
+  config.num_nodes = 50;
+  config.num_edges = 60;
+  config.seed = 5;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  const std::string path = ::testing::TempDir() + "/gale_io_test.graph";
+  ASSERT_TRUE(SaveGraph(ds.value().graph, path).ok());
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value().num_nodes(), 50u);
+  EXPECT_FALSE(LoadGraph("/nonexistent/path.graph").ok());
+}
+
+TEST(GroundTruthIoTest, RoundTrip) {
+  ErrorGroundTruth truth;
+  truth.is_error.assign(10, 0);
+  truth.node_errors.assign(10, {});
+  auto add = [&](size_t node, size_t attr, ErrorType type, bool detectable,
+                 AttributeValue original) {
+    truth.is_error[node] = 1;
+    truth.node_errors[node].push_back(truth.errors.size());
+    truth.errors.push_back({node, attr, type, std::move(original),
+                            detectable});
+  };
+  add(2, 0, ErrorType::kOutlier, true, AttributeValue::Number(3.5));
+  add(2, 1, ErrorType::kStringNoise, false,
+      AttributeValue::Text("two words"));
+  add(7, 3, ErrorType::kConstraintViolation, true, AttributeValue::Null());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteGroundTruth(truth, buffer).ok());
+  auto loaded = ReadGroundTruth(buffer, 10);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const ErrorGroundTruth& back = loaded.value();
+  EXPECT_EQ(back.is_error, truth.is_error);
+  ASSERT_EQ(back.errors.size(), 3u);
+  EXPECT_EQ(back.errors[1].original.text, "two words");
+  EXPECT_EQ(back.errors[2].type, ErrorType::kConstraintViolation);
+  EXPECT_FALSE(back.errors[1].detectable);
+  EXPECT_EQ(back.node_errors[2].size(), 2u);
+}
+
+TEST(GroundTruthIoTest, RejectsOutOfRangeNodes) {
+  ErrorGroundTruth truth;
+  truth.is_error.assign(3, 0);
+  truth.node_errors.assign(3, {});
+  truth.is_error[2] = 1;
+  truth.node_errors[2].push_back(0);
+  truth.errors.push_back(
+      {2, 0, ErrorType::kOutlier, AttributeValue::Number(1), true});
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteGroundTruth(truth, buffer).ok());
+  EXPECT_FALSE(ReadGroundTruth(buffer, 2).ok()) << "node 2 out of range";
+}
+
+}  // namespace
+}  // namespace gale::graph

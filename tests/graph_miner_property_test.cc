@@ -1,0 +1,117 @@
+// Property sweeps for the constraint miner and checker: mined constraints
+// must hold (at their stated confidence) on the graph they were mined
+// from, across generator seeds and mining thresholds.
+
+#include <gtest/gtest.h>
+
+#include "graph/constraints.h"
+#include "graph/synthetic_dataset.h"
+
+namespace gale::graph {
+namespace {
+
+SyntheticDataset MakeDataset(uint64_t seed) {
+  SyntheticConfig config;
+  config.num_nodes = 800;
+  config.num_edges = 1000;
+  config.seed = seed;
+  auto ds = GenerateSynthetic(config);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+class MinerSelfConsistencyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MinerSelfConsistencyTest, MinedConstraintsMostlyHoldOnSource) {
+  SyntheticDataset ds = MakeDataset(GetParam());
+  ConstraintMiner miner({.min_support = 10, .min_confidence = 0.8});
+  auto constraints = miner.Mine(ds.graph);
+  ASSERT_TRUE(constraints.ok());
+  ASSERT_FALSE(constraints.value().empty());
+
+  // Violations on the source graph come only from the planted clean-noise
+  // rate (2% on "region") and its ripple onto single-witness agreement
+  // edges — the per-node violation rate must stay bounded well below the
+  // mined confidence slack.
+  const auto violations = CheckConstraints(ds.graph, constraints.value());
+  std::set<size_t> violating_nodes;
+  for (const Violation& v : violations) violating_nodes.insert(v.node);
+  EXPECT_LT(static_cast<double>(violating_nodes.size()) /
+                static_cast<double>(ds.graph.num_nodes()),
+            0.15)
+      << violations.size() << " violations from "
+      << constraints.value().size() << " constraints";
+
+  // Structural sanity of every mined constraint.
+  for (const Constraint& k : constraints.value()) {
+    EXPECT_GE(k.confidence, 0.8);
+    EXPECT_LE(k.confidence, 1.0);
+    EXPECT_GE(k.support, 10u);
+    EXPECT_LT(k.node_type, ds.graph.num_node_types());
+    const auto& attrs = ds.graph.node_type_def(k.node_type).attributes;
+    EXPECT_LT(k.attr, attrs.size());
+    switch (k.kind) {
+      case ConstraintKind::kEdgeAgreement:
+        EXPECT_LT(k.edge_type, ds.graph.num_edge_types());
+        break;
+      case ConstraintKind::kFunctionalDependency:
+        EXPECT_LT(k.lhs_attr, attrs.size());
+        EXPECT_NE(k.lhs_attr, k.attr);
+        EXPECT_FALSE(k.fd_mapping.empty());
+        break;
+      case ConstraintKind::kDomain:
+        EXPECT_FALSE(k.domain.empty());
+        EXPECT_LE(k.domain.size(), 24u);
+        break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinerSelfConsistencyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(MinerThresholdTest, HigherConfidencePrunesMonotonically) {
+  SyntheticDataset ds = MakeDataset(9);
+  size_t previous = SIZE_MAX;
+  for (double confidence : {0.5, 0.8, 0.95, 0.999}) {
+    ConstraintMiner miner(
+        {.min_support = 10, .min_confidence = confidence});
+    auto constraints = miner.Mine(ds.graph);
+    ASSERT_TRUE(constraints.ok());
+    EXPECT_LE(constraints.value().size(), previous)
+        << "confidence " << confidence;
+    previous = constraints.value().size();
+  }
+}
+
+TEST(MinerThresholdTest, HigherSupportPrunesMonotonically) {
+  SyntheticDataset ds = MakeDataset(11);
+  size_t previous = SIZE_MAX;
+  for (size_t support : {5u, 20u, 80u, 400u}) {
+    ConstraintMiner miner(
+        {.min_support = support, .min_confidence = 0.8});
+    auto constraints = miner.Mine(ds.graph);
+    ASSERT_TRUE(constraints.ok());
+    EXPECT_LE(constraints.value().size(), previous) << "support " << support;
+    previous = constraints.value().size();
+  }
+}
+
+TEST(MinerTest, KeyLikeLhsIsNeverAnFdAntecedent) {
+  // "name" is near-unique: an FD name -> X would be vacuously confident
+  // but useless; the miner must skip it.
+  SyntheticDataset ds = MakeDataset(13);
+  ConstraintMiner miner({.min_support = 10, .min_confidence = 0.8});
+  auto constraints = miner.Mine(ds.graph);
+  ASSERT_TRUE(constraints.ok());
+  for (const Constraint& k : constraints.value()) {
+    if (k.kind != ConstraintKind::kFunctionalDependency) continue;
+    const std::string& lhs_name =
+        ds.graph.node_type_def(k.node_type).attributes[k.lhs_attr].name;
+    EXPECT_NE(lhs_name, "name");
+    EXPECT_NE(lhs_name, "title");
+  }
+}
+
+}  // namespace
+}  // namespace gale::graph

@@ -1,0 +1,242 @@
+// Tests for the synthetic dataset generator, attribute statistics, and the
+// feature encoder.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/attribute_stats.h"
+#include "graph/constraints.h"
+#include "graph/feature_encoder.h"
+#include "graph/synthetic_dataset.h"
+
+namespace gale::graph {
+namespace {
+
+TEST(SyntheticDatasetTest, RejectsDegenerateConfigs) {
+  SyntheticConfig config;
+  config.num_nodes = 0;
+  EXPECT_FALSE(GenerateSynthetic(config).ok());
+  config = {};
+  config.num_communities = 0;
+  EXPECT_FALSE(GenerateSynthetic(config).ok());
+  config = {};
+  config.vocab_size = 0;
+  EXPECT_FALSE(GenerateSynthetic(config).ok());
+}
+
+TEST(SyntheticDatasetTest, MatchesRequestedShape) {
+  SyntheticConfig config;
+  config.num_nodes = 500;
+  config.num_edges = 700;
+  config.num_node_types = 3;
+  config.seed = 1;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  const AttributedGraph& g = ds.value().graph;
+  EXPECT_EQ(g.num_nodes(), 500u);
+  // A few self-loop draws get dropped; stay within 2%.
+  EXPECT_GE(g.num_edges(), 686u);
+  EXPECT_LE(g.num_edges(), 700u);
+  EXPECT_EQ(g.num_node_types(), 3u);
+  EXPECT_TRUE(g.finalized());
+  EXPECT_EQ(ds.value().community.size(), 500u);
+}
+
+TEST(SyntheticDatasetTest, DeterministicUnderSeed) {
+  SyntheticConfig config;
+  config.num_nodes = 300;
+  config.num_edges = 350;
+  config.seed = 11;
+  auto a = GenerateSynthetic(config);
+  auto b = GenerateSynthetic(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().community, b.value().community);
+  for (size_t v = 0; v < 300; ++v) {
+    for (size_t attr = 0; attr < a.value().graph.num_attributes(v); ++attr) {
+      EXPECT_EQ(a.value().graph.value(v, attr), b.value().graph.value(v, attr));
+    }
+  }
+}
+
+TEST(SyntheticDatasetTest, PlantedFdHolds) {
+  SyntheticConfig config;
+  config.num_nodes = 600;
+  config.seed = 3;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  const AttributedGraph& g = ds.value().graph;
+  // group -> label must hold exactly on the clean graph.
+  std::map<std::string, std::string> mapping;
+  for (size_t v = 0; v < g.num_nodes(); ++v) {
+    auto group_idx = g.AttributeIndex(g.node_type(v), "group");
+    auto label_idx = g.AttributeIndex(g.node_type(v), "label");
+    ASSERT_TRUE(group_idx.ok());
+    ASSERT_TRUE(label_idx.ok());
+    const std::string& group = g.value(v, group_idx.value()).text;
+    const std::string& label = g.value(v, label_idx.value()).text;
+    auto [it, inserted] = mapping.emplace(group, label);
+    EXPECT_EQ(it->second, label) << "FD group->label violated at " << v;
+  }
+}
+
+TEST(SyntheticDatasetTest, IntraCommunityEdgesDominate) {
+  SyntheticConfig config;
+  config.num_nodes = 800;
+  config.num_edges = 1200;
+  config.intra_community_fraction = 0.85;
+  config.seed = 5;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  size_t intra = 0;
+  for (const auto& [u, v] : ds.value().graph.EdgePairs()) {
+    intra += (ds.value().community[u] == ds.value().community[v]);
+  }
+  const double fraction = static_cast<double>(intra) /
+                          static_cast<double>(ds.value().graph.num_edges());
+  EXPECT_GT(fraction, 0.8);
+}
+
+TEST(SyntheticDatasetTest, MinerRediscoveresPlantedConstraints) {
+  SyntheticConfig config;
+  config.num_nodes = 1000;
+  config.num_edges = 1400;
+  config.seed = 7;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  ConstraintMiner miner({.min_support = 20, .min_confidence = 0.85});
+  auto constraints = miner.Mine(ds.value().graph);
+  ASSERT_TRUE(constraints.ok());
+  bool has_fd = false;
+  for (const Constraint& k : constraints.value()) {
+    if (k.kind == ConstraintKind::kFunctionalDependency) has_fd = true;
+  }
+  EXPECT_TRUE(has_fd) << "planted group->label FD must be rediscovered";
+  EXPECT_GE(constraints.value().size(), 3u);
+}
+
+TEST(AttributeStatsTest, NumericMoments) {
+  AttributedGraph g;
+  const size_t t = g.AddNodeType("t", {{"x", ValueKind::kNumeric}});
+  g.AddEdgeType("e");
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    g.AddNode(t, {AttributeValue::Number(v)});
+  }
+  g.Finalize();
+  AttributeStats stats(g);
+  const NumericStats& s = stats.Numeric(0, 0);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+  EXPECT_NEAR(stats.ZScore(0, 0, 3.0 + std::sqrt(2.5)), 1.0, 1e-9);
+}
+
+TEST(AttributeStatsTest, TextFrequenciesAndNulls) {
+  AttributedGraph g;
+  const size_t t = g.AddNodeType("t", {{"s", ValueKind::kText}});
+  g.AddEdgeType("e");
+  g.AddNode(t, {AttributeValue::Text("a b")});
+  g.AddNode(t, {AttributeValue::Text("a")});
+  g.AddNode(t, {AttributeValue::Null()});
+  g.Finalize();
+  AttributeStats stats(g);
+  const TextStats& s = stats.Text(0, 0);
+  EXPECT_EQ(s.count, 2u);  // nulls not counted
+  EXPECT_EQ(s.values.at("a b"), 1u);
+  EXPECT_EQ(s.tokens.at("a"), 2u);
+  EXPECT_EQ(s.tokens.at("b"), 1u);
+}
+
+TEST(FeatureEncoderTest, ShapeAndDeterminism) {
+  SyntheticConfig config;
+  config.num_nodes = 300;
+  config.seed = 9;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  FeatureEncoder encoder({.hash_dims = 32});
+  auto a = encoder.Encode(ds.value().graph);
+  auto b = encoder.Encode(ds.value().graph);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().rows(), 300u);
+  EXPECT_EQ(a.value().cols(), encoder.RawDims(ds.value().graph));
+  EXPECT_TRUE(a.value().AllClose(b.value(), 0.0));
+}
+
+TEST(FeatureEncoderTest, PerturbationMovesTheVector) {
+  SyntheticConfig config;
+  config.num_nodes = 200;
+  config.seed = 13;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  AttributedGraph g = ds.value().graph.Clone();
+  FeatureEncoder encoder;
+  auto before = encoder.Encode(g);
+  ASSERT_TRUE(before.ok());
+
+  auto group_idx = g.AttributeIndex(g.node_type(0), "group");
+  ASSERT_TRUE(group_idx.ok());
+  g.set_value(0, group_idx.value(), AttributeValue::Text("g_changed"));
+  auto after = encoder.Encode(g);
+  ASSERT_TRUE(after.ok());
+
+  EXPECT_GT(before.value().RowDistanceSquared(0, after.value(), 0), 1e-6)
+      << "changing a value must move the node's feature row";
+  // The un-touched rows move at most through shared statistics: group is a
+  // text attribute, so other rows are bit-identical.
+  EXPECT_NEAR(before.value().RowDistanceSquared(1, after.value(), 1), 0.0,
+              1e-18);
+}
+
+TEST(FeatureEncoderTest, OutlierShowsUpInMagnitude) {
+  SyntheticConfig config;
+  config.num_nodes = 400;
+  config.seed = 15;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  AttributedGraph g = ds.value().graph.Clone();
+  auto num_idx = g.AttributeIndex(g.node_type(0), "num0");
+  ASSERT_TRUE(num_idx.ok());
+
+  FeatureEncoder encoder;
+  auto before = encoder.Encode(g);
+  ASSERT_TRUE(before.ok());
+  // Push the value 50 sigmas out.
+  AttributeStats stats(g);
+  const NumericStats& s = stats.Numeric(g.node_type(0), num_idx.value());
+  g.set_value(0, num_idx.value(),
+              AttributeValue::Number(s.mean + 50.0 * (s.stddev + 1e-9)));
+  auto after = encoder.Encode(g);
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(after.value().RowDistanceSquared(0, before.value(), 0), 100.0);
+}
+
+TEST(FeatureEncoderTest, PcaReducesWidth) {
+  SyntheticConfig config;
+  config.num_nodes = 300;
+  config.seed = 17;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  FeatureEncoder encoder({.hash_dims = 48, .pca_dims = 8});
+  auto features = encoder.Encode(ds.value().graph);
+  ASSERT_TRUE(features.ok());
+  const size_t kept = ds.value().graph.num_node_types() + 1 +
+                      kNumQualityChannels;  // type, degree, quality
+  EXPECT_EQ(features.value().cols(), kept + 8);
+}
+
+TEST(FeatureEncoderTest, RejectsZeroHashDims) {
+  SyntheticConfig config;
+  config.num_nodes = 50;
+  auto ds = GenerateSynthetic(config);
+  ASSERT_TRUE(ds.ok());
+  FeatureEncoder encoder({.hash_dims = 0});
+  EXPECT_FALSE(encoder.Encode(ds.value().graph).ok());
+}
+
+}  // namespace
+}  // namespace gale::graph

@@ -1,0 +1,162 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "la/kmeans.h"
+#include "la/pca.h"
+#include "util/rng.h"
+
+namespace gale::la {
+namespace {
+
+TEST(PcaTest, RejectsEmptyInput) {
+  Pca pca(2);
+  EXPECT_FALSE(pca.Fit(Matrix()).ok());
+}
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Points along the diagonal y = x with tiny orthogonal noise: the first
+  // principal component must align with (1,1)/sqrt(2).
+  util::Rng rng(1);
+  Matrix data(400, 2);
+  for (size_t i = 0; i < 400; ++i) {
+    const double t = rng.Normal(0.0, 3.0);
+    const double noise = rng.Normal(0.0, 0.05);
+    data.At(i, 0) = t + noise;
+    data.At(i, 1) = t - noise;
+  }
+  Pca pca(2);
+  ASSERT_TRUE(pca.Fit(data).ok());
+  ASSERT_EQ(pca.explained_variance().size(), 2u);
+  EXPECT_GT(pca.explained_variance()[0], 10.0);
+  EXPECT_LT(pca.explained_variance()[1], 0.1);
+
+  // Projection onto PC1 must preserve nearly all variance.
+  Matrix reduced = pca.Transform(data);
+  double var0 = 0.0;
+  for (size_t i = 0; i < reduced.rows(); ++i) {
+    var0 += reduced.At(i, 0) * reduced.At(i, 0);
+  }
+  var0 /= static_cast<double>(reduced.rows());
+  EXPECT_NEAR(var0, pca.explained_variance()[0], 0.5);
+}
+
+TEST(PcaTest, TransformCentersData) {
+  Matrix data = Matrix::FromRows({{10, 0}, {12, 0}, {14, 0}});
+  Pca pca(1);
+  ASSERT_TRUE(pca.Fit(data).ok());
+  Matrix reduced = pca.Transform(data);
+  double sum = 0.0;
+  for (size_t i = 0; i < reduced.rows(); ++i) sum += reduced.At(i, 0);
+  EXPECT_NEAR(sum, 0.0, 1e-9);
+}
+
+TEST(PcaTest, ComponentCapAtInputDim) {
+  Matrix data = Matrix::FromRows({{1, 2}, {2, 4}, {3, 5}});
+  Pca pca(10);
+  ASSERT_TRUE(pca.Fit(data).ok());
+  EXPECT_EQ(pca.num_components(), 2u);
+  EXPECT_EQ(pca.Transform(data).cols(), 2u);
+}
+
+TEST(PcaTest, FitTransformEqualsFitThenTransform) {
+  util::Rng rng(3);
+  Matrix data = Matrix::RandomNormal(50, 6, 1.0, rng);
+  Pca a(3);
+  Pca b(3);
+  ASSERT_TRUE(a.Fit(data).ok());
+  Matrix t1 = a.Transform(data);
+  auto t2 = b.FitTransform(data);
+  ASSERT_TRUE(t2.ok());
+  EXPECT_TRUE(t1.AllClose(t2.value(), 1e-9));
+}
+
+Matrix ThreeBlobs(util::Rng& rng, size_t per_blob) {
+  Matrix data(per_blob * 3, 2);
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (size_t b = 0; b < 3; ++b) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      data.At(b * per_blob + i, 0) = centers[b][0] + rng.Normal(0.0, 0.5);
+      data.At(b * per_blob + i, 1) = centers[b][1] + rng.Normal(0.0, 0.5);
+    }
+  }
+  return data;
+}
+
+TEST(KMeansTest, SeparatesWellSeparatedBlobs) {
+  util::Rng rng(5);
+  Matrix data = ThreeBlobs(rng, 50);
+  auto result = KMeans(data, {.num_clusters = 3}, rng);
+  ASSERT_TRUE(result.ok());
+  const KMeansResult& km = result.value();
+  // All members of a blob share an assignment, and the three blobs get
+  // three distinct clusters.
+  for (size_t b = 0; b < 3; ++b) {
+    const size_t first = km.assignments[b * 50];
+    for (size_t i = 1; i < 50; ++i) {
+      EXPECT_EQ(km.assignments[b * 50 + i], first);
+    }
+  }
+  EXPECT_NE(km.assignments[0], km.assignments[50]);
+  EXPECT_NE(km.assignments[50], km.assignments[100]);
+  EXPECT_NE(km.assignments[0], km.assignments[100]);
+}
+
+TEST(KMeansTest, DistancesAreEuclidean) {
+  util::Rng rng(6);
+  Matrix data = ThreeBlobs(rng, 30);
+  auto result = KMeans(data, {.num_clusters = 3}, rng);
+  ASSERT_TRUE(result.ok());
+  const KMeansResult& km = result.value();
+  for (size_t i = 0; i < data.rows(); ++i) {
+    const double expected = std::sqrt(
+        data.RowDistanceSquared(i, km.centroids, km.assignments[i]));
+    EXPECT_NEAR(km.distances[i], expected, 1e-9);
+  }
+}
+
+TEST(KMeansTest, InertiaIsSumOfSquaredDistances) {
+  util::Rng rng(7);
+  Matrix data = ThreeBlobs(rng, 20);
+  auto result = KMeans(data, {.num_clusters = 3}, rng);
+  ASSERT_TRUE(result.ok());
+  double sum = 0.0;
+  for (double d : result.value().distances) sum += d * d;
+  EXPECT_NEAR(result.value().inertia, sum, 1e-6);
+}
+
+TEST(KMeansTest, MoreClustersThanPoints) {
+  util::Rng rng(8);
+  Matrix data = Matrix::FromRows({{0, 0}, {1, 1}});
+  auto result = KMeans(data, {.num_clusters = 10}, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().centroids.rows(), 2u);
+}
+
+TEST(KMeansTest, RejectsDegenerateInputs) {
+  util::Rng rng(9);
+  EXPECT_FALSE(KMeans(Matrix(), {.num_clusters = 2}, rng).ok());
+  Matrix data = Matrix::FromRows({{1, 2}});
+  EXPECT_FALSE(KMeans(data, {.num_clusters = 0}, rng).ok());
+}
+
+class KMeansSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KMeansSweepTest, InertiaDecreasesWithMoreClusters) {
+  // Property: k-means inertia is (weakly) monotone in k on fixed data.
+  util::Rng data_rng(10);
+  Matrix data = ThreeBlobs(data_rng, 40);
+  const size_t k = GetParam();
+  util::Rng rng_a(11);
+  util::Rng rng_b(11);
+  auto small = KMeans(data, {.num_clusters = k}, rng_a);
+  auto large = KMeans(data, {.num_clusters = k + 3}, rng_b);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_LE(large.value().inertia, small.value().inertia * 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KMeansSweepTest, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace gale::la

@@ -1,0 +1,108 @@
+#include "la/sparse_matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace gale::la {
+namespace {
+
+TEST(SparseMatrixTest, FromTripletsCoalescesDuplicates) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      2, 2, {{0, 0, 1.0}, {0, 0, 2.0}, {1, 1, 5.0}});
+  EXPECT_EQ(m.nnz(), 2u);
+  Matrix dense = m.ToDense();
+  EXPECT_DOUBLE_EQ(dense.At(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(dense.At(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(dense.At(0, 1), 0.0);
+}
+
+TEST(SparseMatrixTest, MultiplyMatchesDense) {
+  util::Rng rng(1);
+  std::vector<Triplet> triplets;
+  for (int i = 0; i < 40; ++i) {
+    triplets.push_back({rng.UniformInt(8), rng.UniformInt(8),
+                        rng.Normal()});
+  }
+  SparseMatrix s = SparseMatrix::FromTriplets(8, 8, triplets);
+  Matrix x = Matrix::RandomNormal(8, 5, 1.0, rng);
+  Matrix via_sparse = s.Multiply(x);
+  Matrix via_dense = s.ToDense().MatMul(x);
+  EXPECT_TRUE(via_sparse.AllClose(via_dense, 1e-12));
+}
+
+TEST(SparseMatrixTest, TransposedMultiplyMatchesDense) {
+  util::Rng rng(2);
+  std::vector<Triplet> triplets;
+  for (int i = 0; i < 30; ++i) {
+    triplets.push_back({rng.UniformInt(6), rng.UniformInt(9), rng.Normal()});
+  }
+  SparseMatrix s = SparseMatrix::FromTriplets(6, 9, triplets);
+  Matrix x = Matrix::RandomNormal(6, 4, 1.0, rng);
+  Matrix via_sparse = s.TransposedMultiply(x);
+  Matrix via_dense = s.ToDense().Transposed().MatMul(x);
+  EXPECT_TRUE(via_sparse.AllClose(via_dense, 1e-12));
+}
+
+TEST(SparseMatrixTest, MultiplyVector) {
+  SparseMatrix s =
+      SparseMatrix::FromTriplets(2, 3, {{0, 1, 2.0}, {1, 2, -1.0}});
+  std::vector<double> out = s.MultiplyVector({1.0, 10.0, 100.0});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 20.0);
+  EXPECT_DOUBLE_EQ(out[1], -100.0);
+}
+
+TEST(NormalizedAdjacencyTest, RowsOfRegularGraphSumToOne) {
+  // A 4-cycle: every node has degree 2, so D̃ = 3I and each row of the
+  // normalized operator sums to (1 + 2) / 3 = 1.
+  SparseMatrix s = SparseMatrix::NormalizedAdjacency(
+      4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  Matrix dense = s.ToDense();
+  for (size_t r = 0; r < 4; ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < 4; ++c) sum += dense.At(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(NormalizedAdjacencyTest, IsSymmetric) {
+  SparseMatrix s = SparseMatrix::NormalizedAdjacency(
+      5, {{0, 1}, {0, 2}, {1, 2}, {3, 4}});
+  Matrix dense = s.ToDense();
+  for (size_t r = 0; r < 5; ++r) {
+    for (size_t c = 0; c < 5; ++c) {
+      EXPECT_NEAR(dense.At(r, c), dense.At(c, r), 1e-12);
+    }
+  }
+}
+
+TEST(NormalizedAdjacencyTest, IsolatedNodeKeepsSelfLoopOnly) {
+  SparseMatrix s = SparseMatrix::NormalizedAdjacency(3, {{0, 1}});
+  Matrix dense = s.ToDense();
+  EXPECT_DOUBLE_EQ(dense.At(2, 2), 1.0);  // degree-0 node: Ã = I entry
+  EXPECT_DOUBLE_EQ(dense.At(2, 0), 0.0);
+}
+
+TEST(NormalizedAdjacencyTest, EntriesMatchFormula) {
+  // Edge (0,1) with degrees d0 = 2, d1 = 2 (after +I): entry =
+  // 1/sqrt(2*2) = 0.5.
+  SparseMatrix s = SparseMatrix::NormalizedAdjacency(2, {{0, 1}});
+  Matrix dense = s.ToDense();
+  EXPECT_NEAR(dense.At(0, 1), 0.5, 1e-12);
+  EXPECT_NEAR(dense.At(0, 0), 0.5, 1e-12);
+}
+
+TEST(SparseMatrixTest, RowIteration) {
+  SparseMatrix s =
+      SparseMatrix::FromTriplets(3, 3, {{1, 0, 2.0}, {1, 2, 3.0}});
+  EXPECT_EQ(s.RowEnd(0) - s.RowBegin(0), 0u);
+  EXPECT_EQ(s.RowEnd(1) - s.RowBegin(1), 2u);
+  EXPECT_EQ(s.ColIndex(s.RowBegin(1)), 0u);
+  EXPECT_DOUBLE_EQ(s.Value(s.RowBegin(1) + 1), 3.0);
+}
+
+}  // namespace
+}  // namespace gale::la

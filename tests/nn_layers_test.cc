@@ -1,0 +1,241 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "gradient_check.h"
+#include "nn/activations.h"
+#include "nn/batch_norm.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/gcn_layer.h"
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace gale::nn {
+namespace {
+
+using gale::testing::CheckLayerGradients;
+
+TEST(DenseTest, ForwardMatchesHandComputation) {
+  util::Rng rng(1);
+  Dense dense(2, 2, rng);
+  // Overwrite the weights deterministically.
+  la::Matrix* w = dense.Parameters()[0];
+  la::Matrix* b = dense.Parameters()[1];
+  *w = la::Matrix::FromRows({{1, 2}, {3, 4}});
+  *b = la::Matrix::FromRows({{10, 20}});
+  la::Matrix x = la::Matrix::FromRows({{1, 1}});
+  la::Matrix y = dense.Forward(x, false);
+  EXPECT_DOUBLE_EQ(y.At(0, 0), 1 + 3 + 10);
+  EXPECT_DOUBLE_EQ(y.At(0, 1), 2 + 4 + 20);
+}
+
+TEST(DenseTest, GradientCheck) {
+  util::Rng rng(2);
+  Dense dense(4, 3, rng);
+  la::Matrix x = la::Matrix::RandomNormal(5, 4, 1.0, rng);
+  CheckLayerGradients(dense, x, rng);
+}
+
+TEST(ReluTest, ForwardClampsNegatives) {
+  Relu relu;
+  la::Matrix x = la::Matrix::FromRows({{-1, 0, 2}});
+  la::Matrix y = relu.Forward(x, false);
+  EXPECT_DOUBLE_EQ(y.At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y.At(0, 2), 2.0);
+}
+
+// Gradient checks for all smooth/piecewise activations. Inputs are kept
+// away from the ReLU kink (finite differences break exactly at 0).
+class ActivationGradientTest
+    : public ::testing::TestWithParam<
+          std::function<std::unique_ptr<Layer>()>> {};
+
+TEST_P(ActivationGradientTest, GradientCheck) {
+  util::Rng rng(3);
+  std::unique_ptr<Layer> layer = GetParam()();
+  la::Matrix x = la::Matrix::RandomNormal(4, 6, 1.0, rng);
+  for (double& v : x.data()) {
+    if (std::abs(v) < 1e-3) v = 0.1;  // avoid non-differentiable points
+  }
+  CheckLayerGradients(*layer, x, rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Activations, ActivationGradientTest,
+    ::testing::Values([] { return std::make_unique<Relu>(); },
+                      [] { return std::make_unique<LeakyRelu>(0.2); },
+                      [] { return std::make_unique<Sigmoid>(); },
+                      [] { return std::make_unique<Tanh>(); }));
+
+TEST(DropoutTest, EvalModeIsIdentity) {
+  util::Rng rng(4);
+  Dropout dropout(0.5, rng);
+  la::Matrix x = la::Matrix::RandomNormal(3, 3, 1.0, rng);
+  la::Matrix y = dropout.Forward(x, /*training=*/false);
+  EXPECT_TRUE(y.AllClose(x, 0.0));
+}
+
+TEST(DropoutTest, TrainingModePreservesExpectation) {
+  util::Rng rng(5);
+  Dropout dropout(0.3, rng);
+  la::Matrix x(200, 50, 1.0);
+  la::Matrix y = dropout.Forward(x, /*training=*/true);
+  // Inverted dropout: E[y] = x. The sample mean over 10k entries should
+  // land close.
+  EXPECT_NEAR(y.Sum() / static_cast<double>(y.size()), 1.0, 0.05);
+  // Entries are either zero or scaled by 1/(1-rate).
+  for (double v : y.data()) {
+    EXPECT_TRUE(v == 0.0 || std::abs(v - 1.0 / 0.7) < 1e-12);
+  }
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+  util::Rng rng(6);
+  Dropout dropout(0.5, rng);
+  la::Matrix x(4, 4, 1.0);
+  la::Matrix y = dropout.Forward(x, /*training=*/true);
+  la::Matrix grad_out(4, 4, 1.0);
+  la::Matrix grad_in = dropout.Backward(grad_out);
+  // Wherever the forward output is zero, the gradient must be zero, and
+  // vice versa with the same scale.
+  for (size_t i = 0; i < y.data().size(); ++i) {
+    EXPECT_DOUBLE_EQ(grad_in.data()[i], y.data()[i]);
+  }
+}
+
+TEST(BatchNormTest, NormalizesBatchInTraining) {
+  BatchNorm bn(3);
+  util::Rng rng(7);
+  la::Matrix x = la::Matrix::RandomNormal(64, 3, 4.0, rng);
+  for (size_t i = 0; i < x.rows(); ++i) x.At(i, 1) += 100.0;  // big offset
+  la::Matrix y = bn.Forward(x, /*training=*/true);
+  la::Matrix mean = y.ColMean();
+  for (size_t c = 0; c < 3; ++c) EXPECT_NEAR(mean.At(0, c), 0.0, 1e-9);
+  // Unit variance per column.
+  for (size_t c = 0; c < 3; ++c) {
+    double var = 0.0;
+    for (size_t r = 0; r < y.rows(); ++r) var += y.At(r, c) * y.At(r, c);
+    var /= static_cast<double>(y.rows());
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(BatchNormTest, EvalModeUsesRunningStats) {
+  BatchNorm bn(2);
+  util::Rng rng(8);
+  // Feed many training batches with mean 5 so the running mean converges.
+  for (int i = 0; i < 200; ++i) {
+    la::Matrix x = la::Matrix::RandomNormal(32, 2, 1.0, rng);
+    for (double& v : x.data()) v += 5.0;
+    bn.Forward(x, /*training=*/true);
+  }
+  la::Matrix probe(1, 2, 5.0);
+  la::Matrix y = bn.Forward(probe, /*training=*/false);
+  EXPECT_NEAR(y.At(0, 0), 0.0, 0.15);
+  EXPECT_NEAR(y.At(0, 1), 0.0, 0.15);
+}
+
+TEST(BatchNormTest, GradientCheck) {
+  BatchNorm bn(3);
+  util::Rng rng(9);
+  la::Matrix x = la::Matrix::RandomNormal(6, 3, 1.0, rng);
+  // Looser tolerance: batch statistics couple every entry.
+  CheckLayerGradients(bn, x, rng, {.epsilon = 1e-5, .tolerance = 1e-4});
+}
+
+TEST(SequentialTest, ComposesAndExposesActivations) {
+  util::Rng rng(10);
+  Sequential model;
+  model.Add(std::make_unique<Dense>(3, 5, rng));
+  model.Add(std::make_unique<Relu>());
+  model.Add(std::make_unique<Dense>(5, 2, rng));
+  la::Matrix x = la::Matrix::RandomNormal(4, 3, 1.0, rng);
+  la::Matrix y = model.Forward(x, true);
+  EXPECT_EQ(y.rows(), 4u);
+  EXPECT_EQ(y.cols(), 2u);
+  EXPECT_EQ(model.ActivationAt(1).cols(), 5u);
+  EXPECT_EQ(model.Parameters().size(), 4u);  // two Dense layers
+}
+
+TEST(SequentialTest, GradientCheckThroughStack) {
+  util::Rng rng(11);
+  Sequential model;
+  model.Add(std::make_unique<Dense>(3, 4, rng));
+  model.Add(std::make_unique<Tanh>());
+  model.Add(std::make_unique<Dense>(4, 2, rng));
+  la::Matrix x = la::Matrix::RandomNormal(3, 3, 1.0, rng);
+  CheckLayerGradients(model, x, rng);
+}
+
+TEST(SequentialTest, ForwardUpToMatchesPrefix) {
+  util::Rng rng(12);
+  Sequential model;
+  model.Add(std::make_unique<Dense>(3, 4, rng));
+  model.Add(std::make_unique<Relu>());
+  model.Add(std::make_unique<Dense>(4, 2, rng));
+  la::Matrix x = la::Matrix::RandomNormal(2, 3, 1.0, rng);
+  model.Forward(x, false);
+  la::Matrix prefix = model.ForwardUpTo(x, 1);
+  EXPECT_TRUE(prefix.AllClose(model.ActivationAt(1), 1e-12));
+}
+
+TEST(GcnLayerTest, PropagatesOverAdjacency) {
+  // Two connected nodes with one-hot features: the GCN output mixes them
+  // through the normalized adjacency.
+  la::SparseMatrix adj = la::SparseMatrix::NormalizedAdjacency(2, {{0, 1}});
+  util::Rng rng(13);
+  GcnLayer gcn(&adj, 2, 2, rng);
+  *gcn.Parameters()[0] = la::Matrix::Identity(2);
+  *gcn.Parameters()[1] = la::Matrix(1, 2);
+  la::Matrix x = la::Matrix::FromRows({{1, 0}, {0, 1}});
+  la::Matrix y = gcn.Forward(x, false);
+  // Â = [[0.5, 0.5], [0.5, 0.5]] here, so both rows become the average.
+  EXPECT_NEAR(y.At(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(y.At(0, 1), 0.5, 1e-12);
+}
+
+TEST(GcnLayerTest, GradientCheck) {
+  la::SparseMatrix adj =
+      la::SparseMatrix::NormalizedAdjacency(5, {{0, 1}, {1, 2}, {3, 4}});
+  util::Rng rng(14);
+  GcnLayer gcn(&adj, 3, 2, rng);
+  la::Matrix x = la::Matrix::RandomNormal(5, 3, 1.0, rng);
+  CheckLayerGradients(gcn, x, rng);
+}
+
+TEST(SequentialTest, BackwardFromIntermediateLayer) {
+  // BackwardFrom(i, g) must equal backprop of a full pass whose loss taps
+  // layer i's activation (here layer 0 of a 2-layer stack).
+  util::Rng rng(15);
+  Sequential model;
+  model.Add(std::make_unique<Dense>(3, 4, rng));
+  model.Add(std::make_unique<Dense>(4, 2, rng));
+  la::Matrix x = la::Matrix::RandomNormal(2, 3, 1.0, rng);
+  model.Forward(x, true);
+  la::Matrix grad_mid = la::Matrix::RandomNormal(2, 4, 1.0, rng);
+
+  model.ZeroGrad();
+  la::Matrix grad_input = model.BackwardFrom(0, grad_mid);
+
+  // Finite differences through the prefix only.
+  const double eps = 1e-6;
+  for (size_t i = 0; i < x.data().size(); ++i) {
+    la::Matrix xp = x;
+    xp.data()[i] += eps;
+    la::Matrix xm = x;
+    xm.data()[i] -= eps;
+    double plus = 0.0;
+    double minus = 0.0;
+    la::Matrix yp = model.ForwardUpTo(xp, 0);
+    la::Matrix ym = model.ForwardUpTo(xm, 0);
+    for (size_t j = 0; j < yp.data().size(); ++j) {
+      plus += yp.data()[j] * grad_mid.data()[j];
+      minus += ym.data()[j] * grad_mid.data()[j];
+    }
+    EXPECT_NEAR(grad_input.data()[i], (plus - minus) / (2 * eps), 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace gale::nn

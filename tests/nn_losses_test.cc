@@ -1,0 +1,197 @@
+#include "nn/losses.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace gale::nn {
+namespace {
+
+// Central-difference check of a loss function's logits gradient.
+template <typename LossFn>
+void CheckLossGradient(const la::Matrix& logits, LossFn loss_fn,
+                       double tol = 1e-6) {
+  la::Matrix grad;
+  loss_fn(logits, &grad);
+  const double eps = 1e-6;
+  la::Matrix probe = logits;
+  for (size_t i = 0; i < logits.data().size(); ++i) {
+    la::Matrix unused;
+    probe.data()[i] = logits.data()[i] + eps;
+    const double plus = loss_fn(probe, &unused);
+    probe.data()[i] = logits.data()[i] - eps;
+    const double minus = loss_fn(probe, &unused);
+    probe.data()[i] = logits.data()[i];
+    const double numeric = (plus - minus) / (2 * eps);
+    EXPECT_NEAR(grad.data()[i], numeric, tol * (1.0 + std::abs(numeric)))
+        << "flat index " << i;
+  }
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  la::Matrix logits = la::Matrix::FromRows({{1, 2, 3}, {-5, 0, 5}});
+  la::Matrix probs = Softmax(logits);
+  for (size_t r = 0; r < 2; ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < 3; ++c) {
+      sum += probs.At(r, c);
+      EXPECT_GT(probs.At(r, c), 0.0);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(SoftmaxTest, StableForLargeLogits) {
+  la::Matrix logits = la::Matrix::FromRows({{1000, 1001, 999}});
+  la::Matrix probs = Softmax(logits);
+  EXPECT_FALSE(std::isnan(probs.At(0, 0)));
+  EXPECT_GT(probs.At(0, 1), probs.At(0, 0));
+}
+
+TEST(SoftmaxCrossEntropyTest, KnownValue) {
+  // Uniform logits over 2 classes: loss = log 2.
+  la::Matrix logits(1, 2, 0.0);
+  la::Matrix grad;
+  const double loss =
+      SoftmaxCrossEntropy(logits, {0}, {1}, &grad);
+  EXPECT_NEAR(loss, std::log(2.0), 1e-9);
+  EXPECT_NEAR(grad.At(0, 0), -0.5, 1e-12);
+  EXPECT_NEAR(grad.At(0, 1), 0.5, 1e-12);
+}
+
+TEST(SoftmaxCrossEntropyTest, MaskedRowsContributeNothing) {
+  util::Rng rng(1);
+  la::Matrix logits = la::Matrix::RandomNormal(3, 4, 1.0, rng);
+  la::Matrix grad;
+  const double loss =
+      SoftmaxCrossEntropy(logits, {0, 1, 2}, {1, 0, 0}, &grad);
+  EXPECT_GT(loss, 0.0);
+  for (size_t c = 0; c < 4; ++c) {
+    EXPECT_DOUBLE_EQ(grad.At(1, c), 0.0);
+    EXPECT_DOUBLE_EQ(grad.At(2, c), 0.0);
+  }
+}
+
+TEST(SoftmaxCrossEntropyTest, AllMaskedIsZero) {
+  la::Matrix logits(2, 3, 1.0);
+  la::Matrix grad;
+  EXPECT_DOUBLE_EQ(SoftmaxCrossEntropy(logits, {0, 0}, {0, 0}, &grad), 0.0);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientCheck) {
+  util::Rng rng(2);
+  la::Matrix logits = la::Matrix::RandomNormal(4, 3, 1.0, rng);
+  std::vector<int> labels = {0, 2, 1, 0};
+  std::vector<uint8_t> mask = {1, 1, 0, 1};
+  CheckLossGradient(logits, [&](const la::Matrix& l, la::Matrix* g) {
+    return SoftmaxCrossEntropy(l, labels, mask, g);
+  });
+}
+
+TEST(ConditionalCrossEntropyTest, IgnoresSyntheticLogit) {
+  // The conditional loss P(y | x, y <= 2) must not depend on logit 3.
+  la::Matrix a = la::Matrix::FromRows({{1.0, 2.0, -7.0}});
+  la::Matrix b = la::Matrix::FromRows({{1.0, 2.0, 55.0}});
+  la::Matrix ga;
+  la::Matrix gb;
+  const double la_ = ConditionalCrossEntropy(a, 2, {1}, {1}, &ga);
+  const double lb = ConditionalCrossEntropy(b, 2, {1}, {1}, &gb);
+  EXPECT_NEAR(la_, lb, 1e-12);
+  EXPECT_DOUBLE_EQ(ga.At(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(gb.At(0, 2), 0.0);
+}
+
+TEST(ConditionalCrossEntropyTest, GradientCheck) {
+  util::Rng rng(3);
+  la::Matrix logits = la::Matrix::RandomNormal(5, 3, 1.0, rng);
+  std::vector<int> labels = {0, 1, 1, 0, 1};
+  std::vector<uint8_t> mask = {1, 1, 1, 0, 1};
+  CheckLossGradient(logits, [&](const la::Matrix& l, la::Matrix* g) {
+    return ConditionalCrossEntropy(l, 2, labels, mask, g);
+  });
+}
+
+TEST(GanUnsupervisedLossTest, RealRowsPenalizeFakeMass) {
+  // A real row with all mass on the fake class should have huge loss.
+  la::Matrix confident_fake = la::Matrix::FromRows({{0.0, 0.0, 20.0}});
+  la::Matrix confident_real = la::Matrix::FromRows({{20.0, 0.0, 0.0}});
+  la::Matrix grad;
+  const double bad =
+      GanUnsupervisedLoss(confident_fake, {0}, &grad);
+  const double good =
+      GanUnsupervisedLoss(confident_real, {0}, &grad);
+  EXPECT_GT(bad, 5.0);
+  EXPECT_LT(good, 1e-6);
+}
+
+TEST(GanUnsupervisedLossTest, FakeRowsRewardFakeMass) {
+  la::Matrix confident_fake = la::Matrix::FromRows({{0.0, 0.0, 20.0}});
+  la::Matrix grad;
+  EXPECT_LT(GanUnsupervisedLoss(confident_fake, {1}, &grad), 1e-6);
+}
+
+TEST(GanUnsupervisedLossTest, GradientCheckMixedBatch) {
+  util::Rng rng(4);
+  la::Matrix logits = la::Matrix::RandomNormal(6, 3, 1.0, rng);
+  std::vector<uint8_t> is_fake = {0, 1, 0, 1, 1, 0};
+  CheckLossGradient(logits, [&](const la::Matrix& l, la::Matrix* g) {
+    return GanUnsupervisedLoss(l, is_fake, g);
+  });
+}
+
+TEST(FeatureMatchingLossTest, ZeroWhenMeansMatch) {
+  la::Matrix real = la::Matrix::FromRows({{1, 2}, {3, 4}});
+  la::Matrix fake = la::Matrix::FromRows({{3, 4}, {1, 2}});
+  la::Matrix grad;
+  EXPECT_NEAR(FeatureMatchingLoss(real, fake, &grad), 0.0, 1e-12);
+  EXPECT_NEAR(grad.FrobeniusNorm(), 0.0, 1e-12);
+}
+
+TEST(FeatureMatchingLossTest, KnownValueAndGradient) {
+  la::Matrix real = la::Matrix::FromRows({{0.0, 0.0}});
+  la::Matrix fake = la::Matrix::FromRows({{2.0, 0.0}});
+  la::Matrix grad;
+  // ||(2,0) - (0,0)||^2 = 4; d/dfake = 2*(2,0)/1 = (4, 0).
+  EXPECT_NEAR(FeatureMatchingLoss(real, fake, &grad), 4.0, 1e-12);
+  EXPECT_NEAR(grad.At(0, 0), 4.0, 1e-12);
+  EXPECT_NEAR(grad.At(0, 1), 0.0, 1e-12);
+}
+
+TEST(FeatureMatchingLossTest, GradientCheckOnFake) {
+  util::Rng rng(5);
+  la::Matrix real = la::Matrix::RandomNormal(4, 3, 1.0, rng);
+  la::Matrix fake = la::Matrix::RandomNormal(6, 3, 1.0, rng);
+  la::Matrix grad;
+  FeatureMatchingLoss(real, fake, &grad);
+  const double eps = 1e-6;
+  for (size_t i = 0; i < fake.data().size(); ++i) {
+    la::Matrix unused;
+    la::Matrix probe = fake;
+    probe.data()[i] += eps;
+    const double plus = FeatureMatchingLoss(real, probe, &unused);
+    probe.data()[i] = fake.data()[i] - eps;
+    const double minus = FeatureMatchingLoss(real, probe, &unused);
+    EXPECT_NEAR(grad.data()[i], (plus - minus) / (2 * eps), 1e-6);
+  }
+}
+
+TEST(BinaryCrossEntropyTest, KnownValues) {
+  std::vector<double> grad;
+  EXPECT_NEAR(BinaryCrossEntropy({0.5}, {1.0}, &grad), std::log(2.0), 1e-9);
+  EXPECT_NEAR(BinaryCrossEntropy({0.9}, {1.0}, &grad), -std::log(0.9), 1e-9);
+  // Gradient of -log(p) at p = 0.5 for one sample: -2.
+  BinaryCrossEntropy({0.5}, {1.0}, &grad);
+  EXPECT_NEAR(grad[0], -2.0, 1e-9);
+}
+
+TEST(BinaryCrossEntropyTest, ClampsExtremeProbabilities) {
+  std::vector<double> grad;
+  const double loss = BinaryCrossEntropy({0.0, 1.0}, {1.0, 0.0}, &grad);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_TRUE(std::isfinite(grad[0]));
+}
+
+}  // namespace
+}  // namespace gale::nn

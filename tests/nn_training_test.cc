@@ -1,0 +1,133 @@
+// Training-dynamics tests: Adam convergence, GAE edge reconstruction.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "la/sparse_matrix.h"
+#include "nn/activations.h"
+#include "nn/adam.h"
+#include "nn/dense.h"
+#include "nn/gae.h"
+#include "nn/losses.h"
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace gale::nn {
+namespace {
+
+TEST(AdamTest, MinimizesQuadratic) {
+  // Minimize ||x - target||^2 over a single parameter matrix.
+  la::Matrix x(1, 3, 0.0);
+  la::Matrix target = la::Matrix::FromRows({{1.0, -2.0, 3.0}});
+  la::Matrix grad(1, 3, 0.0);
+  Adam adam(AdamOptions{.learning_rate = 0.05});
+  for (int step = 0; step < 2000; ++step) {
+    for (size_t i = 0; i < 3; ++i) {
+      grad.data()[i] = 2.0 * (x.data()[i] - target.data()[i]);
+    }
+    adam.Step({&x}, {&grad});
+  }
+  EXPECT_TRUE(x.AllClose(target, 1e-3));
+  EXPECT_EQ(adam.step_count(), 2000);
+}
+
+TEST(AdamTest, LearningRateDecay) {
+  Adam adam(AdamOptions{.learning_rate = 1.0, .lr_decay = 0.5});
+  adam.DecayLearningRate();
+  EXPECT_DOUBLE_EQ(adam.learning_rate(), 0.5);
+  adam.DecayLearningRate();
+  EXPECT_DOUBLE_EQ(adam.learning_rate(), 0.25);
+}
+
+TEST(AdamTest, TrainsXorMlp) {
+  // A 2-layer MLP with Adam must solve XOR — a smoke test that the whole
+  // backprop + optimizer chain works on a nonlinear problem.
+  util::Rng rng(1);
+  Sequential model;
+  model.Add(std::make_unique<Dense>(2, 8, rng));
+  model.Add(std::make_unique<Tanh>());
+  model.Add(std::make_unique<Dense>(8, 2, rng));
+  Adam adam(AdamOptions{.learning_rate = 0.05});
+
+  la::Matrix x = la::Matrix::FromRows({{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  std::vector<int> labels = {0, 1, 1, 0};
+  std::vector<uint8_t> mask = {1, 1, 1, 1};
+
+  double loss = 0.0;
+  for (int epoch = 0; epoch < 500; ++epoch) {
+    la::Matrix logits = model.Forward(x, true);
+    la::Matrix grad;
+    loss = SoftmaxCrossEntropy(logits, labels, mask, &grad);
+    model.ZeroGrad();
+    model.Backward(grad);
+    adam.Step(model.Parameters(), model.Gradients());
+  }
+  EXPECT_LT(loss, 0.05);
+
+  la::Matrix probs = Softmax(model.Forward(x, false));
+  EXPECT_GT(probs.At(0, 0), 0.5);
+  EXPECT_GT(probs.At(1, 1), 0.5);
+  EXPECT_GT(probs.At(2, 1), 0.5);
+  EXPECT_GT(probs.At(3, 0), 0.5);
+}
+
+TEST(GaeTest, ReconstructsCommunityStructure) {
+  // Two cliques joined by one bridge edge: after training, within-clique
+  // edge probabilities must exceed cross-clique non-edge probabilities.
+  std::vector<std::pair<size_t, size_t>> edges;
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = i + 1; j < 5; ++j) {
+      edges.emplace_back(i, j);          // clique A: 0-4
+      edges.emplace_back(i + 5, j + 5);  // clique B: 5-9
+    }
+  }
+  edges.emplace_back(0, 5);  // bridge
+  la::SparseMatrix adj = la::SparseMatrix::NormalizedAdjacency(10, edges);
+
+  util::Rng rng(2);
+  la::Matrix features = la::Matrix::RandomNormal(10, 6, 1.0, rng);
+  GaeOptions options;
+  options.epochs = 150;
+  options.seed = 3;
+  Gae gae(&adj, edges, 6, options);
+  auto loss = gae.Train(features);
+  ASSERT_TRUE(loss.ok());
+  EXPECT_LT(loss.value(), 0.6);
+
+  la::Matrix z = gae.Encode(features);
+  double intra = 0.0;
+  double inter = 0.0;
+  int intra_n = 0;
+  int inter_n = 0;
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = i + 1; j < 5; ++j) {
+      intra += gae.EdgeProbability(z, i, j);
+      ++intra_n;
+    }
+    for (size_t j = 6; j < 10; ++j) {
+      inter += gae.EdgeProbability(z, i, j);
+      ++inter_n;
+    }
+  }
+  EXPECT_GT(intra / intra_n, inter / inter_n);
+}
+
+TEST(GaeTest, RejectsBadInputs) {
+  la::SparseMatrix adj = la::SparseMatrix::NormalizedAdjacency(3, {{0, 1}});
+  util::Rng rng(4);
+  {
+    Gae gae(&adj, {{0, 1}}, 4, {});
+    la::Matrix wrong_rows = la::Matrix::RandomNormal(2, 4, 1.0, rng);
+    EXPECT_FALSE(gae.Train(wrong_rows).ok());
+  }
+  {
+    Gae gae(&adj, {}, 4, {});
+    la::Matrix features = la::Matrix::RandomNormal(3, 4, 1.0, rng);
+    EXPECT_FALSE(gae.Train(features).ok()) << "no edges";
+  }
+}
+
+}  // namespace
+}  // namespace gale::nn

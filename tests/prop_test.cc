@@ -1,0 +1,155 @@
+// Tests for personalized PageRank and label propagation.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "prop/label_propagation.h"
+#include "prop/ppr.h"
+
+namespace gale::prop {
+namespace {
+
+la::SparseMatrix PathGraph(size_t n) {
+  std::vector<std::pair<size_t, size_t>> edges;
+  for (size_t i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return la::SparseMatrix::NormalizedAdjacency(n, edges);
+}
+
+TEST(PprTest, RowIsAProbabilityLikeVector) {
+  la::SparseMatrix walk = PathGraph(6);
+  PprEngine ppr(&walk);
+  const std::vector<double>& row = ppr.Row(2);
+  ASSERT_EQ(row.size(), 6u);
+  double sum = 0.0;
+  for (double p : row) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  // The symmetric-normalized operator is not stochastic (row sums of S
+  // can exceed 1 toward low-degree neighbors), so P's rows are influence
+  // vectors rather than exact distributions — but they stay near 1.
+  EXPECT_LE(sum, 1.3);
+  EXPECT_GT(sum, 0.5);
+}
+
+TEST(PprTest, SourceHasLargestMassAndDecaysWithDistance) {
+  la::SparseMatrix walk = PathGraph(9);
+  PprEngine ppr(&walk);
+  const std::vector<double>& row = ppr.Row(4);
+  EXPECT_GT(row[4], row[3]);
+  EXPECT_GT(row[3], row[2]);
+  EXPECT_GT(row[2], row[1]);
+  EXPECT_GT(row[5], row[7]);
+}
+
+TEST(PprTest, SymmetryOnSymmetricOperator) {
+  // P = alpha (I - (1-alpha) S)^{-1} is symmetric when S is.
+  la::SparseMatrix walk = PathGraph(7);
+  PprEngine ppr(&walk);
+  EXPECT_NEAR(ppr.Row(1)[5], ppr.Row(5)[1], 1e-6);
+  EXPECT_NEAR(ppr.Row(0)[3], ppr.Row(3)[0], 1e-6);
+}
+
+TEST(PprTest, MatchesClosedFormOnTinyGraph) {
+  // Two nodes, one edge: S = [[.5, .5], [.5, .5]].
+  // P = a (I - (1-a) S)^{-1}. For a = 0.15 solve by hand.
+  la::SparseMatrix walk =
+      la::SparseMatrix::NormalizedAdjacency(2, {{0, 1}});
+  PprOptions options;
+  options.alpha = 0.15;
+  options.max_iterations = 500;
+  options.tolerance = 1e-14;
+  PprEngine ppr(&walk, options);
+  const double a = 0.15;
+  const double b = (1 - a) * 0.5;  // each entry of (1-a)S
+  // (I - (1-a)S) = [[1-b, -b], [-b, 1-b]]; inverse = 1/det [[1-b, b],[b, 1-b]]
+  const double det = (1 - b) * (1 - b) - b * b;
+  const double p00 = a * (1 - b) / det;
+  const double p01 = a * b / det;
+  const std::vector<double>& row = ppr.Row(0);
+  EXPECT_NEAR(row[0], p00, 1e-9);
+  EXPECT_NEAR(row[1], p01, 1e-9);
+}
+
+TEST(PprTest, CachingCountsRows) {
+  la::SparseMatrix walk = PathGraph(5);
+  PprEngine ppr(&walk);
+  EXPECT_FALSE(ppr.IsCached(2));
+  ppr.Row(2);
+  EXPECT_TRUE(ppr.IsCached(2));
+  EXPECT_EQ(ppr.num_computed_rows(), 1u);
+  ppr.Row(2);  // hit
+  EXPECT_EQ(ppr.num_computed_rows(), 1u);
+  ppr.Row(3);
+  EXPECT_EQ(ppr.num_computed_rows(), 2u);
+  ppr.ClearCache();
+  EXPECT_EQ(ppr.num_cached_rows(), 0u);
+}
+
+TEST(PprTest, DisabledCacheRecomputes) {
+  la::SparseMatrix walk = PathGraph(5);
+  PprOptions options;
+  options.cache_rows = false;
+  PprEngine ppr(&walk, options);
+  ppr.Row(1);
+  ppr.Row(1);
+  EXPECT_EQ(ppr.num_computed_rows(), 2u);
+  EXPECT_EQ(ppr.num_cached_rows(), 0u);
+}
+
+TEST(LabelPropagationTest, RejectsBadInputs) {
+  la::SparseMatrix walk = PathGraph(4);
+  EXPECT_FALSE(PropagateLabels(walk, {0, 1}, 2).ok()) << "size mismatch";
+  EXPECT_FALSE(PropagateLabels(walk, {0, 1, 0, 1}, 0).ok());
+}
+
+TEST(LabelPropagationTest, SeedsKeepTheirLabels) {
+  la::SparseMatrix walk = PathGraph(7);
+  std::vector<int> labels = {0, -1, -1, -1, -1, -1, 1};
+  auto soft = PropagateLabels(walk, labels, 2);
+  ASSERT_TRUE(soft.ok());
+  std::vector<int> hard = HardLabels(soft.value(), -1);
+  EXPECT_EQ(hard[0], 0);
+  EXPECT_EQ(hard[6], 1);
+}
+
+TEST(LabelPropagationTest, LabelsSplitAtTheMiddle) {
+  la::SparseMatrix walk = PathGraph(9);
+  std::vector<int> labels(9, -1);
+  labels[0] = 0;
+  labels[8] = 1;
+  auto soft = PropagateLabels(walk, labels, 2);
+  ASSERT_TRUE(soft.ok());
+  std::vector<int> hard = HardLabels(soft.value(), -1);
+  EXPECT_EQ(hard[1], 0);
+  EXPECT_EQ(hard[2], 0);
+  EXPECT_EQ(hard[6], 1);
+  EXPECT_EQ(hard[7], 1);
+}
+
+TEST(LabelPropagationTest, UnreachableNodesFallBack) {
+  // Disconnected pair {3, 4}: no seed reaches them.
+  la::SparseMatrix walk = la::SparseMatrix::NormalizedAdjacency(
+      5, {{0, 1}, {1, 2}, {3, 4}});
+  std::vector<int> labels = {0, -1, -1, -1, -1};
+  auto soft = PropagateLabels(walk, labels, 2);
+  ASSERT_TRUE(soft.ok());
+  std::vector<int> hard = HardLabels(soft.value(), -7);
+  EXPECT_EQ(hard[3], -7);
+  EXPECT_EQ(hard[4], -7);
+  EXPECT_EQ(hard[1], 0);
+}
+
+TEST(LabelPropagationTest, MissingClassColumnStaysZero) {
+  la::SparseMatrix walk = PathGraph(4);
+  std::vector<int> labels = {0, -1, -1, 0};  // no class-1 seed
+  auto soft = PropagateLabels(walk, labels, 2);
+  ASSERT_TRUE(soft.ok());
+  for (size_t v = 0; v < 4; ++v) {
+    EXPECT_DOUBLE_EQ(soft.value().At(v, 1), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace gale::prop

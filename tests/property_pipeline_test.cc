@@ -1,0 +1,216 @@
+// Property-style tests: pipeline invariants that must hold across seeds,
+// error mixes and budgets (parameterized sweeps, not example-based).
+
+#include <gtest/gtest.h>
+
+#include "core/augment.h"
+#include "core/gale.h"
+#include "detect/oracle.h"
+#include "eval/metrics.h"
+#include "graph/constraints.h"
+#include "graph/error_injector.h"
+#include "graph/synthetic_dataset.h"
+
+namespace gale {
+namespace {
+
+struct Pipeline {
+  graph::SyntheticDataset dataset;
+  std::vector<graph::Constraint> constraints;
+  graph::AttributedGraph dirty;
+  graph::ErrorGroundTruth truth;
+};
+
+Pipeline BuildPipeline(uint64_t seed, std::vector<double> mix,
+                       double detectable, double node_rate = 0.08) {
+  graph::SyntheticConfig config;
+  config.num_nodes = 900;
+  config.num_edges = 1100;
+  config.seed = seed;
+  auto ds = graph::GenerateSynthetic(config);
+  EXPECT_TRUE(ds.ok());
+  graph::ConstraintMiner miner({.min_support = 10, .min_confidence = 0.8});
+  auto constraints = miner.Mine(ds.value().graph);
+  EXPECT_TRUE(constraints.ok());
+  Pipeline p{std::move(ds).value(), std::move(constraints).value(), {}, {}};
+  p.dirty = p.dataset.graph.Clone();
+  graph::ErrorInjectorConfig inject;
+  inject.node_error_rate = node_rate;
+  inject.type_mix = std::move(mix);
+  inject.detectable_rate = detectable;
+  inject.seed = seed ^ 0x515;
+  auto truth = graph::ErrorInjector(inject).Inject(p.dirty, p.constraints);
+  EXPECT_TRUE(truth.ok());
+  p.truth = std::move(truth).value();
+  return p;
+}
+
+// --- invariant: ground truth exactly describes the dirty/clean diff ---
+
+class GroundTruthInvariantTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GroundTruthInvariantTest, DirtyCleanDiffMatchesTruth) {
+  Pipeline p = BuildPipeline(GetParam(), {1.0 / 3, 1.0 / 3, 1.0 / 3}, 0.5);
+  // Every differing (node, attr) pair must be recorded, and vice versa.
+  std::set<std::pair<size_t, size_t>> recorded;
+  for (const graph::InjectedError& e : p.truth.errors) {
+    recorded.insert({e.node, e.attr});
+  }
+  std::set<std::pair<size_t, size_t>> differing;
+  for (size_t v = 0; v < p.dirty.num_nodes(); ++v) {
+    for (size_t a = 0; a < p.dirty.num_attributes(v); ++a) {
+      if (p.dirty.value(v, a) != p.dataset.graph.value(v, a)) {
+        differing.insert({v, a});
+      }
+    }
+  }
+  EXPECT_EQ(recorded, differing);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroundTruthInvariantTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- invariant: with detectable-only injection, the ensemble oracle's
+// recall stays well above its recall on subtle-only injection ---
+
+class DetectableGapTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DetectableGapTest, EnsembleOracleGapBetweenRegimes) {
+  auto recall_of = [&](double detectable) {
+    Pipeline p = BuildPipeline(GetParam(), {1.0 / 3, 1.0 / 3, 1.0 / 3},
+                               detectable);
+    auto library = detect::DetectorLibrary::MakeDefault(p.constraints);
+    EXPECT_TRUE(library.RunAll(p.dirty).ok());
+    size_t caught = 0;
+    size_t total = 0;
+    for (size_t v = 0; v < p.dirty.num_nodes(); ++v) {
+      if (!p.truth.is_error[v]) continue;
+      ++total;
+      caught += library.NodeFlagged(v);
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(caught) /
+                            static_cast<double>(total);
+  };
+  const double high = recall_of(1.0);
+  const double low = recall_of(0.0);
+  EXPECT_GT(high, low + 0.25) << "high=" << high << " low=" << low;
+  EXPECT_GT(high, 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DetectableGapTest,
+                         ::testing::Values(11, 12, 13));
+
+// --- invariant: every error-mix produces only errors of feasible types ---
+
+struct MixCase {
+  std::vector<double> mix;
+  graph::ErrorType dominant;
+};
+
+class MixFeasibilityTest : public ::testing::TestWithParam<MixCase> {};
+
+TEST_P(MixFeasibilityTest, DominantTypeDominatesFeasibleSlots) {
+  Pipeline p = BuildPipeline(31, GetParam().mix, 0.5, 0.15);
+  size_t dominant_count = 0;
+  for (const graph::InjectedError& e : p.truth.errors) {
+    dominant_count += (e.type == GetParam().dominant);
+    // Type/kind feasibility: outliers only on numeric slots, the other
+    // two only on text slots.
+    const graph::ValueKind kind = p.dirty.attribute_def(e.node, e.attr).kind;
+    if (e.type == graph::ErrorType::kOutlier) {
+      EXPECT_EQ(kind, graph::ValueKind::kNumeric);
+    } else {
+      EXPECT_EQ(kind, graph::ValueKind::kText);
+    }
+  }
+  ASSERT_FALSE(p.truth.errors.empty());
+  // The requested dominant class must be strongly represented. Outliers
+  // are feasibility-capped by the schema (2 numeric of 7 attributes), so
+  // their achievable share is lower than for the text-slot error types.
+  const double floor =
+      GetParam().dominant == graph::ErrorType::kOutlier ? 0.20 : 0.33;
+  EXPECT_GT(static_cast<double>(dominant_count) /
+                static_cast<double>(p.truth.errors.size()),
+            floor);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, MixFeasibilityTest,
+    ::testing::Values(
+        MixCase{{0.5, 0.25, 0.25}, graph::ErrorType::kConstraintViolation},
+        MixCase{{0.25, 0.5, 0.25}, graph::ErrorType::kOutlier},
+        MixCase{{0.25, 0.25, 0.5}, graph::ErrorType::kStringNoise}));
+
+// --- invariant: the GALE loop respects its budget and never queries
+// excluded or already-labeled nodes, across budgets ---
+
+class BudgetInvariantTest
+    : public ::testing::TestWithParam<std::pair<size_t, int>> {};
+
+TEST_P(BudgetInvariantTest, QueriesExactlyTk) {
+  const auto [k, T] = GetParam();
+  Pipeline p = BuildPipeline(41, {1.0 / 3, 1.0 / 3, 1.0 / 3}, 0.5);
+  auto library = detect::DetectorLibrary::MakeDefault(p.constraints);
+  ASSERT_TRUE(library.RunAll(p.dirty).ok());
+  core::AugmentOptions augment;
+  augment.gae.epochs = 15;
+  auto features = core::GAugment(p.dirty, p.constraints, augment);
+  ASSERT_TRUE(features.ok());
+
+  core::GaleConfig config;
+  config.sgan.train_epochs = 30;
+  config.sgan.update_epochs = 5;
+  config.local_budget = k;
+  config.iterations = T;
+  config.annotate_queries = false;
+  core::Gale gale(&p.dirty, &library, &p.constraints, config);
+  detect::GroundTruthOracle oracle(&p.truth);
+  auto result = gale.Run(features.value().x_real,
+                         features.value().x_synthetic, oracle);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(oracle.num_queries(), k * static_cast<size_t>(T));
+  // Oracle-labeled example count matches (no node queried twice).
+  size_t labeled = 0;
+  for (int l : result.value().example_labels) {
+    labeled += (l == core::kLabelError || l == core::kLabelCorrect);
+  }
+  EXPECT_EQ(labeled, k * static_cast<size_t>(T));
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BudgetInvariantTest,
+                         ::testing::Values(std::pair<size_t, int>{4, 2},
+                                           std::pair<size_t, int>{8, 3},
+                                           std::pair<size_t, int>{16, 2}));
+
+// --- invariant: metrics are bounded and consistent ---
+
+TEST(MetricsInvariantTest, BoundsAndConsistencyOnRandomData) {
+  util::Rng rng(51);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 50 + rng.UniformInt(100);
+    std::vector<uint8_t> predicted(n);
+    std::vector<uint8_t> truth(n);
+    std::vector<uint8_t> mask(n);
+    for (size_t i = 0; i < n; ++i) {
+      predicted[i] = rng.Bernoulli(0.3);
+      truth[i] = rng.Bernoulli(0.2);
+      mask[i] = rng.Bernoulli(0.7);
+    }
+    const eval::Metrics m = eval::ComputeMetrics(predicted, truth, mask);
+    EXPECT_GE(m.precision, 0.0);
+    EXPECT_LE(m.precision, 1.0);
+    EXPECT_GE(m.recall, 0.0);
+    EXPECT_LE(m.recall, 1.0);
+    EXPECT_GE(m.f1, 0.0);
+    EXPECT_LE(m.f1, 1.0);
+    // F1 is the harmonic mean: between min and max of P and R.
+    if (m.precision > 0.0 && m.recall > 0.0) {
+      EXPECT_LE(m.f1, std::max(m.precision, m.recall) + 1e-12);
+      EXPECT_GE(m.f1, std::min(m.precision, m.recall) - 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gale

@@ -1,0 +1,62 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace gale::util {
+namespace {
+
+TEST(LoggingTest, LevelsFilterMessages) {
+  // Capture stderr around a filtered and an unfiltered message.
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  GALE_LOG(Info) << "should be filtered";
+  GALE_LOG(Error) << "should appear";
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  SetLogLevel(original);
+  EXPECT_EQ(output.find("should be filtered"), std::string::npos);
+  EXPECT_NE(output.find("should appear"), std::string::npos);
+}
+
+TEST(LoggingTest, MessagesCarryFileAndLevelTag) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  GALE_LOG(Warning) << "tagged";
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  SetLogLevel(original);
+  EXPECT_NE(output.find("[W util_logging_test.cc:"), std::string::npos);
+}
+
+using LoggingDeathTest = LoggingTest_LevelsFilterMessages_Test;
+
+TEST(CheckDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH({ GALE_CHECK(1 == 2) << "impossible"; },
+               "Check failed: 1 == 2");
+}
+
+TEST(CheckDeathTest, PassingCheckIsSilent) {
+  GALE_CHECK(true) << "never evaluated";
+  GALE_CHECK_EQ(2 + 2, 4);
+  GALE_CHECK_LT(1, 2);
+  GALE_CHECK_LE(2, 2);
+  GALE_CHECK_GT(3, 2);
+  GALE_CHECK_GE(3, 3);
+  GALE_CHECK_NE(1, 2);
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, ComparisonMacrosPrintOperands) {
+  EXPECT_DEATH({ GALE_CHECK_EQ(3, 5); }, "\\(3 vs 5\\)");
+  EXPECT_DEATH({ GALE_CHECK_LT(9, 2); }, "\\(9 vs 2\\)");
+}
+
+TEST(CheckDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(
+      { GALE_CHECK_OK(Status::NotFound("missing thing")); },
+      "NotFound: missing thing");
+  GALE_CHECK_OK(Status::Ok());  // no effect
+}
+
+}  // namespace
+}  // namespace gale::util

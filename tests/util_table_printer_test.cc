@@ -1,0 +1,53 @@
+#include "util/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace gale::util {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"Data", "F1"});
+  t.AddRow({"SP", "0.7666"});
+  t.AddRow({"UserGroup1", "0.72"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Data"), std::string::npos);
+  EXPECT_NE(out.find("UserGroup1"), std::string::npos);
+  // Header and both rows plus the rule line.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TablePrinterTest, HandlesShortRows) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"1"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("1"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter t({"x", "y"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(SeriesPrinterTest, PrintsPoints) {
+  SeriesPrinter s("p_e", {"GCN", "GALE"});
+  s.AddPoint(0.1, {0.41, 0.62});
+  s.AddPoint(0.5, {0.52, 0.66});
+  std::ostringstream os;
+  s.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("p_e=0.100"), std::string::npos);
+  EXPECT_NE(out.find("GCN=0.4100"), std::string::npos);
+  EXPECT_NE(out.find("GALE=0.6600"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gale::util

@@ -1,0 +1,226 @@
+// gale_cli — command-line front end for the GALE library.
+//
+// Subcommands:
+//   generate --out g.graph [--nodes N] [--edges M] [--seed S]
+//       Generate a clean synthetic attributed graph and save it.
+//   pollute --in g.graph --out dirty.graph --truth t.truth
+//            [--error-rate R] [--detectable D] [--seed S]
+//       Mine constraints, inject errors, save the dirty graph + truth.
+//   detect --in dirty.graph [--truth t.truth] [--budget K] [--k k]
+//          [--strategy gale|random|entropy|kmeans] [--seed S]
+//          [--repair out.graph]
+//       Run the full GALE loop (ground-truth oracle when --truth is given,
+//       detector-ensemble oracle otherwise), print flagged nodes and
+//       metrics, optionally repair and save.
+//
+// Example:
+//   gale_cli generate --out /tmp/g.graph --nodes 1500
+//   gale_cli pollute --in /tmp/g.graph --out /tmp/d.graph \
+//       --truth /tmp/d.truth
+//   gale_cli detect --in /tmp/d.graph --truth /tmp/d.truth --budget 50
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/augment.h"
+#include "core/gale.h"
+#include "core/repair.h"
+#include "detect/oracle.h"
+#include "eval/metrics.h"
+#include "graph/constraints.h"
+#include "graph/error_injector.h"
+#include "graph/graph_io.h"
+#include "graph/synthetic_dataset.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace gale;
+
+// Minimal --flag value parser; flags without values are not used here.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::cerr << "expected --flag, got '" << key << "'\n";
+        std::exit(2);
+      }
+      values_[key.substr(2)] = argv[i + 1];
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  uint64_t GetInt(const std::string& key, uint64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end()
+               ? fallback
+               : static_cast<uint64_t>(std::atoll(it->second.c_str()));
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+std::vector<graph::Constraint> MineConstraints(
+    const graph::AttributedGraph& g) {
+  graph::ConstraintMiner miner(
+      {.min_support = std::max<size_t>(8, g.num_nodes() / 200),
+       .min_confidence = 0.8});
+  auto constraints = miner.Mine(g);
+  GALE_CHECK(constraints.ok()) << constraints.status();
+  return std::move(constraints).value();
+}
+
+int CmdGenerate(const Flags& flags) {
+  graph::SyntheticConfig config;
+  config.num_nodes = flags.GetInt("nodes", 1500);
+  config.num_edges = flags.GetInt("edges", config.num_nodes * 6 / 5);
+  config.seed = flags.GetInt("seed", 1);
+  auto ds = graph::GenerateSynthetic(config);
+  GALE_CHECK(ds.ok()) << ds.status();
+  const std::string out = flags.Get("out", "gale.graph");
+  GALE_CHECK_OK(graph::SaveGraph(ds.value().graph, out));
+  std::cout << "wrote " << ds.value().graph.num_nodes() << " nodes / "
+            << ds.value().graph.num_edges() << " edges to " << out << "\n";
+  return 0;
+}
+
+int CmdPollute(const Flags& flags) {
+  auto g = graph::LoadGraph(flags.Get("in", "gale.graph"));
+  GALE_CHECK(g.ok()) << g.status();
+  const std::vector<graph::Constraint> constraints =
+      MineConstraints(g.value());
+
+  graph::ErrorInjectorConfig inject;
+  inject.node_error_rate = flags.GetDouble("error-rate", 0.04);
+  inject.detectable_rate = flags.GetDouble("detectable", 0.5);
+  inject.seed = flags.GetInt("seed", 2);
+  auto truth = graph::ErrorInjector(inject).Inject(g.value(), constraints);
+  GALE_CHECK(truth.ok()) << truth.status();
+
+  const std::string out = flags.Get("out", "dirty.graph");
+  GALE_CHECK_OK(graph::SaveGraph(g.value(), out));
+  if (flags.Has("truth")) {
+    std::ofstream truth_file(flags.Get("truth", ""));
+    GALE_CHECK(truth_file.is_open());
+    GALE_CHECK_OK(graph::WriteGroundTruth(truth.value(), truth_file));
+  }
+  std::cout << "polluted " << truth.value().NumErroneousNodes()
+            << " nodes (" << truth.value().errors.size() << " values), wrote "
+            << out << "\n";
+  return 0;
+}
+
+core::QueryStrategy ParseStrategy(const std::string& name) {
+  if (name == "random") return core::QueryStrategy::kRandom;
+  if (name == "entropy") return core::QueryStrategy::kEntropy;
+  if (name == "kmeans") return core::QueryStrategy::kKmeans;
+  if (name == "gale") return core::QueryStrategy::kGale;
+  std::cerr << "unknown strategy '" << name << "'\n";
+  std::exit(2);
+}
+
+int CmdDetect(const Flags& flags) {
+  auto g = graph::LoadGraph(flags.Get("in", "dirty.graph"));
+  GALE_CHECK(g.ok()) << g.status();
+  const std::vector<graph::Constraint> constraints =
+      MineConstraints(g.value());
+  auto library = detect::DetectorLibrary::MakeDefault(constraints);
+  GALE_CHECK_OK(library.RunAll(g.value()));
+
+  auto features = core::GAugment(g.value(), constraints, {});
+  GALE_CHECK(features.ok()) << features.status();
+
+  core::GaleConfig config;
+  config.local_budget = flags.GetInt("k", 10);
+  const size_t budget = flags.GetInt("budget", 50);
+  config.iterations = static_cast<int>(
+      std::max<size_t>(1, budget / config.local_budget));
+  config.selector.strategy = ParseStrategy(flags.Get("strategy", "gale"));
+  config.seed = flags.GetInt("seed", 3);
+
+  core::Gale gale(&g.value(), &library, &constraints, config);
+
+  // Oracle: ground truth when provided, else the detector ensemble.
+  graph::ErrorGroundTruth truth;
+  bool have_truth = false;
+  if (flags.Has("truth")) {
+    std::ifstream truth_file(flags.Get("truth", ""));
+    GALE_CHECK(truth_file.is_open());
+    auto loaded =
+        graph::ReadGroundTruth(truth_file, g.value().num_nodes());
+    GALE_CHECK(loaded.ok()) << loaded.status();
+    truth = std::move(loaded).value();
+    have_truth = true;
+  }
+  detect::GroundTruthOracle truth_oracle(&truth);
+  detect::EnsembleOracle ensemble_oracle(&library);
+  detect::Oracle& oracle =
+      have_truth ? static_cast<detect::Oracle&>(truth_oracle)
+                 : static_cast<detect::Oracle&>(ensemble_oracle);
+
+  auto result = gale.Run(features.value().x_real,
+                         features.value().x_synthetic, oracle);
+  GALE_CHECK(result.ok()) << result.status();
+
+  size_t flagged = 0;
+  for (int label : result.value().predicted) {
+    flagged += (label == core::kLabelError);
+  }
+  std::cout << "flagged " << flagged << " of " << g.value().num_nodes()
+            << " nodes as erroneous (" << oracle.num_queries()
+            << " oracle queries, "
+            << util::FormatDouble(result.value().total_seconds, 2) << "s)\n";
+  if (have_truth) {
+    std::vector<uint8_t> flags_vec(g.value().num_nodes(), 0);
+    for (size_t v = 0; v < flags_vec.size(); ++v) {
+      flags_vec[v] =
+          result.value().predicted[v] == core::kLabelError ? 1 : 0;
+    }
+    std::cout << "vs ground truth: "
+              << eval::ComputeMetrics(flags_vec, truth.is_error).ToString()
+              << "\n";
+  }
+
+  if (flags.Has("repair")) {
+    core::RepairReport report = core::RepairGraph(
+        g.value(), constraints, library, result.value().predicted);
+    std::cout << "repaired " << report.num_applied() << " values on "
+              << report.nodes_considered << " nodes\n";
+    GALE_CHECK_OK(graph::SaveGraph(g.value(), flags.Get("repair", "")));
+    std::cout << "wrote repaired graph to " << flags.Get("repair", "")
+              << "\n";
+  }
+  return 0;
+}
+
+int Usage() {
+  std::cerr << "usage: gale_cli <generate|pollute|detect> [--flag value]...\n"
+            << "see the header comment of tools/gale_cli.cc\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "pollute") return CmdPollute(flags);
+  if (command == "detect") return CmdDetect(flags);
+  return Usage();
+}
