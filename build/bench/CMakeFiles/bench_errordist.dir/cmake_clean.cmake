@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_errordist.dir/bench_errordist.cc.o"
+  "CMakeFiles/bench_errordist.dir/bench_errordist.cc.o.d"
+  "bench_errordist"
+  "bench_errordist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_errordist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

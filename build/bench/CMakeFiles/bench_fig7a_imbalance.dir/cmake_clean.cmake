@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7a_imbalance.dir/bench_fig7a_imbalance.cc.o"
+  "CMakeFiles/bench_fig7a_imbalance.dir/bench_fig7a_imbalance.cc.o.d"
+  "bench_fig7a_imbalance"
+  "bench_fig7a_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7a_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7f_memoization.dir/bench_fig7f_memoization.cc.o"
+  "CMakeFiles/bench_fig7f_memoization.dir/bench_fig7f_memoization.cc.o.d"
+  "bench_fig7f_memoization"
+  "bench_fig7f_memoization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7f_memoization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_noisy_oracle.dir/bench_noisy_oracle.cc.o"
+  "CMakeFiles/bench_noisy_oracle.dir/bench_noisy_oracle.cc.o.d"
+  "bench_noisy_oracle"
+  "bench_noisy_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_noisy_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

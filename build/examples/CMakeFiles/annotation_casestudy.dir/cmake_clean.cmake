@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotation_casestudy.dir/annotation_casestudy.cpp.o"
+  "CMakeFiles/annotation_casestudy.dir/annotation_casestudy.cpp.o.d"
+  "annotation_casestudy"
+  "annotation_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotation_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

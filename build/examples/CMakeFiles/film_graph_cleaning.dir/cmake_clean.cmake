@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/film_graph_cleaning.dir/film_graph_cleaning.cpp.o"
+  "CMakeFiles/film_graph_cleaning.dir/film_graph_cleaning.cpp.o.d"
+  "film_graph_cleaning"
+  "film_graph_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/film_graph_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for film_graph_cleaning.
+# This may be replaced when dependencies are built.

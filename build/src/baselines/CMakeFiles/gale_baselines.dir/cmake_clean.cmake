@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gale_baselines.dir/alad.cc.o"
+  "CMakeFiles/gale_baselines.dir/alad.cc.o.d"
+  "CMakeFiles/gale_baselines.dir/gcn_classifier.cc.o"
+  "CMakeFiles/gale_baselines.dir/gcn_classifier.cc.o.d"
+  "CMakeFiles/gale_baselines.dir/gedet.cc.o"
+  "CMakeFiles/gale_baselines.dir/gedet.cc.o.d"
+  "CMakeFiles/gale_baselines.dir/raha.cc.o"
+  "CMakeFiles/gale_baselines.dir/raha.cc.o.d"
+  "CMakeFiles/gale_baselines.dir/viodet.cc.o"
+  "CMakeFiles/gale_baselines.dir/viodet.cc.o.d"
+  "libgale_baselines.a"
+  "libgale_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gale_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/annotator.cc" "src/core/CMakeFiles/gale_core.dir/annotator.cc.o" "gcc" "src/core/CMakeFiles/gale_core.dir/annotator.cc.o.d"
+  "/root/repo/src/core/augment.cc" "src/core/CMakeFiles/gale_core.dir/augment.cc.o" "gcc" "src/core/CMakeFiles/gale_core.dir/augment.cc.o.d"
+  "/root/repo/src/core/gale.cc" "src/core/CMakeFiles/gale_core.dir/gale.cc.o" "gcc" "src/core/CMakeFiles/gale_core.dir/gale.cc.o.d"
+  "/root/repo/src/core/query_selector.cc" "src/core/CMakeFiles/gale_core.dir/query_selector.cc.o" "gcc" "src/core/CMakeFiles/gale_core.dir/query_selector.cc.o.d"
+  "/root/repo/src/core/repair.cc" "src/core/CMakeFiles/gale_core.dir/repair.cc.o" "gcc" "src/core/CMakeFiles/gale_core.dir/repair.cc.o.d"
+  "/root/repo/src/core/sgan.cc" "src/core/CMakeFiles/gale_core.dir/sgan.cc.o" "gcc" "src/core/CMakeFiles/gale_core.dir/sgan.cc.o.d"
+  "/root/repo/src/core/typicality.cc" "src/core/CMakeFiles/gale_core.dir/typicality.cc.o" "gcc" "src/core/CMakeFiles/gale_core.dir/typicality.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/detect/CMakeFiles/gale_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gale_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gale_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/prop/CMakeFiles/gale_prop.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/gale_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gale_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gale_core.dir/annotator.cc.o"
+  "CMakeFiles/gale_core.dir/annotator.cc.o.d"
+  "CMakeFiles/gale_core.dir/augment.cc.o"
+  "CMakeFiles/gale_core.dir/augment.cc.o.d"
+  "CMakeFiles/gale_core.dir/gale.cc.o"
+  "CMakeFiles/gale_core.dir/gale.cc.o.d"
+  "CMakeFiles/gale_core.dir/query_selector.cc.o"
+  "CMakeFiles/gale_core.dir/query_selector.cc.o.d"
+  "CMakeFiles/gale_core.dir/repair.cc.o"
+  "CMakeFiles/gale_core.dir/repair.cc.o.d"
+  "CMakeFiles/gale_core.dir/sgan.cc.o"
+  "CMakeFiles/gale_core.dir/sgan.cc.o.d"
+  "CMakeFiles/gale_core.dir/typicality.cc.o"
+  "CMakeFiles/gale_core.dir/typicality.cc.o.d"
+  "libgale_core.a"
+  "libgale_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gale_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

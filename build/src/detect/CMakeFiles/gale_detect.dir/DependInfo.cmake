@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/constraint_detector.cc" "src/detect/CMakeFiles/gale_detect.dir/constraint_detector.cc.o" "gcc" "src/detect/CMakeFiles/gale_detect.dir/constraint_detector.cc.o.d"
+  "/root/repo/src/detect/detector_library.cc" "src/detect/CMakeFiles/gale_detect.dir/detector_library.cc.o" "gcc" "src/detect/CMakeFiles/gale_detect.dir/detector_library.cc.o.d"
+  "/root/repo/src/detect/oracle.cc" "src/detect/CMakeFiles/gale_detect.dir/oracle.cc.o" "gcc" "src/detect/CMakeFiles/gale_detect.dir/oracle.cc.o.d"
+  "/root/repo/src/detect/outlier_detector.cc" "src/detect/CMakeFiles/gale_detect.dir/outlier_detector.cc.o" "gcc" "src/detect/CMakeFiles/gale_detect.dir/outlier_detector.cc.o.d"
+  "/root/repo/src/detect/string_detector.cc" "src/detect/CMakeFiles/gale_detect.dir/string_detector.cc.o" "gcc" "src/detect/CMakeFiles/gale_detect.dir/string_detector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gale_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gale_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/gale_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

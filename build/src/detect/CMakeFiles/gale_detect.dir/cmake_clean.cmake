@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gale_detect.dir/constraint_detector.cc.o"
+  "CMakeFiles/gale_detect.dir/constraint_detector.cc.o.d"
+  "CMakeFiles/gale_detect.dir/detector_library.cc.o"
+  "CMakeFiles/gale_detect.dir/detector_library.cc.o.d"
+  "CMakeFiles/gale_detect.dir/oracle.cc.o"
+  "CMakeFiles/gale_detect.dir/oracle.cc.o.d"
+  "CMakeFiles/gale_detect.dir/outlier_detector.cc.o"
+  "CMakeFiles/gale_detect.dir/outlier_detector.cc.o.d"
+  "CMakeFiles/gale_detect.dir/string_detector.cc.o"
+  "CMakeFiles/gale_detect.dir/string_detector.cc.o.d"
+  "libgale_detect.a"
+  "libgale_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gale_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gale_eval.dir/datasets.cc.o"
+  "CMakeFiles/gale_eval.dir/datasets.cc.o.d"
+  "CMakeFiles/gale_eval.dir/experiment.cc.o"
+  "CMakeFiles/gale_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/gale_eval.dir/metrics.cc.o"
+  "CMakeFiles/gale_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/gale_eval.dir/splits.cc.o"
+  "CMakeFiles/gale_eval.dir/splits.cc.o.d"
+  "libgale_eval.a"
+  "libgale_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gale_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

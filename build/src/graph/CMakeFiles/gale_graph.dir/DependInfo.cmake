@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/attribute_stats.cc" "src/graph/CMakeFiles/gale_graph.dir/attribute_stats.cc.o" "gcc" "src/graph/CMakeFiles/gale_graph.dir/attribute_stats.cc.o.d"
+  "/root/repo/src/graph/attributed_graph.cc" "src/graph/CMakeFiles/gale_graph.dir/attributed_graph.cc.o" "gcc" "src/graph/CMakeFiles/gale_graph.dir/attributed_graph.cc.o.d"
+  "/root/repo/src/graph/constraints.cc" "src/graph/CMakeFiles/gale_graph.dir/constraints.cc.o" "gcc" "src/graph/CMakeFiles/gale_graph.dir/constraints.cc.o.d"
+  "/root/repo/src/graph/error_injector.cc" "src/graph/CMakeFiles/gale_graph.dir/error_injector.cc.o" "gcc" "src/graph/CMakeFiles/gale_graph.dir/error_injector.cc.o.d"
+  "/root/repo/src/graph/feature_encoder.cc" "src/graph/CMakeFiles/gale_graph.dir/feature_encoder.cc.o" "gcc" "src/graph/CMakeFiles/gale_graph.dir/feature_encoder.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/graph/CMakeFiles/gale_graph.dir/graph_io.cc.o" "gcc" "src/graph/CMakeFiles/gale_graph.dir/graph_io.cc.o.d"
+  "/root/repo/src/graph/synthetic_dataset.cc" "src/graph/CMakeFiles/gale_graph.dir/synthetic_dataset.cc.o" "gcc" "src/graph/CMakeFiles/gale_graph.dir/synthetic_dataset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/gale_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gale_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gale_graph.dir/attribute_stats.cc.o"
+  "CMakeFiles/gale_graph.dir/attribute_stats.cc.o.d"
+  "CMakeFiles/gale_graph.dir/attributed_graph.cc.o"
+  "CMakeFiles/gale_graph.dir/attributed_graph.cc.o.d"
+  "CMakeFiles/gale_graph.dir/constraints.cc.o"
+  "CMakeFiles/gale_graph.dir/constraints.cc.o.d"
+  "CMakeFiles/gale_graph.dir/error_injector.cc.o"
+  "CMakeFiles/gale_graph.dir/error_injector.cc.o.d"
+  "CMakeFiles/gale_graph.dir/feature_encoder.cc.o"
+  "CMakeFiles/gale_graph.dir/feature_encoder.cc.o.d"
+  "CMakeFiles/gale_graph.dir/graph_io.cc.o"
+  "CMakeFiles/gale_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/gale_graph.dir/synthetic_dataset.cc.o"
+  "CMakeFiles/gale_graph.dir/synthetic_dataset.cc.o.d"
+  "libgale_graph.a"
+  "libgale_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gale_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

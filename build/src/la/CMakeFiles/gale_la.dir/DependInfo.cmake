@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/kmeans.cc" "src/la/CMakeFiles/gale_la.dir/kmeans.cc.o" "gcc" "src/la/CMakeFiles/gale_la.dir/kmeans.cc.o.d"
+  "/root/repo/src/la/matrix.cc" "src/la/CMakeFiles/gale_la.dir/matrix.cc.o" "gcc" "src/la/CMakeFiles/gale_la.dir/matrix.cc.o.d"
+  "/root/repo/src/la/pca.cc" "src/la/CMakeFiles/gale_la.dir/pca.cc.o" "gcc" "src/la/CMakeFiles/gale_la.dir/pca.cc.o.d"
+  "/root/repo/src/la/sparse_matrix.cc" "src/la/CMakeFiles/gale_la.dir/sparse_matrix.cc.o" "gcc" "src/la/CMakeFiles/gale_la.dir/sparse_matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gale_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gale_la.dir/kmeans.cc.o"
+  "CMakeFiles/gale_la.dir/kmeans.cc.o.d"
+  "CMakeFiles/gale_la.dir/matrix.cc.o"
+  "CMakeFiles/gale_la.dir/matrix.cc.o.d"
+  "CMakeFiles/gale_la.dir/pca.cc.o"
+  "CMakeFiles/gale_la.dir/pca.cc.o.d"
+  "CMakeFiles/gale_la.dir/sparse_matrix.cc.o"
+  "CMakeFiles/gale_la.dir/sparse_matrix.cc.o.d"
+  "libgale_la.a"
+  "libgale_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gale_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

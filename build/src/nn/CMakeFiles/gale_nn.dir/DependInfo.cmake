@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cc" "src/nn/CMakeFiles/gale_nn.dir/activations.cc.o" "gcc" "src/nn/CMakeFiles/gale_nn.dir/activations.cc.o.d"
+  "/root/repo/src/nn/adam.cc" "src/nn/CMakeFiles/gale_nn.dir/adam.cc.o" "gcc" "src/nn/CMakeFiles/gale_nn.dir/adam.cc.o.d"
+  "/root/repo/src/nn/batch_norm.cc" "src/nn/CMakeFiles/gale_nn.dir/batch_norm.cc.o" "gcc" "src/nn/CMakeFiles/gale_nn.dir/batch_norm.cc.o.d"
+  "/root/repo/src/nn/dense.cc" "src/nn/CMakeFiles/gale_nn.dir/dense.cc.o" "gcc" "src/nn/CMakeFiles/gale_nn.dir/dense.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/nn/CMakeFiles/gale_nn.dir/dropout.cc.o" "gcc" "src/nn/CMakeFiles/gale_nn.dir/dropout.cc.o.d"
+  "/root/repo/src/nn/gae.cc" "src/nn/CMakeFiles/gale_nn.dir/gae.cc.o" "gcc" "src/nn/CMakeFiles/gale_nn.dir/gae.cc.o.d"
+  "/root/repo/src/nn/gcn_layer.cc" "src/nn/CMakeFiles/gale_nn.dir/gcn_layer.cc.o" "gcc" "src/nn/CMakeFiles/gale_nn.dir/gcn_layer.cc.o.d"
+  "/root/repo/src/nn/losses.cc" "src/nn/CMakeFiles/gale_nn.dir/losses.cc.o" "gcc" "src/nn/CMakeFiles/gale_nn.dir/losses.cc.o.d"
+  "/root/repo/src/nn/sequential.cc" "src/nn/CMakeFiles/gale_nn.dir/sequential.cc.o" "gcc" "src/nn/CMakeFiles/gale_nn.dir/sequential.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/gale_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gale_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gale_nn.dir/activations.cc.o"
+  "CMakeFiles/gale_nn.dir/activations.cc.o.d"
+  "CMakeFiles/gale_nn.dir/adam.cc.o"
+  "CMakeFiles/gale_nn.dir/adam.cc.o.d"
+  "CMakeFiles/gale_nn.dir/batch_norm.cc.o"
+  "CMakeFiles/gale_nn.dir/batch_norm.cc.o.d"
+  "CMakeFiles/gale_nn.dir/dense.cc.o"
+  "CMakeFiles/gale_nn.dir/dense.cc.o.d"
+  "CMakeFiles/gale_nn.dir/dropout.cc.o"
+  "CMakeFiles/gale_nn.dir/dropout.cc.o.d"
+  "CMakeFiles/gale_nn.dir/gae.cc.o"
+  "CMakeFiles/gale_nn.dir/gae.cc.o.d"
+  "CMakeFiles/gale_nn.dir/gcn_layer.cc.o"
+  "CMakeFiles/gale_nn.dir/gcn_layer.cc.o.d"
+  "CMakeFiles/gale_nn.dir/losses.cc.o"
+  "CMakeFiles/gale_nn.dir/losses.cc.o.d"
+  "CMakeFiles/gale_nn.dir/sequential.cc.o"
+  "CMakeFiles/gale_nn.dir/sequential.cc.o.d"
+  "libgale_nn.a"
+  "libgale_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gale_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

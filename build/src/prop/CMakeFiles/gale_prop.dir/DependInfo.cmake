@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prop/label_propagation.cc" "src/prop/CMakeFiles/gale_prop.dir/label_propagation.cc.o" "gcc" "src/prop/CMakeFiles/gale_prop.dir/label_propagation.cc.o.d"
+  "/root/repo/src/prop/ppr.cc" "src/prop/CMakeFiles/gale_prop.dir/ppr.cc.o" "gcc" "src/prop/CMakeFiles/gale_prop.dir/ppr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/gale_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gale_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

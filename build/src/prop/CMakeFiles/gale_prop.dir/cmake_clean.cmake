@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gale_prop.dir/label_propagation.cc.o"
+  "CMakeFiles/gale_prop.dir/label_propagation.cc.o.d"
+  "CMakeFiles/gale_prop.dir/ppr.cc.o"
+  "CMakeFiles/gale_prop.dir/ppr.cc.o.d"
+  "libgale_prop.a"
+  "libgale_prop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gale_prop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

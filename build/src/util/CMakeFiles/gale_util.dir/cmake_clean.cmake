@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gale_util.dir/logging.cc.o"
+  "CMakeFiles/gale_util.dir/logging.cc.o.d"
+  "CMakeFiles/gale_util.dir/rng.cc.o"
+  "CMakeFiles/gale_util.dir/rng.cc.o.d"
+  "CMakeFiles/gale_util.dir/status.cc.o"
+  "CMakeFiles/gale_util.dir/status.cc.o.d"
+  "CMakeFiles/gale_util.dir/string_util.cc.o"
+  "CMakeFiles/gale_util.dir/string_util.cc.o.d"
+  "CMakeFiles/gale_util.dir/table_printer.cc.o"
+  "CMakeFiles/gale_util.dir/table_printer.cc.o.d"
+  "libgale_util.a"
+  "libgale_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gale_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ablation_toggles_test.dir/core_ablation_toggles_test.cc.o"
+  "CMakeFiles/core_ablation_toggles_test.dir/core_ablation_toggles_test.cc.o.d"
+  "core_ablation_toggles_test"
+  "core_ablation_toggles_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ablation_toggles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

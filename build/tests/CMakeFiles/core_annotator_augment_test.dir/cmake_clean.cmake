@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_annotator_augment_test.dir/core_annotator_augment_test.cc.o"
+  "CMakeFiles/core_annotator_augment_test.dir/core_annotator_augment_test.cc.o.d"
+  "core_annotator_augment_test"
+  "core_annotator_augment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_annotator_augment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

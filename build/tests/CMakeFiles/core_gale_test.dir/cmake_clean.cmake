@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_gale_test.dir/core_gale_test.cc.o"
+  "CMakeFiles/core_gale_test.dir/core_gale_test.cc.o.d"
+  "core_gale_test"
+  "core_gale_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_gale_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

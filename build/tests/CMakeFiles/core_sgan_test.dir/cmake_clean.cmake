@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sgan_test.dir/core_sgan_test.cc.o"
+  "CMakeFiles/core_sgan_test.dir/core_sgan_test.cc.o.d"
+  "core_sgan_test"
+  "core_sgan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sgan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

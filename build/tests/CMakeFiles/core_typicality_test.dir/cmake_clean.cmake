@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_typicality_test.dir/core_typicality_test.cc.o"
+  "CMakeFiles/core_typicality_test.dir/core_typicality_test.cc.o.d"
+  "core_typicality_test"
+  "core_typicality_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_typicality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_string_detector_test.dir/detect_string_detector_test.cc.o"
+  "CMakeFiles/detect_string_detector_test.dir/detect_string_detector_test.cc.o.d"
+  "detect_string_detector_test"
+  "detect_string_detector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_string_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_determinism_test.dir/eval_determinism_test.cc.o"
+  "CMakeFiles/eval_determinism_test.dir/eval_determinism_test.cc.o.d"
+  "eval_determinism_test"
+  "eval_determinism_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

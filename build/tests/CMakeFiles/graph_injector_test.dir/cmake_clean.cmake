@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_injector_test.dir/graph_injector_test.cc.o"
+  "CMakeFiles/graph_injector_test.dir/graph_injector_test.cc.o.d"
+  "graph_injector_test"
+  "graph_injector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_injector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_synthetic_encoder_test.dir/graph_synthetic_encoder_test.cc.o"
+  "CMakeFiles/graph_synthetic_encoder_test.dir/graph_synthetic_encoder_test.cc.o.d"
+  "graph_synthetic_encoder_test"
+  "graph_synthetic_encoder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_synthetic_encoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

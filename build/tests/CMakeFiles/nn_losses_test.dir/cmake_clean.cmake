@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_losses_test.dir/nn_losses_test.cc.o"
+  "CMakeFiles/nn_losses_test.dir/nn_losses_test.cc.o.d"
+  "nn_losses_test"
+  "nn_losses_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_losses_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_pipeline_test.dir/property_pipeline_test.cc.o"
+  "CMakeFiles/property_pipeline_test.dir/property_pipeline_test.cc.o.d"
+  "property_pipeline_test"
+  "property_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

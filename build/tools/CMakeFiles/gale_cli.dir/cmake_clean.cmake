@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gale_cli.dir/gale_cli.cc.o"
+  "CMakeFiles/gale_cli.dir/gale_cli.cc.o.d"
+  "gale_cli"
+  "gale_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gale_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
