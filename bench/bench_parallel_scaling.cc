@@ -1,0 +1,136 @@
+// Thread-scaling sweep for the parallelized kernels: dense MatMul, SpMM,
+// batch PPR, k-means, and the greedy selector scans, each timed at 1/2/4/8
+// threads with speedups reported against the 1-thread run of the same
+// binary. Unlike bench_micro (google-benchmark, machine-default threads),
+// this is a plain wall-clock harness so it can flip util::SetParallelism
+// between measurements.
+//
+// Usage: bench_parallel_scaling [--repeats N]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "la/kmeans.h"
+#include "la/matrix.h"
+#include "la/sparse_matrix.h"
+#include "prop/ppr.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace gale {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+
+la::SparseMatrix RandomAdjacency(size_t n, size_t edges, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::pair<size_t, size_t>> edge_list;
+  edge_list.reserve(edges);
+  for (size_t e = 0; e < edges; ++e) {
+    edge_list.emplace_back(rng.UniformInt(n), rng.UniformInt(n));
+  }
+  return la::SparseMatrix::NormalizedAdjacency(n, edge_list);
+}
+
+// Best-of-`repeats` wall time of `fn` at the current parallelism.
+template <typename Fn>
+double TimeBest(int repeats, Fn fn) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    util::WallTimer timer;
+    fn();
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  return best;
+}
+
+struct Workload {
+  std::string name;
+  std::function<void()> run;
+};
+
+}  // namespace
+}  // namespace gale
+
+int main(int argc, char** argv) {
+  using namespace gale;
+  int repeats = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc) {
+      repeats = std::max(1, std::atoi(argv[++i]));
+    }
+  }
+
+  util::Rng rng(7);
+  // Dense GEMM at the acceptance-criteria shape.
+  la::Matrix a = la::Matrix::RandomNormal(512, 512, 1.0, rng);
+  la::Matrix b = la::Matrix::RandomNormal(512, 512, 1.0, rng);
+  // SpMM on a 16k-node graph with d=64 features (GCN-layer shape).
+  la::SparseMatrix adj = RandomAdjacency(16000, 48000, 11);
+  la::Matrix x = la::Matrix::RandomNormal(16000, 64, 1.0, rng);
+  // Batch PPR: 64 seeds on a 4k-node graph (one query round's worth).
+  la::SparseMatrix walk = RandomAdjacency(4000, 12000, 13);
+  std::vector<size_t> seeds;
+  for (size_t s = 0; s < 64; ++s) seeds.push_back((s * 61) % 4000);
+  // k-means at the clusT shape (candidate pool x embedding dim).
+  la::Matrix points = la::Matrix::RandomNormal(8000, 32, 1.0, rng);
+
+  std::vector<Workload> workloads;
+  workloads.push_back({"MatMul 512x512x512", [&] {
+                         la::Matrix out = a.MatMul(b);
+                         (void)out;
+                       }});
+  workloads.push_back({"SpMM 16k x d64", [&] {
+                         la::Matrix out = adj.Multiply(x);
+                         (void)out;
+                       }});
+  workloads.push_back({"PPR batch 64 seeds", [&] {
+                         prop::PprEngine engine(&walk);
+                         engine.ComputeRows(seeds);
+                       }});
+  workloads.push_back({"KMeans 8k x 32, k=24", [&] {
+                         util::Rng krng(5);
+                         la::KMeansOptions options;
+                         options.num_clusters = 24;
+                         options.max_iterations = 10;
+                         (void)la::KMeans(points, options, krng);
+                       }});
+
+  std::vector<std::string> header = {"kernel"};
+  for (int t : kThreadCounts) header.push_back(std::to_string(t) + "T (ms)");
+  header.push_back("speedup@4T");
+  util::TablePrinter table(header);
+
+  for (Workload& w : workloads) {
+    std::vector<std::string> row = {w.name};
+    double serial_ms = 0.0;
+    double four_ms = 0.0;
+    for (int threads : kThreadCounts) {
+      util::ScopedParallelism p(threads);
+      const double ms = TimeBest(repeats, w.run) * 1e3;
+      if (threads == 1) serial_ms = ms;
+      if (threads == 4) four_ms = ms;
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.2f", ms);
+      row.push_back(buf);
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2fx", serial_ms / four_ms);
+    row.push_back(buf);
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::printf(
+      "hardware_concurrency reported by this machine: %u (speedups are "
+      "bounded by physical cores)\n",
+      std::thread::hardware_concurrency());
+  return 0;
+}

@@ -166,6 +166,9 @@ Annotation Annotator::Annotate(size_t v,
 std::vector<Annotation> Annotator::AnnotateAll(
     const std::vector<size_t>& queries, const std::vector<int>& example_labels,
     const std::vector<int>& soft_labels) const {
+  // The per-query soft subgraphs each need one PPR row; batch-compute the
+  // missing ones on the thread pool before the sequential annotation pass.
+  ppr_->ComputeRows(queries);
   std::vector<Annotation> out;
   out.reserve(queries.size());
   for (size_t v : queries) {

@@ -6,6 +6,7 @@
 #include "core/sgan.h"
 #include "prop/label_propagation.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace gale::core {
@@ -17,6 +18,11 @@ uint64_t PairKey(size_t u, size_t v) {
   const uint64_t b = std::max(u, v);
   return (a << 32) | (b & 0xffffffffULL);
 }
+
+// Minimum candidates per shard for the greedy scans; the per-candidate
+// work is a couple of flops (argmax) or one row distance (diversity), so
+// shards need to be wide to beat the dispatch cost.
+constexpr size_t kScanGrain = 512;
 
 }  // namespace
 
@@ -50,18 +56,22 @@ void QuerySelector::RefreshChangeFlags(const la::Matrix& embeddings) {
   embedding_changed_.assign(n, 1);
   if (options_.memoization && last_embeddings_.rows() == n &&
       last_embeddings_.cols() == embeddings.cols()) {
-    for (size_t v = 0; v < n; ++v) {
-      bool changed = false;
-      const double* a = embeddings.RowPtr(v);
-      const double* b = last_embeddings_.RowPtr(v);
-      for (size_t c = 0; c < embeddings.cols(); ++c) {
-        if (std::abs(a[c] - b[c]) > options_.embedding_tolerance) {
-          changed = true;
-          break;
+    // Per-node flags are disjoint writes; telemetry is counted serially
+    // below.
+    util::ParallelFor(0, n, kScanGrain, [&](size_t v0, size_t v1) {
+      for (size_t v = v0; v < v1; ++v) {
+        bool changed = false;
+        const double* a = embeddings.RowPtr(v);
+        const double* b = last_embeddings_.RowPtr(v);
+        for (size_t c = 0; c < embeddings.cols(); ++c) {
+          if (std::abs(a[c] - b[c]) > options_.embedding_tolerance) {
+            changed = true;
+            break;
+          }
         }
+        embedding_changed_[v] = changed ? 1 : 0;
       }
-      embedding_changed_[v] = changed ? 1 : 0;
-    }
+    });
   }
   for (uint8_t f : embedding_changed_) {
     if (f) {
@@ -71,28 +81,6 @@ void QuerySelector::RefreshChangeFlags(const la::Matrix& embeddings) {
     }
   }
   last_embeddings_ = embeddings;
-}
-
-double QuerySelector::Distance(const la::Matrix& embeddings, size_t u,
-                               size_t v) {
-  if (!options_.memoization) {
-    ++telemetry_.distance_cache_misses;
-    return std::sqrt(embeddings.RowDistanceSquared(u, embeddings, v));
-  }
-  const uint64_t key = PairKey(u, v);
-  auto it = distance_cache_.find(key);
-  // A cached distance is valid only while both endpoints' embeddings are
-  // unchanged within the tolerance (Section VII: "retrieve an approximate
-  // distance ... if the embeddings are not significantly changed").
-  if (it != distance_cache_.end() && !embedding_changed_[u] &&
-      !embedding_changed_[v]) {
-    ++telemetry_.distance_cache_hits;
-    return it->second;
-  }
-  ++telemetry_.distance_cache_misses;
-  const double d = std::sqrt(embeddings.RowDistanceSquared(u, embeddings, v));
-  distance_cache_[key] = d;
-  return d;
 }
 
 util::Result<std::vector<size_t>> QuerySelector::Select(
@@ -279,20 +267,43 @@ util::Result<std::vector<size_t>> QuerySelector::SelectGale(
 
   // Greedy max-sum dispersion: B'_v(Q) = ½T(v) + λ Σ_{u in Q} d(v, u).
   telemetry_.typicality_by_prefix.clear();
+  const size_t m = unlabeled.size();
   std::vector<size_t> selected;
-  std::vector<uint8_t> taken(unlabeled.size(), 0);
-  std::vector<double> diversity_sum(unlabeled.size(), 0.0);
+  std::vector<uint8_t> taken(m, 0);
+  std::vector<double> diversity_sum(m, 0.0);
+  // Per-round scratch for the parallel scans.
+  const size_t num_shards = util::NumReduceShards(m, kScanGrain);
+  std::vector<double> shard_best_gain(num_shards);
+  std::vector<size_t> shard_best_idx(num_shards);
+  std::vector<double> dist(m, 0.0);
+  std::vector<uint8_t> fresh(m, 0);
   double prefix_typicality = 0.0;
   for (size_t round = 0; round < k; ++round) {
+    // Candidate-scoring scan: per-shard argmax (first-max-wins inside a
+    // shard), combined in ascending shard order with a strict '>' — the
+    // same lowest-index tie-break as the serial scan, at any thread count.
+    util::ParallelForShards(
+        0, m, kScanGrain, [&](size_t s, size_t i0, size_t i1) {
+          double best_gain = -std::numeric_limits<double>::max();
+          size_t best_idx = SIZE_MAX;
+          for (size_t i = i0; i < i1; ++i) {
+            if (taken[i]) continue;
+            const double gain = 0.5 * t_scores[i] +
+                                options_.lambda_diversity * diversity_sum[i];
+            if (gain > best_gain) {
+              best_gain = gain;
+              best_idx = i;
+            }
+          }
+          shard_best_gain[s] = best_gain;
+          shard_best_idx[s] = best_idx;
+        });
     double best_gain = -std::numeric_limits<double>::max();
     size_t best_idx = SIZE_MAX;
-    for (size_t i = 0; i < unlabeled.size(); ++i) {
-      if (taken[i]) continue;
-      const double gain = 0.5 * t_scores[i] +
-                          options_.lambda_diversity * diversity_sum[i];
-      if (gain > best_gain) {
-        best_gain = gain;
-        best_idx = i;
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (shard_best_idx[s] != SIZE_MAX && shard_best_gain[s] > best_gain) {
+        best_gain = shard_best_gain[s];
+        best_idx = shard_best_idx[s];
       }
     }
     if (best_idx == SIZE_MAX) break;
@@ -301,11 +312,71 @@ util::Result<std::vector<size_t>> QuerySelector::SelectGale(
     selected.push_back(chosen);
     prefix_typicality += t_scores[best_idx];
     telemetry_.typicality_by_prefix[selected.size()] = prefix_typicality;
-    // Update running diversity sums against the newly selected node.
-    for (size_t i = 0; i < unlabeled.size(); ++i) {
-      if (taken[i]) continue;
-      diversity_sum[i] +=
-          Distance(embeddings, unlabeled[i], chosen) / mean_pairwise;
+
+    // Pairwise-diversity scan against the newly selected node. The serial
+    // path fuses probe, insert, and accumulation into one pass; the
+    // parallel path computes distances first (the cache is only probed —
+    // concurrent reads of an unmodified unordered_map are safe) and then
+    // does inserts and telemetry on this thread. Both paths visit
+    // candidates in ascending order and produce identical values,
+    // telemetry, and cache contents.
+    if (util::Parallelism() == 1) {
+      for (size_t i = 0; i < m; ++i) {
+        if (taken[i]) continue;
+        const size_t u = unlabeled[i];
+        double dv = 0.0;
+        bool hit = false;
+        if (options_.memoization) {
+          auto it = distance_cache_.find(PairKey(u, chosen));
+          if (it != distance_cache_.end() && !embedding_changed_[u] &&
+              !embedding_changed_[chosen]) {
+            dv = it->second;
+            hit = true;
+          }
+        }
+        if (hit) {
+          ++telemetry_.distance_cache_hits;
+        } else {
+          dv = std::sqrt(
+              embeddings.RowDistanceSquared(u, embeddings, chosen));
+          ++telemetry_.distance_cache_misses;
+          if (options_.memoization) {
+            distance_cache_[PairKey(u, chosen)] = dv;
+          }
+        }
+        diversity_sum[i] += dv / mean_pairwise;
+      }
+    } else {
+      util::ParallelFor(0, m, kScanGrain, [&](size_t i0, size_t i1) {
+        for (size_t i = i0; i < i1; ++i) {
+          if (taken[i]) continue;
+          const size_t u = unlabeled[i];
+          fresh[i] = 0;
+          if (options_.memoization) {
+            auto it = distance_cache_.find(PairKey(u, chosen));
+            if (it != distance_cache_.end() && !embedding_changed_[u] &&
+                !embedding_changed_[chosen]) {
+              dist[i] = it->second;
+              continue;
+            }
+          }
+          dist[i] =
+              std::sqrt(embeddings.RowDistanceSquared(u, embeddings, chosen));
+          fresh[i] = 1;
+        }
+      });
+      for (size_t i = 0; i < m; ++i) {
+        if (taken[i]) continue;
+        if (fresh[i]) {
+          ++telemetry_.distance_cache_misses;
+          if (options_.memoization) {
+            distance_cache_[PairKey(unlabeled[i], chosen)] = dist[i];
+          }
+        } else {
+          ++telemetry_.distance_cache_hits;
+        }
+        diversity_sum[i] += dist[i] / mean_pairwise;
+      }
     }
   }
   return selected;

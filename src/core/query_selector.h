@@ -11,10 +11,15 @@
 //  * kEntropy — GALE(-Ent.): highest prediction entropy first;
 //  * kKmeans — GALE(-Kme.): nodes nearest to k-means centroids.
 //
+// The greedy QSelect scans (candidate argmax, pairwise diversity) run on
+// util::ParallelFor with fixed shard boundaries and a serial combine, so
+// selection is bitwise identical at every GALE_NUM_THREADS setting.
+//
 // Memoization (toggle `memoization`; off reproduces U_GALE):
 //  (a) pairwise embedding distances cached across iterations, re-used when
 //      both endpoints' embeddings are element-wise unchanged within
-//      `embedding_tolerance`;
+//      `embedding_tolerance` (the cache is probed read-only from the
+//      parallel diversity scan; inserts happen on the calling thread);
 //  (b) per-node changed-embedding flags recomputed per Select call;
 //  (c) a typicality dictionary keyed by |Q| recording the greedy prefix
 //      objective (cheap bookkeeping; exposed for telemetry);
@@ -117,8 +122,6 @@ class QuerySelector {
       const std::vector<int>& example_labels, const la::Matrix& class_probs,
       size_t k);
 
-  // Cached pairwise distance between nodes u and v in the embedding space.
-  double Distance(const la::Matrix& embeddings, size_t u, size_t v);
   // Updates the per-node changed flags against the stored embeddings.
   void RefreshChangeFlags(const la::Matrix& embeddings);
 

@@ -5,6 +5,7 @@
 
 #include "core/sgan.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace gale::core {
 
@@ -72,33 +73,76 @@ util::Result<TypicalityResult> ComputeTypicality(
     // Influence-conflict vectors conf_l(x) = (1/|C_l|) sum_{i in C_l}
     // P_{i,x}, estimated from a bounded sample of class rows.
     const size_t n = embeddings.rows();
-    la::Matrix conflict(2, n);
+
+    // The annotator-style per-row PprEngine::Row calls would serialize
+    // the power iterations; batch-prefetch every seed this computation
+    // will touch (class samples + candidates with a usable soft label) so
+    // the independent iterations run on the thread pool and everything
+    // below is a pure cache read.
+    std::vector<size_t> class_samples[2];
     for (int l = 0; l < 2; ++l) {
       std::vector<size_t>& members = class_members[l];
       std::vector<size_t> sample_idx = rng.SampleWithoutReplacement(
           members.size(),
           std::min(members.size(), options.max_class_samples));
-      for (size_t idx : sample_idx) {
-        const std::vector<double>& row = ppr.Row(members[idx]);
+      class_samples[l].reserve(sample_idx.size());
+      for (size_t idx : sample_idx) class_samples[l].push_back(members[idx]);
+    }
+    auto effective_soft_label = [&](size_t v) {
+      int ls = soft_labels[v];
+      if (ls != kLabelError && ls != kLabelCorrect) ls = predicted[v];
+      return ls;
+    };
+    {
+      std::vector<size_t> prefetch;
+      prefetch.reserve(class_samples[0].size() + class_samples[1].size() + m);
+      for (int l = 0; l < 2; ++l) {
+        prefetch.insert(prefetch.end(), class_samples[l].begin(),
+                        class_samples[l].end());
+      }
+      for (size_t i = 0; i < m; ++i) {
+        const int ls = effective_soft_label(unlabeled[i]);
+        if (ls == kLabelError || ls == kLabelCorrect) {
+          prefetch.push_back(unlabeled[i]);
+        }
+      }
+      ppr.ComputeRows(prefetch);
+    }
+
+    la::Matrix conflict(2, n);
+    for (int l = 0; l < 2; ++l) {
+      for (size_t member : class_samples[l]) {
+        const std::vector<double>& row = ppr.Row(member);
         double* conf = conflict.RowPtr(l);
         for (size_t x = 0; x < n; ++x) conf[x] += row[x];
       }
-      const double inv =
-          1.0 / static_cast<double>(std::max<size_t>(1, sample_idx.size()));
+      const double inv = 1.0 / static_cast<double>(
+                                   std::max<size_t>(1, class_samples[l].size()));
       for (size_t x = 0; x < n; ++x) conflict.At(l, x) *= inv;
     }
 
-    for (size_t i = 0; i < m; ++i) {
-      const size_t v = unlabeled[i];
-      int ls = soft_labels[v];
-      if (ls != kLabelError && ls != kLabelCorrect) ls = predicted[v];
-      if (ls != kLabelError && ls != kLabelCorrect) continue;  // topoT = 1
-      const int opposing = 1 - ls;
-      const std::vector<double>& row = ppr.Row(v);
-      const double* conf = conflict.RowPtr(opposing);
-      double expectation = 0.0;
-      for (size_t x = 0; x < row.size(); ++x) expectation += row[x] * conf[x];
-      result.topo_t[i] = std::clamp(1.0 - expectation, 0.0, 1.0);
+    // Candidate scan: each candidate writes only topo_t[i], so it is a
+    // map-shaped parallel kernel. With caching disabled (U_GALE) Row()
+    // mutates shared scratch, so fall back to the serial scan.
+    auto scan = [&](size_t i0, size_t i1) {
+      for (size_t i = i0; i < i1; ++i) {
+        const size_t v = unlabeled[i];
+        const int ls = effective_soft_label(v);
+        if (ls != kLabelError && ls != kLabelCorrect) continue;  // topoT = 1
+        const int opposing = 1 - ls;
+        const std::vector<double>& row = ppr.Row(v);
+        const double* conf = conflict.RowPtr(opposing);
+        double expectation = 0.0;
+        for (size_t x = 0; x < row.size(); ++x) {
+          expectation += row[x] * conf[x];
+        }
+        result.topo_t[i] = std::clamp(1.0 - expectation, 0.0, 1.0);
+      }
+    };
+    if (ppr.cache_enabled()) {
+      util::ParallelFor(0, m, 64, scan);
+    } else {
+      scan(0, m);
     }
   }
 

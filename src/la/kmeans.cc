@@ -4,7 +4,55 @@
 #include <cmath>
 #include <limits>
 
+#include "util/parallel.h"
+
 namespace gale::la {
+
+namespace {
+
+// Minimum points per assignment shard: each point costs O(k d), so even
+// modest chunks amortize dispatch. The shard count is thread-count
+// independent (util::NumReduceShards), which fixes the partial-centroid
+// summation tree and keeps Lloyd iterations bitwise reproducible under
+// any GALE_NUM_THREADS.
+constexpr size_t kAssignGrain = 256;
+
+// One assignment shard: assigns points [i0, i1) to their nearest centroid
+// and accumulates that slice's partial centroid sums and counts. noinline
+// keeps the distance loop out of the ParallelForShards closure, where the
+// live closure pointer degrades register allocation (see GatherRows in
+// sparse_matrix.cc).
+__attribute__((noinline)) void AssignShard(const Matrix& data,
+                                           const Matrix& centroids, size_t k,
+                                           size_t i0, size_t i1,
+                                           size_t* assignments,
+                                           double* distances, Matrix& sum,
+                                           std::vector<size_t>& count,
+                                           uint8_t* changed) {
+  const size_t d = data.cols();
+  for (size_t i = i0; i < i1; ++i) {
+    size_t best = 0;
+    double best_dist = std::numeric_limits<double>::max();
+    for (size_t c = 0; c < k; ++c) {
+      const double dist = data.RowDistanceSquared(i, centroids, c);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = c;
+      }
+    }
+    if (assignments[i] != best) {
+      assignments[i] = best;
+      *changed = 1;
+    }
+    distances[i] = best_dist;  // squared, sqrt'ed at the end
+    count[best] += 1;
+    double* acc = sum.RowPtr(best);
+    const double* row = data.RowPtr(i);
+    for (size_t j = 0; j < d; ++j) acc[j] += row[j];
+  }
+}
+
+}  // namespace
 
 namespace {
 
@@ -54,37 +102,38 @@ util::Result<KMeansResult> KMeans(const Matrix& data,
   result.assignments.assign(n, 0);
   result.distances.assign(n, 0.0);
 
+  const size_t num_shards = util::NumReduceShards(n, kAssignGrain);
+  std::vector<Matrix> shard_sums(num_shards);
+  std::vector<std::vector<size_t>> shard_counts(num_shards);
+  std::vector<uint8_t> shard_changed(num_shards);
+
   std::vector<size_t> counts(k, 0);
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
-    // Assignment step.
-    bool changed = false;
-    for (size_t i = 0; i < n; ++i) {
-      size_t best = 0;
-      double best_dist = std::numeric_limits<double>::max();
-      for (size_t c = 0; c < k; ++c) {
-        const double dist = data.RowDistanceSquared(i, result.centroids, c);
-        if (dist < best_dist) {
-          best_dist = dist;
-          best = c;
-        }
-      }
-      if (result.assignments[i] != best) {
-        result.assignments[i] = best;
-        changed = true;
-      }
-      result.distances[i] = best_dist;  // squared, sqrt'ed at the end
-    }
+    // Fused assignment + partial-sum step: each shard assigns its slice of
+    // points (disjoint writes) and accumulates per-shard centroid sums.
+    shard_changed.assign(num_shards, 0);
+    util::ParallelForShards(
+        0, n, kAssignGrain, [&](size_t s, size_t i0, size_t i1) {
+          if (shard_sums[s].rows() != k || shard_sums[s].cols() != d) {
+            shard_sums[s] = Matrix(k, d);
+          } else {
+            shard_sums[s].Fill(0.0);
+          }
+          shard_counts[s].assign(k, 0);
+          AssignShard(data, result.centroids, k, i0, i1,
+                      result.assignments.data(), result.distances.data(),
+                      shard_sums[s], shard_counts[s], &shard_changed[s]);
+        });
 
-    // Update step.
+    // Reduce the partials in ascending shard order (fixed summation tree).
+    bool changed = false;
     Matrix new_centroids(k, d);
     counts.assign(k, 0);
-    for (size_t i = 0; i < n; ++i) {
-      const size_t c = result.assignments[i];
-      counts[c] += 1;
-      double* acc = new_centroids.RowPtr(c);
-      const double* row = data.RowPtr(i);
-      for (size_t j = 0; j < d; ++j) acc[j] += row[j];
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (shard_changed[s]) changed = true;
+      new_centroids += shard_sums[s];
+      for (size_t c = 0; c < k; ++c) counts[c] += shard_counts[s][c];
     }
     double movement = 0.0;
     for (size_t c = 0; c < k; ++c) {

@@ -1,5 +1,9 @@
 // Lloyd's k-means with k-means++ initialization.
 //
+// The assignment step (the O(n k d) hot loop) runs on the thread pool with
+// per-shard partial centroid sums reduced in a fixed shard order, so the
+// clustering is bitwise identical at every GALE_NUM_THREADS setting.
+//
 // Used in two places:
 //  * the clustering-typicality term clusT(v) of the query selector
 //    (Section V-A), which needs each node's distance to its centroid, and

@@ -9,6 +9,11 @@
 //    training loop indicate a bug, not recoverable input.
 //  * No expression templates: the matrices here are small (thousands of
 //    rows, tens-to-hundreds of columns) and clarity wins.
+//  * The O(n^3)/O(n^2 d) kernels (MatMul and friends, Transposed) are
+//    register-blocked and row-parallel on util::ParallelFor. Shards own
+//    disjoint output rows and per-element accumulation order is fixed, so
+//    results are bitwise identical at every GALE_NUM_THREADS setting (see
+//    util/parallel.h for the determinism contract).
 
 #ifndef GALE_LA_MATRIX_H_
 #define GALE_LA_MATRIX_H_

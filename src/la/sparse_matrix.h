@@ -1,6 +1,10 @@
 // Compressed sparse row (CSR) matrix, used for graph adjacency operators:
 // the symmetric normalized adjacency of GCN layers, the label-propagation
 // operator, and personalized-PageRank walks.
+//
+// Multiply and TransposedMultiply are row-parallel over disjoint output
+// rows (util::ParallelFor) with a fixed per-row accumulation order, so
+// their results are bitwise identical at every GALE_NUM_THREADS setting.
 
 #ifndef GALE_LA_SPARSE_MATRIX_H_
 #define GALE_LA_SPARSE_MATRIX_H_

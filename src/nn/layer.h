@@ -8,9 +8,14 @@
 //  * Parameters() / Gradients() expose aligned lists of tensors so an
 //    optimizer (nn::Adam) can step them; ZeroGrad() clears accumulations.
 //
-// The stack is deliberately eager and single-threaded: model sizes in this
-// reproduction are small MLPs/GCNs, and determinism matters more than
-// throughput.
+// Threading contract: the stack is eager — no graph capture, no async
+// dispatch — and layer objects are NOT thread-safe (Forward caches state
+// for Backward). Parallelism lives one level down: the la:: kernels the
+// layers call (MatMul and friends, SpMM) run on util::ParallelFor with
+// deterministic static partitioning, so training is multi-threaded under
+// GALE_NUM_THREADS > 1 while remaining bitwise identical to the serial
+// run. Drive a given model from one thread; distinct models on distinct
+// threads are fine as long as they use distinct Rng instances.
 
 #ifndef GALE_NN_LAYER_H_
 #define GALE_NN_LAYER_H_

@@ -1,8 +1,10 @@
 #include "prop/ppr.h"
 
 #include <cmath>
+#include <unordered_set>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace gale::prop {
 
@@ -31,6 +33,29 @@ std::vector<double> PprEngine::ComputeRow(size_t v) const {
     if (diff < options_.tolerance) break;
   }
   return p;
+}
+
+void PprEngine::ComputeRows(std::span<const size_t> seeds) {
+  if (!options_.cache_rows) return;
+  std::vector<size_t> missing;
+  std::unordered_set<size_t> seen;
+  for (size_t v : seeds) {
+    GALE_CHECK_LT(v, walk_matrix_->rows());
+    if (cache_.count(v) == 0 && seen.insert(v).second) missing.push_back(v);
+  }
+  if (missing.empty()) return;
+
+  // Each power iteration only reads the walk matrix and writes its own
+  // row, so rows parallelize with no shared state; cache insertion stays
+  // on the calling thread, in seed order.
+  std::vector<std::vector<double>> rows(missing.size());
+  util::ParallelFor(0, missing.size(), 1, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) rows[i] = ComputeRow(missing[i]);
+  });
+  for (size_t i = 0; i < missing.size(); ++i) {
+    ++computed_rows_;
+    cache_.emplace(missing[i], std::move(rows[i]));
+  }
 }
 
 const std::vector<double>& PprEngine::Row(size_t v) {

@@ -13,6 +13,7 @@
 #define GALE_PROP_PPR_H_
 
 #include <cstddef>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -38,6 +39,17 @@ class PprEngine {
   // Row v of P (length n, sums to ~1). Cached when caching is enabled.
   const std::vector<double>& Row(size_t v);
 
+  // Batch prefetch: computes the not-yet-cached rows of `seeds` as
+  // independent power iterations on the thread pool and inserts them into
+  // the cache in seed order. Each row is bitwise identical to what Row(v)
+  // would compute serially. After the call, Row(v) is a pure cache hit for
+  // every seed, so callers may read those rows concurrently.
+  //
+  // No-op when caching is disabled (the U_GALE ablation recomputes rows on
+  // demand by design, and the single scratch row cannot hold a batch).
+  void ComputeRows(std::span<const size_t> seeds);
+
+  bool cache_enabled() const { return options_.cache_rows; }
   bool IsCached(size_t v) const { return cache_.count(v) > 0; }
   size_t num_cached_rows() const { return cache_.size(); }
   size_t num_computed_rows() const { return computed_rows_; }

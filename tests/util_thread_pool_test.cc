@@ -1,0 +1,220 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gale::util {
+namespace {
+
+TEST(ThreadPoolTest, StartupShutdownRunsAllTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.num_workers(), 3);
+    std::atomic<int> remaining{100};
+    for (int i = 0; i < 100; ++i) {
+      pool.Enqueue([&] {
+        counter.fetch_add(1);
+        remaining.fetch_sub(1);
+      });
+    }
+    while (remaining.load() > 0) std::this_thread::yield();
+  }  // destructor drains and joins
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolConstructsAndDestructs) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0);
+}
+
+TEST(ThreadPoolTest, WorkersReportInParallelRegion) {
+  EXPECT_FALSE(InParallelRegion());
+  ThreadPool pool(1);
+  std::atomic<int> in_region{-1};
+  std::atomic<bool> done{false};
+  pool.Enqueue([&] {
+    in_region.store(InParallelRegion() ? 1 : 0);
+    done.store(true);
+  });
+  while (!done.load()) std::this_thread::yield();
+  EXPECT_EQ(in_region.load(), 1);
+}
+
+TEST(ParallelismTest, ScopedOverrideAndReset) {
+  ScopedParallelism outer(3);
+  EXPECT_EQ(Parallelism(), 3);
+  {
+    ScopedParallelism inner(1);
+    EXPECT_EQ(Parallelism(), 1);
+  }
+  EXPECT_EQ(Parallelism(), 3);
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  ScopedParallelism p(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(0, hits.size(), 1, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyAndSingletonRanges) {
+  ScopedParallelism p(4);
+  int calls = 0;
+  ParallelFor(5, 5, 1, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::vector<size_t> seen;
+  ParallelFor(7, 8, 1, [&](size_t b, size_t e) {
+    seen.push_back(b);
+    seen.push_back(e);
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], 7u);
+  EXPECT_EQ(seen[1], 8u);
+}
+
+TEST(ParallelForTest, GrainLargerThanRangeRunsInline) {
+  ScopedParallelism p(4);
+  // grain >= range forces a single shard, executed on the calling thread.
+  int calls = 0;
+  bool on_caller = false;
+  ParallelFor(0, 100, 1000, [&](size_t b, size_t e) {
+    ++calls;
+    on_caller = !InParallelRegion();
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 100u);
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(on_caller);
+}
+
+TEST(ParallelForTest, GrainZeroTreatedAsOne) {
+  ScopedParallelism p(2);
+  std::atomic<size_t> total{0};
+  ParallelFor(0, 64, 0, [&](size_t b, size_t e) { total.fetch_add(e - b); });
+  EXPECT_EQ(total.load(), 64u);
+}
+
+TEST(ParallelForTest, SerialParallelismNeverSpawnsPool) {
+  ScopedParallelism p(1);
+  bool saw_worker = false;
+  ParallelFor(0, 10000, 1, [&](size_t b, size_t e) {
+    if (InParallelRegion()) saw_worker = true;
+    (void)b;
+    (void)e;
+  });
+  EXPECT_FALSE(saw_worker);
+}
+
+TEST(ParallelForTest, ExceptionPropagatesToCaller) {
+  ScopedParallelism p(4);
+  EXPECT_THROW(
+      ParallelFor(0, 100, 1,
+                  [&](size_t b, size_t) {
+                    if (b >= 50) throw std::runtime_error("shard failure");
+                  }),
+      std::runtime_error);
+  // The pool survives a throwing region and runs subsequent work.
+  std::atomic<size_t> total{0};
+  ParallelFor(0, 100, 1, [&](size_t b, size_t e) { total.fetch_add(e - b); });
+  EXPECT_EQ(total.load(), 100u);
+}
+
+TEST(ParallelForTest, LowestShardExceptionWins) {
+  ScopedParallelism p(4);
+  try {
+    ParallelFor(0, 4, 1, [&](size_t b, size_t) {
+      throw std::runtime_error("shard " + std::to_string(b));
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "shard 0");
+  }
+}
+
+TEST(ParallelForTest, NestedCallRunsInlineWithoutDeadlock) {
+  ScopedParallelism p(4);
+  std::vector<std::atomic<int>> hits(256);
+  ParallelFor(0, 16, 1, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      // Nested region: must run inline on this worker, not re-enter the
+      // pool (which would deadlock a single queue).
+      ParallelFor(0, 16, 1, [&](size_t nb, size_t ne) {
+        for (size_t j = nb; j < ne; ++j) hits[i * 16 + j].fetch_add(1);
+      });
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForShardsTest, PartitionIndependentOfThreadCount) {
+  auto boundaries_at = [](int threads) {
+    ScopedParallelism p(threads);
+    std::vector<std::vector<size_t>> out;
+    std::mutex mu;
+    ParallelForShards(0, 10000, 256, [&](size_t s, size_t b, size_t e) {
+      std::lock_guard<std::mutex> lock(mu);
+      out.push_back({s, b, e});
+    });
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  const auto serial = boundaries_at(1);
+  EXPECT_EQ(serial.size(), NumReduceShards(10000, 256));
+  EXPECT_EQ(serial, boundaries_at(2));
+  EXPECT_EQ(serial, boundaries_at(4));
+  EXPECT_EQ(serial, boundaries_at(7));
+}
+
+TEST(ParallelForShardsTest, ShardCountCappedAndCoversRange) {
+  EXPECT_EQ(NumReduceShards(0, 100), 0u);
+  EXPECT_EQ(NumReduceShards(1, 100), 1u);
+  EXPECT_EQ(NumReduceShards(100, 100), 1u);
+  EXPECT_EQ(NumReduceShards(101, 100), 2u);
+  EXPECT_EQ(NumReduceShards(1 << 20, 1), kMaxReduceShards);
+
+  ScopedParallelism p(4);
+  std::vector<std::atomic<int>> hits(997);  // prime, uneven split
+  ParallelForShards(0, hits.size(), 100, [&](size_t, size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForShardsTest, FixedOrderReductionMatchesSerial) {
+  // The canonical use: per-shard partial sums combined in shard order must
+  // give bit-identical results at any thread count.
+  std::vector<double> values(5000);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = std::sin(static_cast<double>(i)) * 1e3;
+  }
+  auto chunked_sum = [&](int threads) {
+    ScopedParallelism p(threads);
+    const size_t shards = NumReduceShards(values.size(), 512);
+    std::vector<double> partial(shards, 0.0);
+    ParallelForShards(0, values.size(), 512,
+                      [&](size_t s, size_t b, size_t e) {
+                        for (size_t i = b; i < e; ++i) partial[s] += values[i];
+                      });
+    double total = 0.0;
+    for (double v : partial) total += v;
+    return total;
+  };
+  const double serial = chunked_sum(1);
+  EXPECT_EQ(serial, chunked_sum(2));
+  EXPECT_EQ(serial, chunked_sum(4));
+  EXPECT_EQ(serial, chunked_sum(8));
+}
+
+}  // namespace
+}  // namespace gale::util

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Race-checks the parallel kernels: builds with GALE_SANITIZE=thread and
+# runs the thread-pool and determinism suites pinned to several threads so
+# TSan actually sees concurrent shards. Usage:
+#
+#   tools/check_tsan.sh [build-dir]
+#
+# The build directory defaults to build-tsan (kept separate from the
+# regular build tree so the instrumented objects never mix with it).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-tsan}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DGALE_SANITIZE=thread
+cmake --build "${build_dir}" -j "$(nproc)" --target \
+  util_thread_pool_test la_parallel_equivalence_test eval_determinism_test \
+  prop_test la_pca_kmeans_test
+
+# The *_mt4 ctest entries pin GALE_NUM_THREADS=4; run them plus the plain
+# suites at a wider 8 threads for extra interleavings.
+ctest --test-dir "${build_dir}" --output-on-failure \
+  -R '^(util_thread_pool|la_parallel_equivalence|eval_determinism|prop|la_pca_kmeans)_test(_mt4)?$'
+GALE_NUM_THREADS=8 ctest --test-dir "${build_dir}" --output-on-failure \
+  -R '(util_thread_pool|la_parallel_equivalence)_test$'
+
+echo "TSan check passed."
