@@ -18,7 +18,7 @@ int Main() {
                             "GALE(-Ran.)", "GALE(-Kme.)", "GALE",
                             "GALE recall"});
 
-  for (const std::string& name : {"ML", "UG1", "UG2"}) {
+  for (const char* name : {"ML", "UG1", "UG2"}) {
     auto spec = eval::DatasetByName(name, bench::EnvScale());
     GALE_CHECK(spec.ok()) << spec.status();
     const uint64_t seed = bench::EnvSeed();

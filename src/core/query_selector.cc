@@ -24,6 +24,50 @@ uint64_t PairKey(size_t u, size_t v) {
 // shards need to be wide to beat the dispatch cost.
 constexpr size_t kScanGrain = 512;
 
+// Shard kernels are noinline free functions over plain pointers so the
+// closure pointer never competes for registers in the hot loops
+// (DESIGN.md §6).
+
+// Marks nodes [v0, v1) whose embedding row moved more than `tol` in any
+// coordinate since the previous round.
+__attribute__((noinline)) void ChangeFlagShard(const double* cur,
+                                               const double* prev,
+                                               size_t cols, double tol,
+                                               uint8_t* flags, size_t v0,
+                                               size_t v1) {
+  for (size_t v = v0; v < v1; ++v) {
+    const double* a = cur + v * cols;
+    const double* b = prev + v * cols;
+    bool changed = false;
+    for (size_t c = 0; c < cols; ++c) {
+      if (std::abs(a[c] - b[c]) > tol) {
+        changed = true;
+        break;
+      }
+    }
+    flags[v] = changed ? 1 : 0;
+  }
+}
+
+// First-max-wins argmax of ½T(v) + λ·diversity over untaken candidates in
+// [i0, i1); SIZE_MAX when the shard has none.
+__attribute__((noinline)) void ArgmaxGainShard(
+    const uint8_t* taken, const double* t_scores, const double* diversity_sum,
+    double lambda, size_t i0, size_t i1, double* gain_out, size_t* idx_out) {
+  double best_gain = -std::numeric_limits<double>::max();
+  size_t best_idx = SIZE_MAX;
+  for (size_t i = i0; i < i1; ++i) {
+    if (taken[i]) continue;
+    const double gain = 0.5 * t_scores[i] + lambda * diversity_sum[i];
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_idx = i;
+    }
+  }
+  *gain_out = best_gain;
+  *idx_out = best_idx;
+}
+
 }  // namespace
 
 const char* QueryStrategyName(QueryStrategy s) {
@@ -59,18 +103,9 @@ void QuerySelector::RefreshChangeFlags(const la::Matrix& embeddings) {
     // Per-node flags are disjoint writes; telemetry is counted serially
     // below.
     util::ParallelFor(0, n, kScanGrain, [&](size_t v0, size_t v1) {
-      for (size_t v = v0; v < v1; ++v) {
-        bool changed = false;
-        const double* a = embeddings.RowPtr(v);
-        const double* b = last_embeddings_.RowPtr(v);
-        for (size_t c = 0; c < embeddings.cols(); ++c) {
-          if (std::abs(a[c] - b[c]) > options_.embedding_tolerance) {
-            changed = true;
-            break;
-          }
-        }
-        embedding_changed_[v] = changed ? 1 : 0;
-      }
+      ChangeFlagShard(embeddings.RowPtr(0), last_embeddings_.RowPtr(0),
+                      embeddings.cols(), options_.embedding_tolerance,
+                      embedding_changed_.data(), v0, v1);
     });
   }
   for (uint8_t f : embedding_changed_) {
@@ -284,19 +319,9 @@ util::Result<std::vector<size_t>> QuerySelector::SelectGale(
     // same lowest-index tie-break as the serial scan, at any thread count.
     util::ParallelForShards(
         0, m, kScanGrain, [&](size_t s, size_t i0, size_t i1) {
-          double best_gain = -std::numeric_limits<double>::max();
-          size_t best_idx = SIZE_MAX;
-          for (size_t i = i0; i < i1; ++i) {
-            if (taken[i]) continue;
-            const double gain = 0.5 * t_scores[i] +
-                                options_.lambda_diversity * diversity_sum[i];
-            if (gain > best_gain) {
-              best_gain = gain;
-              best_idx = i;
-            }
-          }
-          shard_best_gain[s] = best_gain;
-          shard_best_idx[s] = best_idx;
+          ArgmaxGainShard(taken.data(), t_scores.data(), diversity_sum.data(),
+                          options_.lambda_diversity, i0, i1,
+                          &shard_best_gain[s], &shard_best_idx[s]);
         });
     double best_gain = -std::numeric_limits<double>::max();
     size_t best_idx = SIZE_MAX;
@@ -347,6 +372,11 @@ util::Result<std::vector<size_t>> QuerySelector::SelectGale(
         diversity_sum[i] += dv / mean_pairwise;
       }
     } else {
+      // The body is one cache probe plus one memory-bound row distance per
+      // candidate — dominated by the unordered_map find and the
+      // embedding-row loads, with no inner-loop register pressure for the
+      // closure pointer to aggravate.
+      // gale-lint: allow(shard-noinline): memory-bound cache-probe scan
       util::ParallelFor(0, m, kScanGrain, [&](size_t i0, size_t i1) {
         for (size_t i = i0; i < i1; ++i) {
           if (taken[i]) continue;

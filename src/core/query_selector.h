@@ -134,6 +134,8 @@ class QuerySelector {
   // Memoization state (Section VII).
   la::Matrix last_embeddings_;
   std::vector<uint8_t> embedding_changed_;
+  // Audited (gale_lint unordered-iter): keyed lookups only — probed and
+  // inserted by pair key during the diversity scans, never iterated.
   std::unordered_map<uint64_t, double> distance_cache_;
 };
 

@@ -9,6 +9,7 @@
 #include "nn/dense.h"
 #include "nn/dropout.h"
 #include "nn/losses.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace gale::core {
@@ -134,6 +135,7 @@ SganEpochStats Sgan::RunEpoch(const la::Matrix& x_real,
   grad_unsup *= config_.lambda_unsupervised;
   grad_sup += grad_unsup;
   stats.d_loss = sup_loss + config_.lambda_unsupervised * unsup_loss;
+  GALE_DCHECK_FINITE(stats.d_loss) << "discriminator loss diverged";
 
   discriminator_.ZeroGrad();
   discriminator_.Backward(grad_sup);
@@ -271,6 +273,11 @@ la::Matrix Sgan::PredictProbabilities(const la::Matrix& x) {
     const double pc = std::exp(l[kLabelCorrect] - m);
     probs.At(r, 0) = pe / (pe + pc);
     probs.At(r, 1) = pc / (pe + pc);
+    // D's conditional output P(error|x), P(correct|x) must lie on the
+    // probability simplex; the 3-way softmax inside the losses carries the
+    // same contract (see nn::Softmax).
+    GALE_DCHECK(util::check_internal::OnSimplex(probs.RowPtr(r), 2u))
+        << "discriminator output off the simplex, row " << r;
   }
   return probs;
 }

@@ -77,6 +77,9 @@ std::vector<DetectedError> StringNoiseDetector::Detect(
       double mean = 0.0;
       double sq = 0.0;
       size_t total_tokens = 0;
+      // Audited (gale_lint unordered-iter): keyed lookups only — both
+      // passes iterate the ordered slot.tokens map and merely probe this
+      // memo, so hash order cannot reach the output.
       std::unordered_map<std::string, double> loglik;
       for (const auto& [token, count] : slot.tokens) {
         const double lp = bigrams.MeanLogProb(token);

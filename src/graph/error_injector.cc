@@ -85,7 +85,9 @@ std::string Typo(const std::string& s, util::Rng& rng) {
       break;
     case 1:  // delete
       out.erase(pos, 1);
-      if (out.empty()) out = "x";
+      // assign(count, char) rather than = "x": GCC 12's -Wrestrict sees a
+      // bogus self-overlap through the inlined literal copy (PR 105329).
+      if (out.empty()) out.assign(1, 'x');
       break;
     default:  // insert
       out.insert(out.begin() + static_cast<ptrdiff_t>(pos), c);

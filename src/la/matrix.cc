@@ -16,6 +16,120 @@ constexpr size_t kTransposeTile = 32;
 // Minimum rows per parallel shard; below this the kernels run inline.
 constexpr size_t kRowGrain = 8;
 
+// Shard kernels are noinline free functions over plain pointers: inlined
+// into the dispatch lambda, the live closure pointer costs the register
+// allocator one GPR and the hot loops spill (~15% on SpMM; DESIGN.md §6).
+// All matrices are dense row-major, so row r of an n-column matrix is
+// base + r * n.
+
+// i-k-j with the k loop register-blocked four wide (see MatMul below for
+// the rationale). a: ? x cols, b: cols x n, out: ? x n; rows [r0, r1).
+__attribute__((noinline)) void MatMulShard(const double* a, const double* b,
+                                           double* out, size_t cols, size_t n,
+                                           size_t r0, size_t r1) {
+  for (size_t i = r0; i < r1; ++i) {
+    const double* a_row = a + i * cols;
+    double* out_row = out + i * n;
+    size_t k = 0;
+    for (; k + 4 <= cols; k += 4) {
+      const double a0 = a_row[k];
+      const double a1 = a_row[k + 1];
+      const double a2 = a_row[k + 2];
+      const double a3 = a_row[k + 3];
+      const double* b0 = b + k * n;
+      const double* b1 = b0 + n;
+      const double* b2 = b1 + n;
+      const double* b3 = b2 + n;
+      for (size_t j = 0; j < n; ++j) {
+        out_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+      }
+    }
+    for (; k < cols; ++k) {
+      const double av = a_row[k];
+      const double* b_row = b + k * n;
+      for (size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+// Aᵀ·B over output rows (= columns of A) [i0, i1). a: rows x a_cols,
+// b: rows x n, out: a_cols x n.
+__attribute__((noinline)) void TransposedMatMulShard(
+    const double* a, const double* b, double* out, size_t rows, size_t a_cols,
+    size_t n, size_t i0, size_t i1) {
+  size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const double* a0 = a + r * a_cols;
+    const double* a1 = a0 + a_cols;
+    const double* a2 = a1 + a_cols;
+    const double* a3 = a2 + a_cols;
+    const double* b0 = b + r * n;
+    const double* b1 = b0 + n;
+    const double* b2 = b1 + n;
+    const double* b3 = b2 + n;
+    for (size_t i = i0; i < i1; ++i) {
+      double* out_row = out + i * n;
+      const double c0 = a0[i];
+      const double c1 = a1[i];
+      const double c2 = a2[i];
+      const double c3 = a3[i];
+      for (size_t j = 0; j < n; ++j) {
+        out_row[j] += c0 * b0[j] + c1 * b1[j] + c2 * b2[j] + c3 * b3[j];
+      }
+    }
+  }
+  for (; r < rows; ++r) {
+    const double* a_row = a + r * a_cols;
+    const double* b_row = b + r * n;
+    for (size_t i = i0; i < i1; ++i) {
+      const double av = a_row[i];
+      double* out_row = out + i * n;
+      for (size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+// A·Bᵀ over output rows [r0, r1): every element is an independent dot
+// product, split over four accumulators to break the FP add dependency
+// chain. a: ? x cols, b: b_rows x cols, out: ? x b_rows.
+__attribute__((noinline)) void MatMulTransposedShard(
+    const double* a, const double* b, double* out, size_t cols, size_t b_rows,
+    size_t r0, size_t r1) {
+  for (size_t i = r0; i < r1; ++i) {
+    const double* a_row = a + i * cols;
+    double* out_row = out + i * b_rows;
+    for (size_t j = 0; j < b_rows; ++j) {
+      const double* b_row = b + j * cols;
+      double acc0 = 0.0;
+      double acc1 = 0.0;
+      double acc2 = 0.0;
+      double acc3 = 0.0;
+      size_t k = 0;
+      for (; k + 4 <= cols; k += 4) {
+        acc0 += a_row[k] * b_row[k];
+        acc1 += a_row[k + 1] * b_row[k + 1];
+        acc2 += a_row[k + 2] * b_row[k + 2];
+        acc3 += a_row[k + 3] * b_row[k + 3];
+      }
+      for (; k < cols; ++k) acc0 += a_row[k] * b_row[k];
+      out_row[j] = (acc0 + acc1) + (acc2 + acc3);
+    }
+  }
+}
+
+// Tiled transpose of input rows [r0, r1). in: rows x cols, out: cols x rows.
+__attribute__((noinline)) void TransposeShard(const double* in, double* out,
+                                              size_t rows, size_t cols,
+                                              size_t r0, size_t r1) {
+  for (size_t cc = 0; cc < cols; cc += kTransposeTile) {
+    const size_t c_end = std::min(cols, cc + kTransposeTile);
+    for (size_t r = r0; r < r1; ++r) {
+      const double* in_row = in + r * cols;
+      for (size_t c = cc; c < c_end; ++c) out[c * rows + r] = in_row[c];
+    }
+  }
+}
+
 }  // namespace
 
 Matrix::Matrix(size_t rows, size_t cols, double fill)
@@ -132,29 +246,8 @@ Matrix Matrix::MatMul(const Matrix& other) const {
   // The accumulation expression is fixed, so results are bitwise
   // identical at every thread count.
   util::ParallelFor(0, rows_, kRowGrain, [&](size_t r0, size_t r1) {
-    for (size_t i = r0; i < r1; ++i) {
-      const double* a_row = RowPtr(i);
-      double* out_row = out.RowPtr(i);
-      size_t k = 0;
-      for (; k + 4 <= cols_; k += 4) {
-        const double a0 = a_row[k];
-        const double a1 = a_row[k + 1];
-        const double a2 = a_row[k + 2];
-        const double a3 = a_row[k + 3];
-        const double* b0 = other.RowPtr(k);
-        const double* b1 = other.RowPtr(k + 1);
-        const double* b2 = other.RowPtr(k + 2);
-        const double* b3 = other.RowPtr(k + 3);
-        for (size_t j = 0; j < n; ++j) {
-          out_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-        }
-      }
-      for (; k < cols_; ++k) {
-        const double a = a_row[k];
-        const double* b_row = other.RowPtr(k);
-        for (size_t j = 0; j < n; ++j) out_row[j] += a * b_row[j];
-      }
-    }
+    MatMulShard(data_.data(), other.data_.data(), out.data_.data(), cols_, n,
+                r0, r1);
   });
   return out;
 }
@@ -168,36 +261,8 @@ Matrix Matrix::TransposedMatMul(const Matrix& other) const {
   // The accumulation expression is fixed, so results are bitwise
   // identical at every thread count.
   util::ParallelFor(0, cols_, kRowGrain, [&](size_t i0, size_t i1) {
-    size_t r = 0;
-    for (; r + 4 <= rows_; r += 4) {
-      const double* a0 = RowPtr(r);
-      const double* a1 = RowPtr(r + 1);
-      const double* a2 = RowPtr(r + 2);
-      const double* a3 = RowPtr(r + 3);
-      const double* b0 = other.RowPtr(r);
-      const double* b1 = other.RowPtr(r + 1);
-      const double* b2 = other.RowPtr(r + 2);
-      const double* b3 = other.RowPtr(r + 3);
-      for (size_t i = i0; i < i1; ++i) {
-        double* out_row = out.RowPtr(i);
-        const double c0 = a0[i];
-        const double c1 = a1[i];
-        const double c2 = a2[i];
-        const double c3 = a3[i];
-        for (size_t j = 0; j < n; ++j) {
-          out_row[j] += c0 * b0[j] + c1 * b1[j] + c2 * b2[j] + c3 * b3[j];
-        }
-      }
-    }
-    for (; r < rows_; ++r) {
-      const double* a_row = RowPtr(r);
-      const double* b_row = other.RowPtr(r);
-      for (size_t i = i0; i < i1; ++i) {
-        const double a = a_row[i];
-        double* out_row = out.RowPtr(i);
-        for (size_t j = 0; j < n; ++j) out_row[j] += a * b_row[j];
-      }
-    }
+    TransposedMatMulShard(data_.data(), other.data_.data(), out.data_.data(),
+                          rows_, cols_, n, i0, i1);
   });
   return out;
 }
@@ -210,25 +275,8 @@ Matrix Matrix::MatMulTransposed(const Matrix& other) const {
   // The combine order is fixed, so results are bitwise identical at every
   // thread count.
   util::ParallelFor(0, rows_, kRowGrain, [&](size_t r0, size_t r1) {
-    for (size_t i = r0; i < r1; ++i) {
-      const double* a_row = RowPtr(i);
-      for (size_t j = 0; j < other.rows_; ++j) {
-        const double* b_row = other.RowPtr(j);
-        double acc0 = 0.0;
-        double acc1 = 0.0;
-        double acc2 = 0.0;
-        double acc3 = 0.0;
-        size_t k = 0;
-        for (; k + 4 <= cols_; k += 4) {
-          acc0 += a_row[k] * b_row[k];
-          acc1 += a_row[k + 1] * b_row[k + 1];
-          acc2 += a_row[k + 2] * b_row[k + 2];
-          acc3 += a_row[k + 3] * b_row[k + 3];
-        }
-        for (; k < cols_; ++k) acc0 += a_row[k] * b_row[k];
-        out.At(i, j) = (acc0 + acc1) + (acc2 + acc3);
-      }
-    }
+    MatMulTransposedShard(data_.data(), other.data_.data(), out.data_.data(),
+                          cols_, other.rows_, r0, r1);
   });
   return out;
 }
@@ -238,13 +286,7 @@ Matrix Matrix::Transposed() const {
   // Tiled so both the strided reads and the strided writes stay within a
   // kTransposeTile-square working set; shards own disjoint input rows.
   util::ParallelFor(0, rows_, kTransposeTile, [&](size_t r0, size_t r1) {
-    for (size_t cc = 0; cc < cols_; cc += kTransposeTile) {
-      const size_t c_end = std::min(cols_, cc + kTransposeTile);
-      for (size_t r = r0; r < r1; ++r) {
-        const double* in_row = RowPtr(r);
-        for (size_t c = cc; c < c_end; ++c) out.At(c, r) = in_row[c];
-      }
-    }
+    TransposeShard(data_.data(), out.data_.data(), rows_, cols_, r0, r1);
   });
   return out;
 }

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace gale::la {
@@ -59,14 +60,30 @@ class Matrix {
   size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
-  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
-  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  double& At(size_t r, size_t c) {
+    GALE_DCHECK_INDEX(r, rows_);
+    GALE_DCHECK_INDEX(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  double At(size_t r, size_t c) const {
+    GALE_DCHECK_INDEX(r, rows_);
+    GALE_DCHECK_INDEX(c, cols_);
+    return data_[r * cols_ + c];
+  }
   double& operator()(size_t r, size_t c) { return At(r, c); }
   double operator()(size_t r, size_t c) const { return At(r, c); }
 
-  // Raw pointer to row `r` (cols() contiguous doubles).
-  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
-  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+  // Raw pointer to row `r` (cols() contiguous doubles). r == rows() is
+  // allowed as a one-past-the-end base pointer (kernels pass RowPtr(0) on
+  // possibly-empty outputs); dereferencing stays the caller's contract.
+  double* RowPtr(size_t r) {
+    GALE_DCHECK_LE(r, rows_);
+    return data_.data() + r * cols_;
+  }
+  const double* RowPtr(size_t r) const {
+    GALE_DCHECK_LE(r, rows_);
+    return data_.data() + r * cols_;
+  }
 
   // Copies row `r` out as a vector.
   std::vector<double> RowVector(size_t r) const;

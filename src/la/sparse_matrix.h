@@ -44,10 +44,22 @@ class SparseMatrix {
   size_t nnz() const { return values_.size(); }
 
   // Row access: entries of row r live at indices [RowBegin(r), RowEnd(r)).
-  size_t RowBegin(size_t r) const { return row_ptr_[r]; }
-  size_t RowEnd(size_t r) const { return row_ptr_[r + 1]; }
-  size_t ColIndex(size_t k) const { return col_idx_[k]; }
-  double Value(size_t k) const { return values_[k]; }
+  size_t RowBegin(size_t r) const {
+    GALE_DCHECK_INDEX(r, rows_);
+    return row_ptr_[r];
+  }
+  size_t RowEnd(size_t r) const {
+    GALE_DCHECK_INDEX(r, rows_);
+    return row_ptr_[r + 1];
+  }
+  size_t ColIndex(size_t k) const {
+    GALE_DCHECK_INDEX(k, col_idx_.size());
+    return col_idx_[k];
+  }
+  double Value(size_t k) const {
+    GALE_DCHECK_INDEX(k, values_.size());
+    return values_[k];
+  }
 
   // Sparse x dense product: (rows x cols) * (cols x d) -> rows x d.
   Matrix Multiply(const Matrix& dense) const;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace gale::nn {
@@ -26,6 +27,7 @@ void Adam::Step(const std::vector<la::Matrix*>& params,
     la::Matrix& p = *params[i];
     const la::Matrix& g = *grads[i];
     GALE_CHECK(p.rows() == g.rows() && p.cols() == g.cols());
+    GALE_DCHECK_ALL_FINITE(g.data()) << "non-finite gradient, param " << i;
     la::Matrix& m = m_[i];
     la::Matrix& v = v_[i];
     for (size_t j = 0; j < p.data().size(); ++j) {
@@ -38,6 +40,8 @@ void Adam::Step(const std::vector<la::Matrix*>& params,
       p.data()[j] -= options_.learning_rate * m_hat /
                      (std::sqrt(v_hat) + options_.epsilon);
     }
+    GALE_DCHECK_ALL_FINITE(p.data())
+        << "parameter " << i << " diverged after Adam step " << step_;
   }
 }
 

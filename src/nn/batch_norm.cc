@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace gale::nn {
@@ -37,6 +38,8 @@ la::Matrix BatchNorm::Forward(const la::Matrix& input, bool training) {
     inv_std_cache_.assign(d, 0.0);
     for (size_t c = 0; c < d; ++c) {
       inv_std_cache_[c] = 1.0 / std::sqrt(var.At(0, c) + epsilon_);
+      GALE_DCHECK_FINITE(inv_std_cache_[c]) << "degenerate variance, col "
+                                            << c;
     }
     normalized_cache_ = la::Matrix(n, d);
     batch_size_cache_ = n;

@@ -1,5 +1,6 @@
 #include "nn/dense.h"
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace gale::nn {
@@ -12,6 +13,7 @@ Dense::Dense(size_t in_features, size_t out_features, util::Rng& rng)
 
 la::Matrix Dense::Forward(const la::Matrix& input, bool /*training*/) {
   GALE_CHECK_EQ(input.cols(), weight_.rows()) << "Dense input width";
+  GALE_DCHECK_ALL_FINITE(input.data()) << "non-finite Dense input";
   input_cache_ = input;
   la::Matrix out = input.MatMul(weight_);
   out.AddRowBroadcast(bias_);
@@ -23,6 +25,8 @@ la::Matrix Dense::Backward(const la::Matrix& grad_output) {
   GALE_CHECK_EQ(grad_output.cols(), weight_.cols());
   grad_weight_ += input_cache_.TransposedMatMul(grad_output);
   grad_bias_ += grad_output.ColSum();
+  GALE_DCHECK_ALL_FINITE(grad_weight_.data()) << "non-finite Dense dW";
+  GALE_DCHECK_ALL_FINITE(grad_bias_.data()) << "non-finite Dense db";
   return grad_output.MatMulTransposed(weight_);
 }
 

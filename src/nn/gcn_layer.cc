@@ -1,5 +1,6 @@
 #include "nn/gcn_layer.h"
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace gale::nn {
@@ -30,6 +31,8 @@ la::Matrix GcnLayer::Backward(const la::Matrix& grad_output) {
   // dW = (Â X)^T dY;  db = 1^T dY;  dX = Â^T (dY W^T) = Â (dY W^T).
   grad_weight_ += propagated_cache_.TransposedMatMul(grad_output);
   grad_bias_ += grad_output.ColSum();
+  GALE_DCHECK_ALL_FINITE(grad_weight_.data()) << "non-finite GCN dW";
+  GALE_DCHECK_ALL_FINITE(grad_bias_.data()) << "non-finite GCN db";
   la::Matrix grad_propagated = grad_output.MatMulTransposed(weight_);
   return adjacency_->Multiply(grad_propagated);  // symmetric Â
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace gale::nn {
@@ -26,6 +27,8 @@ la::Matrix Softmax(const la::Matrix& logits) {
       denom += out[c];
     }
     for (size_t c = 0; c < logits.cols(); ++c) out[c] /= denom;
+    GALE_DCHECK(::gale::util::check_internal::OnSimplex(out, logits.cols()))
+        << "softmax row " << r << " off the probability simplex";
   }
   return probs;
 }
@@ -66,6 +69,8 @@ double SoftmaxCrossEntropy(const la::Matrix& logits,
   }
   const double scale = 1.0 / active;
   *grad *= scale;
+  GALE_DCHECK_ALL_FINITE(grad->data()) << "non-finite softmax-CE gradient";
+  GALE_DCHECK_FINITE(loss * scale);
   return loss * scale;
 }
 
@@ -145,6 +150,9 @@ double ConditionalCrossEntropy(const la::Matrix& logits,
   }
   const double scale = 1.0 / active;
   *grad *= scale;
+  GALE_DCHECK_ALL_FINITE(grad->data())
+      << "non-finite conditional-CE gradient";
+  GALE_DCHECK_FINITE(loss * scale);
   return loss * scale;
 }
 
@@ -189,6 +197,8 @@ double GanUnsupervisedLoss(const la::Matrix& logits,
   }
   const double scale = 1.0 / static_cast<double>(logits.rows());
   *grad *= scale;
+  GALE_DCHECK_ALL_FINITE(grad->data()) << "non-finite GAN-loss gradient";
+  GALE_DCHECK_FINITE(loss * scale);
   return loss * scale;
 }
 

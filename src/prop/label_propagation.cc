@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/check.h"
+
 namespace gale::prop {
 
 util::Result<la::Matrix> PropagateLabels(
@@ -37,6 +39,13 @@ util::Result<la::Matrix> PropagateLabels(
     f = std::move(next);
     if (diff < options.tolerance) break;
   }
+  // Propagation invariant: iterating f ← (1-α)·S·f + α·Y from one-hot
+  // seeds over the non-negative operator S keeps every soft label a
+  // finite, non-negative class mass.
+  GALE_DCHECK(util::check_internal::AllFinite(f.data()))
+      << "non-finite propagated labels";
+  GALE_DCHECK(util::check_internal::AllNonNegative(f.data()))
+      << "negative propagated label mass";
   return f;
 }
 

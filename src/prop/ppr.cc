@@ -3,6 +3,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "util/check.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -32,6 +33,13 @@ std::vector<double> PprEngine::ComputeRow(size_t v) const {
     p = std::move(next);
     if (diff < options_.tolerance) break;
   }
+  // Propagation invariants: a PPR row is a non-negative influence vector
+  // (products/sums of non-negative walk weights) and the source keeps at
+  // least its teleport mass α.
+  GALE_DCHECK(util::check_internal::AllFinite(p)) << "non-finite PPR row";
+  GALE_DCHECK(util::check_internal::AllNonNegative(p))
+      << "negative PPR mass, source " << v;
+  GALE_DCHECK_GE(p[v], options_.alpha - 1e-12);
   return p;
 }
 
@@ -47,8 +55,11 @@ void PprEngine::ComputeRows(std::span<const size_t> seeds) {
 
   // Each power iteration only reads the walk matrix and writes its own
   // row, so rows parallelize with no shared state; cache insertion stays
-  // on the calling thread, in seed order.
+  // on the calling thread, in seed order. The loop is pure dispatch — all
+  // the work happens inside ComputeRow, itself an out-of-line call, so the
+  // closure pointer never touches a hot loop.
   std::vector<std::vector<double>> rows(missing.size());
+  // gale-lint: allow(shard-noinline): dispatch-only loop around ComputeRow
   util::ParallelFor(0, missing.size(), 1, [&](size_t b, size_t e) {
     for (size_t i = b; i < e; ++i) rows[i] = ComputeRow(missing[i]);
   });

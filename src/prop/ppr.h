@@ -63,6 +63,8 @@ class PprEngine {
 
   const la::SparseMatrix* walk_matrix_;
   PprOptions options_;
+  // Audited (gale_lint unordered-iter): keyed lookups only — rows are
+  // inserted in seed order and fetched by node id, never iterated.
   std::unordered_map<size_t, std::vector<double>> cache_;
   std::vector<double> scratch_;  // reused when caching is off
   size_t computed_rows_ = 0;     // total power iterations run (telemetry)

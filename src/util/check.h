@@ -1,0 +1,142 @@
+// Debug contract layer: GALE_DCHECK* — invariant checks that cost nothing
+// in release builds.
+//
+// GALE_CHECK (util/logging.h) is always on and guards conditions whose
+// violation means the process must not continue (shape mismatches at API
+// boundaries, broken Status plumbing). GALE_DCHECK* guard *internal*
+// invariants that are cheap to state but too hot to verify in production:
+// per-element bounds in kernels, finite gradients after a backward pass,
+// row-stochastic propagation state, probability-simplex outputs.
+//
+//   GALE_DCHECK(cond) << "context";     — generic contract.
+//   GALE_DCHECK_EQ/NE/LT/LE/GT/GE(a,b)  — comparisons with value dumps.
+//   GALE_DCHECK_INDEX(i, n)             — 0 <= i < n container access.
+//   GALE_DCHECK_SHAPE(m, r, c)          — m is exactly r x c.
+//   GALE_DCHECK_SAME_SHAPE(a, b)        — a and b have identical shape.
+//   GALE_DCHECK_FINITE(x)               — scalar is neither NaN nor inf.
+//   GALE_DCHECK_ALL_FINITE(range)       — every element is finite.
+//   GALE_DCHECK_PROB(p)                 — p in [0, 1] (with fp slack).
+//
+// Compiled out unless GALE_DEBUG_CHECKS is defined (CMake option
+// -DGALE_DEBUG_CHECKS=ON, on by default for Debug builds). The disabled
+// form is `while (false) GALE_CHECK(...)`: the condition is parsed (so
+// contracts cannot rot) and referenced variables count as used (no
+// -Wunused warnings), but the branch is provably dead and every optimizing
+// build deletes it entirely — release binaries are bit-identical in
+// behavior and speed to a tree without the checks.
+//
+// Helper predicates live in gale::util::check_internal. They are plain
+// templates so this header stays below la/ in the layering; pass matrices
+// as (range) via Matrix::data().
+
+#ifndef GALE_UTIL_CHECK_H_
+#define GALE_UTIL_CHECK_H_
+
+#include <cmath>
+#include <cstddef>
+
+#include "util/logging.h"
+
+namespace gale::util::check_internal {
+
+// Tolerance for probability/simplex contracts: softmax and normalization
+// arithmetic is exact to far better than this, but accumulated sums of a
+// few thousand terms are not.
+inline constexpr double kProbSlack = 1e-6;
+
+template <typename Range>
+bool AllFinite(const Range& range) {
+  for (const auto& v : range) {
+    if (!std::isfinite(static_cast<double>(v))) return false;
+  }
+  return true;
+}
+
+inline bool AllFinite(const double* p, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(p[i])) return false;
+  }
+  return true;
+}
+
+template <typename Range>
+bool AllNonNegative(const Range& range) {
+  for (const auto& v : range) {
+    if (!(static_cast<double>(v) >= 0.0)) return false;
+  }
+  return true;
+}
+
+// True when the row lies on the probability simplex: every entry a
+// probability and the total within slack of 1.
+inline bool OnSimplex(const double* p, size_t n) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!(p[i] >= -kProbSlack && p[i] <= 1.0 + kProbSlack)) return false;
+    sum += p[i];
+  }
+  return std::abs(sum - 1.0) <= kProbSlack * 1e3;
+}
+
+template <typename Range>
+bool OnSimplex(const Range& range) {
+  double sum = 0.0;
+  for (const auto& v : range) {
+    const double p = static_cast<double>(v);
+    if (!(p >= -kProbSlack && p <= 1.0 + kProbSlack)) return false;
+    sum += p;
+  }
+  return std::abs(sum - 1.0) <= kProbSlack * 1e3;
+}
+
+}  // namespace gale::util::check_internal
+
+#ifdef GALE_DEBUG_CHECKS
+#define GALE_DCHECK(condition) GALE_CHECK(condition)
+#else
+// Never executes, but still parses the condition and "uses" its operands.
+#define GALE_DCHECK(condition) \
+  while (false) GALE_CHECK(condition)
+#endif
+
+#define GALE_DCHECK_EQ(a, b) \
+  GALE_DCHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define GALE_DCHECK_NE(a, b) GALE_DCHECK((a) != (b))
+#define GALE_DCHECK_LT(a, b) \
+  GALE_DCHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define GALE_DCHECK_LE(a, b) \
+  GALE_DCHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define GALE_DCHECK_GT(a, b) \
+  GALE_DCHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define GALE_DCHECK_GE(a, b) \
+  GALE_DCHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+// Container-access contract: index strictly below the size.
+#define GALE_DCHECK_INDEX(index, size)                                   \
+  GALE_DCHECK(static_cast<size_t>(index) < static_cast<size_t>(size))    \
+      << " index " << (index) << " out of range [0, " << (size) << ") "
+
+// Exact-shape contract for anything with rows()/cols().
+#define GALE_DCHECK_SHAPE(m, r, c)                                       \
+  GALE_DCHECK((m).rows() == static_cast<size_t>(r) &&                    \
+              (m).cols() == static_cast<size_t>(c))                      \
+      << " got " << (m).rows() << "x" << (m).cols() << ", want " << (r)  \
+      << "x" << (c) << " "
+
+#define GALE_DCHECK_SAME_SHAPE(a, b)                                     \
+  GALE_DCHECK((a).rows() == (b).rows() && (a).cols() == (b).cols())      \
+      << " " << (a).rows() << "x" << (a).cols() << " vs " << (b).rows()  \
+      << "x" << (b).cols() << " "
+
+#define GALE_DCHECK_FINITE(x) \
+  GALE_DCHECK(std::isfinite(static_cast<double>(x))) << " value " << (x)
+
+#define GALE_DCHECK_ALL_FINITE(range) \
+  GALE_DCHECK(::gale::util::check_internal::AllFinite(range))
+
+#define GALE_DCHECK_PROB(p)                                              \
+  GALE_DCHECK((p) >= -::gale::util::check_internal::kProbSlack &&        \
+              (p) <= 1.0 + ::gale::util::check_internal::kProbSlack)     \
+      << " not a probability: " << (p)
+
+#endif  // GALE_UTIL_CHECK_H_

@@ -11,7 +11,7 @@ namespace gale::graph {
 namespace {
 
 TEST(EscapeTokenTest, RoundTripsSpecialCharacters) {
-  for (const std::string raw :
+  for (const std::string& raw :
        {std::string("plain"), std::string("two words"),
         std::string("tab\tnewline\n"), std::string("back\\slash"),
         std::string(""), std::string(" leading and trailing "),

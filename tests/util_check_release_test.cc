@@ -1,0 +1,53 @@
+// Contract-layer tests with the checks FORCED OFF: this TU undefines
+// GALE_DEBUG_CHECKS before including the header, so every GALE_DCHECK*
+// must compile to the dead `while (false)` form — violated conditions do
+// not abort and, critically, side-effecting operands are never evaluated.
+// That non-evaluation is what makes the release-build zero-cost claim
+// checkable from a test rather than an assertion in a comment.
+
+#ifdef GALE_DEBUG_CHECKS
+#undef GALE_DEBUG_CHECKS
+#endif
+#include "util/check.h"
+
+#include <limits>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace gale {
+namespace {
+
+TEST(DcheckReleaseTest, ViolatedChecksDoNotFire) {
+  GALE_DCHECK(false) << "must never abort";
+  GALE_DCHECK_EQ(1, 2);
+  GALE_DCHECK_INDEX(10, 3);
+  GALE_DCHECK_FINITE(std::numeric_limits<double>::quiet_NaN());
+  GALE_DCHECK_PROB(42.0);
+  const std::vector<double> poisoned = {
+      std::numeric_limits<double>::infinity()};
+  GALE_DCHECK_ALL_FINITE(poisoned);
+  SUCCEED();
+}
+
+TEST(DcheckReleaseTest, ConditionIsNotEvaluated) {
+  int evaluations = 0;
+  auto costly = [&evaluations] {
+    ++evaluations;
+    return false;
+  };
+  GALE_DCHECK(costly()) << "stream side effect " << ++evaluations;
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(DcheckReleaseTest, OperandsCountAsUsed) {
+  // A variable referenced only from a disabled check must not warn under
+  // -Wunused (this file compiles with GALE_WERROR=ON in check_all.sh); it
+  // is enough that this compiles.
+  const size_t only_checked = 7;
+  GALE_DCHECK_LT(only_checked, 100u);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace gale

@@ -1,0 +1,144 @@
+// Contract-layer tests with the checks FORCED ON: this binary compiles
+// with a per-target GALE_DEBUG_CHECKS=1 (tests/CMakeLists.txt), so every
+// GALE_DCHECK* here is live regardless of the build-wide option. The
+// sibling util_check_release_test verifies the compiled-out form.
+
+#include "util/check.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "la/matrix.h"
+
+namespace gale {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// --- the checks must be live in this TU ------------------------------------
+
+TEST(CheckConfig, DebugChecksEnabledInThisBinary) {
+#ifndef GALE_DEBUG_CHECKS
+  FAIL() << "util_check_test must compile with GALE_DEBUG_CHECKS=1";
+#endif
+}
+
+// --- passing contracts are silent ------------------------------------------
+
+TEST(DcheckTest, PassingChecksDoNotFire) {
+  const std::vector<double> v = {0.0, 1.0, -2.5};
+  GALE_DCHECK(true) << "never shown";
+  GALE_DCHECK_EQ(2 + 2, 4);
+  GALE_DCHECK_NE(1, 2);
+  GALE_DCHECK_LT(1, 2);
+  GALE_DCHECK_LE(2, 2);
+  GALE_DCHECK_GT(3, 2);
+  GALE_DCHECK_GE(3, 3);
+  GALE_DCHECK_INDEX(2, 3);
+  GALE_DCHECK_FINITE(1.5);
+  GALE_DCHECK_ALL_FINITE(v);
+  GALE_DCHECK_PROB(0.0);
+  GALE_DCHECK_PROB(1.0);
+  const la::Matrix m(3, 4);
+  GALE_DCHECK_SHAPE(m, 3, 4);
+  GALE_DCHECK_SAME_SHAPE(m, m);
+}
+
+// --- violated contracts abort with the condition in the message -------------
+
+TEST(DcheckDeathTest, DcheckFires) {
+  EXPECT_DEATH(GALE_DCHECK(1 == 2) << "broken invariant",
+               "Check failed:.*broken invariant");
+}
+
+TEST(DcheckDeathTest, ComparisonsDumpValues) {
+  const int a = 3;
+  const int b = 7;
+  EXPECT_DEATH(GALE_DCHECK_EQ(a, b), "Check failed:.*3 vs 7");
+  EXPECT_DEATH(GALE_DCHECK_LT(b, a), "Check failed:.*7 vs 3");
+  EXPECT_DEATH(GALE_DCHECK_GE(a, b), "Check failed:");
+}
+
+TEST(DcheckDeathTest, IndexFires) {
+  const size_t n = 4;
+  EXPECT_DEATH(GALE_DCHECK_INDEX(4, n), "index 4 out of range \\[0, 4\\)");
+  // Negative indices convert to huge size_t values and fail the same way.
+  const int neg = -1;
+  EXPECT_DEATH(GALE_DCHECK_INDEX(neg, n), "out of range");
+}
+
+TEST(DcheckDeathTest, ShapeFires) {
+  const la::Matrix m(3, 4);
+  EXPECT_DEATH(GALE_DCHECK_SHAPE(m, 4, 3), "got 3x4, want 4x3");
+  const la::Matrix other(2, 4);
+  EXPECT_DEATH(GALE_DCHECK_SAME_SHAPE(m, other), "3x4 vs 2x4");
+}
+
+TEST(DcheckDeathTest, FiniteFires) {
+  EXPECT_DEATH(GALE_DCHECK_FINITE(kNan), "Check failed:");
+  EXPECT_DEATH(GALE_DCHECK_FINITE(kInf), "Check failed:");
+  const std::vector<double> poisoned = {1.0, kNan, 3.0};
+  EXPECT_DEATH(GALE_DCHECK_ALL_FINITE(poisoned), "Check failed:");
+}
+
+TEST(DcheckDeathTest, ProbFires) {
+  EXPECT_DEATH(GALE_DCHECK_PROB(1.5), "not a probability: 1.5");
+  EXPECT_DEATH(GALE_DCHECK_PROB(-0.2), "not a probability");
+}
+
+// Library code compiled into this test links the release-mode (checks-off)
+// objects; the contracts in la/nn/prop only fire when the whole build is
+// configured with GALE_DEBUG_CHECKS=ON (tools/check_all.sh does). These
+// death tests exercise the accessor contracts via the header-inline path,
+// which does honor this TU's macro setting.
+TEST(DcheckDeathTest, MatrixAccessorContracts) {
+  la::Matrix m(2, 3);
+  EXPECT_DEATH(m.At(2, 0), "out of range");
+  EXPECT_DEATH(m.At(0, 3), "out of range");
+  // One-past-end row pointer is an allowed base pointer...
+  EXPECT_EQ(m.RowPtr(2), m.RowPtr(0) + 2 * 3);
+  // ...but beyond that is a contract violation.
+  EXPECT_DEATH(m.RowPtr(3), "Check failed:");
+}
+
+// --- predicate helpers ------------------------------------------------------
+
+TEST(CheckInternalTest, AllFinite) {
+  using util::check_internal::AllFinite;
+  EXPECT_TRUE(AllFinite(std::vector<double>{}));
+  EXPECT_TRUE(AllFinite(std::vector<double>{1.0, -1e300}));
+  EXPECT_FALSE(AllFinite(std::vector<double>{1.0, kInf}));
+  EXPECT_FALSE(AllFinite(std::vector<double>{kNan}));
+  const double raw[] = {1.0, 2.0, kNan};
+  EXPECT_TRUE(AllFinite(raw, 2));
+  EXPECT_FALSE(AllFinite(raw, 3));
+}
+
+TEST(CheckInternalTest, AllNonNegative) {
+  using util::check_internal::AllNonNegative;
+  EXPECT_TRUE(AllNonNegative(std::vector<double>{0.0, 1.0}));
+  EXPECT_FALSE(AllNonNegative(std::vector<double>{-1e-12}));
+  // NaN is not >= 0 — a poisoned vector fails, it does not pass vacuously.
+  EXPECT_FALSE(AllNonNegative(std::vector<double>{kNan}));
+}
+
+TEST(CheckInternalTest, OnSimplex) {
+  using util::check_internal::OnSimplex;
+  const double uniform[] = {0.25, 0.25, 0.25, 0.25};
+  EXPECT_TRUE(OnSimplex(uniform, 4));
+  const double unnormalized[] = {0.5, 0.6};
+  EXPECT_FALSE(OnSimplex(unnormalized, 2));
+  const double negative[] = {-0.1, 1.1};
+  EXPECT_FALSE(OnSimplex(negative, 2));
+  const double poisoned[] = {kNan, 1.0};
+  EXPECT_FALSE(OnSimplex(poisoned, 2));
+  // Range overload agrees with the pointer one.
+  EXPECT_TRUE(OnSimplex(std::vector<double>{0.5, 0.5}));
+  EXPECT_FALSE(OnSimplex(std::vector<double>{0.9, 0.3}));
+}
+
+}  // namespace
+}  // namespace gale

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Full pre-merge gate: static analysis, a warnings-as-errors build with the
+# contract layer live, and the sanitizer matrix. Usage:
+#
+#   tools/check_all.sh [stage...]
+#
+# Stages (default: all of them, in this order):
+#   lint    gale_lint over the tree + its self-test
+#   werror  -Werror build with GALE_DEBUG_CHECKS=ON, full ctest suite
+#   asan    AddressSanitizer build, full ctest suite
+#   ubsan   UndefinedBehaviorSanitizer build (unrecoverable), full suite
+#   tsan    ThreadSanitizer build, thread-pool/determinism suites at
+#           several thread counts (the old tools/check_tsan.sh)
+#
+# Each stage builds into its own tree (build-<stage>) so instrumented
+# objects never mix. Roughly 10-20 minutes for the full matrix.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+stages=("$@")
+if [ ${#stages[@]} -eq 0 ]; then
+  stages=(lint werror asan ubsan tsan)
+fi
+jobs="$(nproc)"
+
+run_stage() {
+  echo
+  echo "=== check_all: $1 ==="
+}
+
+configure_and_test() {
+  # configure_and_test <build-dir> <cmake-args...>: fresh configure, full
+  # build, full suite (gale_lint and the *_mt4 entries included).
+  local build_dir="$1"
+  shift
+  cmake -B "${build_dir}" -S "${repo_root}" "$@"
+  cmake --build "${build_dir}" -j "${jobs}"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+}
+
+for stage in "${stages[@]}"; do
+  case "${stage}" in
+    lint)
+      run_stage "gale_lint (static analysis + self-test)"
+      build_dir="${repo_root}/build-lint"
+      cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
+      cmake --build "${build_dir}" -j "${jobs}" --target gale_lint
+      "${build_dir}/tools/gale_lint" --self-test
+      "${build_dir}/tools/gale_lint" "${repo_root}"
+      ;;
+    werror)
+      run_stage "-Werror build with contract checks live"
+      configure_and_test "${repo_root}/build-werror" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DGALE_WERROR=ON -DGALE_DEBUG_CHECKS=ON
+      ;;
+    asan)
+      run_stage "AddressSanitizer"
+      configure_and_test "${repo_root}/build-asan" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DGALE_SANITIZE=address -DGALE_DEBUG_CHECKS=ON
+      ;;
+    ubsan)
+      run_stage "UndefinedBehaviorSanitizer"
+      configure_and_test "${repo_root}/build-ubsan" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DGALE_SANITIZE=undefined -DGALE_DEBUG_CHECKS=ON
+      ;;
+    tsan)
+      run_stage "ThreadSanitizer (parallel kernels)"
+      build_dir="${repo_root}/build-tsan"
+      cmake -B "${build_dir}" -S "${repo_root}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DGALE_SANITIZE=thread
+      cmake --build "${build_dir}" -j "${jobs}" --target \
+        util_thread_pool_test la_parallel_equivalence_test \
+        eval_determinism_test prop_test la_pca_kmeans_test
+      # The *_mt4 ctest entries pin GALE_NUM_THREADS=4; re-run the two
+      # kernel-heavy suites at a wider 8 threads for extra interleavings.
+      ctest --test-dir "${build_dir}" --output-on-failure \
+        -R '^(util_thread_pool|la_parallel_equivalence|eval_determinism|prop|la_pca_kmeans)_test(_mt4)?$'
+      GALE_NUM_THREADS=8 ctest --test-dir "${build_dir}" --output-on-failure \
+        -R '(util_thread_pool|la_parallel_equivalence)_test$'
+      ;;
+    *)
+      echo "check_all: unknown stage '${stage}'" >&2
+      echo "stages: lint werror asan ubsan tsan" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo
+echo "check_all: all stages passed (${stages[*]})"

@@ -15,7 +15,7 @@
 //
 // Example:
 //   gale_cli generate --out /tmp/g.graph --nodes 1500
-//   gale_cli pollute --in /tmp/g.graph --out /tmp/d.graph \
+//   gale_cli pollute --in /tmp/g.graph --out /tmp/d.graph
 //       --truth /tmp/d.truth
 //   gale_cli detect --in /tmp/d.graph --truth /tmp/d.truth --budget 50
 
