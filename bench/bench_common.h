@@ -9,11 +9,21 @@
 // The paper reports medians over 5 runs; the benches run one seed by
 // default (set GALE_BENCH_RUNS for more — the median is then reported).
 
+// A third knob wires the perf-regression gate (tools/bench_check.sh):
+//   GALE_BENCH_JSON_DIR — when set, timing benches additionally write
+//   machine-readable results there as JSON lines, one object per record:
+//     {"name":"<workload>","threads":N,"reps":R,"median_ns":T}
+//   `median_ns` is the median per-run wall time in nanoseconds across the
+//   R repetitions at that thread count. Unset (the default), nothing is
+//   written.
+
 #ifndef GALE_BENCH_BENCH_COMMON_H_
 #define GALE_BENCH_BENCH_COMMON_H_
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -62,6 +72,38 @@ inline std::unique_ptr<eval::PreparedDataset> Prepare(
   GALE_CHECK(prepared.ok()) << prepared.status();
   return std::move(prepared).value();
 }
+
+// JSON-lines sink for the bench-regression baseline. Inert unless
+// GALE_BENCH_JSON_DIR is set; then `Record` appends one object per call
+// to $GALE_BENCH_JSON_DIR/<filename> (truncated at construction so a run
+// always produces a complete, self-consistent file).
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(const std::string& filename) {
+    const char* dir = std::getenv("GALE_BENCH_JSON_DIR");
+    if (dir == nullptr) return;
+    const std::string path = std::string(dir) + "/" + filename;
+    out_.open(path, std::ios::trunc);
+    if (!out_) {
+      std::cerr << "bench: cannot write " << path << "\n";
+    }
+  }
+
+  bool enabled() const { return out_.is_open(); }
+
+  void Record(const std::string& name, int threads, int reps,
+              double median_ns) {
+    if (!out_.is_open()) return;
+    char value[64];
+    std::snprintf(value, sizeof value, "%.1f", median_ns);
+    out_ << "{\"name\":\"" << name << "\",\"threads\":" << threads
+         << ",\"reps\":" << reps << ",\"median_ns\":" << value << "}\n";
+    out_.flush();
+  }
+
+ private:
+  std::ofstream out_;
+};
 
 inline void PrintHeader(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n";

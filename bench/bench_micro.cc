@@ -1,9 +1,15 @@
 // Kernel micro-benchmarks (google-benchmark) for the numerical substrates
 // the experiments run on: dense/sparse products, PPR power iteration,
-// k-means, feature encoding, edit distance, and the greedy QSelect loop.
+// k-means, feature encoding, edit distance, the greedy QSelect loop, and
+// the fixed-shape SGAN training step (steady-state allocation-free path).
+//
+// With GALE_BENCH_JSON_DIR set, per-benchmark times are also written to
+// $GALE_BENCH_JSON_DIR/BENCH_micro.json for tools/bench_check.sh (see
+// bench_common.h for the record format); console output is unchanged.
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "core/query_selector.h"
 #include "core/sgan.h"
 #include "graph/feature_encoder.h"
@@ -12,6 +18,7 @@
 #include "la/matrix.h"
 #include "la/sparse_matrix.h"
 #include "prop/ppr.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 
@@ -100,6 +107,30 @@ void BM_EditDistance(benchmark::State& state) {
 }
 BENCHMARK(BM_EditDistance);
 
+void BM_SganUpdateStep(benchmark::State& state) {
+  // One SGAND epoch at a fixed batch shape. The construction + first
+  // (warm-up) epoch run outside the timed region, so the loop measures
+  // the steady-state path: zero la-buffer allocations per step.
+  const size_t d = 32;
+  core::SganConfig config;
+  config.hidden_dim = 64;
+  config.embedding_dim = 32;
+  core::Sgan sgan(d, config);
+  util::Rng rng(11);
+  la::Matrix x_real = la::Matrix::RandomNormal(512, d, 1.0, rng);
+  la::Matrix x_syn = la::Matrix::RandomNormal(128, d, 1.0, rng);
+  std::vector<int> labels(512, core::kUnlabeled);
+  for (size_t r = 0; r < 32; ++r) {
+    labels[r] = r % 4 == 0 ? core::kLabelError : core::kLabelCorrect;
+  }
+  (void)sgan.Update(x_real, labels, x_syn, /*epochs=*/1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sgan.Update(x_real, labels, x_syn, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * (512 + 2 * 128));
+}
+BENCHMARK(BM_SganUpdateStep);
+
 void BM_QSelectGreedy(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   la::SparseMatrix adj = RandomAdjacency(n, n * 2, 8);
@@ -116,7 +147,41 @@ void BM_QSelectGreedy(benchmark::State& state) {
 }
 BENCHMARK(BM_QSelectGreedy)->Arg(500)->Arg(1500);
 
+// Console reporter that tees every finished run into the JSON baseline
+// file. google-benchmark's own --benchmark_out is JSON too, but a single
+// schema shared with bench_parallel_scaling keeps bench_check.sh trivial.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(bench::BenchJsonWriter* writer)
+      : writer_(writer) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      // google-benchmark reports the mean over `iterations` in-process
+      // repetitions; close enough to a median for the generous regression
+      // tolerance, and recorded under the same field name.
+      const double per_iter_ns = run.real_accumulated_time /
+                                 static_cast<double>(run.iterations) * 1e9;
+      writer_->Record(run.benchmark_name(), util::Parallelism(),
+                      static_cast<int>(run.iterations), per_iter_ns);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchJsonWriter* writer_;
+};
+
 }  // namespace
 }  // namespace gale
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  gale::bench::BenchJsonWriter writer("BENCH_micro.json");
+  gale::JsonTeeReporter reporter(&writer);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,9 +1,14 @@
 // Thread-scaling sweep for the parallelized kernels: dense MatMul, SpMM,
-// batch PPR, k-means, and the greedy selector scans, each timed at 1/2/4/8
-// threads with speedups reported against the 1-thread run of the same
-// binary. Unlike bench_micro (google-benchmark, machine-default threads),
-// this is a plain wall-clock harness so it can flip util::SetParallelism
-// between measurements.
+// batch PPR, k-means, the greedy selector scans, and a fixed-shape SGAN
+// training step (the allocation-free steady-state path), each timed at
+// 1/2/4/8 threads with speedups reported against the 1-thread run of the
+// same binary. Unlike bench_micro (google-benchmark, machine-default
+// threads), this is a plain wall-clock harness so it can flip
+// util::SetParallelism between measurements.
+//
+// With GALE_BENCH_JSON_DIR set, per-(workload, threads) medians are also
+// written to $GALE_BENCH_JSON_DIR/BENCH_parallel_scaling.json for
+// tools/bench_check.sh (see bench_common.h for the record format).
 //
 // Usage: bench_parallel_scaling [--repeats N]
 
@@ -16,6 +21,8 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
+#include "core/sgan.h"
 #include "la/kmeans.h"
 #include "la/matrix.h"
 #include "la/sparse_matrix.h"
@@ -40,16 +47,18 @@ la::SparseMatrix RandomAdjacency(size_t n, size_t edges, uint64_t seed) {
   return la::SparseMatrix::NormalizedAdjacency(n, edge_list);
 }
 
-// Best-of-`repeats` wall time of `fn` at the current parallelism.
+// Per-repeat wall times of `fn` at the current parallelism; the table
+// reports the best (least-noise) run, the JSON baseline the median.
 template <typename Fn>
-double TimeBest(int repeats, Fn fn) {
-  double best = 1e300;
+std::vector<double> TimeRepeats(int repeats, Fn fn) {
+  std::vector<double> seconds;
+  seconds.reserve(repeats);
   for (int r = 0; r < repeats; ++r) {
     util::WallTimer timer;
     fn();
-    best = std::min(best, timer.ElapsedSeconds());
+    seconds.push_back(timer.ElapsedSeconds());
   }
-  return best;
+  return seconds;
 }
 
 struct Workload {
@@ -82,6 +91,19 @@ int main(int argc, char** argv) {
   for (size_t s = 0; s < 64; ++s) seeds.push_back((s * 61) % 4000);
   // k-means at the clusT shape (candidate pool x embedding dim).
   la::Matrix points = la::Matrix::RandomNormal(8000, 32, 1.0, rng);
+  // Fixed-shape SGAND refresh epoch: after the first (warm-up) epoch every
+  // buffer is warm, so this times the allocation-free steady-state path.
+  core::SganConfig sgan_config;
+  sgan_config.hidden_dim = 64;
+  sgan_config.embedding_dim = 32;
+  core::Sgan sgan(32, sgan_config);
+  la::Matrix sgan_real = la::Matrix::RandomNormal(512, 32, 1.0, rng);
+  la::Matrix sgan_syn = la::Matrix::RandomNormal(128, 32, 1.0, rng);
+  std::vector<int> sgan_labels(512, core::kUnlabeled);
+  for (size_t r = 0; r < 32; ++r) {
+    sgan_labels[r] = r % 4 == 0 ? core::kLabelError : core::kLabelCorrect;
+  }
+  sgan.Update(sgan_real, sgan_labels, sgan_syn, /*epochs=*/1);  // warm-up
 
   std::vector<Workload> workloads;
   workloads.push_back({"MatMul 512x512x512", [&] {
@@ -103,11 +125,16 @@ int main(int argc, char** argv) {
                          options.max_iterations = 10;
                          (void)la::KMeans(points, options, krng);
                        }});
+  workloads.push_back({"SganUpdate 512+128 d32", [&] {
+                         (void)sgan.Update(sgan_real, sgan_labels, sgan_syn,
+                                           /*epochs=*/1);
+                       }});
 
   std::vector<std::string> header = {"kernel"};
   for (int t : kThreadCounts) header.push_back(std::to_string(t) + "T (ms)");
   header.push_back("speedup@4T");
   util::TablePrinter table(header);
+  bench::BenchJsonWriter json("BENCH_parallel_scaling.json");
 
   for (Workload& w : workloads) {
     std::vector<std::string> row = {w.name};
@@ -115,7 +142,10 @@ int main(int argc, char** argv) {
     double four_ms = 0.0;
     for (int threads : kThreadCounts) {
       util::ScopedParallelism p(threads);
-      const double ms = TimeBest(repeats, w.run) * 1e3;
+      const std::vector<double> seconds = TimeRepeats(repeats, w.run);
+      const double ms =
+          *std::min_element(seconds.begin(), seconds.end()) * 1e3;
+      json.Record(w.name, threads, repeats, bench::Median(seconds) * 1e9);
       if (threads == 1) serial_ms = ms;
       if (threads == 4) four_ms = ms;
       char buf[32];

@@ -1,5 +1,7 @@
 #include "baselines/gcn_classifier.h"
 
+#include <optional>
+
 #include "nn/activations.h"
 #include "nn/dropout.h"
 #include "nn/gcn_layer.h"
@@ -69,12 +71,18 @@ util::Status GcnClassifier::Train(const la::Matrix& features,
   int stale = 0;
   const bool has_val = !val_labels.empty();
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
-    la::Matrix logits = model_.Forward(features, /*training=*/true);
-    la::Matrix grad;
-    nn::SoftmaxCrossEntropy(logits, class_index, mask, &grad, row_weights);
+    // Epoch 0 warms the layer buffers and the workspace; every later
+    // optimization step reuses them without touching the allocator.
+    ws_.set_frozen(epoch > 0);
+    std::optional<la::ScopedAllocFreeCheck> alloc_guard;
+    if (epoch > 0) alloc_guard.emplace("GcnClassifier::Train step");
+    const la::Matrix& logits = model_.Forward(features, /*training=*/true);
+    nn::SoftmaxCrossEntropy(logits, class_index, mask, &grad_, row_weights,
+                            &ws_);
     model_.ZeroGrad();
-    model_.Backward(grad);
+    model_.Backward(grad_);
     optimizer_.Step(model_.Parameters(), model_.Gradients());
+    alloc_guard.reset();
 
     if (has_val) {
       const double f1 = ValidationF1(features, val_labels);
@@ -91,7 +99,7 @@ util::Status GcnClassifier::Train(const la::Matrix& features,
 
 std::vector<double> GcnClassifier::PredictErrorProbability(
     const la::Matrix& features) {
-  la::Matrix logits = model_.Forward(features, /*training=*/false);
+  const la::Matrix& logits = model_.Forward(features, /*training=*/false);
   la::Matrix probs = nn::Softmax(logits);
   std::vector<double> out(features.rows());
   // Core convention: class 0 is 'error'.

@@ -11,6 +11,7 @@
 
 #include "la/matrix.h"
 #include "la/sparse_matrix.h"
+#include "la/workspace.h"
 #include "nn/adam.h"
 #include "nn/sequential.h"
 #include "util/rng.h"
@@ -58,6 +59,10 @@ class GcnClassifier {
   util::Rng rng_;
   nn::Sequential model_;
   nn::Adam optimizer_;
+  // Softmax scratch arena + hoisted gradient: epochs after the first are
+  // allocation-free on the la-buffer path (guarded in debug builds).
+  la::Workspace ws_;
+  la::Matrix grad_;
 };
 
 }  // namespace gale::baselines

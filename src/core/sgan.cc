@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <optional>
 
 #include "nn/activations.h"
 #include "nn/batch_norm.h"
@@ -16,17 +17,23 @@ namespace gale::core {
 
 namespace {
 
-// Stacks b under a.
-la::Matrix VStack(const la::Matrix& a, const la::Matrix& b) {
+// Stacks a over b over c into `*out` (reshaped via EnsureShape; every row
+// is assigned, so no zero-fill).
+void VStack3Into(const la::Matrix& a, const la::Matrix& b, const la::Matrix& c,
+                 la::Matrix* out) {
   GALE_CHECK_EQ(a.cols(), b.cols());
-  la::Matrix out(a.rows() + b.rows(), a.cols());
+  GALE_CHECK_EQ(a.cols(), c.cols());
+  out->EnsureShape(a.rows() + b.rows() + c.rows(), a.cols());
   for (size_t r = 0; r < a.rows(); ++r) {
-    std::copy(a.RowPtr(r), a.RowPtr(r) + a.cols(), out.RowPtr(r));
+    std::copy(a.RowPtr(r), a.RowPtr(r) + a.cols(), out->RowPtr(r));
   }
   for (size_t r = 0; r < b.rows(); ++r) {
-    std::copy(b.RowPtr(r), b.RowPtr(r) + b.cols(), out.RowPtr(a.rows() + r));
+    std::copy(b.RowPtr(r), b.RowPtr(r) + b.cols(), out->RowPtr(a.rows() + r));
   }
-  return out;
+  for (size_t r = 0; r < c.rows(); ++r) {
+    std::copy(c.RowPtr(r), c.RowPtr(r) + c.cols(),
+              out->RowPtr(a.rows() + b.rows() + r));
+  }
 }
 
 }  // namespace
@@ -71,12 +78,34 @@ SganEpochStats Sgan::RunEpoch(const la::Matrix& x_real,
   const size_t n_syn = x_synthetic.rows();
   const size_t n_fake = x_synthetic.rows();
 
-  // --- discriminator step ---
-  la::Matrix g_input = x_synthetic;
-  for (double& v : g_input.data()) {
-    v += rng_.Normal(0.0, config_.generator_noise);
+  // Epochs after the first at an unchanged batch shape must not allocate:
+  // every buffer below is either a workspace checkout (warm pool hit), a
+  // persistent member reshaped within capacity, or a layer-owned buffer.
+  // The guard and the frozen workspace turn a violation into a DCHECK
+  // failure; both compile out of release builds.
+  if (n_real != last_n_real_ || n_syn != last_n_syn_) {
+    d_warm_ = false;
+    g_warm_ = false;
+    last_n_real_ = n_real;
+    last_n_syn_ = n_syn;
   }
-  la::Matrix fake = generator_.Forward(g_input, /*training=*/true);
+  const bool steady = d_warm_ && (!update_g || g_warm_);
+  ws_.set_frozen(steady);
+  std::optional<la::ScopedAllocFreeCheck> alloc_guard;
+  if (steady) alloc_guard.emplace("Sgan::RunEpoch");
+
+  // --- discriminator step ---
+  const la::Matrix* fake = nullptr;
+  {
+    la::Workspace::Scoped g_input = ws_.Checkout(n_syn, feature_dim_);
+    g_input.mat() = x_synthetic;
+    for (double& v : g_input.mat().data()) {
+      v += rng_.Normal(0.0, config_.generator_noise);
+    }
+    // The generator owns its output buffer, so the reference outlives the
+    // g_input checkout.
+    fake = &generator_.Forward(g_input.mat(), /*training=*/true);
+  }
 
   // Batch layout: [real | injected synthetic errors X_S | G outputs].
   // The X_S rows are erroneous by construction (the augmentation injected
@@ -84,97 +113,102 @@ SganEpochStats Sgan::RunEpoch(const la::Matrix& x_real,
   // few-shot mechanism of "enhancing examples with synthetic ones". Only
   // G's *generated* rows carry the third, 'synthetic' label of Eq. (1).
   const size_t total = n_real + n_syn + n_fake;
-  la::Matrix combined = VStack(VStack(x_real, x_synthetic), fake);
-  std::vector<int> combined_labels(total, kUnlabeled);
-  std::vector<uint8_t> supervised_mask(total, 0);
-  std::vector<uint8_t> is_fake(total, 0);
+  la::Workspace::Scoped combined = ws_.Checkout(total, feature_dim_);
+  VStack3Into(x_real, x_synthetic, *fake, &combined.mat());
+  combined_labels_.assign(total, kUnlabeled);
+  supervised_mask_.assign(total, 0);
+  is_fake_.assign(total, 0);
   for (size_t r = 0; r < n_real; ++r) {
     if (labels[r] == kLabelError || labels[r] == kLabelCorrect) {
-      combined_labels[r] = labels[r];
-      supervised_mask[r] = 1;
+      combined_labels_[r] = labels[r];
+      supervised_mask_[r] = 1;
     }
   }
   for (size_t r = 0; r < n_syn; ++r) {
-    combined_labels[n_real + r] = kLabelError;
-    supervised_mask[n_real + r] = 1;
+    combined_labels_[n_real + r] = kLabelError;
+    supervised_mask_[n_real + r] = 1;
   }
-  for (size_t r = 0; r < n_fake; ++r) is_fake[n_real + n_syn + r] = 1;
+  for (size_t r = 0; r < n_fake; ++r) is_fake_[n_real + n_syn + r] = 1;
 
   // Real oracle examples carry full weight; the synthetic error examples
   // are plentiful but noisier, so they anchor the error class at a
   // discounted weight. No inverse-frequency balancing: the augmentation
   // already supplies error-class mass, and balancing on top of it makes
   // the boundary over-aggressive (precision collapses).
-  std::vector<double> row_weights(total, 0.0);
+  row_weights_.assign(total, 0.0);
   for (size_t r = 0; r < n_real; ++r) {
-    if (supervised_mask[r]) {
-      row_weights[r] = 1.0;
+    if (supervised_mask_[r]) {
+      row_weights_[r] = 1.0;
     } else if (config_.unlabeled_correct_weight > 0.0) {
       // Errors are rare, so an unlabeled node is correct with high prior
       // probability: a weak 'correct' pull that covers the parts of the
       // correct manifold no oracle example reaches.
-      combined_labels[r] = kLabelCorrect;
-      supervised_mask[r] = 1;
-      row_weights[r] = config_.unlabeled_correct_weight;
+      combined_labels_[r] = kLabelCorrect;
+      supervised_mask_[r] = 1;
+      row_weights_[r] = config_.unlabeled_correct_weight;
     }
   }
   for (size_t r = 0; r < n_syn; ++r) {
-    row_weights[n_real + r] = config_.synthetic_example_weight;
+    row_weights_[n_real + r] = config_.synthetic_example_weight;
   }
 
-  la::Matrix logits = discriminator_.Forward(combined, /*training=*/true);
+  const la::Matrix& logits =
+      discriminator_.Forward(combined.mat(), /*training=*/true);
 
-  la::Matrix grad_sup;
   const double sup_loss = nn::ConditionalCrossEntropy(
-      logits, /*num_real_classes=*/2, combined_labels, supervised_mask,
-      &grad_sup, row_weights);
-  la::Matrix grad_unsup;
+      logits, /*num_real_classes=*/2, combined_labels_, supervised_mask_,
+      &grad_sup_, row_weights_);
   const double unsup_loss =
-      nn::GanUnsupervisedLoss(logits, is_fake, &grad_unsup);
+      nn::GanUnsupervisedLoss(logits, is_fake_, &grad_unsup_, &ws_);
 
-  grad_unsup *= config_.lambda_unsupervised;
-  grad_sup += grad_unsup;
+  grad_unsup_ *= config_.lambda_unsupervised;
+  grad_sup_ += grad_unsup_;
   stats.d_loss = sup_loss + config_.lambda_unsupervised * unsup_loss;
   GALE_DCHECK_FINITE(stats.d_loss) << "discriminator loss diverged";
 
   discriminator_.ZeroGrad();
-  discriminator_.Backward(grad_sup);
+  discriminator_.Backward(grad_sup_);
   d_optimizer_.Step(discriminator_.Parameters(), discriminator_.Gradients());
+  d_warm_ = true;
 
   // Real-row embeddings from this pass; constants for feature matching.
+  // Copied out (not referenced) because the generator step reruns D's
+  // forward pass, which overwrites the activation buffers.
   const la::Matrix& combined_embed =
       discriminator_.ActivationAt(embed_layer_index_);
-  la::Matrix h_real(n_real, combined_embed.cols());
-  for (size_t r = 0; r < n_real; ++r) {
-    std::copy(combined_embed.RowPtr(r),
-              combined_embed.RowPtr(r) + combined_embed.cols(),
-              h_real.RowPtr(r));
+  if (real_rows_.size() != n_real) {
+    real_rows_.resize(n_real);
+    for (size_t r = 0; r < n_real; ++r) real_rows_[r] = r;
   }
+  combined_embed.SelectRowsInto(real_rows_, &h_real_);
 
   // --- generator step (feature matching) ---
   if (update_g) {
-    la::Matrix g_input2 = x_synthetic;
-    for (double& v : g_input2.data()) {
+    la::Workspace::Scoped g_input2 = ws_.Checkout(n_syn, feature_dim_);
+    g_input2.mat() = x_synthetic;
+    for (double& v : g_input2.mat().data()) {
       v += rng_.Normal(0.0, config_.generator_noise);
     }
-    la::Matrix fake2 = generator_.Forward(g_input2, /*training=*/true);
+    const la::Matrix& fake2 =
+        generator_.Forward(g_input2.mat(), /*training=*/true);
     discriminator_.Forward(fake2, /*training=*/true);
     const la::Matrix& h_fake =
         discriminator_.ActivationAt(embed_layer_index_);
 
-    la::Matrix grad_h_fake;
-    stats.g_loss = nn::FeatureMatchingLoss(h_real, h_fake, &grad_h_fake);
+    stats.g_loss =
+        nn::FeatureMatchingLoss(h_real_, h_fake, &grad_h_fake_, &ws_);
 
     // Route the gradient through D's lower layers to the fake inputs
     // without keeping D's parameter gradients.
     discriminator_.ZeroGrad();
-    la::Matrix grad_fake =
-        discriminator_.BackwardFrom(embed_layer_index_, grad_h_fake);
+    const la::Matrix& grad_fake =
+        discriminator_.BackwardFrom(embed_layer_index_, grad_h_fake_);
     discriminator_.ZeroGrad();
 
     generator_.ZeroGrad();
     generator_.Backward(grad_fake);
     g_optimizer_.Step(generator_.Parameters(), generator_.Gradients());
+    g_warm_ = true;
   }
 
   d_optimizer_.DecayLearningRate();
@@ -264,7 +298,7 @@ util::Status Sgan::Update(const la::Matrix& x_real,
 
 la::Matrix Sgan::PredictProbabilities(const la::Matrix& x) {
   GALE_CHECK_EQ(x.cols(), feature_dim_);
-  la::Matrix logits = discriminator_.Forward(x, /*training=*/false);
+  const la::Matrix& logits = discriminator_.Forward(x, /*training=*/false);
   la::Matrix probs(x.rows(), 2);
   for (size_t r = 0; r < x.rows(); ++r) {
     const double* l = logits.RowPtr(r);

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "la/matrix.h"
+#include "la/workspace.h"
 #include "nn/adam.h"
 #include "nn/sequential.h"
 #include "util/rng.h"
@@ -130,6 +131,25 @@ class Sgan {
   nn::Adam d_optimizer_;
   nn::Adam g_optimizer_;
   std::vector<SganEpochStats> epoch_stats_;
+
+  // Buffer arena plus persistent per-epoch buffers: after the first epoch
+  // at a given batch shape, RunEpoch performs zero la-buffer allocations
+  // (asserted by a ScopedAllocFreeCheck when the shape is unchanged).
+  la::Workspace ws_;
+  la::Matrix grad_sup_;
+  la::Matrix grad_unsup_;
+  la::Matrix h_real_;
+  la::Matrix grad_h_fake_;
+  std::vector<int> combined_labels_;
+  std::vector<uint8_t> supervised_mask_;
+  std::vector<uint8_t> is_fake_;
+  std::vector<double> row_weights_;
+  std::vector<size_t> real_rows_;  // 0..n_real-1, for the h_real gather
+  // Steady-state detection for the alloc-free guard.
+  size_t last_n_real_ = 0;
+  size_t last_n_syn_ = 0;
+  bool d_warm_ = false;  // D step has run at least once at this shape
+  bool g_warm_ = false;  // G step has run at least once at this shape
 };
 
 }  // namespace gale::core

@@ -1,6 +1,7 @@
 #include "la/matrix.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <sstream>
 
@@ -8,6 +9,25 @@
 #include "util/parallel.h"
 
 namespace gale::la {
+
+namespace {
+
+// Relaxed is enough: the counter is a monotone event count read only at
+// quiescent points (before/after a training step), never used to order
+// other memory operations.
+std::atomic<uint64_t> g_buffer_allocations{0};
+
+}  // namespace
+
+uint64_t BufferAllocations() {
+  return g_buffer_allocations.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+void CountBufferAllocation() {
+  g_buffer_allocations.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace internal
 
 namespace {
 
@@ -133,7 +153,33 @@ __attribute__((noinline)) void TransposeShard(const double* in, double* out,
 }  // namespace
 
 Matrix::Matrix(size_t rows, size_t cols, double fill)
-    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  if (!data_.empty()) internal::CountBufferAllocation();
+}
+
+Matrix::Matrix(const Matrix& other)
+    : rows_(other.rows_), cols_(other.cols_), data_(other.data_) {
+  if (!data_.empty()) internal::CountBufferAllocation();
+}
+
+Matrix& Matrix::operator=(const Matrix& other) {
+  if (this == &other) return *this;
+  if (other.data_.size() > data_.capacity()) {
+    internal::CountBufferAllocation();
+  }
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  data_ = other.data_;
+  return *this;
+}
+
+void Matrix::EnsureShape(size_t rows, size_t cols) {
+  const size_t n = rows * cols;
+  if (n > data_.capacity()) internal::CountBufferAllocation();
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(n);
+}
 
 Matrix Matrix::Zeros(size_t rows, size_t cols) { return Matrix(rows, cols); }
 
@@ -234,8 +280,22 @@ Matrix Matrix::operator*(double scalar) const {
 }
 
 Matrix Matrix::MatMul(const Matrix& other) const {
+  Matrix out;
+  MatMulInto(other, &out);
+  return out;
+}
+
+void Matrix::MatMulInto(const Matrix& other, Matrix* out,
+                        bool accumulate) const {
   GALE_CHECK_EQ(cols_, other.rows_) << "MatMul shape mismatch";
-  Matrix out(rows_, other.cols_);
+  GALE_CHECK(out != this && out != &other) << "MatMulInto aliased output";
+  if (accumulate) {
+    GALE_CHECK(out->rows_ == rows_ && out->cols_ == other.cols_)
+        << "MatMulInto accumulate shape mismatch";
+  } else {
+    out->EnsureShape(rows_, other.cols_);
+    out->Fill(0.0);
+  }
   const size_t n = other.cols_;
   // Row-parallel (each shard owns disjoint output rows) i-k-j with the k
   // loop register-blocked four wide: one read-modify-write sweep of the
@@ -246,49 +306,104 @@ Matrix Matrix::MatMul(const Matrix& other) const {
   // The accumulation expression is fixed, so results are bitwise
   // identical at every thread count.
   util::ParallelFor(0, rows_, kRowGrain, [&](size_t r0, size_t r1) {
-    MatMulShard(data_.data(), other.data_.data(), out.data_.data(), cols_, n,
+    MatMulShard(data_.data(), other.data_.data(), out->data_.data(), cols_, n,
                 r0, r1);
   });
-  return out;
 }
 
 Matrix Matrix::TransposedMatMul(const Matrix& other) const {
+  Matrix out;
+  TransposedMatMulInto(other, &out);
+  return out;
+}
+
+void Matrix::TransposedMatMulInto(const Matrix& other, Matrix* out,
+                                  bool accumulate) const {
   GALE_CHECK_EQ(rows_, other.rows_) << "TransposedMatMul shape mismatch";
-  Matrix out(cols_, other.cols_);
+  GALE_CHECK(out != this && out != &other)
+      << "TransposedMatMulInto aliased output";
+  if (accumulate) {
+    GALE_CHECK(out->rows_ == cols_ && out->cols_ == other.cols_)
+        << "TransposedMatMulInto accumulate shape mismatch";
+  } else {
+    out->EnsureShape(cols_, other.cols_);
+    out->Fill(0.0);
+  }
   const size_t n = other.cols_;
   // Shards own disjoint ranges of output rows (= columns of A) and sweep
   // all of B once per four source rows, register-blocked like MatMul.
   // The accumulation expression is fixed, so results are bitwise
   // identical at every thread count.
   util::ParallelFor(0, cols_, kRowGrain, [&](size_t i0, size_t i1) {
-    TransposedMatMulShard(data_.data(), other.data_.data(), out.data_.data(),
+    TransposedMatMulShard(data_.data(), other.data_.data(), out->data_.data(),
                           rows_, cols_, n, i0, i1);
   });
-  return out;
 }
 
 Matrix Matrix::MatMulTransposed(const Matrix& other) const {
+  Matrix out;
+  MatMulTransposedInto(other, &out);
+  return out;
+}
+
+void Matrix::MatMulTransposedInto(const Matrix& other, Matrix* out) const {
   GALE_CHECK_EQ(cols_, other.cols_) << "MatMulTransposed shape mismatch";
-  Matrix out(rows_, other.rows_);
+  GALE_CHECK(out != this && out != &other)
+      << "MatMulTransposedInto aliased output";
+  // The shard assigns every output element (independent dot products), so
+  // no zero-fill is needed and an accumulate flag would be a lie.
+  out->EnsureShape(rows_, other.rows_);
   // Row-of-output parallel; every element is an independent dot product,
   // split over four accumulators to break the FP add dependency chain.
   // The combine order is fixed, so results are bitwise identical at every
   // thread count.
   util::ParallelFor(0, rows_, kRowGrain, [&](size_t r0, size_t r1) {
-    MatMulTransposedShard(data_.data(), other.data_.data(), out.data_.data(),
+    MatMulTransposedShard(data_.data(), other.data_.data(), out->data_.data(),
                           cols_, other.rows_, r0, r1);
   });
-  return out;
 }
 
 Matrix Matrix::Transposed() const {
-  Matrix out(cols_, rows_);
+  Matrix out;
+  TransposeInto(&out);
+  return out;
+}
+
+void Matrix::TransposeInto(Matrix* out) const {
+  GALE_CHECK(out != this) << "TransposeInto aliased output";
+  // Every element is assigned, so no zero-fill.
+  out->EnsureShape(cols_, rows_);
   // Tiled so both the strided reads and the strided writes stay within a
   // kTransposeTile-square working set; shards own disjoint input rows.
   util::ParallelFor(0, rows_, kTransposeTile, [&](size_t r0, size_t r1) {
-    TransposeShard(data_.data(), out.data_.data(), rows_, cols_, r0, r1);
+    TransposeShard(data_.data(), out->data_.data(), rows_, cols_, r0, r1);
   });
-  return out;
+}
+
+void Matrix::AddInto(const Matrix& other, Matrix* out) const {
+  GALE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  GALE_CHECK(out != this && out != &other) << "AddInto aliased output";
+  out->EnsureShape(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out->data_[i] = data_[i] + other.data_[i];
+  }
+}
+
+void Matrix::SubInto(const Matrix& other, Matrix* out) const {
+  GALE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  GALE_CHECK(out != this && out != &other) << "SubInto aliased output";
+  out->EnsureShape(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out->data_[i] = data_[i] - other.data_[i];
+  }
+}
+
+void Matrix::ScaleInto(double scalar, Matrix* out) const {
+  GALE_CHECK(out != this) << "ScaleInto aliased output";
+  out->EnsureShape(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out->data_[i] = data_[i] * scalar;
+  }
 }
 
 Matrix& Matrix::AddRowBroadcast(const Matrix& row_vector) {
@@ -303,19 +418,36 @@ Matrix& Matrix::AddRowBroadcast(const Matrix& row_vector) {
 }
 
 Matrix Matrix::ColMean() const {
-  Matrix out = ColSum();
-  if (rows_ > 0) out *= 1.0 / static_cast<double>(rows_);
+  Matrix out;
+  ColMeanInto(&out);
   return out;
 }
 
+void Matrix::ColMeanInto(Matrix* out) const {
+  ColSumInto(out);
+  if (rows_ > 0) *out *= 1.0 / static_cast<double>(rows_);
+}
+
 Matrix Matrix::ColSum() const {
-  Matrix out(1, cols_);
+  Matrix out;
+  ColSumInto(&out);
+  return out;
+}
+
+void Matrix::ColSumInto(Matrix* out, bool accumulate) const {
+  GALE_CHECK(out != this) << "ColSumInto aliased output";
+  if (accumulate) {
+    GALE_CHECK(out->rows_ == 1 && out->cols_ == cols_)
+        << "ColSumInto accumulate shape mismatch";
+  } else {
+    out->EnsureShape(1, cols_);
+    out->Fill(0.0);
+  }
   for (size_t r = 0; r < rows_; ++r) {
     const double* row = RowPtr(r);
-    double* acc = out.RowPtr(0);
+    double* acc = out->RowPtr(0);
     for (size_t c = 0; c < cols_; ++c) acc[c] += row[c];
   }
-  return out;
 }
 
 double Matrix::Sum() const {
@@ -339,13 +471,21 @@ double Matrix::RowSquaredNorm(size_t r) const {
 }
 
 Matrix Matrix::SelectRows(const std::vector<size_t>& row_indices) const {
-  Matrix out(row_indices.size(), cols_);
+  Matrix out;
+  SelectRowsInto(row_indices, &out);
+  return out;
+}
+
+void Matrix::SelectRowsInto(const std::vector<size_t>& row_indices,
+                            Matrix* out) const {
+  GALE_CHECK(out != this) << "SelectRowsInto aliased output";
+  // Every row is copied in whole, so no zero-fill.
+  out->EnsureShape(row_indices.size(), cols_);
   for (size_t i = 0; i < row_indices.size(); ++i) {
     GALE_CHECK_LT(row_indices[i], rows_);
     std::copy(RowPtr(row_indices[i]), RowPtr(row_indices[i]) + cols_,
-              out.RowPtr(i));
+              out->RowPtr(i));
   }
-  return out;
 }
 
 double Matrix::RowDistanceSquared(size_t r, const Matrix& other,

@@ -19,6 +19,7 @@
 #define GALE_LA_MATRIX_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -28,6 +29,18 @@
 
 namespace gale::la {
 
+// Process-wide count of dense-buffer heap acquisitions: constructing a
+// non-empty matrix, copying one, or growing one past its capacity each
+// bump it by one. Always compiled in (one relaxed atomic increment per
+// allocation, which is noise next to the allocation itself); the
+// steady-state training tests and la::ScopedAllocFreeCheck assert that
+// the delta across a fixed-shape training step is zero.
+uint64_t BufferAllocations();
+
+namespace internal {
+void CountBufferAllocation();
+}  // namespace internal
+
 class Matrix {
  public:
   // An empty 0x0 matrix.
@@ -36,8 +49,11 @@ class Matrix {
   // A rows x cols matrix initialized to `fill`.
   Matrix(size_t rows, size_t cols, double fill = 0.0);
 
-  Matrix(const Matrix&) = default;
-  Matrix& operator=(const Matrix&) = default;
+  // Copies count toward BufferAllocations() when they acquire memory
+  // (copy construction of a non-empty source, or assignment past the
+  // destination's capacity). Moves never allocate and never count.
+  Matrix(const Matrix& other);
+  Matrix& operator=(const Matrix& other);
   Matrix(Matrix&&) = default;
   Matrix& operator=(Matrix&&) = default;
 
@@ -93,6 +109,13 @@ class Matrix {
   std::vector<double>& data() { return data_; }
   const std::vector<double>& data() const { return data_; }
 
+  // Reshapes to rows x cols, reusing the existing buffer when capacity
+  // allows (the steady-state case: no allocation, no counter bump).
+  // Contents are unspecified afterwards — callers either overwrite every
+  // entry or Fill() first. The *Into kernels call this on their outputs,
+  // so fixed-shape training loops never touch the heap after warm-up.
+  void EnsureShape(size_t rows, size_t cols);
+
   // --- elementwise, in place ---
   Matrix& operator+=(const Matrix& other);
   Matrix& operator-=(const Matrix& other);
@@ -117,6 +140,28 @@ class Matrix {
 
   Matrix Transposed() const;
 
+  // --- out-parameter kernels ---
+  // Each writes into `*out` (reshaped via EnsureShape, so a warm buffer of
+  // the right capacity is reused without allocating) and runs the same
+  // noinline shard kernels as the allocating form above, so the result is
+  // bitwise identical to it at every thread count. `out` must not alias
+  // `this` or `other`. The allocating forms are thin wrappers over these.
+  //
+  // With accumulate == true the product is added onto the existing
+  // contents of `*out` (whose shape must already match) instead of
+  // overwriting them — the nn Backward passes accumulate gradients
+  // directly into persistent grad buffers this way.
+  void MatMulInto(const Matrix& other, Matrix* out,
+                  bool accumulate = false) const;
+  void TransposedMatMulInto(const Matrix& other, Matrix* out,
+                            bool accumulate = false) const;
+  void MatMulTransposedInto(const Matrix& other, Matrix* out) const;
+  void TransposeInto(Matrix* out) const;
+  // out = this + other / this - other / this * scalar, elementwise.
+  void AddInto(const Matrix& other, Matrix* out) const;
+  void SubInto(const Matrix& other, Matrix* out) const;
+  void ScaleInto(double scalar, Matrix* out) const;
+
   // Adds `row_vector` (1 x cols) to every row; the bias broadcast.
   Matrix& AddRowBroadcast(const Matrix& row_vector);
 
@@ -124,6 +169,11 @@ class Matrix {
   Matrix ColMean() const;
   // Column sums as a 1 x cols matrix.
   Matrix ColSum() const;
+  // Out-parameter reductions (1 x cols outputs, same contract as the
+  // *Into kernels above). ColSumInto with accumulate == true adds the
+  // column sums onto the existing contents (bias-gradient accumulation).
+  void ColMeanInto(Matrix* out) const;
+  void ColSumInto(Matrix* out, bool accumulate = false) const;
 
   // Sum of all entries.
   double Sum() const;
@@ -134,6 +184,9 @@ class Matrix {
 
   // Extracts the sub-matrix of the given rows (in the given order).
   Matrix SelectRows(const std::vector<size_t>& row_indices) const;
+  // Out-parameter row selection (same contract as the *Into kernels).
+  void SelectRowsInto(const std::vector<size_t>& row_indices,
+                      Matrix* out) const;
 
   // Squared Euclidean distance between row r of this and row s of other.
   double RowDistanceSquared(size_t r, const Matrix& other, size_t s) const;

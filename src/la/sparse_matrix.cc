@@ -98,16 +98,29 @@ SparseMatrix SparseMatrix::NormalizedAdjacency(
 }
 
 Matrix SparseMatrix::Multiply(const Matrix& dense) const {
+  Matrix out;
+  MultiplyInto(dense, &out);
+  return out;
+}
+
+void SparseMatrix::MultiplyInto(const Matrix& dense, Matrix* out,
+                                bool accumulate) const {
   GALE_CHECK_EQ(cols_, dense.rows()) << "SpMM shape mismatch";
-  Matrix out(rows_, dense.cols());
+  GALE_CHECK(out != &dense) << "MultiplyInto aliased output";
+  if (accumulate) {
+    GALE_CHECK(out->rows() == rows_ && out->cols() == dense.cols())
+        << "MultiplyInto accumulate shape mismatch";
+  } else {
+    out->EnsureShape(rows_, dense.cols());
+    out->Fill(0.0);
+  }
   const size_t d = dense.cols();
   // Row-parallel: every output row is a gather over that CSR row only, so
   // shards are disjoint and the result is bitwise thread-count-invariant.
   util::ParallelFor(0, rows_, kSparseRowGrain, [&](size_t r0, size_t r1) {
     GatherRows(row_ptr_.data(), col_idx_.data(), values_.data(),
-               dense.RowPtr(0), d, out.RowPtr(0), r0, r1);
+               dense.RowPtr(0), d, out->RowPtr(0), r0, r1);
   });
-  return out;
 }
 
 Matrix SparseMatrix::TransposedMultiply(const Matrix& dense) const {
@@ -145,16 +158,23 @@ Matrix SparseMatrix::TransposedMultiply(const Matrix& dense) const {
 
 std::vector<double> SparseMatrix::MultiplyVector(
     const std::vector<double>& v) const {
+  std::vector<double> out;
+  MultiplyVectorInto(v, &out);
+  return out;
+}
+
+void SparseMatrix::MultiplyVectorInto(const std::vector<double>& v,
+                                      std::vector<double>* out) const {
   GALE_CHECK_EQ(cols_, v.size());
-  std::vector<double> out(rows_, 0.0);
+  GALE_CHECK(out != &v) << "MultiplyVectorInto aliased output";
+  out->resize(rows_);
   for (size_t r = 0; r < rows_; ++r) {
     double acc = 0.0;
     for (size_t k = RowBegin(r); k < RowEnd(r); ++k) {
       acc += values_[k] * v[col_idx_[k]];
     }
-    out[r] = acc;
+    (*out)[r] = acc;
   }
-  return out;
 }
 
 Matrix SparseMatrix::ToDense() const {

@@ -63,12 +63,23 @@ class SparseMatrix {
 
   // Sparse x dense product: (rows x cols) * (cols x d) -> rows x d.
   Matrix Multiply(const Matrix& dense) const;
+  // Out-parameter form: writes into `*out` (reshaped via EnsureShape, so a
+  // warm buffer is reused without allocating) with the same gather kernel,
+  // so the result is bitwise identical to Multiply at every thread count.
+  // With accumulate == true the product is added onto `*out`'s existing
+  // contents (shape must already match). `out` must not alias `dense`.
+  void MultiplyInto(const Matrix& dense, Matrix* out,
+                    bool accumulate = false) const;
 
   // this^T * dense, without materializing the transpose.
   Matrix TransposedMultiply(const Matrix& dense) const;
 
   // Sparse-matrix by dense-vector product.
   std::vector<double> MultiplyVector(const std::vector<double>& v) const;
+  // Out-parameter form; reuses `out`'s capacity (steady state: no
+  // allocation). `out` must not alias `v`.
+  void MultiplyVectorInto(const std::vector<double>& v,
+                          std::vector<double>* out) const;
 
   // Densifies; only for tests/small matrices.
   Matrix ToDense() const;

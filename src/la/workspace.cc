@@ -1,0 +1,28 @@
+#include "la/workspace.h"
+
+namespace gale::la {
+
+Matrix* Workspace::Acquire(size_t rows, size_t cols, bool* allocated) {
+  *allocated = false;
+  live_checkouts_ += 1;
+  auto it = free_.find({rows, cols});
+  if (it != free_.end() && !it->second.empty()) {
+    Matrix* m = it->second.back();
+    it->second.pop_back();
+    return m;
+  }
+  *allocated = true;
+  owned_.push_back(std::make_unique<Matrix>(rows, cols));
+  return owned_.back().get();
+}
+
+void Workspace::Return(Matrix* m) {
+  GALE_CHECK_GT(live_checkouts_, 0u) << "Return without a live checkout";
+  live_checkouts_ -= 1;
+  // Keyed by the buffer's *current* shape: if a holder reshaped it (a
+  // DCHECK violation, but harmless in release builds) the pool re-files
+  // it under the new shape instead of corrupting the old bucket.
+  free_[{m->rows(), m->cols()}].push_back(m);
+}
+
+}  // namespace gale::la

@@ -1,0 +1,172 @@
+// la::Workspace: a shape-keyed arena of reusable dense buffers for the
+// training hot path.
+//
+// Every training step of a fixed-shape model needs the same set of
+// temporaries (activations, gradients, softmax scratch) at the same
+// shapes. A Workspace owns those buffers across steps: Checkout(rows,
+// cols) hands out a warm buffer of that shape when one is free and
+// allocates one otherwise, and the returned Scoped handle gives it back
+// at scope exit. After the first (warm-up) step every checkout is a pool
+// hit, so steady-state training performs zero la-buffer allocations —
+// which ScopedAllocFreeCheck and the nn_alloc_free_test assert via the
+// la::BufferAllocations() counter.
+//
+// Lifetime and aliasing rules:
+//  * A checked-out buffer is exclusively the holder's until the Scoped
+//    handle dies; the pool never hands the same buffer out twice
+//    concurrently.
+//  * Buffers must not be reshaped while checked out (the Scoped
+//    destructor DCHECKs this); contents are unspecified at checkout —
+//    use CheckoutZeroed when the kernel accumulates.
+//  * The Workspace is NOT thread-safe. It follows the layer threading
+//    contract: one training loop owns one workspace; parallelism lives
+//    inside the kernels, never across Checkout calls.
+
+#ifndef GALE_LA_WORKSPACE_H_
+#define GALE_LA_WORKSPACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "la/matrix.h"
+#include "util/check.h"
+
+namespace gale::la {
+
+class Workspace {
+ public:
+  // RAII checkout handle; returns the buffer to the pool at scope exit.
+  class Scoped {
+   public:
+    Scoped(Scoped&& other) noexcept
+        : ws_(other.ws_), m_(other.m_), rows_(other.rows_),
+          cols_(other.cols_) {
+      other.ws_ = nullptr;
+      other.m_ = nullptr;
+    }
+    Scoped(const Scoped&) = delete;
+    Scoped& operator=(const Scoped&) = delete;
+    Scoped& operator=(Scoped&&) = delete;
+
+    // Inline so a test TU compiled with GALE_DEBUG_CHECKS=1 gets the
+    // reshape assertion regardless of how the library was built (same
+    // pattern as the Matrix accessors; see tests/util_check_test.cc).
+    ~Scoped() {
+      if (ws_ == nullptr) return;
+      GALE_DCHECK(m_->rows() == rows_ && m_->cols() == cols_)
+          << "workspace buffer reshaped while checked out ("
+          << rows_ << "x" << cols_ << " -> " << m_->rows() << "x"
+          << m_->cols() << ")";
+      ws_->Return(m_);
+    }
+
+    Matrix& mat() { return *m_; }
+    const Matrix& mat() const { return *m_; }
+
+   private:
+    friend class Workspace;
+    Scoped(Workspace* ws, Matrix* m) noexcept
+        : ws_(ws), m_(m), rows_(m->rows()), cols_(m->cols()) {}
+
+    Workspace* ws_;
+    Matrix* m_;
+    size_t rows_;  // shape at checkout, for the reshape assertion
+    size_t cols_;
+  };
+
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  // Hands out a rows x cols buffer: a warm pool hit when one of that
+  // shape is free, a fresh allocation otherwise. Contents unspecified.
+  // Inline for the same reason as ~Scoped: the frozen assertion must be
+  // live in TUs that compile with GALE_DEBUG_CHECKS=1.
+  Scoped Checkout(size_t rows, size_t cols) {
+    bool allocated = false;
+    Matrix* m = Acquire(rows, cols, &allocated);
+    GALE_DCHECK(!frozen_ || !allocated)
+        << "workspace allocation while frozen: no warm " << rows << "x"
+        << cols << " buffer on what should be a steady-state path";
+    return Scoped(this, m);
+  }
+
+  // Checkout plus zero-fill, for accumulate-style consumers.
+  Scoped CheckoutZeroed(size_t rows, size_t cols) {
+    Scoped s = Checkout(rows, cols);
+    s.mat().Fill(0.0);
+    return s;
+  }
+
+  // While frozen, a Checkout that misses the pool (i.e. would allocate)
+  // is a contract violation under GALE_DEBUG_CHECKS. Training loops
+  // freeze after the warm-up step to pin the steady state.
+  void set_frozen(bool frozen) { frozen_ = frozen; }
+  bool frozen() const { return frozen_; }
+
+  // Buffers ever allocated by this workspace (== pool size).
+  size_t allocations() const { return owned_.size(); }
+  // Buffers currently checked out.
+  size_t live_checkouts() const { return live_checkouts_; }
+
+ private:
+  Matrix* Acquire(size_t rows, size_t cols, bool* allocated);
+  void Return(Matrix* m);
+
+  std::vector<std::unique_ptr<Matrix>> owned_;
+  // Free buffers keyed by shape. std::map (ordered) so any future
+  // iteration is deterministic by construction.
+  std::map<std::pair<size_t, size_t>, std::vector<Matrix*>> free_;
+  size_t live_checkouts_ = 0;
+  bool frozen_ = false;
+};
+
+// Debug hook asserting a region performs zero la-buffer allocations:
+// snapshots la::BufferAllocations() at construction and DCHECKs the
+// delta is zero at destruction. Training loops wrap their steady-state
+// step in one; compiled to nothing without GALE_DEBUG_CHECKS.
+class ScopedAllocFreeCheck {
+ public:
+  explicit ScopedAllocFreeCheck(const char* what)
+      : what_(what), start_(BufferAllocations()) {}
+  ScopedAllocFreeCheck(const ScopedAllocFreeCheck&) = delete;
+  ScopedAllocFreeCheck& operator=(const ScopedAllocFreeCheck&) = delete;
+  ~ScopedAllocFreeCheck() {
+    GALE_DCHECK_EQ(BufferAllocations(), start_)
+        << what_ << ": la buffer allocation on a steady-state path";
+  }
+
+ private:
+  const char* what_;
+  uint64_t start_;
+};
+
+// A buffer borrowed from `ws` when one is provided, else a plain local
+// matrix: lets APIs with an optional Workspace* (the losses) run one
+// code path. Contents unspecified, like Checkout.
+class BorrowedMatrix {
+ public:
+  BorrowedMatrix(Workspace* ws, size_t rows, size_t cols) {
+    if (ws != nullptr) {
+      scoped_.emplace(ws->Checkout(rows, cols));
+    } else {
+      local_.EnsureShape(rows, cols);
+    }
+  }
+
+  Matrix& mat() { return scoped_ ? scoped_->mat() : local_; }
+  const Matrix& mat() const { return scoped_ ? scoped_->mat() : local_; }
+
+ private:
+  std::optional<Workspace::Scoped> scoped_;
+  Matrix local_;
+};
+
+}  // namespace gale::la
+
+#endif  // GALE_LA_WORKSPACE_H_

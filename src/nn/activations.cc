@@ -6,71 +6,71 @@
 
 namespace gale::nn {
 
-la::Matrix Relu::Forward(const la::Matrix& input, bool /*training*/) {
+const la::Matrix& Relu::Forward(const la::Matrix& input, bool /*training*/) {
   input_cache_ = input;
-  la::Matrix out = input;
-  out.Apply([](double v) { return v > 0.0 ? v : 0.0; });
-  return out;
+  out_ = input;
+  out_.Apply([](double v) { return v > 0.0 ? v : 0.0; });
+  return out_;
 }
 
-la::Matrix Relu::Backward(const la::Matrix& grad_output) {
+const la::Matrix& Relu::Backward(const la::Matrix& grad_output) {
   GALE_CHECK_EQ(grad_output.rows(), input_cache_.rows());
-  la::Matrix grad = grad_output;
-  for (size_t i = 0; i < grad.data().size(); ++i) {
-    if (input_cache_.data()[i] <= 0.0) grad.data()[i] = 0.0;
+  grad_ = grad_output;
+  for (size_t i = 0; i < grad_.data().size(); ++i) {
+    if (input_cache_.data()[i] <= 0.0) grad_.data()[i] = 0.0;
   }
-  return grad;
+  return grad_;
 }
 
-la::Matrix LeakyRelu::Forward(const la::Matrix& input, bool /*training*/) {
+const la::Matrix& LeakyRelu::Forward(const la::Matrix& input,
+                                     bool /*training*/) {
   input_cache_ = input;
-  la::Matrix out = input;
+  out_ = input;
   const double slope = negative_slope_;
-  out.Apply([slope](double v) { return v > 0.0 ? v : slope * v; });
-  return out;
+  out_.Apply([slope](double v) { return v > 0.0 ? v : slope * v; });
+  return out_;
 }
 
-la::Matrix LeakyRelu::Backward(const la::Matrix& grad_output) {
+const la::Matrix& LeakyRelu::Backward(const la::Matrix& grad_output) {
   GALE_CHECK_EQ(grad_output.rows(), input_cache_.rows());
-  la::Matrix grad = grad_output;
-  for (size_t i = 0; i < grad.data().size(); ++i) {
-    if (input_cache_.data()[i] <= 0.0) grad.data()[i] *= negative_slope_;
+  grad_ = grad_output;
+  for (size_t i = 0; i < grad_.data().size(); ++i) {
+    if (input_cache_.data()[i] <= 0.0) grad_.data()[i] *= negative_slope_;
   }
-  return grad;
+  return grad_;
 }
 
-la::Matrix Sigmoid::Forward(const la::Matrix& input, bool /*training*/) {
-  la::Matrix out = input;
-  out.Apply([](double v) { return 1.0 / (1.0 + std::exp(-v)); });
-  output_cache_ = out;
-  return out;
+const la::Matrix& Sigmoid::Forward(const la::Matrix& input,
+                                   bool /*training*/) {
+  output_cache_ = input;
+  output_cache_.Apply([](double v) { return 1.0 / (1.0 + std::exp(-v)); });
+  return output_cache_;
 }
 
-la::Matrix Sigmoid::Backward(const la::Matrix& grad_output) {
+const la::Matrix& Sigmoid::Backward(const la::Matrix& grad_output) {
   GALE_CHECK_EQ(grad_output.rows(), output_cache_.rows());
-  la::Matrix grad = grad_output;
-  for (size_t i = 0; i < grad.data().size(); ++i) {
+  grad_ = grad_output;
+  for (size_t i = 0; i < grad_.data().size(); ++i) {
     const double s = output_cache_.data()[i];
-    grad.data()[i] *= s * (1.0 - s);
+    grad_.data()[i] *= s * (1.0 - s);
   }
-  return grad;
+  return grad_;
 }
 
-la::Matrix Tanh::Forward(const la::Matrix& input, bool /*training*/) {
-  la::Matrix out = input;
-  out.Apply([](double v) { return std::tanh(v); });
-  output_cache_ = out;
-  return out;
+const la::Matrix& Tanh::Forward(const la::Matrix& input, bool /*training*/) {
+  output_cache_ = input;
+  output_cache_.Apply([](double v) { return std::tanh(v); });
+  return output_cache_;
 }
 
-la::Matrix Tanh::Backward(const la::Matrix& grad_output) {
+const la::Matrix& Tanh::Backward(const la::Matrix& grad_output) {
   GALE_CHECK_EQ(grad_output.rows(), output_cache_.rows());
-  la::Matrix grad = grad_output;
-  for (size_t i = 0; i < grad.data().size(); ++i) {
+  grad_ = grad_output;
+  for (size_t i = 0; i < grad_.data().size(); ++i) {
     const double t = output_cache_.data()[i];
-    grad.data()[i] *= 1.0 - t * t;
+    grad_.data()[i] *= 1.0 - t * t;
   }
-  return grad;
+  return grad_;
 }
 
 }  // namespace gale::nn

@@ -12,12 +12,14 @@ namespace gale::nn {
 
 class Relu : public Layer {
  public:
-  la::Matrix Forward(const la::Matrix& input, bool training) override;
-  la::Matrix Backward(const la::Matrix& grad_output) override;
+  const la::Matrix& Forward(const la::Matrix& input, bool training) override;
+  const la::Matrix& Backward(const la::Matrix& grad_output) override;
   std::string name() const override { return "Relu"; }
 
  private:
   la::Matrix input_cache_;
+  la::Matrix out_;
+  la::Matrix grad_;
 };
 
 class LeakyRelu : public Layer {
@@ -25,33 +27,37 @@ class LeakyRelu : public Layer {
   explicit LeakyRelu(double negative_slope = 0.2)
       : negative_slope_(negative_slope) {}
 
-  la::Matrix Forward(const la::Matrix& input, bool training) override;
-  la::Matrix Backward(const la::Matrix& grad_output) override;
+  const la::Matrix& Forward(const la::Matrix& input, bool training) override;
+  const la::Matrix& Backward(const la::Matrix& grad_output) override;
   std::string name() const override { return "LeakyRelu"; }
 
  private:
   double negative_slope_;
   la::Matrix input_cache_;
+  la::Matrix out_;
+  la::Matrix grad_;
 };
 
 class Sigmoid : public Layer {
  public:
-  la::Matrix Forward(const la::Matrix& input, bool training) override;
-  la::Matrix Backward(const la::Matrix& grad_output) override;
+  const la::Matrix& Forward(const la::Matrix& input, bool training) override;
+  const la::Matrix& Backward(const la::Matrix& grad_output) override;
   std::string name() const override { return "Sigmoid"; }
 
  private:
   la::Matrix output_cache_;
+  la::Matrix grad_;
 };
 
 class Tanh : public Layer {
  public:
-  la::Matrix Forward(const la::Matrix& input, bool training) override;
-  la::Matrix Backward(const la::Matrix& grad_output) override;
+  const la::Matrix& Forward(const la::Matrix& input, bool training) override;
+  const la::Matrix& Backward(const la::Matrix& grad_output) override;
   std::string name() const override { return "Tanh"; }
 
  private:
   la::Matrix output_cache_;
+  la::Matrix grad_;
 };
 
 }  // namespace gale::nn

@@ -17,53 +17,54 @@ BatchNorm::BatchNorm(size_t num_features, double momentum, double epsilon)
       running_mean_(1, num_features, 0.0),
       running_var_(1, num_features, 1.0) {}
 
-la::Matrix BatchNorm::Forward(const la::Matrix& input, bool training) {
+const la::Matrix& BatchNorm::Forward(const la::Matrix& input, bool training) {
   GALE_CHECK_EQ(input.cols(), gamma_.cols());
   const size_t n = input.rows();
   const size_t d = input.cols();
-  la::Matrix out(n, d);
+  out_.EnsureShape(n, d);
 
   if (training && n > 1) {
-    la::Matrix mean = input.ColMean();
-    la::Matrix var(1, d);
+    input.ColMeanInto(&mean_);
+    var_.EnsureShape(1, d);
+    var_.Fill(0.0);
     for (size_t r = 0; r < n; ++r) {
       const double* row = input.RowPtr(r);
       for (size_t c = 0; c < d; ++c) {
-        const double diff = row[c] - mean.At(0, c);
-        var.At(0, c) += diff * diff;
+        const double diff = row[c] - mean_.At(0, c);
+        var_.At(0, c) += diff * diff;
       }
     }
-    var *= 1.0 / static_cast<double>(n);
+    var_ *= 1.0 / static_cast<double>(n);
 
     inv_std_cache_.assign(d, 0.0);
     for (size_t c = 0; c < d; ++c) {
-      inv_std_cache_[c] = 1.0 / std::sqrt(var.At(0, c) + epsilon_);
+      inv_std_cache_[c] = 1.0 / std::sqrt(var_.At(0, c) + epsilon_);
       GALE_DCHECK_FINITE(inv_std_cache_[c]) << "degenerate variance, col "
                                             << c;
     }
-    normalized_cache_ = la::Matrix(n, d);
+    normalized_cache_.EnsureShape(n, d);
     batch_size_cache_ = n;
     for (size_t r = 0; r < n; ++r) {
       const double* row = input.RowPtr(r);
       double* norm_row = normalized_cache_.RowPtr(r);
-      double* out_row = out.RowPtr(r);
+      double* out_row = out_.RowPtr(r);
       for (size_t c = 0; c < d; ++c) {
-        norm_row[c] = (row[c] - mean.At(0, c)) * inv_std_cache_[c];
+        norm_row[c] = (row[c] - mean_.At(0, c)) * inv_std_cache_[c];
         out_row[c] = gamma_.At(0, c) * norm_row[c] + beta_.At(0, c);
       }
     }
     // Exponential running estimates for eval mode.
     for (size_t c = 0; c < d; ++c) {
-      running_mean_.At(0, c) =
-          momentum_ * running_mean_.At(0, c) + (1.0 - momentum_) * mean.At(0, c);
+      running_mean_.At(0, c) = momentum_ * running_mean_.At(0, c) +
+                               (1.0 - momentum_) * mean_.At(0, c);
       running_var_.At(0, c) =
-          momentum_ * running_var_.At(0, c) + (1.0 - momentum_) * var.At(0, c);
+          momentum_ * running_var_.At(0, c) + (1.0 - momentum_) * var_.At(0, c);
     }
   } else {
     batch_size_cache_ = 0;  // marks eval-mode forward for Backward()
     for (size_t r = 0; r < n; ++r) {
       const double* row = input.RowPtr(r);
-      double* out_row = out.RowPtr(r);
+      double* out_row = out_.RowPtr(r);
       for (size_t c = 0; c < d; ++c) {
         const double inv_std =
             1.0 / std::sqrt(running_var_.At(0, c) + epsilon_);
@@ -73,10 +74,10 @@ la::Matrix BatchNorm::Forward(const la::Matrix& input, bool training) {
       }
     }
   }
-  return out;
+  return out_;
 }
 
-la::Matrix BatchNorm::Backward(const la::Matrix& grad_output) {
+const la::Matrix& BatchNorm::Backward(const la::Matrix& grad_output) {
   GALE_CHECK_GT(batch_size_cache_, 0u)
       << "BatchNorm::Backward after eval-mode forward";
   const size_t n = batch_size_cache_;
@@ -87,16 +88,16 @@ la::Matrix BatchNorm::Backward(const la::Matrix& grad_output) {
   // Standard batch-norm backward:
   //   dx_hat = dy * gamma
   //   dx = inv_std/n * (n*dx_hat - sum(dx_hat) - x_hat * sum(dx_hat*x_hat))
-  la::Matrix grad_input(n, d);
-  std::vector<double> sum_dxhat(d, 0.0);
-  std::vector<double> sum_dxhat_xhat(d, 0.0);
+  grad_input_.EnsureShape(n, d);
+  sum_dxhat_.assign(d, 0.0);
+  sum_dxhat_xhat_.assign(d, 0.0);
   for (size_t r = 0; r < n; ++r) {
     const double* dy = grad_output.RowPtr(r);
     const double* xhat = normalized_cache_.RowPtr(r);
     for (size_t c = 0; c < d; ++c) {
       const double dxhat = dy[c] * gamma_.At(0, c);
-      sum_dxhat[c] += dxhat;
-      sum_dxhat_xhat[c] += dxhat * xhat[c];
+      sum_dxhat_[c] += dxhat;
+      sum_dxhat_xhat_[c] += dxhat * xhat[c];
       grad_gamma_.At(0, c) += dy[c] * xhat[c];
       grad_beta_.At(0, c) += dy[c];
     }
@@ -105,15 +106,15 @@ la::Matrix BatchNorm::Backward(const la::Matrix& grad_output) {
   for (size_t r = 0; r < n; ++r) {
     const double* dy = grad_output.RowPtr(r);
     const double* xhat = normalized_cache_.RowPtr(r);
-    double* dx = grad_input.RowPtr(r);
+    double* dx = grad_input_.RowPtr(r);
     for (size_t c = 0; c < d; ++c) {
       const double dxhat = dy[c] * gamma_.At(0, c);
       dx[c] = inv_std_cache_[c] * inv_n *
-              (static_cast<double>(n) * dxhat - sum_dxhat[c] -
-               xhat[c] * sum_dxhat_xhat[c]);
+              (static_cast<double>(n) * dxhat - sum_dxhat_[c] -
+               xhat[c] * sum_dxhat_xhat_[c]);
     }
   }
-  return grad_input;
+  return grad_input_;
 }
 
 void BatchNorm::ZeroGrad() {

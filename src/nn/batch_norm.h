@@ -21,8 +21,8 @@ class BatchNorm : public Layer {
   explicit BatchNorm(size_t num_features, double momentum = 0.9,
                      double epsilon = 1e-5);
 
-  la::Matrix Forward(const la::Matrix& input, bool training) override;
-  la::Matrix Backward(const la::Matrix& grad_output) override;
+  const la::Matrix& Forward(const la::Matrix& input, bool training) override;
+  const la::Matrix& Backward(const la::Matrix& grad_output) override;
 
   std::vector<la::Matrix*> Parameters() override { return {&gamma_, &beta_}; }
   std::vector<la::Matrix*> Gradients() override {
@@ -46,6 +46,14 @@ class BatchNorm : public Layer {
   la::Matrix normalized_cache_;       // x_hat
   std::vector<double> inv_std_cache_;  // per feature
   size_t batch_size_cache_ = 0;
+
+  // Persistent forward/backward outputs and batch-stat scratch.
+  la::Matrix out_;
+  la::Matrix grad_input_;
+  la::Matrix mean_;  // 1 x d
+  la::Matrix var_;   // 1 x d
+  std::vector<double> sum_dxhat_;
+  std::vector<double> sum_dxhat_xhat_;
 };
 
 }  // namespace gale::nn

@@ -11,23 +11,28 @@ Dense::Dense(size_t in_features, size_t out_features, util::Rng& rng)
       grad_weight_(in_features, out_features),
       grad_bias_(1, out_features) {}
 
-la::Matrix Dense::Forward(const la::Matrix& input, bool /*training*/) {
+const la::Matrix& Dense::Forward(const la::Matrix& input, bool /*training*/) {
   GALE_CHECK_EQ(input.cols(), weight_.rows()) << "Dense input width";
   GALE_DCHECK_ALL_FINITE(input.data()) << "non-finite Dense input";
   input_cache_ = input;
-  la::Matrix out = input.MatMul(weight_);
-  out.AddRowBroadcast(bias_);
-  return out;
+  input_cache_.MatMulInto(weight_, &out_);
+  out_.AddRowBroadcast(bias_);
+  return out_;
 }
 
-la::Matrix Dense::Backward(const la::Matrix& grad_output) {
+const la::Matrix& Dense::Backward(const la::Matrix& grad_output) {
   GALE_CHECK_EQ(grad_output.rows(), input_cache_.rows());
   GALE_CHECK_EQ(grad_output.cols(), weight_.cols());
-  grad_weight_ += input_cache_.TransposedMatMul(grad_output);
-  grad_bias_ += grad_output.ColSum();
+  // Accumulates straight into the persistent grad buffers; with the
+  // buffers zeroed (ZeroGrad precedes every Backward in the trainers)
+  // this is bitwise identical to the former `grad += temporary` form.
+  input_cache_.TransposedMatMulInto(grad_output, &grad_weight_,
+                                    /*accumulate=*/true);
+  grad_output.ColSumInto(&grad_bias_, /*accumulate=*/true);
   GALE_DCHECK_ALL_FINITE(grad_weight_.data()) << "non-finite Dense dW";
   GALE_DCHECK_ALL_FINITE(grad_bias_.data()) << "non-finite Dense db";
-  return grad_output.MatMulTransposed(weight_);
+  grad_output.MatMulTransposedInto(weight_, &grad_input_);
+  return grad_input_;
 }
 
 void Dense::ZeroGrad() {

@@ -16,8 +16,8 @@ class Dense : public Layer {
  public:
   Dense(size_t in_features, size_t out_features, util::Rng& rng);
 
-  la::Matrix Forward(const la::Matrix& input, bool training) override;
-  la::Matrix Backward(const la::Matrix& grad_output) override;
+  const la::Matrix& Forward(const la::Matrix& input, bool training) override;
+  const la::Matrix& Backward(const la::Matrix& grad_output) override;
 
   std::vector<la::Matrix*> Parameters() override { return {&weight_, &bias_}; }
   std::vector<la::Matrix*> Gradients() override {
@@ -38,6 +38,8 @@ class Dense : public Layer {
   la::Matrix grad_weight_;  // in x out
   la::Matrix grad_bias_;    // 1 x out
   la::Matrix input_cache_;  // last forward input
+  la::Matrix out_;          // persistent forward output
+  la::Matrix grad_input_;   // persistent backward output
 };
 
 }  // namespace gale::nn

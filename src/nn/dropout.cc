@@ -8,29 +8,31 @@ Dropout::Dropout(double rate, util::Rng& rng) : rate_(rate), rng_(rng) {
   GALE_CHECK(rate >= 0.0 && rate < 1.0) << "dropout rate " << rate;
 }
 
-la::Matrix Dropout::Forward(const la::Matrix& input, bool training) {
+const la::Matrix& Dropout::Forward(const la::Matrix& input, bool training) {
   last_training_ = training;
+  // Identity in eval mode: hand the caller's matrix straight back (the
+  // Layer buffer contract allows this).
   if (!training || rate_ == 0.0) return input;
   const double keep = 1.0 - rate_;
-  mask_ = la::Matrix(input.rows(), input.cols());
-  la::Matrix out = input;
-  for (size_t i = 0; i < out.data().size(); ++i) {
+  mask_.EnsureShape(input.rows(), input.cols());
+  out_ = input;
+  for (size_t i = 0; i < out_.data().size(); ++i) {
     if (rng_.Bernoulli(rate_)) {
       mask_.data()[i] = 0.0;
-      out.data()[i] = 0.0;
+      out_.data()[i] = 0.0;
     } else {
       mask_.data()[i] = 1.0 / keep;
-      out.data()[i] *= 1.0 / keep;
+      out_.data()[i] *= 1.0 / keep;
     }
   }
-  return out;
+  return out_;
 }
 
-la::Matrix Dropout::Backward(const la::Matrix& grad_output) {
+const la::Matrix& Dropout::Backward(const la::Matrix& grad_output) {
   if (!last_training_ || rate_ == 0.0) return grad_output;
-  la::Matrix grad = grad_output;
-  grad.ElementwiseMul(mask_);
-  return grad;
+  grad_ = grad_output;
+  grad_.ElementwiseMul(mask_);
+  return grad_;
 }
 
 }  // namespace gale::nn

@@ -18,8 +18,8 @@ class Dropout : public Layer {
   // `rng` must outlive the layer (it is owned by the enclosing model).
   Dropout(double rate, util::Rng& rng);
 
-  la::Matrix Forward(const la::Matrix& input, bool training) override;
-  la::Matrix Backward(const la::Matrix& grad_output) override;
+  const la::Matrix& Forward(const la::Matrix& input, bool training) override;
+  const la::Matrix& Backward(const la::Matrix& grad_output) override;
   std::string name() const override { return "Dropout"; }
 
   double rate() const { return rate_; }
@@ -28,6 +28,8 @@ class Dropout : public Layer {
   double rate_;
   util::Rng& rng_;
   la::Matrix mask_;        // scale factors of the last training forward
+  la::Matrix out_;
+  la::Matrix grad_;
   bool last_training_ = false;
 };
 

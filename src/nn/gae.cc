@@ -1,7 +1,9 @@
 #include "nn/gae.h"
 
 #include <cmath>
+#include <optional>
 
+#include "la/workspace.h"
 #include "nn/activations.h"
 #include "nn/losses.h"
 #include "util/logging.h"
@@ -36,13 +38,28 @@ util::Result<double> Gae::Train(const la::Matrix& features) {
   const size_t num_negatives = static_cast<size_t>(
       std::ceil(options_.negative_ratio * static_cast<double>(edges_.size())));
 
+  // Per-epoch buffers hoisted out of the loop: after the warm-up epoch
+  // the optimization step is allocation-free on the la-buffer path (the
+  // decoder's pair/target vectors are reserved once up front).
+  std::vector<std::pair<size_t, size_t>> pairs;
+  std::vector<double> targets;
+  std::vector<double> probs;
+  std::vector<double> grad_probs;
+  pairs.reserve(edges_.size() + num_negatives);
+  targets.reserve(edges_.size() + num_negatives);
+  probs.reserve(edges_.size() + num_negatives);
+  grad_probs.reserve(edges_.size() + num_negatives);
+  la::Matrix grad_z;
+
   double last_loss = 0.0;
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
-    la::Matrix z = encoder_.Forward(features, /*training=*/true);
+    std::optional<la::ScopedAllocFreeCheck> alloc_guard;
+    if (epoch > 0) alloc_guard.emplace("Gae::Train step");
+    const la::Matrix& z = encoder_.Forward(features, /*training=*/true);
 
     // Sample the reconstruction pairs: all positives + fresh negatives.
-    std::vector<std::pair<size_t, size_t>> pairs = edges_;
-    std::vector<double> targets(edges_.size(), 1.0);
+    pairs.assign(edges_.begin(), edges_.end());
+    targets.assign(edges_.size(), 1.0);
     for (size_t i = 0; i < num_negatives; ++i) {
       size_t u = rng_.UniformInt(n);
       size_t v = rng_.UniformInt(n);
@@ -51,7 +68,7 @@ util::Result<double> Gae::Train(const la::Matrix& features) {
     }
 
     // Decoder forward.
-    std::vector<double> probs(pairs.size());
+    probs.resize(pairs.size());
     for (size_t i = 0; i < pairs.size(); ++i) {
       double dot = 0.0;
       const double* zu = z.RowPtr(pairs[i].first);
@@ -60,11 +77,11 @@ util::Result<double> Gae::Train(const la::Matrix& features) {
       probs[i] = 1.0 / (1.0 + std::exp(-dot));
     }
 
-    std::vector<double> grad_probs;
     last_loss = BinaryCrossEntropy(probs, targets, &grad_probs);
 
     // Backprop through sigmoid and the inner product into dL/dZ.
-    la::Matrix grad_z(n, z.cols());
+    grad_z.EnsureShape(n, z.cols());
+    grad_z.Fill(0.0);
     for (size_t i = 0; i < pairs.size(); ++i) {
       const double dsig = probs[i] * (1.0 - probs[i]);
       const double ddot = grad_probs[i] * dsig;

@@ -16,25 +16,31 @@ GcnLayer::GcnLayer(const la::SparseMatrix* adjacency, size_t in_features,
   GALE_CHECK_EQ(adjacency->rows(), adjacency->cols());
 }
 
-la::Matrix GcnLayer::Forward(const la::Matrix& input, bool /*training*/) {
+const la::Matrix& GcnLayer::Forward(const la::Matrix& input,
+                                    bool /*training*/) {
   GALE_CHECK_EQ(input.rows(), adjacency_->rows()) << "GCN needs full batch";
   GALE_CHECK_EQ(input.cols(), weight_.rows());
-  propagated_cache_ = adjacency_->Multiply(input);  // Â X
-  la::Matrix out = propagated_cache_.MatMul(weight_);
-  out.AddRowBroadcast(bias_);
-  return out;
+  adjacency_->MultiplyInto(input, &propagated_cache_);  // Â X
+  propagated_cache_.MatMulInto(weight_, &out_);
+  out_.AddRowBroadcast(bias_);
+  return out_;
 }
 
-la::Matrix GcnLayer::Backward(const la::Matrix& grad_output) {
+const la::Matrix& GcnLayer::Backward(const la::Matrix& grad_output) {
   GALE_CHECK_EQ(grad_output.rows(), adjacency_->rows());
   GALE_CHECK_EQ(grad_output.cols(), weight_.cols());
   // dW = (Â X)^T dY;  db = 1^T dY;  dX = Â^T (dY W^T) = Â (dY W^T).
-  grad_weight_ += propagated_cache_.TransposedMatMul(grad_output);
-  grad_bias_ += grad_output.ColSum();
+  // Accumulated straight into the persistent grad buffers; bitwise
+  // identical to the former `grad += temporary` form when the buffers
+  // are zeroed (ZeroGrad precedes every Backward in the trainers).
+  propagated_cache_.TransposedMatMulInto(grad_output, &grad_weight_,
+                                         /*accumulate=*/true);
+  grad_output.ColSumInto(&grad_bias_, /*accumulate=*/true);
   GALE_DCHECK_ALL_FINITE(grad_weight_.data()) << "non-finite GCN dW";
   GALE_DCHECK_ALL_FINITE(grad_bias_.data()) << "non-finite GCN db";
-  la::Matrix grad_propagated = grad_output.MatMulTransposed(weight_);
-  return adjacency_->Multiply(grad_propagated);  // symmetric Â
+  grad_output.MatMulTransposedInto(weight_, &grad_propagated_);
+  adjacency_->MultiplyInto(grad_propagated_, &grad_input_);  // symmetric Â
+  return grad_input_;
 }
 
 void GcnLayer::ZeroGrad() {

@@ -24,8 +24,8 @@ class GcnLayer : public Layer {
   GcnLayer(const la::SparseMatrix* adjacency, size_t in_features,
            size_t out_features, util::Rng& rng);
 
-  la::Matrix Forward(const la::Matrix& input, bool training) override;
-  la::Matrix Backward(const la::Matrix& grad_output) override;
+  const la::Matrix& Forward(const la::Matrix& input, bool training) override;
+  const la::Matrix& Backward(const la::Matrix& grad_output) override;
 
   std::vector<la::Matrix*> Parameters() override { return {&weight_, &bias_}; }
   std::vector<la::Matrix*> Gradients() override {
@@ -44,6 +44,9 @@ class GcnLayer : public Layer {
   la::Matrix grad_weight_;
   la::Matrix grad_bias_;
   la::Matrix propagated_cache_;  // Â X from the last forward
+  la::Matrix out_;               // persistent forward output
+  la::Matrix grad_propagated_;   // dY W^T scratch
+  la::Matrix grad_input_;        // persistent backward output
 };
 
 }  // namespace gale::nn

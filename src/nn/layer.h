@@ -16,6 +16,15 @@
 // GALE_NUM_THREADS > 1 while remaining bitwise identical to the serial
 // run. Drive a given model from one thread; distinct models on distinct
 // threads are fine as long as they use distinct Rng instances.
+//
+// Buffer contract: Forward/Backward return references into buffers the
+// layer owns (persistent activation/gradient storage reshaped via
+// la::Matrix::EnsureShape, so fixed-shape training steps are
+// allocation-free after the first — see DESIGN.md §8). A returned
+// reference is valid until the next Forward/Backward call on the same
+// layer; callers that need the values longer must copy. Layers that are
+// identity in the current mode (e.g. Dropout in eval) may return `input`
+// itself.
 
 #ifndef GALE_NN_LAYER_H_
 #define GALE_NN_LAYER_H_
@@ -32,11 +41,15 @@ class Layer {
   virtual ~Layer() = default;
 
   // Runs the layer on `input`; `training` toggles dropout/batch-norm modes.
-  virtual la::Matrix Forward(const la::Matrix& input, bool training) = 0;
+  // The result lives in layer-owned storage (see the buffer contract
+  // above); `input` must not alias that storage.
+  virtual const la::Matrix& Forward(const la::Matrix& input,
+                                    bool training) = 0;
 
   // Backpropagates `grad_output` (dL/doutput of the most recent Forward).
-  // Returns dL/dinput. Must be called at most once per Forward.
-  virtual la::Matrix Backward(const la::Matrix& grad_output) = 0;
+  // Returns dL/dinput, in layer-owned storage. Must be called at most once
+  // per Forward.
+  virtual const la::Matrix& Backward(const la::Matrix& grad_output) = 0;
 
   // Trainable tensors and their gradient buffers, index-aligned. Layers
   // without parameters return empty lists.

@@ -13,10 +13,17 @@ constexpr double kEps = 1e-12;
 }  // namespace
 
 la::Matrix Softmax(const la::Matrix& logits) {
-  la::Matrix probs(logits.rows(), logits.cols());
+  la::Matrix probs;
+  SoftmaxInto(logits, &probs);
+  return probs;
+}
+
+void SoftmaxInto(const la::Matrix& logits, la::Matrix* probs) {
+  GALE_CHECK(probs != &logits) << "SoftmaxInto aliased output";
+  probs->EnsureShape(logits.rows(), logits.cols());
   for (size_t r = 0; r < logits.rows(); ++r) {
     const double* in = logits.RowPtr(r);
-    double* out = probs.RowPtr(r);
+    double* out = probs->RowPtr(r);
     double max_logit = in[0];
     for (size_t c = 1; c < logits.cols(); ++c) {
       max_logit = std::max(max_logit, in[c]);
@@ -30,14 +37,14 @@ la::Matrix Softmax(const la::Matrix& logits) {
     GALE_DCHECK(::gale::util::check_internal::OnSimplex(out, logits.cols()))
         << "softmax row " << r << " off the probability simplex";
   }
-  return probs;
 }
 
 double SoftmaxCrossEntropy(const la::Matrix& logits,
                            const std::vector<int>& labels,
                            const std::vector<uint8_t>& mask,
                            la::Matrix* grad,
-                           const std::vector<double>& row_weights) {
+                           const std::vector<double>& row_weights,
+                           la::Workspace* ws) {
   GALE_CHECK_EQ(logits.rows(), labels.size());
   GALE_CHECK_EQ(logits.rows(), mask.size());
   GALE_CHECK(grad != nullptr);
@@ -45,9 +52,13 @@ double SoftmaxCrossEntropy(const la::Matrix& logits,
   if (weighted) {
     GALE_CHECK_EQ(row_weights.size(), logits.rows());
   }
-  *grad = la::Matrix(logits.rows(), logits.cols());
+  // Masked-out rows must keep zero gradient, so the full fill matters.
+  grad->EnsureShape(logits.rows(), logits.cols());
+  grad->Fill(0.0);
 
-  const la::Matrix probs = Softmax(logits);
+  la::BorrowedMatrix probs_buf(ws, logits.rows(), logits.cols());
+  const la::Matrix& probs = probs_buf.mat();
+  SoftmaxInto(logits, &probs_buf.mat());
   double active = 0.0;
   for (size_t r = 0; r < mask.size(); ++r) {
     if (mask[r] != 0) active += weighted ? row_weights[r] : 1.0;
@@ -115,7 +126,9 @@ double ConditionalCrossEntropy(const la::Matrix& logits,
   if (weighted) {
     GALE_CHECK_EQ(row_weights.size(), logits.rows());
   }
-  *grad = la::Matrix(logits.rows(), logits.cols());
+  // Masked-out rows and the synthetic logits keep zero gradient.
+  grad->EnsureShape(logits.rows(), logits.cols());
+  grad->Fill(0.0);
 
   double active = 0.0;
   for (size_t r = 0; r < mask.size(); ++r) {
@@ -158,15 +171,18 @@ double ConditionalCrossEntropy(const la::Matrix& logits,
 
 double GanUnsupervisedLoss(const la::Matrix& logits,
                            const std::vector<uint8_t>& is_fake,
-                           la::Matrix* grad) {
+                           la::Matrix* grad, la::Workspace* ws) {
   GALE_CHECK_EQ(logits.rows(), is_fake.size());
   GALE_CHECK_GE(logits.cols(), 2u);
   GALE_CHECK(grad != nullptr);
-  *grad = la::Matrix(logits.rows(), logits.cols());
+  // Every entry is assigned below, so no zero-fill.
+  grad->EnsureShape(logits.rows(), logits.cols());
   if (logits.rows() == 0) return 0.0;
 
   const size_t fake_class = logits.cols() - 1;
-  const la::Matrix probs = Softmax(logits);
+  la::BorrowedMatrix probs_buf(ws, logits.rows(), logits.cols());
+  const la::Matrix& probs = probs_buf.mat();
+  SoftmaxInto(logits, &probs_buf.mat());
   double loss = 0.0;
   for (size_t r = 0; r < logits.rows(); ++r) {
     const double* p = probs.RowPtr(r);
@@ -204,29 +220,31 @@ double GanUnsupervisedLoss(const la::Matrix& logits,
 
 double FeatureMatchingLoss(const la::Matrix& real_features,
                            const la::Matrix& fake_features,
-                           la::Matrix* grad_fake) {
+                           la::Matrix* grad_fake, la::Workspace* ws) {
   GALE_CHECK_EQ(real_features.cols(), fake_features.cols());
   GALE_CHECK(grad_fake != nullptr);
   GALE_CHECK_GT(real_features.rows(), 0u);
   GALE_CHECK_GT(fake_features.rows(), 0u);
 
-  const la::Matrix real_mean = real_features.ColMean();
-  const la::Matrix fake_mean = fake_features.ColMean();
+  const size_t d = real_features.cols();
+  la::BorrowedMatrix real_mean(ws, 1, d);
+  la::BorrowedMatrix fake_mean(ws, 1, d);
+  la::BorrowedMatrix diff(ws, 1, d);
+  real_features.ColMeanInto(&real_mean.mat());
+  fake_features.ColMeanInto(&fake_mean.mat());
 
   double loss = 0.0;
-  const size_t d = real_features.cols();
-  std::vector<double> diff(d);
-  for (size_t c = 0; c < d; ++c) {
-    diff[c] = fake_mean.At(0, c) - real_mean.At(0, c);
-    loss += diff[c] * diff[c];
-  }
+  fake_mean.mat().SubInto(real_mean.mat(), &diff.mat());
+  const double* diff_row = diff.mat().RowPtr(0);
+  for (size_t c = 0; c < d; ++c) loss += diff_row[c] * diff_row[c];
 
   // d/dfake_{r,c} ||fake_mean - real_mean||^2 = 2 * diff_c / n_fake.
-  *grad_fake = la::Matrix(fake_features.rows(), d);
+  // Every entry is assigned, so no zero-fill.
+  grad_fake->EnsureShape(fake_features.rows(), d);
   const double scale = 2.0 / static_cast<double>(fake_features.rows());
   for (size_t r = 0; r < fake_features.rows(); ++r) {
     double* g = grad_fake->RowPtr(r);
-    for (size_t c = 0; c < d; ++c) g[c] = scale * diff[c];
+    for (size_t c = 0; c < d; ++c) g[c] = scale * diff_row[c];
   }
   return loss;
 }

@@ -3,6 +3,12 @@
 // Each Compute* returns the mean loss over the contributing rows and writes
 // dL/dlogits into `grad` (same shape as logits), already divided by the row
 // count so it can be fed straight into Layer::Backward.
+//
+// `grad` outputs are reshaped via la::Matrix::EnsureShape, so passing the
+// same gradient matrix every step reuses its buffer. Losses that need
+// softmax scratch take an optional la::Workspace*: with one, the scratch
+// is a warm arena checkout and the loss is allocation-free at steady
+// state; without, it falls back to a local allocation.
 
 #ifndef GALE_NN_LOSSES_H_
 #define GALE_NN_LOSSES_H_
@@ -11,11 +17,15 @@
 #include <vector>
 
 #include "la/matrix.h"
+#include "la/workspace.h"
 
 namespace gale::nn {
 
 // Row-wise softmax of `logits` (numerically stabilized).
 la::Matrix Softmax(const la::Matrix& logits);
+// Out-parameter form: writes into `*probs` (reshaped via EnsureShape).
+// `probs` must not alias `logits`.
+void SoftmaxInto(const la::Matrix& logits, la::Matrix* probs);
 
 // Multi-class cross entropy restricted to rows with mask[r] != 0.
 // `labels[r]` is the class index of row r (ignored when masked out).
@@ -26,7 +36,8 @@ la::Matrix Softmax(const la::Matrix& logits);
 double SoftmaxCrossEntropy(const la::Matrix& logits,
                            const std::vector<int>& labels,
                            const std::vector<uint8_t>& mask, la::Matrix* grad,
-                           const std::vector<double>& row_weights = {});
+                           const std::vector<double>& row_weights = {},
+                           la::Workspace* ws = nullptr);
 
 // The paper's supervised term log P(y|x, y <= K): cross entropy of the
 // softmax restricted to the first `num_real_classes` logits. The remaining
@@ -56,7 +67,7 @@ std::vector<double> BalancedRowWeights(const std::vector<int>& labels,
 // terms of the paper's Eq. (1).
 double GanUnsupervisedLoss(const la::Matrix& logits,
                            const std::vector<uint8_t>& is_fake,
-                           la::Matrix* grad);
+                           la::Matrix* grad, la::Workspace* ws = nullptr);
 
 // Feature-matching loss (Salimans et al.): squared L2 distance between the
 // column means of real and generated intermediate features,
@@ -65,7 +76,7 @@ double GanUnsupervisedLoss(const la::Matrix& logits,
 // constants, as in the paper's L(G)).
 double FeatureMatchingLoss(const la::Matrix& real_features,
                            const la::Matrix& fake_features,
-                           la::Matrix* grad_fake);
+                           la::Matrix* grad_fake, la::Workspace* ws = nullptr);
 
 // Binary cross entropy on probabilities (already sigmoided), averaged over
 // all entries; used by the graph autoencoder's edge reconstruction.

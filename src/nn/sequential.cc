@@ -9,23 +9,24 @@ Sequential& Sequential::Add(std::unique_ptr<Layer> layer) {
   return *this;
 }
 
-la::Matrix Sequential::Forward(const la::Matrix& input, bool training) {
+const la::Matrix& Sequential::Forward(const la::Matrix& input,
+                                      bool training) {
   activations_.clear();
   activations_.reserve(layers_.size());
-  la::Matrix x = input;
+  const la::Matrix* x = &input;
   for (auto& layer : layers_) {
-    x = layer->Forward(x, training);
+    x = &layer->Forward(*x, training);
     activations_.push_back(x);
   }
-  return x;
+  return *x;
 }
 
-la::Matrix Sequential::Backward(const la::Matrix& grad_output) {
-  la::Matrix grad = grad_output;
+const la::Matrix& Sequential::Backward(const la::Matrix& grad_output) {
+  const la::Matrix* grad = &grad_output;
   for (size_t i = layers_.size(); i > 0; --i) {
-    grad = layers_[i - 1]->Backward(grad);
+    grad = &layers_[i - 1]->Backward(*grad);
   }
-  return grad;
+  return *grad;
 }
 
 std::vector<la::Matrix*> Sequential::Parameters() {
@@ -50,27 +51,27 @@ void Sequential::ZeroGrad() {
 
 const la::Matrix& Sequential::ActivationAt(size_t i) const {
   GALE_CHECK_LT(i, activations_.size()) << "no forward pass recorded";
-  return activations_[i];
+  return *activations_[i];
 }
 
-la::Matrix Sequential::BackwardFrom(size_t from_layer,
-                                    const la::Matrix& grad) {
+const la::Matrix& Sequential::BackwardFrom(size_t from_layer,
+                                           const la::Matrix& grad) {
   GALE_CHECK_LT(from_layer, layers_.size());
-  la::Matrix g = grad;
+  const la::Matrix* g = &grad;
   for (size_t i = from_layer + 1; i > 0; --i) {
-    g = layers_[i - 1]->Backward(g);
+    g = &layers_[i - 1]->Backward(*g);
   }
-  return g;
+  return *g;
 }
 
-la::Matrix Sequential::ForwardUpTo(const la::Matrix& input,
-                                   size_t last_layer) {
+const la::Matrix& Sequential::ForwardUpTo(const la::Matrix& input,
+                                          size_t last_layer) {
   GALE_CHECK_LT(last_layer, layers_.size());
-  la::Matrix x = input;
+  const la::Matrix* x = &input;
   for (size_t i = 0; i <= last_layer; ++i) {
-    x = layers_[i]->Forward(x, /*training=*/false);
+    x = &layers_[i]->Forward(*x, /*training=*/false);
   }
-  return x;
+  return *x;
 }
 
 }  // namespace gale::nn

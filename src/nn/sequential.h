@@ -27,8 +27,8 @@ class Sequential : public Layer {
   // Appends a layer; returns *this for chaining.
   Sequential& Add(std::unique_ptr<Layer> layer);
 
-  la::Matrix Forward(const la::Matrix& input, bool training) override;
-  la::Matrix Backward(const la::Matrix& grad_output) override;
+  const la::Matrix& Forward(const la::Matrix& input, bool training) override;
+  const la::Matrix& Backward(const la::Matrix& grad_output) override;
 
   std::vector<la::Matrix*> Parameters() override;
   std::vector<la::Matrix*> Gradients() override;
@@ -40,23 +40,28 @@ class Sequential : public Layer {
   Layer& layer(size_t i) { return *layers_[i]; }
 
   // Output of layer `i` (0-based) during the last Forward call. Useful as
-  // the "intermediate layer" h_n of the paper's discriminator.
+  // the "intermediate layer" h_n of the paper's discriminator. Refers to
+  // the layer's own activation buffer: valid until the next forward pass
+  // through that layer (Forward or ForwardUpTo); copy to keep longer.
   const la::Matrix& ActivationAt(size_t i) const;
 
   // Runs a forward pass only up to and including layer `i` (inclusive),
   // in eval mode, without touching the backward caches' invariants beyond
-  // what Forward does.
-  la::Matrix ForwardUpTo(const la::Matrix& input, size_t last_layer);
+  // what Forward does. Overwrites the prefix layers' activation buffers.
+  const la::Matrix& ForwardUpTo(const la::Matrix& input, size_t last_layer);
 
   // Backpropagates starting at layer `from_layer` (inclusive) down to the
   // input: `grad` is dL/d(output of layer from_layer). Used when the loss
   // taps an intermediate activation (e.g. feature matching on the
   // discriminator's penultimate layer). Requires a prior full Forward.
-  la::Matrix BackwardFrom(size_t from_layer, const la::Matrix& grad);
+  const la::Matrix& BackwardFrom(size_t from_layer, const la::Matrix& grad);
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
-  std::vector<la::Matrix> activations_;  // per layer, from the last Forward
+  // Per layer, from the last Forward: borrowed pointers into each layer's
+  // own activation buffer (layers own their outputs; see layer.h). Heap
+  // layer objects keep these stable across Sequential moves.
+  std::vector<const la::Matrix*> activations_;
 };
 
 }  // namespace gale::nn

@@ -17,30 +17,39 @@ PprEngine::PprEngine(const la::SparseMatrix* walk_matrix, PprOptions options)
 }
 
 std::vector<double> PprEngine::ComputeRow(size_t v) const {
+  std::vector<double> p;
+  std::vector<double> next;
+  ComputeRowInto(v, &p, &next);
+  return p;
+}
+
+void PprEngine::ComputeRowInto(size_t v, std::vector<double>* p,
+                               std::vector<double>* next) const {
   const size_t n = walk_matrix_->rows();
   GALE_CHECK_LT(v, n);
-  std::vector<double> p(n, 0.0);
-  p[v] = 1.0;
+  p->assign(n, 0.0);
+  (*p)[v] = 1.0;
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
-    std::vector<double> next = walk_matrix_->MultiplyVector(p);
+    // The ping-pong swap replaces the old per-iteration move of a freshly
+    // allocated product vector; the value sequence is identical.
+    walk_matrix_->MultiplyVectorInto(*p, next);
     double diff = 0.0;
     for (size_t i = 0; i < n; ++i) {
-      double value = (1.0 - options_.alpha) * next[i];
+      double value = (1.0 - options_.alpha) * (*next)[i];
       if (i == v) value += options_.alpha;
-      diff += std::abs(value - p[i]);
-      next[i] = value;
+      diff += std::abs(value - (*p)[i]);
+      (*next)[i] = value;
     }
-    p = std::move(next);
+    std::swap(*p, *next);
     if (diff < options_.tolerance) break;
   }
   // Propagation invariants: a PPR row is a non-negative influence vector
   // (products/sums of non-negative walk weights) and the source keeps at
   // least its teleport mass α.
-  GALE_DCHECK(util::check_internal::AllFinite(p)) << "non-finite PPR row";
-  GALE_DCHECK(util::check_internal::AllNonNegative(p))
+  GALE_DCHECK(util::check_internal::AllFinite(*p)) << "non-finite PPR row";
+  GALE_DCHECK(util::check_internal::AllNonNegative(*p))
       << "negative PPR mass, source " << v;
-  GALE_DCHECK_GE(p[v], options_.alpha - 1e-12);
-  return p;
+  GALE_DCHECK_GE((*p)[v], options_.alpha - 1e-12);
 }
 
 void PprEngine::ComputeRows(std::span<const size_t> seeds) {
@@ -61,7 +70,10 @@ void PprEngine::ComputeRows(std::span<const size_t> seeds) {
   std::vector<std::vector<double>> rows(missing.size());
   // gale-lint: allow(shard-noinline): dispatch-only loop around ComputeRow
   util::ParallelFor(0, missing.size(), 1, [&](size_t b, size_t e) {
-    for (size_t i = b; i < e; ++i) rows[i] = ComputeRow(missing[i]);
+    // One ping-pong buffer per shard: rows in a shard reuse it instead of
+    // allocating a product vector every power iteration.
+    std::vector<double> next;
+    for (size_t i = b; i < e; ++i) ComputeRowInto(missing[i], &rows[i], &next);
   });
   for (size_t i = 0; i < missing.size(); ++i) {
     ++computed_rows_;
@@ -78,7 +90,7 @@ const std::vector<double>& PprEngine::Row(size_t v) {
     return inserted->second;
   }
   ++computed_rows_;
-  scratch_ = ComputeRow(v);
+  ComputeRowInto(v, &scratch_, &scratch_next_);
   return scratch_;
 }
 

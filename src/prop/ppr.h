@@ -60,14 +60,20 @@ class PprEngine {
 
  private:
   std::vector<double> ComputeRow(size_t v) const;
+  // Power iteration writing the row into `*p`, using `*next` as the
+  // ping-pong buffer. Both are resized to n; reusing them across calls
+  // makes repeated computation allocation-free after the first row.
+  void ComputeRowInto(size_t v, std::vector<double>* p,
+                      std::vector<double>* next) const;
 
   const la::SparseMatrix* walk_matrix_;
   PprOptions options_;
   // Audited (gale_lint unordered-iter): keyed lookups only — rows are
   // inserted in seed order and fetched by node id, never iterated.
   std::unordered_map<size_t, std::vector<double>> cache_;
-  std::vector<double> scratch_;  // reused when caching is off
-  size_t computed_rows_ = 0;     // total power iterations run (telemetry)
+  std::vector<double> scratch_;       // reused when caching is off
+  std::vector<double> scratch_next_;  // ping-pong partner of scratch_
+  size_t computed_rows_ = 0;          // total power iterations run (telemetry)
 };
 
 }  // namespace gale::prop

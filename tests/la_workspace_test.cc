@@ -1,0 +1,168 @@
+// Workspace arena contract tests. This binary compiles with a per-target
+// GALE_DEBUG_CHECKS=1 (tests/CMakeLists.txt) so the header-inline frozen
+// and reshape assertions are live here regardless of the build-wide
+// option — the same pattern as util_check_test.
+#include "la/workspace.h"
+
+#include <optional>
+#include <utility>
+
+#include "gtest/gtest.h"
+#include "la/matrix.h"
+
+namespace gale::la {
+namespace {
+
+TEST(WorkspaceConfig, DebugChecksEnabledInThisBinary) {
+#ifndef GALE_DEBUG_CHECKS
+  FAIL() << "la_workspace_test must compile with GALE_DEBUG_CHECKS=1";
+#endif
+}
+
+TEST(WorkspaceTest, CheckoutHandsOutRequestedShape) {
+  Workspace ws;
+  Workspace::Scoped s = ws.Checkout(3, 4);
+  EXPECT_EQ(s.mat().rows(), 3u);
+  EXPECT_EQ(s.mat().cols(), 4u);
+  EXPECT_EQ(ws.allocations(), 1u);
+  EXPECT_EQ(ws.live_checkouts(), 1u);
+}
+
+TEST(WorkspaceTest, ReturnedBufferIsReusedForSameShape) {
+  Workspace ws;
+  Matrix* first = nullptr;
+  {
+    Workspace::Scoped s = ws.Checkout(5, 7);
+    first = &s.mat();
+    s.mat().Fill(3.5);
+  }
+  EXPECT_EQ(ws.live_checkouts(), 0u);
+  Workspace::Scoped s2 = ws.Checkout(5, 7);
+  // Pool hit: same buffer object, no new allocation, contents unspecified
+  // but in practice the stale fill — callers must not rely on zeros.
+  EXPECT_EQ(&s2.mat(), first);
+  EXPECT_EQ(ws.allocations(), 1u);
+}
+
+TEST(WorkspaceTest, DistinctShapesGetDistinctBuffers) {
+  Workspace ws;
+  Workspace::Scoped a = ws.Checkout(2, 2);
+  Workspace::Scoped b = ws.Checkout(2, 3);
+  EXPECT_NE(&a.mat(), &b.mat());
+  EXPECT_EQ(ws.allocations(), 2u);
+  EXPECT_EQ(ws.live_checkouts(), 2u);
+}
+
+TEST(WorkspaceTest, ConcurrentCheckoutsOfSameShapeNeverAlias) {
+  Workspace ws;
+  Workspace::Scoped a = ws.Checkout(4, 4);
+  Workspace::Scoped b = ws.Checkout(4, 4);
+  EXPECT_NE(&a.mat(), &b.mat());
+  EXPECT_EQ(ws.allocations(), 2u);
+}
+
+TEST(WorkspaceTest, CheckoutZeroedZeroFillsAWarmBuffer) {
+  Workspace ws;
+  {
+    Workspace::Scoped s = ws.Checkout(2, 2);
+    s.mat().Fill(9.0);
+  }
+  Workspace::Scoped z = ws.CheckoutZeroed(2, 2);
+  EXPECT_EQ(ws.allocations(), 1u);
+  for (double v : z.mat().data()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(WorkspaceTest, MoveTransfersOwnershipOfTheCheckout) {
+  Workspace ws;
+  std::optional<Workspace::Scoped> moved;
+  {
+    Workspace::Scoped s = ws.Checkout(3, 3);
+    moved.emplace(std::move(s));
+    // `s` dying here must not return the buffer — the moved-to handle
+    // owns it now.
+  }
+  EXPECT_EQ(ws.live_checkouts(), 1u);
+  moved.reset();
+  EXPECT_EQ(ws.live_checkouts(), 0u);
+}
+
+TEST(WorkspaceTest, WarmSteadyStateAllocatesNothing) {
+  Workspace ws;
+  // Warm-up: the shapes a fixed training step would need.
+  {
+    Workspace::Scoped a = ws.Checkout(8, 16);
+    Workspace::Scoped b = ws.Checkout(8, 3);
+  }
+  const size_t warm = ws.allocations();
+  const uint64_t before = BufferAllocations();
+  for (int step = 0; step < 10; ++step) {
+    Workspace::Scoped a = ws.Checkout(8, 16);
+    Workspace::Scoped b = ws.Checkout(8, 3);
+    a.mat().Fill(static_cast<double>(step));
+    b.mat().Fill(static_cast<double>(step));
+  }
+  EXPECT_EQ(ws.allocations(), warm);
+  EXPECT_EQ(BufferAllocations(), before);
+}
+
+TEST(WorkspaceDeathTest, FrozenCheckoutMissAborts) {
+  Workspace ws;
+  { Workspace::Scoped warm = ws.Checkout(2, 2); }
+  ws.set_frozen(true);
+  // Warm shape is fine...
+  { Workspace::Scoped ok = ws.Checkout(2, 2); }
+  // ...a cold shape is a steady-state contract violation.
+  EXPECT_DEATH({ Workspace::Scoped miss = ws.Checkout(9, 9); },
+               "workspace allocation while frozen");
+}
+
+TEST(WorkspaceDeathTest, ReshapeWhileCheckedOutAborts) {
+  EXPECT_DEATH(
+      {
+        Workspace ws;
+        Workspace::Scoped s = ws.Checkout(2, 2);
+        s.mat() = Matrix(3, 3);  // reshapes the pooled buffer
+      },
+      "reshaped while checked out");
+}
+
+TEST(ScopedAllocFreeCheckTest, QuietWhenNothingAllocates) {
+  Matrix reused(4, 4);
+  ScopedAllocFreeCheck guard("quiet region");
+  reused.Fill(1.0);
+  reused.EnsureShape(4, 4);  // within capacity: not an allocation
+}
+
+TEST(ScopedAllocFreeCheckDeathTest, FiresOnAllocation) {
+  EXPECT_DEATH(
+      {
+        ScopedAllocFreeCheck guard("hot region");
+        Matrix fresh(16, 16);  // counted la-buffer allocation
+      },
+      "hot region: la buffer allocation");
+}
+
+TEST(BorrowedMatrixTest, UsesWorkspaceWhenGiven) {
+  Workspace ws;
+  {
+    BorrowedMatrix b(&ws, 3, 5);
+    EXPECT_EQ(b.mat().rows(), 3u);
+    EXPECT_EQ(b.mat().cols(), 5u);
+    EXPECT_EQ(ws.allocations(), 1u);
+    EXPECT_EQ(ws.live_checkouts(), 1u);
+  }
+  EXPECT_EQ(ws.live_checkouts(), 0u);
+  // Second borrow of the same shape is a pool hit.
+  BorrowedMatrix again(&ws, 3, 5);
+  EXPECT_EQ(ws.allocations(), 1u);
+}
+
+TEST(BorrowedMatrixTest, FallsBackToLocalWithoutWorkspace) {
+  BorrowedMatrix b(nullptr, 2, 6);
+  EXPECT_EQ(b.mat().rows(), 2u);
+  EXPECT_EQ(b.mat().cols(), 6u);
+  b.mat().Fill(1.0);
+}
+
+}  // namespace
+}  // namespace gale::la

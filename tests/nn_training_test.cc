@@ -73,6 +73,83 @@ TEST(AdamTest, TrainsXorMlp) {
   EXPECT_GT(probs.At(3, 0), 0.5);
 }
 
+TEST(GradAccumulationTest, BackwardAccumulatesUntilZeroGrad) {
+  // Dense::Backward adds onto the persistent grad buffers (+=), so two
+  // Backward passes without an intervening ZeroGrad must yield exactly
+  // twice the gradient of one pass, and ZeroGrad must reset the
+  // accumulator. This pins the contract the trainers rely on: ZeroGrad
+  // precedes every Backward, so direct accumulation into the zeroed
+  // buffers equals assignment bitwise.
+  util::Rng rng(7);
+  Dense dense(3, 4, rng);
+  const la::Matrix x = la::Matrix::RandomNormal(5, 3, 1.0, rng);
+  const la::Matrix grad_out = la::Matrix::RandomNormal(5, 4, 1.0, rng);
+
+  dense.Forward(x, /*training=*/true);
+  dense.ZeroGrad();
+  dense.Backward(grad_out);
+  const la::Matrix once = *dense.Gradients()[0];
+  const la::Matrix once_bias = *dense.Gradients()[1];
+
+  dense.Backward(grad_out);  // no ZeroGrad: accumulates
+  EXPECT_TRUE((once * 2.0).AllClose(*dense.Gradients()[0], 1e-12));
+  EXPECT_TRUE((once_bias * 2.0).AllClose(*dense.Gradients()[1], 1e-12));
+
+  dense.ZeroGrad();
+  dense.Backward(grad_out);
+  for (size_t i = 0; i < once.data().size(); ++i) {
+    EXPECT_EQ(once.data()[i], dense.Gradients()[0]->data()[i])
+        << "ZeroGrad + Backward must reproduce the single-pass gradient "
+           "bitwise, element "
+        << i;
+  }
+}
+
+TEST(GradAccumulationTest, ZeroGradResetsAcrossAdamSteps) {
+  // Two identical models: one trained normally, one with a redundant
+  // extra ZeroGrad before each step. Identical parameters after several
+  // Adam steps proves no gradient leaks across steps.
+  util::Rng rng_a(9);
+  util::Rng rng_b(9);
+  Sequential a;
+  a.Add(std::make_unique<Dense>(2, 6, rng_a));
+  a.Add(std::make_unique<Tanh>());
+  a.Add(std::make_unique<Dense>(6, 2, rng_a));
+  Sequential b;
+  b.Add(std::make_unique<Dense>(2, 6, rng_b));
+  b.Add(std::make_unique<Tanh>());
+  b.Add(std::make_unique<Dense>(6, 2, rng_b));
+  Adam opt_a(AdamOptions{.learning_rate = 0.05});
+  Adam opt_b(AdamOptions{.learning_rate = 0.05});
+
+  la::Matrix x = la::Matrix::FromRows({{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  std::vector<int> labels = {0, 1, 1, 0};
+  std::vector<uint8_t> mask = {1, 1, 1, 1};
+  la::Matrix grad;
+
+  for (int step = 0; step < 10; ++step) {
+    SoftmaxCrossEntropy(a.Forward(x, true), labels, mask, &grad);
+    a.ZeroGrad();
+    a.Backward(grad);
+    opt_a.Step(a.Parameters(), a.Gradients());
+
+    SoftmaxCrossEntropy(b.Forward(x, true), labels, mask, &grad);
+    b.ZeroGrad();
+    b.ZeroGrad();  // redundant: must be harmless
+    b.Backward(grad);
+    opt_b.Step(b.Parameters(), b.Gradients());
+  }
+  const auto params_a = a.Parameters();
+  const auto params_b = b.Parameters();
+  ASSERT_EQ(params_a.size(), params_b.size());
+  for (size_t i = 0; i < params_a.size(); ++i) {
+    for (size_t j = 0; j < params_a[i]->data().size(); ++j) {
+      EXPECT_EQ(params_a[i]->data()[j], params_b[i]->data()[j])
+          << "parameter " << i << " diverged at element " << j;
+    }
+  }
+}
+
 TEST(GaeTest, ReconstructsCommunityStructure) {
   // Two cliques joined by one bridge edge: after training, within-clique
   // edge probabilities must exceed cross-clique non-edge probabilities.

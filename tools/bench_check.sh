@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# Benchmark-regression gate: runs the two instrumented benches
+# (bench_parallel_scaling, bench_micro) with GALE_BENCH_JSON_DIR set, then
+# compares every (name, threads) record against the committed baselines in
+# bench/baselines/. A record FAILS only if its median_ns is more than
+# GALE_BENCH_TOLERANCE (default 1.00, i.e. 2x) slower than the baseline —
+# generous on purpose: this catches order-of-magnitude regressions (an
+# accidentally serialised kernel, an allocating hot loop), not CPU jitter;
+# shared CI boxes routinely swing short benchmarks by 50%+.
+# Faster-than-baseline is always fine and is reported so wins are visible.
+#
+# Usage:
+#   tools/bench_check.sh            run + compare against baselines
+#   tools/bench_check.sh --update   run + overwrite the committed baselines
+#
+# Env:
+#   GALE_BENCH_BUILD_DIR   build tree with the bench binaries (default: build)
+#   GALE_BENCH_TOLERANCE   allowed slowdown fraction (default: 1.00)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${GALE_BENCH_BUILD_DIR:-${repo_root}/build}"
+baseline_dir="${repo_root}/bench/baselines"
+tolerance="${GALE_BENCH_TOLERANCE:-1.00}"
+update=0
+if [ "${1:-}" = "--update" ]; then
+  update=1
+elif [ -n "${1:-}" ]; then
+  echo "bench_check: unknown argument '${1}' (only --update is accepted)" >&2
+  exit 2
+fi
+
+if [ ! -d "${build_dir}" ]; then
+  cmake -B "${build_dir}" -S "${repo_root}"
+fi
+cmake --build "${build_dir}" -j "$(nproc)" --target \
+  bench_parallel_scaling bench_micro
+
+json_dir="$(mktemp -d)"
+trap 'rm -rf "${json_dir}"' EXIT
+
+echo "bench_check: running bench_parallel_scaling"
+GALE_BENCH_JSON_DIR="${json_dir}" "${build_dir}/bench/bench_parallel_scaling"
+echo "bench_check: running bench_micro"
+GALE_BENCH_JSON_DIR="${json_dir}" "${build_dir}/bench/bench_micro" \
+  --benchmark_min_time=0.2
+
+if [ "${update}" -eq 1 ]; then
+  mkdir -p "${baseline_dir}"
+  cp "${json_dir}/BENCH_parallel_scaling.json" \
+     "${json_dir}/BENCH_micro.json" "${baseline_dir}/"
+  echo "bench_check: baselines updated in bench/baselines/"
+  exit 0
+fi
+
+status=0
+for name in BENCH_parallel_scaling.json BENCH_micro.json; do
+  baseline="${baseline_dir}/${name}"
+  fresh="${json_dir}/${name}"
+  if [ ! -f "${baseline}" ]; then
+    echo "bench_check: missing baseline ${baseline} (run with --update)" >&2
+    status=1
+    continue
+  fi
+  python3 - "${baseline}" "${fresh}" "${tolerance}" <<'EOF' || status=1
+import json, sys
+
+baseline_path, fresh_path, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def load(path):
+    records = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            r = json.loads(line)
+            records[(r["name"], r["threads"])] = r["median_ns"]
+    return records
+
+base = load(baseline_path)
+fresh = load(fresh_path)
+failed = False
+for key, old_ns in sorted(base.items()):
+    name, threads = key
+    label = f"{name} @{threads}T"
+    if key not in fresh:
+        print(f"  MISSING {label}: benchmark no longer emitted")
+        failed = True
+        continue
+    new_ns = fresh[key]
+    ratio = new_ns / old_ns if old_ns > 0 else float("inf")
+    if ratio > 1.0 + tolerance:
+        print(f"  FAIL    {label}: {new_ns:.0f} ns vs baseline "
+              f"{old_ns:.0f} ns ({ratio:.2f}x, tolerance {1.0 + tolerance:.2f}x)")
+        failed = True
+    elif ratio < 0.8:
+        print(f"  faster  {label}: {ratio:.2f}x of baseline")
+for key in sorted(set(fresh) - set(base)):
+    print(f"  note: new benchmark {key[0]} @{key[1]}T has no baseline "
+          f"(run --update to record it)")
+sys.exit(1 if failed else 0)
+EOF
+  echo "bench_check: ${name} compared (tolerance +${tolerance})"
+done
+
+if [ "${status}" -ne 0 ]; then
+  echo "bench_check: REGRESSION detected (or baseline missing)" >&2
+  exit 1
+fi
+echo "bench_check: all benchmarks within tolerance"

@@ -12,6 +12,11 @@
 #   tsan    ThreadSanitizer build, thread-pool/determinism suites at
 #           several thread counts (the old tools/check_tsan.sh)
 #
+# Opt-in stages (never run by default; name them explicitly):
+#   bench   tools/bench_check.sh — benchmark-regression gate against the
+#           committed bench/baselines/BENCH_*.json (timing-sensitive, so
+#           it stays out of the default matrix)
+#
 # Each stage builds into its own tree (build-<stage>) so instrumented
 # objects never mix. Roughly 10-20 minutes for the full matrix.
 set -euo pipefail
@@ -74,17 +79,23 @@ for stage in "${stages[@]}"; do
         -DGALE_SANITIZE=thread
       cmake --build "${build_dir}" -j "${jobs}" --target \
         util_thread_pool_test la_parallel_equivalence_test \
+        la_into_equivalence_test nn_alloc_free_test \
         eval_determinism_test prop_test la_pca_kmeans_test
-      # The *_mt4 ctest entries pin GALE_NUM_THREADS=4; re-run the two
+      # The *_mt4 ctest entries pin GALE_NUM_THREADS=4; re-run the
       # kernel-heavy suites at a wider 8 threads for extra interleavings.
       ctest --test-dir "${build_dir}" --output-on-failure \
-        -R '^(util_thread_pool|la_parallel_equivalence|eval_determinism|prop|la_pca_kmeans)_test(_mt4)?$'
+        -R '^(util_thread_pool|la_parallel_equivalence|la_into_equivalence|nn_alloc_free|eval_determinism|prop|la_pca_kmeans)_test(_mt4)?$'
       GALE_NUM_THREADS=8 ctest --test-dir "${build_dir}" --output-on-failure \
-        -R '(util_thread_pool|la_parallel_equivalence)_test$'
+        -R '(util_thread_pool|la_parallel_equivalence|la_into_equivalence)_test$'
+      ;;
+    bench)
+      run_stage "benchmark-regression gate (opt-in)"
+      GALE_BENCH_BUILD_DIR="${repo_root}/build-bench" \
+        "${repo_root}/tools/bench_check.sh"
       ;;
     *)
       echo "check_all: unknown stage '${stage}'" >&2
-      echo "stages: lint werror asan ubsan tsan" >&2
+      echo "stages: lint werror asan ubsan tsan bench" >&2
       exit 2
       ;;
   esac

@@ -28,6 +28,15 @@
 //                  With the closure pointer live, GCC spills inner-loop
 //                  bounds to the stack (~15% on the SpMM bench; DESIGN.md
 //                  §6).
+//   hot-path-alloc No allocating kernel calls (MatMul, Multiply,
+//                  SelectRows, ...) in a src/ file that already adopted
+//                  the *Into out-parameter path (it mentions la::Workspace
+//                  or calls some *Into kernel): once a TU is on the
+//                  allocation-free training path, a stray allocating call
+//                  silently reintroduces per-step allocations. Use the
+//                  *Into form with a warm buffer, or justify cold-path
+//                  calls with an allow. src/la/ itself is exempt (it
+//                  defines the allocating wrappers).
 //
 // Suppression: a comment `// gale-lint: allow(<rule>): <why>` suppresses
 // that rule on its own line and the next line. Every allow must carry a
@@ -298,6 +307,7 @@ struct FileClass {
   bool rng_exempt = false;  // src/util/rng.* — the one home for RNG
   bool log_exempt = false;  // src/util/logging.* — the one home for stderr
   bool par_exempt = false;  // src/util/parallel.* — the dispatch substrate
+  bool la_exempt = false;   // src/la/* — defines the allocating wrappers
 };
 
 FileClass Classify(const std::string& rel_path) {
@@ -306,6 +316,7 @@ FileClass Classify(const std::string& rel_path) {
   fc.rng_exempt = rel_path.rfind("src/util/rng", 0) == 0;
   fc.log_exempt = rel_path.rfind("src/util/logging", 0) == 0;
   fc.par_exempt = rel_path.rfind("src/util/parallel", 0) == 0;
+  fc.la_exempt = rel_path.rfind("src/la/", 0) == 0;
   return fc;
 }
 
@@ -527,6 +538,46 @@ void CheckShardNoinline(const std::string& file, const FileClass& fc,
   }
 }
 
+// True when the TU is on the allocation-free path: it names la::Workspace
+// or calls an *Into kernel. Identifier check, so comments don't count.
+bool AdoptedIntoPath(const CleanFile& clean) {
+  for (const Token& t : clean.tokens) {
+    if (t.text == "Workspace" || t.text == "BorrowedMatrix") return true;
+    if (t.text.size() > 4 &&
+        t.text.compare(t.text.size() - 4, 4, "Into") == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CheckHotPathAlloc(const std::string& file, const FileClass& fc,
+                       const CleanFile& clean, bool adopted,
+                       const Annotations& ann,
+                       std::vector<Finding>* findings) {
+  if (!fc.in_src || fc.la_exempt || !adopted) return;
+  // The allocating kernels with an *Into twin. Whole-identifier matches
+  // followed by '(' — `MatMulInto` is its own token and never matches
+  // `MatMul`.
+  static const std::set<std::string> kAllocating = {
+      "MatMul",        "TransposedMatMul", "MatMulTransposed",
+      "Transposed",    "Multiply",         "MultiplyVector",
+      "SelectRows",    "ColSum",           "ColMean",
+  };
+  for (const Token& t : clean.tokens) {
+    if (kAllocating.count(t.text) == 0) continue;
+    const size_t pos = SkipSpace(clean.code, t.offset + t.text.size());
+    if (pos >= clean.code.size() || clean.code[pos] != '(') continue;
+    if (Suppressed(ann, "hot-path-alloc", t.line)) continue;
+    findings->push_back(
+        {file, t.line, "hot-path-alloc",
+         "allocating '" + t.text +
+             "(...)' in a file already on the *Into path — every call "
+             "allocates a fresh buffer; write into a warm buffer with the "
+             "*Into form, or justify a cold-path call with an allow"});
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
@@ -542,11 +593,15 @@ std::vector<Finding> LintContent(const std::string& rel_path,
   const Annotations ann = ParseAnnotations(rel_path, clean);
 
   std::set<std::string> unordered_names = UnorderedDeclNames(clean);
+  bool adopted = AdoptedIntoPath(clean);
   if (!sibling_header.empty()) {
     const CleanFile header = CleanSource(sibling_header);
     for (const std::string& name : UnorderedDeclNames(header)) {
       unordered_names.insert(name);
     }
+    // A .cc whose header holds the Workspace member is on the hot path
+    // even if the .cc itself never names the type.
+    adopted = adopted || AdoptedIntoPath(header);
   }
 
   std::vector<Finding> findings = ann.bare_allows;
@@ -555,6 +610,7 @@ std::vector<Finding> LintContent(const std::string& rel_path,
   CheckIo(rel_path, fc, clean, ann, &findings);
   CheckNakedNew(rel_path, clean, ann, &findings);
   CheckShardNoinline(rel_path, fc, clean, ann, &findings);
+  CheckHotPathAlloc(rel_path, fc, clean, adopted, ann, &findings);
   return findings;
 }
 
@@ -743,6 +799,58 @@ void Scale(double* data, size_t n) {
 }
 )__",
      "shard-noinline", 0},
+
+    {"hot-path-alloc-bad", "src/fake/a.cc",
+     R"__(#include "la/matrix.h"
+void Step(const gale::la::Matrix& a, const gale::la::Matrix& b,
+          gale::la::Matrix* out) {
+  a.MatMulInto(b, out);                     // adopted the Into path...
+  gale::la::Matrix extra = a.MatMul(b);     // ...so this allocation flags
+}
+)__",
+     "hot-path-alloc", 1},
+    {"hot-path-alloc-good-into-only", "src/fake/a.cc",
+     R"__(#include "la/matrix.h"
+void Step(const gale::la::Matrix& a, const gale::la::Matrix& b,
+          gale::la::Matrix* out, gale::la::Matrix* out2) {
+  a.MatMulInto(b, out);
+  a.TransposedMatMulInto(b, out2, /*accumulate=*/true);
+}
+)__",
+     "hot-path-alloc", 0},
+    {"hot-path-alloc-good-not-adopted", "src/fake/a.cc",
+     R"__(#include "la/matrix.h"
+gale::la::Matrix Once(const gale::la::Matrix& a, const gale::la::Matrix& b) {
+  return a.MatMul(b);  // cold path, never opted into the arena
+}
+)__",
+     "hot-path-alloc", 0},
+    {"hot-path-alloc-suppressed", "src/fake/a.cc",
+     R"__(#include "la/matrix.h"
+#include "la/workspace.h"
+void Step(const gale::la::Matrix& a, const gale::la::Matrix& b,
+          gale::la::Workspace* ws) {
+  // gale-lint: allow(hot-path-alloc): one-time setup, not per-step
+  gale::la::Matrix init = a.MatMul(b);
+}
+)__",
+     "hot-path-alloc", 0},
+    {"hot-path-alloc-good-outside-src", "tools/fake.cc",
+     R"__(#include "la/matrix.h"
+void Bench(const gale::la::Matrix& a, gale::la::Matrix* out) {
+  a.MatMulInto(a, out);
+  gale::la::Matrix copy = a.MatMul(a);  // tools may allocate freely
+}
+)__",
+     "hot-path-alloc", 0},
+    {"hot-path-alloc-good-la-exempt", "src/la/fake.cc",
+     R"__(#include "la/matrix.h"
+void Wrapper(const gale::la::Matrix& a, gale::la::Matrix* out) {
+  a.MatMulInto(a, out);
+  gale::la::Matrix copy = a.MatMul(a);  // la defines the wrappers
+}
+)__",
+     "hot-path-alloc", 0},
 
     {"allow-reason-bad", "src/fake/a.cc",
      R"__(// gale-lint: allow(io)
