@@ -88,9 +88,11 @@ int Main() {
 
       core::Gale gale(&ds->dirty, &ds->library, &ds->constraints, config);
       detect::GroundTruthOracle oracle(&ds->truth);
+      core::GaleRunInputs inputs;
+      inputs.initial_labels = examples.value().labels;
+      inputs.val_labels = examples.value().val_labels;
       auto result = gale.Run(ds->features.x_real, ds->features.x_synthetic,
-                             oracle, examples.value().labels,
-                             examples.value().val_labels);
+                             oracle, inputs);
       GALE_CHECK(result.ok()) << result.status();
       const eval::Metrics m = eval::ComputeMetrics(
           eval::ToErrorFlags(result.value().predicted), ds->truth.is_error,

@@ -25,10 +25,13 @@ int Main() {
     auto ds = bench::Prepare(spec.value(), bench::EnvSeed());
     auto ex = eval::MakeExamples(*ds, bench::EnvSeed());
     GALE_CHECK(ex.ok()) << ex.status();
+    auto viodet = eval::RunVioDet(*ds);
+    GALE_CHECK(viodet.ok()) << viodet.status();
+    auto alad = eval::RunAlad(*ds, ex.value());
+    GALE_CHECK(alad.ok()) << alad.status();
     std::cout << "p_t-insensitive: VioDet F1="
-              << bench::Fmt(eval::RunVioDet(*ds).metrics.f1) << "  Alad F1="
-              << bench::Fmt(eval::RunAlad(*ds, ex.value()).metrics.f1)
-              << "\n\n";
+              << bench::Fmt(viodet.value().metrics.f1) << "  Alad F1="
+              << bench::Fmt(alad.value().metrics.f1) << "\n\n";
   }
 
   for (double pt : {0.01, 0.02, 0.05, 0.10, 0.15}) {

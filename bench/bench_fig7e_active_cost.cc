@@ -40,7 +40,7 @@ int Main() {
     GALE_CHECK(gale.ok()) << gale.status();
     double total = 0.0;
     std::vector<double>& cum = cumulative[core::QueryStrategyName(strategy)];
-    for (const core::GaleIterationStats& it : gale.value().detail.iterations) {
+    for (const core::GaleIterationStats& it : gale.value().detail.iterations()) {
       // Active-learning share: selection + incremental update (the
       // initial SGAN training of iteration 0 is the Fig. 7(d) cost).
       total += it.select_seconds +

@@ -43,7 +43,8 @@ int Main() {
 
     auto active_cost = [](const eval::GaleOutcome& outcome) {
       double total = 0.0;
-      for (const core::GaleIterationStats& it : outcome.detail.iterations) {
+      for (const core::GaleIterationStats& it :
+           outcome.detail.iterations()) {
         total += it.select_seconds +
                  (it.iteration == 0 ? 0.0 : it.train_seconds);
       }
@@ -51,7 +52,7 @@ int Main() {
     };
     const double memo_cost = active_cost(with_memo);
     const double umemo_cost = active_cost(without);
-    const auto& tm = with_memo.detail.selector_telemetry;
+    const core::SelectorTelemetry tm = with_memo.detail.selector_telemetry();
     const double hit_rate =
         static_cast<double>(tm.distance_cache_hits) /
         std::max<double>(
@@ -64,8 +65,9 @@ int Main() {
          bench::Fmt(100.0 * (1.0 - memo_cost / std::max(umemo_cost, 1e-9)),
                     1) +
              "%",
-         std::to_string(with_memo.detail.selector_telemetry.ppr_rows_computed),
-         std::to_string(without.detail.selector_telemetry.ppr_rows_computed),
+         std::to_string(tm.ppr_rows_computed),
+         std::to_string(
+             without.detail.selector_telemetry().ppr_rows_computed),
          bench::Fmt(hit_rate, 3)});
   }
   table.Print(std::cout);

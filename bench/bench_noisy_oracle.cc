@@ -47,9 +47,11 @@ int Main() {
           ensemble ? static_cast<detect::Oracle&>(ensemble_oracle)
                    : static_cast<detect::Oracle&>(noisy_oracle);
 
+      core::GaleRunInputs inputs;
+      inputs.initial_labels = examples.value().labels;
+      inputs.val_labels = examples.value().val_labels;
       auto result = gale.Run(ds->features.x_real, ds->features.x_synthetic,
-                             oracle, examples.value().labels,
-                             examples.value().val_labels);
+                             oracle, inputs);
       GALE_CHECK(result.ok()) << result.status();
       const eval::Metrics m = eval::ComputeMetrics(
           eval::ToErrorFlags(result.value().predicted), ds->truth.is_error,

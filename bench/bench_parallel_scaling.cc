@@ -30,7 +30,7 @@
 #include "util/parallel.h"
 #include "util/rng.h"
 #include "util/table_printer.h"
-#include "util/timer.h"
+#include "obs/stopwatch.h"
 
 namespace gale {
 namespace {
@@ -54,7 +54,7 @@ std::vector<double> TimeRepeats(int repeats, Fn fn) {
   std::vector<double> seconds;
   seconds.reserve(repeats);
   for (int r = 0; r < repeats; ++r) {
-    util::WallTimer timer;
+    obs::WallTimer timer;
     fn();
     seconds.push_back(timer.ElapsedSeconds());
   }

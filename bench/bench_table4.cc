@@ -44,9 +44,12 @@ int Main() {
       auto sparse = eval::MakeExamples(*ds, seed, 0.10, 0.1);
       GALE_CHECK(sparse.ok()) << sparse.status();
 
-      runs["VioDet"].push_back(ToCell(eval::RunVioDet(*ds).metrics));
-      runs["Alad"].push_back(
-          ToCell(eval::RunAlad(*ds, full.value()).metrics));
+      auto viodet = eval::RunVioDet(*ds);
+      GALE_CHECK(viodet.ok()) << viodet.status();
+      runs["VioDet"].push_back(ToCell(viodet.value().metrics));
+      auto alad = eval::RunAlad(*ds, full.value());
+      GALE_CHECK(alad.ok()) << alad.status();
+      runs["Alad"].push_back(ToCell(alad.value().metrics));
       auto raha = eval::RunRaha(*ds, full.value(), seed);
       GALE_CHECK(raha.ok()) << raha.status();
       runs["Raha"].push_back(ToCell(raha.value().metrics));

@@ -90,9 +90,10 @@ int main() {
   }
   const eval::Metrics metrics =
       eval::ComputeMetrics(predicted, truth.value().is_error);
-  std::cout << "\nGALE after " << result.value().iterations.size()
+  std::cout << "\nGALE after " << result.value().iterations().size()
             << " iterations (" << oracle.num_queries() << " oracle queries, "
-            << result.value().total_seconds << "s): " << metrics.ToString()
+            << result.value().total_seconds() << "s): "
+            << metrics.ToString()
             << "\n";
 
   // 8. Peek at one annotated query of the final round (what a human

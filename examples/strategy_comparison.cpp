@@ -47,7 +47,7 @@ int main() {
     const eval::Metrics& m = outcome.value().outcome.metrics;
     double select_total = 0.0;
     for (const core::GaleIterationStats& it :
-         outcome.value().detail.iterations) {
+         outcome.value().detail.iterations()) {
       select_total += it.select_seconds;
     }
     table.AddRow({core::QueryStrategyName(strategy),
@@ -58,7 +58,7 @@ int main() {
                   util::FormatDouble(
                       select_total /
                           static_cast<double>(
-                              outcome.value().detail.iterations.size()),
+                              outcome.value().detail.iterations().size()),
                       4)});
   }
   table.Print(std::cout);

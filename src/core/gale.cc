@@ -1,8 +1,10 @@
 #include "core/gale.h"
 
+#include <optional>
+
+#include "obs/export.h"
 #include "prop/label_propagation.h"
 #include "util/logging.h"
-#include "util/timer.h"
 
 namespace gale::core {
 
@@ -25,31 +27,44 @@ Gale::Gale(const graph::AttributedGraph* g,
 util::Result<GaleResult> Gale::Run(const la::Matrix& x_real,
                                    const la::Matrix& x_synthetic,
                                    detect::Oracle& oracle,
-                                   const std::vector<int>& initial_labels,
-                                   const std::vector<int>& val_labels) {
+                                   const GaleRunInputs& inputs) {
   const size_t n = graph_->num_nodes();
   if (x_real.rows() != n) {
     return util::Status::InvalidArgument("Gale::Run: X_R rows != |V|");
   }
-  if (!initial_labels.empty() && initial_labels.size() != n) {
+  if (!inputs.initial_labels.empty() && inputs.initial_labels.size() != n) {
     return util::Status::InvalidArgument("Gale::Run: initial_labels size");
   }
   if (config_.local_budget == 0 || config_.iterations <= 0) {
     return util::Status::InvalidArgument("Gale::Run: zero budget");
   }
 
-  util::WallTimer total_timer;
+  // Resolve the observability sinks: explicit inputs win, then the calling
+  // thread's ambient context (so runner spans and run spans share one
+  // trace), else run-local instances that live exactly as long as Run.
+  obs::Trace* trace = inputs.trace != nullptr ? inputs.trace
+                                              : obs::CurrentTrace();
+  obs::Registry* registry = inputs.registry != nullptr
+                                ? inputs.registry
+                                : obs::CurrentRegistry();
+  std::optional<obs::Trace> local_trace;
+  std::optional<obs::Registry> local_registry;
+  if (trace == nullptr) trace = &local_trace.emplace();
+  if (registry == nullptr) registry = &local_registry.emplace();
+  obs::ScopedObs obs_context(trace, registry);
+
   util::Rng rng(config_.seed);
 
   GaleResult result;
-  std::vector<int> labels =
-      initial_labels.empty() ? std::vector<int>(n, kUnlabeled)
-                             : initial_labels;
+  std::vector<int> labels = inputs.initial_labels.empty()
+                                ? std::vector<int>(n, kUnlabeled)
+                                : inputs.initial_labels;
 
   QuerySelectorOptions selector_options = config_.selector;
   selector_options.seed = config_.seed ^ 0xA11CE;
   QuerySelector selector(&walk_matrix_, selector_options);
   Annotator annotator(graph_, library_, constraints_, &selector.ppr());
+  Sgan sgan(x_real.cols(), config_.sgan);
 
   // Soft labels for annotation context; refreshed per round.
   auto soft_labels_now = [&]() -> std::vector<int> {
@@ -67,104 +82,122 @@ util::Result<GaleResult> Gale::Run(const la::Matrix& x_real,
     return prop::HardLabels(soft.value(), kUnlabeled);
   };
 
-  // --- cold start: Q^0 on the raw features, no class probabilities ---
   {
-    util::WallTimer iter_timer;
-    util::Result<std::vector<size_t>> queries =
-        selector.Select(x_real, labels, la::Matrix(), config_.local_budget);
-    if (!queries.ok()) return queries.status();
-    if (config_.annotate_queries) {
-      result.last_annotations = annotator.AnnotateAll(
-          queries.value(), labels, soft_labels_now());
-    }
-    for (size_t q : queries.value()) {
-      labels[q] = oracle.Label(q) == detect::NodeLabel::kError
-                      ? kLabelError
-                      : kLabelCorrect;
-    }
-    GaleIterationStats stats;
-    stats.iteration = 0;
-    stats.new_examples = queries.value().size();
-    stats.cumulative_queries = oracle.num_queries();
-    stats.select_seconds = selector.telemetry().last_select_seconds;
-    stats.seconds = iter_timer.ElapsedSeconds();
-    result.iterations.push_back(stats);
-  }
+    obs::Span run_span("gale.core.run");
 
-  // --- initial SGAN training ---
-  Sgan sgan(x_real.cols(), config_.sgan);
-  {
-    util::WallTimer train_timer;
-    GALE_RETURN_IF_ERROR(sgan.Train(x_real, labels, x_synthetic, val_labels));
-    result.iterations.back().train_seconds = train_timer.ElapsedSeconds();
-    result.iterations.back().seconds += train_timer.ElapsedSeconds();
-  }
-
-  // --- iterative improvement ---
-  for (int i = 1; i < config_.iterations; ++i) {
-    util::WallTimer iter_timer;
-    GaleIterationStats stats;
-    stats.iteration = i;
-
-    la::Matrix embeddings = sgan.Embeddings(x_real);
-    la::Matrix probs = sgan.PredictProbabilities(x_real);
-
-    util::Result<std::vector<size_t>> queries =
-        selector.Select(embeddings, labels, probs, config_.local_budget);
-    if (!queries.ok()) {
-      if (queries.status().code() == util::StatusCode::kFailedPrecondition) {
-        break;  // everything is labeled — nothing left to query
+    // --- cold start: Q^0 on the raw features, no class probabilities,
+    // followed by the initial SGAN training — together they are
+    // iteration 0 of the cost accounting ---
+    {
+      obs::Span iter_span("gale.core.iteration");
+      iter_span.Arg("iteration", 0.0);
+      util::Result<std::vector<size_t>> queries =
+          selector.Select(x_real, labels, la::Matrix(), config_.local_budget);
+      if (!queries.ok()) return queries.status();
+      if (config_.annotate_queries) {
+        result.last_annotations = annotator.AnnotateAll(
+            queries.value(), labels, soft_labels_now());
       }
-      return queries.status();
+      for (size_t q : queries.value()) {
+        labels[q] = oracle.Label(q) == detect::NodeLabel::kError
+                        ? kLabelError
+                        : kLabelCorrect;
+      }
+      iter_span.Arg("new_examples",
+                    static_cast<double>(queries.value().size()));
+      iter_span.Arg("cumulative_queries",
+                    static_cast<double>(oracle.num_queries()));
+      {
+        obs::Span train_span("gale.core.train");
+        GALE_RETURN_IF_ERROR(
+            sgan.Train(x_real, labels, x_synthetic, inputs.val_labels));
+      }
     }
-    stats.select_seconds = selector.telemetry().last_select_seconds;
 
-    if (config_.annotate_queries) {
-      result.last_annotations = annotator.AnnotateAll(
-          queries.value(), labels, soft_labels_now());
+    // --- iterative improvement ---
+    for (int i = 1; i < config_.iterations; ++i) {
+      obs::Span iter_span("gale.core.iteration");
+      iter_span.Arg("iteration", static_cast<double>(i));
+
+      la::Matrix embeddings = sgan.Embeddings(x_real);
+      la::Matrix probs = sgan.PredictProbabilities(x_real);
+
+      util::Result<std::vector<size_t>> queries =
+          selector.Select(embeddings, labels, probs, config_.local_budget);
+      if (!queries.ok()) {
+        if (queries.status().code() ==
+            util::StatusCode::kFailedPrecondition) {
+          break;  // everything is labeled — nothing left to query; the
+                  // aborted iteration span carries no "new_examples" arg
+                  // and is skipped by IterationStatsFromReport.
+        }
+        return queries.status();
+      }
+
+      if (config_.annotate_queries) {
+        result.last_annotations = annotator.AnnotateAll(
+            queries.value(), labels, soft_labels_now());
+      }
+
+      // Line 10-11: V_T^i = sample(V_T, η) ∪ O(Q̃^i) — the fresh queries
+      // always participate; the backlog is subsampled so new knowledge
+      // weighs more in the incremental update.
+      std::vector<int> update_labels(n, kUnlabeled);
+      for (size_t v = 0; v < n; ++v) {
+        if (labels[v] != kUnlabeled && rng.Bernoulli(config_.sample_eta)) {
+          update_labels[v] = labels[v];
+        }
+      }
+      for (size_t q : queries.value()) {
+        const int answer = oracle.Label(q) == detect::NodeLabel::kError
+                               ? kLabelError
+                               : kLabelCorrect;
+        labels[q] = answer;
+        update_labels[q] = answer;
+      }
+      iter_span.Arg("new_examples",
+                    static_cast<double>(queries.value().size()));
+      iter_span.Arg("cumulative_queries",
+                    static_cast<double>(oracle.num_queries()));
+
+      {
+        obs::Span train_span("gale.core.train");
+        GALE_RETURN_IF_ERROR(sgan.Update(x_real, update_labels, x_synthetic));
+      }
     }
 
-    // Line 10-11: V_T^i = sample(V_T, η) ∪ O(Q̃^i) — the fresh queries
-    // always participate; the backlog is subsampled so new knowledge
-    // weighs more in the incremental update.
-    std::vector<int> update_labels(n, kUnlabeled);
+    result.predicted = sgan.PredictLabels(x_real);
+    result.probabilities = sgan.PredictProbabilities(x_real);
+    // Known example labels override model output (an oracle-labeled node's
+    // label is definitive). Other non-unlabeled markers (e.g. excluded
+    // evaluation nodes) keep the model's prediction.
     for (size_t v = 0; v < n; ++v) {
-      if (labels[v] != kUnlabeled && rng.Bernoulli(config_.sample_eta)) {
-        update_labels[v] = labels[v];
+      if (labels[v] == kLabelError || labels[v] == kLabelCorrect) {
+        result.predicted[v] = labels[v];
       }
     }
-    for (size_t q : queries.value()) {
-      const int answer = oracle.Label(q) == detect::NodeLabel::kError
-                             ? kLabelError
-                             : kLabelCorrect;
-      labels[q] = answer;
-      update_labels[q] = answer;
-    }
-    stats.new_examples = queries.value().size();
-    stats.cumulative_queries = oracle.num_queries();
-
-    util::WallTimer train_timer;
-    GALE_RETURN_IF_ERROR(sgan.Update(x_real, update_labels, x_synthetic));
-    stats.train_seconds = train_timer.ElapsedSeconds();
-
-    stats.seconds = iter_timer.ElapsedSeconds();
-    result.iterations.push_back(stats);
+    result.example_labels = std::move(labels);
   }
 
-  result.predicted = sgan.PredictLabels(x_real);
-  result.probabilities = sgan.PredictProbabilities(x_real);
-  // Known example labels override model output (an oracle-labeled node's
-  // label is definitive). Other non-unlabeled markers (e.g. excluded
-  // evaluation nodes) keep the model's prediction.
-  for (size_t v = 0; v < n; ++v) {
-    if (labels[v] == kLabelError || labels[v] == kLabelCorrect) {
-      result.predicted[v] = labels[v];
-    }
+  result.report = obs::Snapshot(registry, trace);
+  const util::Status exported =
+      obs::MaybeExportToEnvDir(result.report, "gale");
+  if (!exported.ok()) {
+    GALE_LOG(Warning) << "GALE_TRACE_DIR export failed: "
+                      << exported.message();
   }
-  result.example_labels = std::move(labels);
-  result.selector_telemetry = selector.telemetry();
-  result.total_seconds = total_timer.ElapsedSeconds();
   return result;
+}
+
+util::Result<GaleResult> Gale::Run(const la::Matrix& x_real,
+                                   const la::Matrix& x_synthetic,
+                                   detect::Oracle& oracle,
+                                   const std::vector<int>& initial_labels,
+                                   const std::vector<int>& val_labels) {
+  GaleRunInputs inputs;
+  inputs.initial_labels = initial_labels;
+  inputs.val_labels = val_labels;
+  return Run(x_real, x_synthetic, oracle, inputs);
 }
 
 }  // namespace gale::core

@@ -13,11 +13,20 @@
 // The driver can be "interrupted" at any iteration: per-iteration
 // predictions are recorded, and Run() returns the full telemetry used by
 // the learning-cost experiments (Fig. 7(d)-(f)).
+//
+// Telemetry: Run() instruments itself with obs spans
+// (gale.core.run > gale.core.iteration > gale.core.select / gale.core.train
+// > gale.core.sgan.epoch, plus gale.prop.ppr.batch and gale.la.kmeans from
+// the layers below) and selector counters, and snapshots everything into
+// GaleResult.report. GaleIterationStats is a *view* computed from that
+// report — there is no second timing mechanism. Set GALE_TRACE_DIR to
+// export the report as JSON-lines metrics + a chrome://tracing trace.
 
 #ifndef GALE_CORE_GALE_H_
 #define GALE_CORE_GALE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/annotator.h"
@@ -29,6 +38,9 @@
 #include "graph/constraints.h"
 #include "la/matrix.h"
 #include "la/sparse_matrix.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "util/check.h"
 #include "util/status.h"
 
 namespace gale::core {
@@ -48,6 +60,10 @@ struct GaleConfig {
   uint64_t seed = 123;
 };
 
+// Per-iteration cost view over the span tree (see
+// IterationStatsFromReport). `seconds` is the duration of the iteration
+// span; select/train are the durations of its nested child spans, so by
+// construction select_seconds + train_seconds <= seconds.
 struct GaleIterationStats {
   int iteration = 0;
   double seconds = 0.0;           // wall time of this iteration
@@ -57,15 +73,98 @@ struct GaleIterationStats {
   size_t cumulative_queries = 0;
 };
 
+// Inputs to Gale::Run beyond the feature matrices. A struct so new
+// optional inputs never grow the positional arity.
+struct GaleRunInputs {
+  // Optional pre-existing examples (per node, kUnlabeled elsewhere);
+  // empty means a true cold start.
+  std::vector<int> initial_labels;
+  // Optional held-out labels for SGAN early stopping.
+  std::vector<int> val_labels;
+  // Optional observability sinks. When null, Run uses the ambient
+  // obs context of the calling thread if one is installed (so runner
+  // spans and the run's spans share one trace), else run-local
+  // instances. GaleResult.report snapshots whichever pair was used.
+  obs::Registry* registry = nullptr;
+  obs::Trace* trace = nullptr;
+};
+
 struct GaleResult {
   std::vector<int> predicted;      // per node: kLabelError / kLabelCorrect
   la::Matrix probabilities;        // n x 2
   std::vector<int> example_labels;  // final V_T (kUnlabeled where unqueried)
-  std::vector<GaleIterationStats> iterations;
   std::vector<Annotation> last_annotations;  // Q̃ of the final round
-  double total_seconds = 0.0;
-  SelectorTelemetry selector_telemetry;
+  // Every counter, gauge, histogram, and span of the run. The accessors
+  // below are views over this one report.
+  obs::Report report;
+
+  std::vector<GaleIterationStats> iterations() const;
+  SelectorTelemetry selector_telemetry() const;
+  double total_seconds() const;  // duration of the gale.core.run span
 };
+
+// Builds the per-iteration cost stats from a run report: one entry per
+// completed gale.core.iteration span (spans of iterations aborted mid-way
+// carry no "new_examples" arg and are skipped), with select/train filled
+// from the nested child spans. Exposed as a free function so malformed
+// reports can be fed to it under GALE_DEBUG_CHECKS (the nesting contract
+// select + train <= seconds is DCHECKed here).
+inline std::vector<GaleIterationStats> IterationStatsFromReport(
+    const obs::Report& report) {
+  std::vector<GaleIterationStats> stats;
+  // span index -> index into `stats`, or -1.
+  std::vector<int> stats_index(report.spans.size(), -1);
+  for (size_t s = 0; s < report.spans.size(); ++s) {
+    const obs::SpanRecord& span = report.spans[s];
+    if (span.name == "gale.core.iteration") {
+      if (!span.HasArg("new_examples")) continue;  // aborted iteration
+      GaleIterationStats entry;
+      entry.iteration = static_cast<int>(span.ArgOr("iteration", 0.0));
+      entry.seconds = span.seconds();
+      entry.new_examples =
+          static_cast<size_t>(span.ArgOr("new_examples", 0.0));
+      entry.cumulative_queries =
+          static_cast<size_t>(span.ArgOr("cumulative_queries", 0.0));
+      stats_index[s] = static_cast<int>(stats.size());
+      stats.push_back(entry);
+    } else if (span.parent >= 0 &&
+               stats_index[static_cast<size_t>(span.parent)] >= 0) {
+      GaleIterationStats& entry =
+          stats[static_cast<size_t>(stats_index[span.parent])];
+      if (span.name == "gale.core.select") {
+        entry.select_seconds += span.seconds();
+      } else if (span.name == "gale.core.train") {
+        entry.train_seconds += span.seconds();
+      }
+    }
+  }
+  for (const GaleIterationStats& entry : stats) {
+    // Children are nested inside the iteration span, so their durations
+    // can never add up past the parent's (small slack for the ns -> double
+    // conversions). A violation means the report was not produced by
+    // properly nested spans.
+    GALE_DCHECK_LE(entry.select_seconds + entry.train_seconds,
+                   entry.seconds + 1e-9)
+        << " iteration " << entry.iteration
+        << ": select_seconds + train_seconds exceed the iteration span ";
+  }
+  return stats;
+}
+
+inline std::vector<GaleIterationStats> GaleResult::iterations() const {
+  return IterationStatsFromReport(report);
+}
+
+inline SelectorTelemetry GaleResult::selector_telemetry() const {
+  return SelectorTelemetryFromReport(report);
+}
+
+inline double GaleResult::total_seconds() const {
+  for (const obs::SpanRecord& span : report.spans) {
+    if (span.name == "gale.core.run") return span.seconds();
+  }
+  return 0.0;
+}
 
 class Gale {
  public:
@@ -75,14 +174,20 @@ class Gale {
        const detect::DetectorLibrary* library,
        const std::vector<graph::Constraint>* constraints, GaleConfig config);
 
-  // Runs the full loop. `x_real`/`x_synthetic` come from GAugment.
-  //  * `initial_labels` — optional pre-existing examples (per node,
-  //    kUnlabeled elsewhere); empty means a true cold start;
-  //  * `val_labels` — optional held-out labels for SGAN early stopping.
+  // Runs the full loop. `x_real`/`x_synthetic` come from GAugment; labels
+  // and optional observability sinks ride in `inputs`.
   util::Result<GaleResult> Run(const la::Matrix& x_real,
                                const la::Matrix& x_synthetic,
                                detect::Oracle& oracle,
-                               const std::vector<int>& initial_labels = {},
+                               const GaleRunInputs& inputs = {});
+
+  // Transition shim for the pre-GaleRunInputs signature; forwards to the
+  // struct form. Kept for one release.
+  [[deprecated("pass a GaleRunInputs struct instead of positional labels")]]
+  util::Result<GaleResult> Run(const la::Matrix& x_real,
+                               const la::Matrix& x_synthetic,
+                               detect::Oracle& oracle,
+                               const std::vector<int>& initial_labels,
                                const std::vector<int>& val_labels = {});
 
   const GaleConfig& config() const { return config_; }

@@ -6,8 +6,8 @@
 #include "core/sgan.h"
 #include "prop/label_propagation.h"
 #include "util/logging.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
-#include "util/timer.h"
 
 namespace gale::core {
 
@@ -91,7 +91,19 @@ QuerySelector::QuerySelector(const la::SparseMatrix* walk_matrix,
       rng_(options.seed),
       ppr_(walk_matrix,
            prop::PprOptions{.alpha = options.ppr_alpha,
-                            .cache_rows = options.memoization}) {
+                            .cache_rows = options.memoization}),
+      registry_(obs::CurrentRegistry() != nullptr ? obs::CurrentRegistry()
+                                                  : &own_registry_),
+      cache_hits_(registry_->counter("gale.core.selector.distance_cache_hits")),
+      cache_misses_(
+          registry_->counter("gale.core.selector.distance_cache_misses")),
+      nodes_changed_(registry_->counter("gale.core.selector.nodes_changed")),
+      nodes_unchanged_(
+          registry_->counter("gale.core.selector.nodes_unchanged")),
+      last_select_seconds_(
+          registry_->gauge("gale.core.selector.last_select_seconds")),
+      ppr_rows_computed_(
+          registry_->gauge("gale.core.selector.ppr_rows_computed")) {
   GALE_CHECK(walk_matrix != nullptr);
 }
 
@@ -108,13 +120,10 @@ void QuerySelector::RefreshChangeFlags(const la::Matrix& embeddings) {
                       embedding_changed_.data(), v0, v1);
     });
   }
-  for (uint8_t f : embedding_changed_) {
-    if (f) {
-      ++telemetry_.nodes_changed;
-    } else {
-      ++telemetry_.nodes_unchanged;
-    }
-  }
+  size_t changed = 0;
+  for (uint8_t f : embedding_changed_) changed += f;
+  nodes_changed_->Increment(changed);
+  nodes_unchanged_->Increment(embedding_changed_.size() - changed);
   last_embeddings_ = embeddings;
 }
 
@@ -130,7 +139,7 @@ util::Result<std::vector<size_t>> QuerySelector::Select(
   }
   if (k == 0) return std::vector<size_t>{};
 
-  util::WallTimer timer;
+  obs::Span span("gale.core.select");
   std::vector<size_t> unlabeled;
   for (size_t v = 0; v < example_labels.size(); ++v) {
     if (example_labels[v] == kUnlabeled) unlabeled.push_back(v);
@@ -156,8 +165,8 @@ util::Result<std::vector<size_t>> QuerySelector::Select(
     }
     return util::Status::Internal("unknown strategy");
   }();
-  telemetry_.last_select_seconds = timer.ElapsedSeconds();
-  telemetry_.ppr_rows_computed = ppr_.num_computed_rows();
+  last_select_seconds_->Set(span.ElapsedSeconds());
+  ppr_rows_computed_->Set(static_cast<double>(ppr_.num_computed_rows()));
   return result;
 }
 
@@ -301,7 +310,11 @@ util::Result<std::vector<size_t>> QuerySelector::SelectGale(
   }
 
   // Greedy max-sum dispersion: B'_v(Q) = ½T(v) + λ Σ_{u in Q} d(v, u).
-  telemetry_.typicality_by_prefix.clear();
+  // The prefix dictionary is re-published per Select call, so stale |Q|
+  // entries from a larger previous k are erased first.
+  obs::Span scan_span("gale.core.selector.greedy_scan");
+  registry_->EraseGaugesWithPrefix(
+      "gale.core.selector.typicality_by_prefix.");
   const size_t m = unlabeled.size();
   std::vector<size_t> selected;
   std::vector<uint8_t> taken(m, 0);
@@ -336,7 +349,10 @@ util::Result<std::vector<size_t>> QuerySelector::SelectGale(
     const size_t chosen = unlabeled[best_idx];
     selected.push_back(chosen);
     prefix_typicality += t_scores[best_idx];
-    telemetry_.typicality_by_prefix[selected.size()] = prefix_typicality;
+    registry_
+        ->gauge("gale.core.selector.typicality_by_prefix." +
+                std::to_string(selected.size()))
+        ->Set(prefix_typicality);
 
     // Pairwise-diversity scan against the newly selected node. The serial
     // path fuses probe, insert, and accumulation into one pass; the
@@ -360,11 +376,11 @@ util::Result<std::vector<size_t>> QuerySelector::SelectGale(
           }
         }
         if (hit) {
-          ++telemetry_.distance_cache_hits;
+          cache_hits_->Increment();
         } else {
           dv = std::sqrt(
               embeddings.RowDistanceSquared(u, embeddings, chosen));
-          ++telemetry_.distance_cache_misses;
+          cache_misses_->Increment();
           if (options_.memoization) {
             distance_cache_[PairKey(u, chosen)] = dv;
           }
@@ -398,12 +414,12 @@ util::Result<std::vector<size_t>> QuerySelector::SelectGale(
       for (size_t i = 0; i < m; ++i) {
         if (taken[i]) continue;
         if (fresh[i]) {
-          ++telemetry_.distance_cache_misses;
+          cache_misses_->Increment();
           if (options_.memoization) {
             distance_cache_[PairKey(unlabeled[i], chosen)] = dist[i];
           }
         } else {
-          ++telemetry_.distance_cache_hits;
+          cache_hits_->Increment();
         }
         diversity_sum[i] += dist[i] / mean_pairwise;
       }

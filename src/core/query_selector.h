@@ -24,6 +24,13 @@
 //  (c) a typicality dictionary keyed by |Q| recording the greedy prefix
 //      objective (cheap bookkeeping; exposed for telemetry);
 //  (d) PPR rows cached inside the shared PprEngine.
+//
+// Telemetry flows through gale::obs: the selector resolves counter/gauge
+// handles under the metric prefix `gale.core.selector.` against the
+// registry that is ambient at construction (the run's registry inside
+// Gale::Run; a selector-owned fallback otherwise), and Select() opens a
+// `gale.core.select` span. SelectorTelemetry is a *view* decoded from an
+// obs::Report by SelectorTelemetryFromReport.
 
 #ifndef GALE_CORE_QUERY_SELECTOR_H_
 #define GALE_CORE_QUERY_SELECTOR_H_
@@ -37,6 +44,8 @@
 #include "core/typicality.h"
 #include "la/matrix.h"
 #include "la/sparse_matrix.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
 #include "prop/ppr.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -72,7 +81,9 @@ struct QuerySelectorOptions {
   uint64_t seed = 11;
 };
 
-// Telemetry counters for the learning-cost experiments (Fig. 7(e)/(f)).
+// Telemetry view for the learning-cost experiments (Fig. 7(e)/(f)) —
+// decoded from the `gale.core.selector.*` metrics of an obs::Report by
+// SelectorTelemetryFromReport.
 struct SelectorTelemetry {
   size_t distance_cache_hits = 0;
   size_t distance_cache_misses = 0;
@@ -85,10 +96,42 @@ struct SelectorTelemetry {
   std::map<size_t, double> typicality_by_prefix;
 };
 
+// Decodes the selector metrics out of a report: counters for the cache
+// and change-flag tallies, gauges for the per-run scalars, and the
+// `gale.core.selector.typicality_by_prefix.<|Q|>` gauge family for the
+// prefix dictionary.
+inline SelectorTelemetry SelectorTelemetryFromReport(
+    const obs::Report& report) {
+  SelectorTelemetry t;
+  t.distance_cache_hits = static_cast<size_t>(
+      report.CounterOr("gale.core.selector.distance_cache_hits"));
+  t.distance_cache_misses = static_cast<size_t>(
+      report.CounterOr("gale.core.selector.distance_cache_misses"));
+  t.nodes_unchanged = static_cast<size_t>(
+      report.CounterOr("gale.core.selector.nodes_unchanged"));
+  t.nodes_changed = static_cast<size_t>(
+      report.CounterOr("gale.core.selector.nodes_changed"));
+  t.last_select_seconds =
+      report.GaugeOr("gale.core.selector.last_select_seconds");
+  t.ppr_rows_computed = static_cast<size_t>(
+      report.GaugeOr("gale.core.selector.ppr_rows_computed"));
+  const std::string prefix = "gale.core.selector.typicality_by_prefix.";
+  for (auto it = report.gauges.lower_bound(prefix);
+       it != report.gauges.end() &&
+       it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    t.typicality_by_prefix[std::stoul(it->first.substr(prefix.size()))] =
+        it->second;
+  }
+  return t;
+}
+
 class QuerySelector {
  public:
   // `walk_matrix` (symmetric normalized adjacency) must outlive the
-  // selector; it feeds the shared PPR engine and label propagation.
+  // selector; it feeds the shared PPR engine and label propagation. The
+  // selector binds to the obs registry ambient on the constructing thread
+  // (or a private one when none is installed).
   QuerySelector(const la::SparseMatrix* walk_matrix,
                 QuerySelectorOptions options);
 
@@ -105,7 +148,10 @@ class QuerySelector {
                                            const la::Matrix& class_probs,
                                            size_t k);
 
-  const SelectorTelemetry& telemetry() const { return telemetry_; }
+  // Snapshot of the selector metrics, decoded into the view struct.
+  SelectorTelemetry telemetry() const {
+    return SelectorTelemetryFromReport(obs::Snapshot(registry_, nullptr));
+  }
   prop::PprEngine& ppr() { return ppr_; }
   const QuerySelectorOptions& options() const { return options_; }
 
@@ -129,7 +175,18 @@ class QuerySelector {
   QuerySelectorOptions options_;
   util::Rng rng_;
   prop::PprEngine ppr_;
-  SelectorTelemetry telemetry_;
+
+  // Metric sinks: `registry_` is the ambient registry at construction or
+  // `own_registry_`; the handles below are stable pointers into it
+  // (resolved once, bumped pointer-cheap on the hot paths).
+  obs::Registry own_registry_;
+  obs::Registry* registry_;
+  obs::Counter* cache_hits_;
+  obs::Counter* cache_misses_;
+  obs::Counter* nodes_changed_;
+  obs::Counter* nodes_unchanged_;
+  obs::Gauge* last_select_seconds_;
+  obs::Gauge* ppr_rows_computed_;
 
   // Memoization state (Section VII).
   la::Matrix last_embeddings_;

@@ -10,6 +10,7 @@
 #include "nn/dense.h"
 #include "nn/dropout.h"
 #include "nn/losses.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -73,6 +74,7 @@ Sgan::Sgan(size_t feature_dim, const SganConfig& config)
 SganEpochStats Sgan::RunEpoch(const la::Matrix& x_real,
                               const std::vector<int>& labels,
                               const la::Matrix& x_synthetic, bool update_g) {
+  obs::Span epoch_span("gale.core.sgan.epoch");
   SganEpochStats stats;
   const size_t n_real = x_real.rows();
   const size_t n_syn = x_synthetic.rows();

@@ -8,8 +8,8 @@
 #include "baselines/raha.h"
 #include "baselines/viodet.h"
 #include "detect/oracle.h"
+#include "obs/trace.h"
 #include "util/logging.h"
-#include "util/timer.h"
 
 namespace gale::eval {
 
@@ -46,30 +46,33 @@ std::vector<uint8_t> ToErrorFlags(const std::vector<int>& predicted) {
   return flags;
 }
 
-MethodOutcome RunVioDet(const PreparedDataset& ds) {
-  util::WallTimer timer;
+util::Result<MethodOutcome> RunVioDet(const PreparedDataset& ds) {
+  obs::ScopedAmbientContext obs_context;
+  obs::Span span("gale.eval.viodet");
   baselines::VioDet viodet(ds.constraints);
   const std::vector<uint8_t> predicted = viodet.Predict(ds.dirty);
   MethodOutcome out;
   out.method = "VioDet";
-  out.train_seconds = timer.ElapsedSeconds();
+  out.train_seconds = span.ElapsedSeconds();
   out.metrics =
       ComputeMetrics(predicted, ds.truth.is_error, ds.splits.test_mask);
   return out;
 }
 
-MethodOutcome RunAlad(const PreparedDataset& ds, const ExampleSet& examples) {
-  util::WallTimer timer;
+util::Result<MethodOutcome> RunAlad(const PreparedDataset& ds,
+                                    const ExampleSet& examples) {
+  obs::ScopedAmbientContext obs_context;
+  obs::Span span("gale.eval.alad");
   baselines::Alad alad;
   util::Result<std::vector<double>> scores =
       alad.Score(ds.dirty, ds.features.x_real);
-  GALE_CHECK(scores.ok()) << scores.status();
+  if (!scores.ok()) return scores.status();
   const std::vector<uint8_t> predicted =
       baselines::Alad::ThresholdByValidation(scores.value(),
                                              examples.val_labels);
   MethodOutcome out;
   out.method = "Alad";
-  out.train_seconds = timer.ElapsedSeconds();
+  out.train_seconds = span.ElapsedSeconds();
   out.metrics =
       ComputeMetrics(predicted, ds.truth.is_error, ds.splits.test_mask);
   out.auc_pr =
@@ -80,7 +83,8 @@ MethodOutcome RunAlad(const PreparedDataset& ds, const ExampleSet& examples) {
 util::Result<MethodOutcome> RunRaha(const PreparedDataset& ds,
                                     const ExampleSet& examples,
                                     uint64_t seed) {
-  util::WallTimer timer;
+  obs::ScopedAmbientContext obs_context;
+  obs::Span span("gale.eval.raha");
   baselines::RahaOptions options;
   options.seed = seed;
   baselines::Raha raha(ds.constraints, options);
@@ -89,7 +93,7 @@ util::Result<MethodOutcome> RunRaha(const PreparedDataset& ds,
   if (!predicted.ok()) return predicted.status();
   MethodOutcome out;
   out.method = "Raha";
-  out.train_seconds = timer.ElapsedSeconds();
+  out.train_seconds = span.ElapsedSeconds();
   out.metrics = ComputeMetrics(predicted.value(), ds.truth.is_error,
                                ds.splits.test_mask);
   return out;
@@ -98,7 +102,8 @@ util::Result<MethodOutcome> RunRaha(const PreparedDataset& ds,
 util::Result<MethodOutcome> RunGcn(const PreparedDataset& ds,
                                    const ExampleSet& examples,
                                    uint64_t seed) {
-  util::WallTimer timer;
+  obs::ScopedAmbientContext obs_context;
+  obs::Span span("gale.eval.gcn");
   baselines::GcnClassifierOptions options;
   options.seed = seed;
   baselines::GcnClassifier gcn(&ds.walk_matrix, ds.features.x_real.cols(),
@@ -108,7 +113,7 @@ util::Result<MethodOutcome> RunGcn(const PreparedDataset& ds,
   const std::vector<uint8_t> predicted = gcn.Predict(ds.features.x_real);
   MethodOutcome out;
   out.method = "GCN";
-  out.train_seconds = timer.ElapsedSeconds();
+  out.train_seconds = span.ElapsedSeconds();
   out.metrics =
       ComputeMetrics(predicted, ds.truth.is_error, ds.splits.test_mask);
   return out;
@@ -117,7 +122,8 @@ util::Result<MethodOutcome> RunGcn(const PreparedDataset& ds,
 util::Result<MethodOutcome> RunGeDet(const PreparedDataset& ds,
                                      const ExampleSet& examples,
                                      uint64_t seed) {
-  util::WallTimer timer;
+  obs::ScopedAmbientContext obs_context;
+  obs::Span span("gale.eval.gedet");
   baselines::GeDet gedet(BenchSganConfig(seed));
   GALE_RETURN_IF_ERROR(gedet.Train(ds.features.x_real, examples.labels,
                                    ds.features.x_synthetic,
@@ -125,7 +131,7 @@ util::Result<MethodOutcome> RunGeDet(const PreparedDataset& ds,
   const std::vector<uint8_t> predicted = gedet.Predict(ds.features.x_real);
   MethodOutcome out;
   out.method = "GEDet";
-  out.train_seconds = timer.ElapsedSeconds();
+  out.train_seconds = span.ElapsedSeconds();
   out.metrics =
       ComputeMetrics(predicted, ds.truth.is_error, ds.splits.test_mask);
   return out;
@@ -157,10 +163,13 @@ util::Result<GaleOutcome> RunGale(const PreparedDataset& ds,
           ? static_cast<detect::Oracle&>(ensemble_oracle)
           : static_cast<detect::Oracle&>(truth_oracle);
 
-  util::WallTimer timer;
+  obs::ScopedAmbientContext obs_context;
+  obs::Span span("gale.eval.gale");
+  core::GaleRunInputs inputs;
+  inputs.initial_labels = examples.labels;
+  inputs.val_labels = examples.val_labels;
   util::Result<core::GaleResult> result =
-      gale.Run(ds.features.x_real, ds.features.x_synthetic, oracle,
-               examples.labels, examples.val_labels);
+      gale.Run(ds.features.x_real, ds.features.x_synthetic, oracle, inputs);
   if (!result.ok()) return result.status();
 
   GaleOutcome out;
@@ -169,7 +178,7 @@ util::Result<GaleOutcome> RunGale(const PreparedDataset& ds,
       options.memoization
           ? core::QueryStrategyName(options.strategy)
           : std::string("U_GALE");
-  out.outcome.train_seconds = timer.ElapsedSeconds();
+  out.outcome.train_seconds = span.ElapsedSeconds();
   out.outcome.metrics = ComputeMetrics(ToErrorFlags(out.detail.predicted),
                                        ds.truth.is_error,
                                        ds.splits.test_mask);

@@ -1,7 +1,11 @@
 // Uniform experiment runners: one function per method of Table IV, all
-// consuming a PreparedDataset + ExampleSet and reporting test-fold metrics
-// and wall-clock training cost. The bench binaries are thin wrappers over
-// these.
+// consuming a PreparedDataset + ExampleSet, returning
+// util::Result<MethodOutcome> (test-fold metrics + wall-clock training
+// cost), and timing themselves through gale::obs spans
+// (gale.eval.<method>). Each runner installs an obs::ScopedAmbientContext,
+// so a standalone call gets its own trace while a call made under an
+// outer context (a bench loop that wants one combined trace) nests into
+// it. The bench binaries are thin wrappers over these.
 
 #ifndef GALE_EVAL_EXPERIMENT_H_
 #define GALE_EVAL_EXPERIMENT_H_
@@ -39,8 +43,9 @@ util::Result<ExampleSet> MakeExamples(const PreparedDataset& ds,
                                       double initial_fraction = 1.0,
                                       double forced_error_share = -1.0);
 
-MethodOutcome RunVioDet(const PreparedDataset& ds);
-MethodOutcome RunAlad(const PreparedDataset& ds, const ExampleSet& examples);
+util::Result<MethodOutcome> RunVioDet(const PreparedDataset& ds);
+util::Result<MethodOutcome> RunAlad(const PreparedDataset& ds,
+                                    const ExampleSet& examples);
 util::Result<MethodOutcome> RunRaha(const PreparedDataset& ds,
                                     const ExampleSet& examples,
                                     uint64_t seed);
@@ -64,7 +69,7 @@ struct GaleRunOptions {
 
 struct GaleOutcome {
   MethodOutcome outcome;
-  core::GaleResult detail;  // per-iteration telemetry, annotations
+  core::GaleResult detail;  // obs report, per-iteration views, annotations
 };
 
 // Runs a GALE variant. `examples` should be built with

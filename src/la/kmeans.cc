@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/trace.h"
 #include "util/parallel.h"
 
 namespace gale::la {
@@ -97,6 +98,9 @@ util::Result<KMeansResult> KMeans(const Matrix& data,
   const size_t d = data.cols();
   const size_t k = std::min(options.num_clusters, n);
 
+  obs::Span span("gale.la.kmeans");
+  span.Arg("points", static_cast<double>(n));
+
   KMeansResult result;
   result.centroids = SeedCentroids(data, k, rng);
   result.assignments.assign(n, 0);
@@ -168,6 +172,7 @@ util::Result<KMeansResult> KMeans(const Matrix& data,
     result.inertia += result.distances[i];
     result.distances[i] = std::sqrt(result.distances[i]);
   }
+  span.Arg("iterations", static_cast<double>(result.iterations));
   return result;
 }
 

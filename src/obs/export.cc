@@ -1,0 +1,116 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace gale::obs {
+
+namespace {
+
+// Shortest-ish deterministic double rendering: %.17g round-trips every
+// double and is a pure function of the bits, so exported bytes never
+// depend on locale or formatting state.
+std::string JsonNumber(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+// Microseconds with ns precision, the chrome://tracing "ts"/"dur" unit.
+std::string JsonMicros(uint64_t ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) / 1000.0);
+  return buf;
+}
+
+util::Status WriteTextFile(const std::string& path,
+                           const std::string& content) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out) {
+    return util::Status::Internal("obs: cannot open '" + path +
+                                  "' for writing");
+  }
+  out << content;
+  out.flush();
+  if (!out) {
+    return util::Status::Internal("obs: short write to '" + path + "'");
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+std::string MetricsJsonLines(const Report& report) {
+  std::ostringstream out;
+  for (const auto& [name, value] : report.counters) {
+    out << "{\"metric\":\"" << name << "\",\"type\":\"counter\",\"value\":"
+        << value << "}\n";
+  }
+  for (const auto& [name, value] : report.gauges) {
+    out << "{\"metric\":\"" << name << "\",\"type\":\"gauge\",\"value\":"
+        << JsonNumber(value) << "}\n";
+  }
+  for (const auto& [name, histogram] : report.histograms) {
+    out << "{\"metric\":\"" << name << "\",\"type\":\"histogram\",\"count\":"
+        << histogram.count << ",\"sum_ns\":" << histogram.sum
+        << ",\"buckets\":[";
+    bool first = true;
+    for (size_t b = 0; b < histogram.buckets.size(); ++b) {
+      if (histogram.buckets[b] == 0) continue;
+      if (!first) out << ",";
+      first = false;
+      out << "{\"pow2\":" << b << ",\"n\":" << histogram.buckets[b] << "}";
+    }
+    out << "]}\n";
+  }
+  return out.str();
+}
+
+std::string ChromeTraceJson(const Report& report) {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (size_t i = 0; i < report.spans.size(); ++i) {
+    const SpanRecord& span = report.spans[i];
+    if (i > 0) out << ",";
+    out << "\n{\"name\":\"" << span.name
+        << "\",\"cat\":\"gale\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":"
+        << JsonMicros(span.start_ns) << ",\"dur\":"
+        << JsonMicros(span.dur_ns) << ",\"args\":{";
+    for (size_t a = 0; a < span.args.size(); ++a) {
+      if (a > 0) out << ",";
+      out << "\"" << span.args[a].first
+          << "\":" << JsonNumber(span.args[a].second);
+    }
+    out << "}}";
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+util::Status WriteMetricsJsonLines(const Report& report,
+                                   const std::string& path) {
+  return WriteTextFile(path, MetricsJsonLines(report));
+}
+
+util::Status WriteChromeTrace(const Report& report, const std::string& path) {
+  return WriteTextFile(path, ChromeTraceJson(report));
+}
+
+util::Status ExportReport(const Report& report, const std::string& dir,
+                          const std::string& stem) {
+  const std::string base = dir + "/" + stem;
+  util::Status status = WriteMetricsJsonLines(report, base + "_metrics.jsonl");
+  if (!status.ok()) return status;
+  return WriteChromeTrace(report, base + "_trace.json");
+}
+
+util::Status MaybeExportToEnvDir(const Report& report,
+                                 const std::string& stem) {
+  const char* dir = std::getenv("GALE_TRACE_DIR");
+  if (dir == nullptr || dir[0] == '\0') return util::Status::Ok();
+  return ExportReport(report, dir, stem);
+}
+
+}  // namespace gale::obs

@@ -1,0 +1,51 @@
+#include "obs/metrics.h"
+
+namespace gale::obs {
+
+Counter* Registry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    ++internal::ObsAllocationsRef();
+    it = counters_.emplace(std::string(name), Counter()).first;
+  }
+  return &it->second;
+}
+
+Gauge* Registry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    ++internal::ObsAllocationsRef();
+    it = gauges_.emplace(std::string(name), Gauge()).first;
+  }
+  return &it->second;
+}
+
+Histogram* Registry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    ++internal::ObsAllocationsRef();
+    it = histograms_.emplace(std::string(name), Histogram()).first;
+  }
+  return &it->second;
+}
+
+void Registry::EraseGaugesWithPrefix(std::string_view prefix) {
+  auto it = gauges_.lower_bound(prefix);
+  while (it != gauges_.end() &&
+         std::string_view(it->first).substr(0, prefix.size()) == prefix) {
+    it = gauges_.erase(it);
+  }
+}
+
+uint64_t ObsAllocations() { return internal::ObsAllocationsRef(); }
+
+namespace internal {
+
+uint64_t& ObsAllocationsRef() {
+  static uint64_t allocations = 0;
+  return allocations;
+}
+
+}  // namespace internal
+
+}  // namespace gale::obs

@@ -1,0 +1,65 @@
+#include "obs/report.h"
+
+namespace gale::obs {
+
+bool SpanRecord::HasArg(std::string_view key) const {
+  for (const auto& [k, v] : args) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+double SpanRecord::ArgOr(std::string_view key, double fallback) const {
+  for (const auto& [k, v] : args) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+uint64_t Report::CounterOr(std::string_view name, uint64_t fallback) const {
+  const auto it = counters.find(std::string(name));
+  return it == counters.end() ? fallback : it->second;
+}
+
+double Report::GaugeOr(std::string_view name, double fallback) const {
+  const auto it = gauges.find(std::string(name));
+  return it == gauges.end() ? fallback : it->second;
+}
+
+Report Snapshot(const Registry* registry, const Trace* trace) {
+  Report report;
+  if (registry != nullptr) {
+    for (const auto& [name, counter] : registry->counters()) {
+      report.counters[name] = counter.value();
+    }
+    for (const auto& [name, gauge] : registry->gauges()) {
+      report.gauges[name] = gauge.value();
+    }
+    for (const auto& [name, histogram] : registry->histograms()) {
+      HistogramSnapshot snap;
+      snap.count = histogram.count();
+      snap.sum = histogram.sum();
+      snap.buckets = histogram.buckets();
+      report.histograms[name] = snap;
+    }
+  }
+  if (trace != nullptr) {
+    report.spans.reserve(trace->num_spans());
+    for (size_t i = 0; i < trace->num_spans(); ++i) {
+      SpanRecord record;
+      record.name = trace->SpanName(i);
+      record.parent = trace->SpanParent(i);
+      record.start_ns = trace->SpanStart(i);
+      record.dur_ns = trace->SpanDuration(i);
+      const auto& args = trace->SpanArgs(i);
+      record.args.reserve(args.size());
+      for (const auto& [key, value] : args) {
+        record.args.emplace_back(std::string(key), value);
+      }
+      report.spans.push_back(std::move(record));
+    }
+  }
+  return report;
+}
+
+}  // namespace gale::obs

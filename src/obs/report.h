@@ -1,0 +1,62 @@
+// obs::Report — a plain-value snapshot of one run's observability state.
+//
+// The live Registry/Trace objects are driver-thread handles tied to a run;
+// a Report is the copyable result: every counter, gauge, and histogram by
+// name (ordered maps, so iteration and export order are deterministic)
+// plus the span tree in open order. GaleResult carries one, and the
+// telemetry structs the callers consume (GaleIterationStats,
+// SelectorTelemetry) are computed views over it — one vocabulary from la
+// up to eval instead of three parallel timing mechanisms.
+
+#ifndef GALE_OBS_REPORT_H_
+#define GALE_OBS_REPORT_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace gale::obs {
+
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;  // of the recorded values (ns for span histograms)
+  std::array<uint64_t, Histogram::kNumBuckets> buckets{};
+};
+
+struct SpanRecord {
+  std::string name;
+  int32_t parent = -1;  // index into Report::spans; -1 for roots
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;  // 0 when the span was still open at snapshot time
+  std::vector<std::pair<std::string, double>> args;
+
+  double seconds() const { return static_cast<double>(dur_ns) * 1e-9; }
+  bool HasArg(std::string_view key) const;
+  double ArgOr(std::string_view key, double fallback) const;
+};
+
+struct Report {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::vector<SpanRecord> spans;  // in open order; children after parents
+
+  uint64_t CounterOr(std::string_view name, uint64_t fallback = 0) const;
+  double GaugeOr(std::string_view name, double fallback = 0.0) const;
+};
+
+// Copies the current state out of `registry` and/or `trace`; either may be
+// null (that section of the report stays empty). Spans still open at
+// snapshot time are included with dur_ns == 0.
+Report Snapshot(const Registry* registry, const Trace* trace);
+
+}  // namespace gale::obs
+
+#endif  // GALE_OBS_REPORT_H_

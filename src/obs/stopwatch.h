@@ -1,0 +1,37 @@
+// Wall-clock stopwatch (relocated here from util/timer.h so src/obs/ is
+// the single home for raw clock reads — lint rule raw-chrono-timing).
+//
+// Use obs::Span for anything on a library path: spans nest into the trace
+// tree, feed histograms, and honor logical-time mode. WallTimer is for
+// harness code that genuinely wants raw wall time — bench repetition
+// loops, tools — where a trace would be noise.
+
+#ifndef GALE_OBS_STOPWATCH_H_
+#define GALE_OBS_STOPWATCH_H_
+
+#include <chrono>
+
+namespace gale::obs {
+
+// Monotonic stopwatch. Started on construction; Restart() re-arms it.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gale::obs
+
+#endif  // GALE_OBS_STOPWATCH_H_

@@ -1,0 +1,130 @@
+#include "obs/trace.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace gale::obs {
+
+namespace {
+
+thread_local Trace* t_current_trace = nullptr;
+thread_local Registry* t_current_registry = nullptr;
+
+}  // namespace
+
+TimeMode DefaultTimeMode() {
+  static const TimeMode mode = [] {
+    const char* env = std::getenv("GALE_OBS_LOGICAL_TIME");
+    return env != nullptr && env[0] == '1' && env[1] == '\0'
+               ? TimeMode::kLogical
+               : TimeMode::kWall;
+  }();
+  return mode;
+}
+
+Trace::Trace(TimeMode mode)
+    : mode_(mode), epoch_(std::chrono::steady_clock::now()) {}
+
+uint64_t Trace::TickNow() {
+  if (mode_ == TimeMode::kLogical) return ++tick_ * 1000;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+uint64_t Trace::PeekNow() const {
+  if (mode_ == TimeMode::kLogical) return tick_ * 1000;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+int32_t Trace::OpenSpan(const char* name) {
+  ++internal::ObsAllocationsRef();
+  const int32_t parent =
+      open_stack_.empty() ? -1 : open_stack_.back();
+  const int32_t index = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(Node{name, parent, TickNow(), 0, {}});
+  open_stack_.push_back(index);
+  return index;
+}
+
+uint64_t Trace::CloseSpan(int32_t index) {
+  GALE_DCHECK(!open_stack_.empty() && open_stack_.back() == index)
+      << "spans must close innermost-first";
+  open_stack_.pop_back();
+  Node& node = nodes_[static_cast<size_t>(index)];
+  node.dur_ns = TickNow() - node.start_ns;
+  return node.dur_ns;
+}
+
+void Trace::AddArg(int32_t index, const char* key, double value) {
+  ++internal::ObsAllocationsRef();
+  nodes_[static_cast<size_t>(index)].args.emplace_back(key, value);
+}
+
+Trace* CurrentTrace() { return t_current_trace; }
+
+Registry* CurrentRegistry() { return t_current_registry; }
+
+ScopedObs::ScopedObs(Trace* trace, Registry* registry)
+    : previous_trace_(t_current_trace),
+      previous_registry_(t_current_registry) {
+  t_current_trace = trace;
+  t_current_registry = registry;
+}
+
+ScopedObs::~ScopedObs() {
+  t_current_trace = previous_trace_;
+  t_current_registry = previous_registry_;
+}
+
+ScopedAmbientContext::ScopedAmbientContext() {
+  if (CurrentTrace() != nullptr) return;
+  local_trace_.emplace();
+  Registry* registry = CurrentRegistry();
+  if (registry == nullptr) {
+    local_registry_.emplace();
+    registry = &*local_registry_;
+  }
+  attach_.emplace(&*local_trace_, registry);
+}
+
+Span::Span(const char* name) {
+  // Spans inside parallel callbacks are dropped unconditionally — on pool
+  // workers for thread-safety, and on the caller's own shard (including
+  // the serial inline fallback) so the recorded tree is identical at
+  // every GALE_NUM_THREADS.
+  if (util::InParallelRegion() || util::InParallelDispatch()) return;
+  Trace* trace = CurrentTrace();
+  if (trace == nullptr) return;
+  trace_ = trace;
+  index_ = trace->OpenSpan(name);
+}
+
+Span::~Span() {
+  if (trace_ == nullptr) return;
+  const char* name = trace_->SpanName(static_cast<size_t>(index_));
+  const uint64_t dur_ns = trace_->CloseSpan(index_);
+  if (Registry* registry = CurrentRegistry()) {
+    registry->histogram(name)->Record(dur_ns);
+  }
+}
+
+void Span::Arg(const char* key, double value) {
+  if (trace_ == nullptr) return;
+  trace_->AddArg(index_, key, value);
+}
+
+double Span::ElapsedSeconds() const {
+  if (trace_ == nullptr) return 0.0;
+  return static_cast<double>(trace_->PeekNow() -
+                             trace_->SpanStart(static_cast<size_t>(index_))) *
+         1e-9;
+}
+
+}  // namespace gale::obs

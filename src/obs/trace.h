@@ -1,0 +1,177 @@
+// Trace tree + RAII spans + the ambient observability context.
+//
+// A Trace records a tree of timed spans on the driver thread. Spans are
+// opened/closed through the RAII obs::Span guard, which attaches to the
+// calling thread's *ambient* context — the (Trace*, Registry*) pair
+// installed by a ScopedObs. With no context installed, or when the caller
+// is inside a util::ParallelFor callback, a Span is completely inert: no
+// clock read, no allocation, no store beyond two null members. That makes
+// deep instrumentation free to leave in library code — benches and tests
+// that drive the kernels directly pay two thread-local loads per span.
+//
+// Determinism (DESIGN.md §9):
+//  * Spans opened from inside a parallel callback — a pool worker OR the
+//    caller's own shard of a dispatch (util::InParallelRegion() ||
+//    util::InParallelDispatch()) — are dropped, at every thread count
+//    including the serial inline fallback. The recorded span tree
+//    therefore never depends on GALE_NUM_THREADS. Instrument around
+//    dispatches, not inside them.
+//  * Time has two modes. kWall reads std::chrono::steady_clock (this file
+//    is the one home for raw clock reads in src/ — lint rule
+//    raw-chrono-timing). kLogical replaces the clock with a tick counter
+//    advanced once per recorded open/close, so every timestamp — and thus
+//    every exported byte — is identical across runs and thread counts.
+//    Select it per Trace or process-wide with GALE_OBS_LOGICAL_TIME=1.
+//
+// On close, a span's duration is auto-recorded into the ambient
+// registry's histogram of the same name, so `gale.core.sgan.epoch` et al.
+// get latency distributions without extra call-site code.
+
+#ifndef GALE_OBS_TRACE_H_
+#define GALE_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace gale::obs {
+
+enum class TimeMode {
+  kWall = 0,  // steady_clock nanoseconds since Trace construction
+  kLogical,   // deterministic tick (1 µs) per recorded open/close
+};
+
+// kLogical when GALE_OBS_LOGICAL_TIME=1 (read once), else kWall.
+TimeMode DefaultTimeMode();
+
+// Span storage. All methods are driver-thread only (see header comment);
+// the *Span methods are the Span guard's backend and are not meant to be
+// called directly by instrumentation sites.
+class Trace {
+ public:
+  Trace() : Trace(DefaultTimeMode()) {}
+  explicit Trace(TimeMode mode);
+
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  TimeMode mode() const { return mode_; }
+  size_t num_spans() const { return nodes_.size(); }
+
+  // Span backend -----------------------------------------------------------
+  // Opens a child of the currently open span (or a root). `name` must be a
+  // string literal or otherwise outlive the trace; nodes store the pointer.
+  int32_t OpenSpan(const char* name);
+  // Closes the span (must be the innermost open one) and returns its
+  // duration in time-mode units (ns).
+  uint64_t CloseSpan(int32_t index);
+  void AddArg(int32_t index, const char* key, double value);
+
+  // Snapshot accessors ------------------------------------------------------
+  const char* SpanName(size_t index) const { return nodes_[index].name; }
+  int32_t SpanParent(size_t index) const { return nodes_[index].parent; }
+  uint64_t SpanStart(size_t index) const { return nodes_[index].start_ns; }
+  // 0 while the span is still open.
+  uint64_t SpanDuration(size_t index) const { return nodes_[index].dur_ns; }
+  const std::vector<std::pair<const char*, double>>& SpanArgs(
+      size_t index) const {
+    return nodes_[index].args;
+  }
+
+  // Current time in ns-equivalent units without advancing logical time
+  // (safe to call any number of times without disturbing determinism).
+  uint64_t PeekNow() const;
+
+ private:
+  struct Node {
+    const char* name;
+    int32_t parent;
+    uint64_t start_ns;
+    uint64_t dur_ns;  // 0 while open
+    std::vector<std::pair<const char*, double>> args;
+  };
+
+  // Advances and returns the clock; one tick per call in logical mode.
+  uint64_t TickNow();
+
+  TimeMode mode_;
+  std::chrono::steady_clock::time_point epoch_;
+  uint64_t tick_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<int32_t> open_stack_;
+};
+
+// The ambient per-thread context spans and instrumentation read.
+Trace* CurrentTrace();
+Registry* CurrentRegistry();
+
+// Installs (trace, registry) as the calling thread's ambient context for
+// the scope; restores the previous context on destruction. Either pointer
+// may be null (that half of the instrumentation stays inert).
+class ScopedObs {
+ public:
+  ScopedObs(Trace* trace, Registry* registry);
+  ~ScopedObs();
+
+  ScopedObs(const ScopedObs&) = delete;
+  ScopedObs& operator=(const ScopedObs&) = delete;
+
+ private:
+  Trace* previous_trace_;
+  Registry* previous_registry_;
+};
+
+// Ensures the calling thread has an ambient context: a no-op when a trace
+// is already installed (the caller's spans then nest into it); otherwise
+// owns a fresh Trace + Registry and installs them for the scope. The eval
+// runners open with this so standalone calls still time themselves
+// through spans, while calls made under an outer trace nest instead.
+class ScopedAmbientContext {
+ public:
+  ScopedAmbientContext();
+
+  ScopedAmbientContext(const ScopedAmbientContext&) = delete;
+  ScopedAmbientContext& operator=(const ScopedAmbientContext&) = delete;
+
+ private:
+  std::optional<Trace> local_trace_;
+  std::optional<Registry> local_registry_;
+  std::optional<ScopedObs> attach_;
+};
+
+// RAII scoped timer. Opens a span in the ambient trace on construction,
+// closes it on destruction, and feeds the closed duration into the
+// ambient registry's histogram of the same name. Inert (and
+// allocation-free) when there is no ambient trace or when constructed
+// inside a parallel callback.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // True when the span is actually recording.
+  bool active() const { return trace_ != nullptr; }
+
+  // Attaches a key/value to the span (chrome://tracing "args"); no-op
+  // when inert. `key` must be a string literal.
+  void Arg(const char* key, double value);
+
+  // Seconds since the span opened (0.0 when inert). Uses PeekNow, so
+  // calling it never advances logical time.
+  double ElapsedSeconds() const;
+
+ private:
+  Trace* trace_ = nullptr;
+  int32_t index_ = -1;
+};
+
+}  // namespace gale::obs
+
+#endif  // GALE_OBS_TRACE_H_

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -61,6 +62,9 @@ void PprEngine::ComputeRows(std::span<const size_t> seeds) {
     if (cache_.count(v) == 0 && seen.insert(v).second) missing.push_back(v);
   }
   if (missing.empty()) return;
+
+  obs::Span span("gale.prop.ppr.batch");
+  span.Arg("rows", static_cast<double>(missing.size()));
 
   // Each power iteration only reads the walk matrix and writes its own
   // row, so rows parallelize with no shared state; cache insertion stays

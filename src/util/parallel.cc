@@ -16,6 +16,15 @@ namespace {
 constexpr int kMaxThreads = 256;
 
 thread_local bool t_in_parallel_region = false;
+thread_local int t_dispatch_depth = 0;
+
+// Marks the calling thread as inside a parallel dispatch for the duration
+// of RunShards — both the pool path and the serial inline fallback — so
+// InParallelDispatch() is thread-count invariant.
+struct ScopedDispatch {
+  ScopedDispatch() { ++t_dispatch_depth; }
+  ~ScopedDispatch() { --t_dispatch_depth; }
+};
 
 int DefaultParallelism() {
   if (const char* env = std::getenv("GALE_NUM_THREADS")) {
@@ -58,6 +67,7 @@ size_t ShardBoundary(size_t begin, size_t range, size_t shards, size_t s) {
 // exception.
 void RunShards(size_t begin, size_t end, size_t shards,
                const std::function<void(size_t, size_t, size_t)>& fn) {
+  const ScopedDispatch dispatch_scope;
   const size_t range = end - begin;
   if (shards <= 1 || t_in_parallel_region || Parallelism() == 1) {
     for (size_t s = 0; s < shards; ++s) {
@@ -125,6 +135,8 @@ void SetParallelism(int n) {
 }
 
 bool InParallelRegion() { return t_in_parallel_region; }
+
+bool InParallelDispatch() { return t_dispatch_depth > 0; }
 
 ScopedParallelism::ScopedParallelism(int n) : previous_(Parallelism()) {
   SetParallelism(n);

@@ -60,6 +60,15 @@ void SetParallelism(int n);
 // ParallelFor body); nested parallel calls detect this and run inline.
 bool InParallelRegion();
 
+// True while the calling thread is inside a ParallelFor/ParallelForShards
+// dispatch — including the caller's own shard and the serial inline
+// fallback, where InParallelRegion() stays false. Observability spans
+// check `InParallelRegion() || InParallelDispatch()` and drop themselves
+// inside parallel callbacks, so the recorded trace is the same at every
+// thread count (a span recorded only in the 1-thread fallback would break
+// that invariance).
+bool InParallelDispatch();
+
 // RAII parallelism override for tests: sets n, restores the previous
 // configuration on destruction.
 class ScopedParallelism {

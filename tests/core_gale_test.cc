@@ -73,8 +73,10 @@ TEST(GaleTest, RejectsBadInputs) {
   la::Matrix wrong(5, f.features.x_real.cols());
   EXPECT_FALSE(
       gale.Run(wrong, f.features.x_synthetic, oracle).ok());
+  GaleRunInputs bad_inputs;
+  bad_inputs.initial_labels = std::vector<int>(3, kUnlabeled);
   EXPECT_FALSE(gale.Run(f.features.x_real, f.features.x_synthetic, oracle,
-                        std::vector<int>(3, kUnlabeled))
+                        bad_inputs)
                    .ok());
 }
 
@@ -88,7 +90,7 @@ TEST(GaleTest, ColdStartRunsAndRespectsBudget) {
   ASSERT_TRUE(result.ok());
   const GaleResult& r = result.value();
 
-  EXPECT_EQ(r.iterations.size(), static_cast<size_t>(config.iterations));
+  EXPECT_EQ(r.iterations().size(), static_cast<size_t>(config.iterations));
   EXPECT_EQ(oracle.num_queries(),
             config.local_budget * static_cast<size_t>(config.iterations))
       << "total budget is T * k";
@@ -131,8 +133,10 @@ TEST(GaleTest, ExcludedNodesAreNeverQueried) {
   for (size_t v = f.dirty.num_nodes() - 200; v < f.dirty.num_nodes(); ++v) {
     initial[v] = -2;
   }
+  GaleRunInputs inputs;
+  inputs.initial_labels = initial;
   auto result = gale.Run(f.features.x_real, f.features.x_synthetic, oracle,
-                         initial);
+                         inputs);
   ASSERT_TRUE(result.ok());
   for (size_t v = f.dirty.num_nodes() - 200; v < f.dirty.num_nodes(); ++v) {
     const int label = result.value().example_labels[v];
@@ -202,8 +206,10 @@ TEST(GaleTest, WarmStartWithInitialExamplesHelps) {
     }
   }
   Gale warm(&f.dirty, &f.library, &f.constraints, config);
+  GaleRunInputs warm_inputs;
+  warm_inputs.initial_labels = initial;
   auto warm_result = warm.Run(f.features.x_real, f.features.x_synthetic,
-                              oracle_warm, initial);
+                              oracle_warm, warm_inputs);
   ASSERT_TRUE(warm_result.ok());
 
   auto f1_of = [&](const GaleResult& r) {
@@ -225,17 +231,46 @@ TEST(GaleTest, TelemetryIsPopulated) {
       gale.Run(f.features.x_real, f.features.x_synthetic, oracle);
   ASSERT_TRUE(result.ok());
   const GaleResult& r = result.value();
-  EXPECT_GT(r.total_seconds, 0.0);
+  EXPECT_GT(r.total_seconds(), 0.0);
   size_t cumulative = 0;
-  for (const GaleIterationStats& it : r.iterations) {
+  for (const GaleIterationStats& it : r.iterations()) {
     EXPECT_GE(it.seconds, 0.0);
+    EXPECT_GE(it.seconds + 1e-9, it.select_seconds + it.train_seconds)
+        << "nested spans cannot outlast their parent";
     EXPECT_GT(it.new_examples, 0u);
     EXPECT_GT(it.cumulative_queries, cumulative);
     cumulative = it.cumulative_queries;
   }
-  EXPECT_GT(r.selector_telemetry.distance_cache_misses +
-                r.selector_telemetry.distance_cache_hits,
+  const SelectorTelemetry telemetry = r.selector_telemetry();
+  EXPECT_GT(telemetry.distance_cache_misses + telemetry.distance_cache_hits,
             0u);
+  // The run's spans are all in the report, properly parented.
+  EXPECT_GT(r.report.spans.size(), 0u);
+  size_t run_spans = 0;
+  size_t iteration_spans = 0;
+  for (const obs::SpanRecord& span : r.report.spans) {
+    run_spans += span.name == "gale.core.run";
+    iteration_spans += span.name == "gale.core.iteration";
+  }
+  EXPECT_EQ(run_spans, 1u);
+  EXPECT_EQ(iteration_spans, r.iterations().size());
+}
+
+TEST(GaleTest, DeprecatedPositionalOverloadStillWorks) {
+  Fixture f = MakeFixture();
+  GaleConfig config = FastConfig(19);
+  config.iterations = 2;
+  Gale gale(&f.dirty, &f.library, &f.constraints, config);
+  detect::GroundTruthOracle oracle(&f.truth);
+  std::vector<int> initial(f.dirty.num_nodes(), kUnlabeled);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  auto result = gale.Run(f.features.x_real, f.features.x_synthetic, oracle,
+                         initial, std::vector<int>{});
+#pragma GCC diagnostic pop
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().iterations().size(),
+            static_cast<size_t>(config.iterations));
 }
 
 }  // namespace

@@ -1,0 +1,99 @@
+// IterationStatsFromReport: the view that turns a run's span tree into
+// GaleIterationStats, and its nesting contract — child select/train spans
+// can never outlast their iteration span. Compiled with
+// GALE_DEBUG_CHECKS=1 (see tests/CMakeLists.txt) so the header-inline
+// GALE_DCHECK is armed and the malformed-report death test bites in every
+// build configuration.
+
+#include "core/gale.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/report.h"
+
+namespace gale::core {
+namespace {
+
+obs::SpanRecord MakeSpan(const char* name, int32_t parent, uint64_t start_ns,
+                         uint64_t dur_ns) {
+  obs::SpanRecord span;
+  span.name = name;
+  span.parent = parent;
+  span.start_ns = start_ns;
+  span.dur_ns = dur_ns;
+  return span;
+}
+
+TEST(IterationStatsFromReportTest, ExtractsIterationsWithNestedChildren) {
+  obs::Report report;
+  report.spans.push_back(MakeSpan("gale.core.run", -1, 0, 100000));
+  // Iteration 0: select 2000 ns + train 5000 ns inside 10000 ns.
+  report.spans.push_back(MakeSpan("gale.core.iteration", 0, 1000, 10000));
+  report.spans.back().args = {{"iteration", 0.0},
+                              {"new_examples", 8.0},
+                              {"cumulative_queries", 8.0}};
+  report.spans.push_back(MakeSpan("gale.core.select", 1, 1500, 2000));
+  report.spans.push_back(MakeSpan("gale.core.train", 1, 4000, 5000));
+  // Iteration 1, two select spans (retry) both counted.
+  report.spans.push_back(MakeSpan("gale.core.iteration", 0, 20000, 9000));
+  report.spans.back().args = {{"iteration", 1.0},
+                              {"new_examples", 8.0},
+                              {"cumulative_queries", 16.0}};
+  report.spans.push_back(MakeSpan("gale.core.select", 4, 20500, 1000));
+  report.spans.push_back(MakeSpan("gale.core.select", 4, 22000, 1500));
+  report.spans.push_back(MakeSpan("gale.core.train", 4, 25000, 4000));
+  // An unrelated child never contributes.
+  report.spans.push_back(MakeSpan("gale.core.sgan.epoch", 7, 25500, 500));
+
+  const std::vector<GaleIterationStats> stats =
+      IterationStatsFromReport(report);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].iteration, 0);
+  EXPECT_DOUBLE_EQ(stats[0].seconds, 10000e-9);
+  EXPECT_DOUBLE_EQ(stats[0].select_seconds, 2000e-9);
+  EXPECT_DOUBLE_EQ(stats[0].train_seconds, 5000e-9);
+  EXPECT_EQ(stats[0].new_examples, 8u);
+  EXPECT_EQ(stats[0].cumulative_queries, 8u);
+  EXPECT_EQ(stats[1].iteration, 1);
+  EXPECT_DOUBLE_EQ(stats[1].select_seconds, 2500e-9);
+  EXPECT_DOUBLE_EQ(stats[1].train_seconds, 4000e-9);
+  EXPECT_EQ(stats[1].cumulative_queries, 16u);
+  // The contract the death test below enforces, on well-formed data.
+  for (const GaleIterationStats& it : stats) {
+    EXPECT_LE(it.select_seconds + it.train_seconds, it.seconds);
+  }
+}
+
+TEST(IterationStatsFromReportTest, SkipsAbortedIterations) {
+  obs::Report report;
+  report.spans.push_back(MakeSpan("gale.core.iteration", -1, 0, 5000));
+  report.spans.back().args = {{"iteration", 0.0},
+                              {"new_examples", 4.0},
+                              {"cumulative_queries", 4.0}};
+  // Aborted mid-select: the span closed without a "new_examples" arg, and
+  // its select child must not leak into any entry.
+  report.spans.push_back(MakeSpan("gale.core.iteration", -1, 6000, 1000));
+  report.spans.back().args = {{"iteration", 1.0}};
+  report.spans.push_back(MakeSpan("gale.core.select", 1, 6100, 800));
+
+  const std::vector<GaleIterationStats> stats =
+      IterationStatsFromReport(report);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].iteration, 0);
+  EXPECT_DOUBLE_EQ(stats[0].select_seconds, 0.0);
+}
+
+TEST(IterationStatsFromReportDeathTest, ChildDurationsExceedingParentDie) {
+  // A report that claims 2 µs of selection inside a 1 µs iteration is not
+  // a properly nested span tree; the view refuses it loudly.
+  obs::Report report;
+  report.spans.push_back(MakeSpan("gale.core.iteration", -1, 0, 1000));
+  report.spans.back().args = {{"iteration", 0.0},
+                              {"new_examples", 1.0},
+                              {"cumulative_queries", 1.0}};
+  report.spans.push_back(MakeSpan("gale.core.select", 0, 100, 2000));
+  EXPECT_DEATH(IterationStatsFromReport(report), "select_seconds");
+}
+
+}  // namespace
+}  // namespace gale::core

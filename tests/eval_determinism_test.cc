@@ -43,7 +43,9 @@ TEST(RunnerConsistencyTest, VioDetMatchesDirectComputation) {
   auto ds = PrepareDataset(spec.value(), 5);
   ASSERT_TRUE(ds.ok());
 
-  const MethodOutcome outcome = RunVioDet(*ds.value());
+  auto viodet = RunVioDet(*ds.value());
+  ASSERT_TRUE(viodet.ok());
+  const MethodOutcome& outcome = viodet.value();
   // Recompute by hand from the violation set.
   std::vector<uint8_t> flagged(ds.value()->dirty.num_nodes(), 0);
   for (const graph::Violation& v :

@@ -219,12 +219,14 @@ TEST(ExperimentTest, RunnersProduceTestFoldMetrics) {
   auto examples = MakeExamples(ds, 23);
   ASSERT_TRUE(examples.ok());
 
-  MethodOutcome viodet = RunVioDet(ds);
-  EXPECT_EQ(viodet.method, "VioDet");
-  EXPECT_GT(viodet.metrics.evaluated_nodes, 0u);
+  auto viodet = RunVioDet(ds);
+  ASSERT_TRUE(viodet.ok());
+  EXPECT_EQ(viodet.value().method, "VioDet");
+  EXPECT_GT(viodet.value().metrics.evaluated_nodes, 0u);
 
-  MethodOutcome alad = RunAlad(ds, examples.value());
-  EXPECT_GE(alad.auc_pr, 0.0);
+  auto alad = RunAlad(ds, examples.value());
+  ASSERT_TRUE(alad.ok());
+  EXPECT_GE(alad.value().auc_pr, 0.0);
 
   auto raha = RunRaha(ds, examples.value(), 23);
   ASSERT_TRUE(raha.ok());
@@ -238,7 +240,7 @@ TEST(ExperimentTest, RunnersProduceTestFoldMetrics) {
   auto gale = RunGale(ds, gale_examples.value(), options);
   ASSERT_TRUE(gale.ok());
   EXPECT_EQ(gale.value().outcome.method, "GALE");
-  EXPECT_EQ(gale.value().detail.iterations.size(), 4u);
+  EXPECT_EQ(gale.value().detail.iterations().size(), 4u);
   EXPECT_GT(gale.value().outcome.train_seconds, 0.0);
 
   options.memoization = false;

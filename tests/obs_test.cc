@@ -1,0 +1,259 @@
+// Tests for the gale::obs observability subsystem: registry/histogram
+// determinism, span nesting, parallel-dispatch drop semantics, the
+// disabled-mode zero-allocation contract, and golden-file exporter bytes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "util/parallel.h"
+
+namespace gale::obs {
+namespace {
+
+TEST(RegistryTest, FindOrCreateReturnsStableHandles) {
+  Registry registry;
+  Counter* hits = registry.counter("gale.test.hits");
+  hits->Increment();
+  hits->Increment(4);
+  EXPECT_EQ(registry.counter("gale.test.hits"), hits)
+      << "second resolution must return the same node";
+  EXPECT_EQ(hits->value(), 5u);
+
+  Gauge* ratio = registry.gauge("gale.test.ratio");
+  ratio->Set(0.25);
+  ratio->Set(0.75);
+  EXPECT_EQ(registry.gauge("gale.test.ratio"), ratio);
+  EXPECT_DOUBLE_EQ(ratio->value(), 0.75);
+
+  // Handles stay valid across later registrations (node-based map).
+  for (int i = 0; i < 64; ++i) {
+    registry.counter("gale.test.other." + std::to_string(i));
+  }
+  EXPECT_EQ(hits->value(), 5u);
+  EXPECT_EQ(registry.counter("gale.test.hits"), hits);
+}
+
+TEST(RegistryTest, EraseGaugesWithPrefix) {
+  Registry registry;
+  registry.gauge("gale.test.family.1")->Set(1.0);
+  registry.gauge("gale.test.family.2")->Set(2.0);
+  registry.gauge("gale.test.keep")->Set(3.0);
+  registry.EraseGaugesWithPrefix("gale.test.family.");
+  EXPECT_EQ(registry.gauges().size(), 1u);
+  EXPECT_EQ(registry.gauges().begin()->first, "gale.test.keep");
+}
+
+TEST(HistogramTest, BucketBoundariesArePowersOfTwo) {
+  Histogram h;
+  h.Record(0);  // bucket 0
+  h.Record(1);  // [1, 2) -> bucket 1
+  h.Record(2);  // [2, 4) -> bucket 2
+  h.Record(3);  // [2, 4) -> bucket 2
+  h.Record(4);  // [4, 8) -> bucket 3
+  h.Record(7);  // [4, 8) -> bucket 3
+  h.Record(8);  // [8, 16) -> bucket 4
+  h.Record(UINT64_MAX);  // top bucket
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_EQ(h.sum(), 0u + 1 + 2 + 3 + 4 + 7 + 8 + UINT64_MAX);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 2u);
+  EXPECT_EQ(h.buckets()[3], 2u);
+  EXPECT_EQ(h.buckets()[4], 1u);
+  EXPECT_EQ(h.buckets()[64], 1u);
+}
+
+TEST(TraceTest, LogicalTimeSpanTreeIsDeterministic) {
+  Trace trace(TimeMode::kLogical);
+  Registry registry;
+  ScopedObs obs(&trace, &registry);
+  {
+    Span root("root");
+    ASSERT_TRUE(root.active());
+    {
+      Span child("child");
+      child.Arg("x", 2.0);
+    }
+  }
+  ASSERT_EQ(trace.num_spans(), 2u);
+  EXPECT_STREQ(trace.SpanName(0), "root");
+  EXPECT_EQ(trace.SpanParent(0), -1);
+  EXPECT_STREQ(trace.SpanName(1), "child");
+  EXPECT_EQ(trace.SpanParent(1), 0);
+  // Logical clock: one 1 µs tick per recorded open/close, so the numbers
+  // are exact: root opens at tick 1, child at 2, child closes at 3, root
+  // at 4.
+  EXPECT_EQ(trace.SpanStart(0), 1000u);
+  EXPECT_EQ(trace.SpanDuration(0), 3000u);
+  EXPECT_EQ(trace.SpanStart(1), 2000u);
+  EXPECT_EQ(trace.SpanDuration(1), 1000u);
+  ASSERT_EQ(trace.SpanArgs(1).size(), 1u);
+  EXPECT_DOUBLE_EQ(trace.SpanArgs(1)[0].second, 2.0);
+
+  // Closed spans feed the same-name histogram in the ambient registry.
+  ASSERT_EQ(registry.histograms().count("child"), 1u);
+  EXPECT_EQ(registry.histograms().at("child").count(), 1u);
+  EXPECT_EQ(registry.histograms().at("child").sum(), 1000u);
+}
+
+TEST(TraceTest, SpansInsideParallelCallbacksAreDroppedAtEveryThreadCount) {
+  for (int threads : {1, 4}) {
+    util::ScopedParallelism parallelism(threads);
+    Trace trace(TimeMode::kLogical);
+    Registry registry;
+    ScopedObs obs(&trace, &registry);
+    std::vector<double> out(512, 0.0);
+    {
+      Span outer("outer");
+      util::ParallelFor(0, out.size(), 64, [&](size_t b, size_t e) {
+        // A span inside a dispatch callback must be inert — on a pool
+        // worker AND on the caller's inline shard (including the serial
+        // fallback at 1 thread), or the trace would depend on the thread
+        // count.
+        Span inner("inner");
+        EXPECT_FALSE(inner.active());
+        for (size_t i = b; i < e; ++i) out[i] = static_cast<double>(i);
+      });
+    }
+    EXPECT_EQ(trace.num_spans(), 1u) << "threads=" << threads;
+    EXPECT_STREQ(trace.SpanName(0), "outer");
+    EXPECT_EQ(registry.histograms().count("inner"), 0u);
+  }
+}
+
+// The full workload -> export pipeline produces byte-identical files at
+// any GALE_NUM_THREADS in logical-time mode (the acceptance criterion the
+// GALE_TRACE_DIR quickstart check pins end to end).
+TEST(TraceTest, ExportedBytesAreThreadCountInvariant) {
+  auto run_workload = [](int threads) {
+    util::ScopedParallelism parallelism(threads);
+    Trace trace(TimeMode::kLogical);
+    Registry registry;
+    ScopedObs obs(&trace, &registry);
+    std::vector<double> data(1024, 0.0);
+    {
+      Span outer("work");
+      outer.Arg("items", static_cast<double>(data.size()));
+      util::ParallelFor(0, data.size(), 64, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) data[i] = static_cast<double>(i) * 0.5;
+      });
+      double total = 0.0;
+      for (double v : data) total += v;
+      registry.gauge("gale.test.total")->Set(total);
+      registry.counter("gale.test.rounds")->Increment();
+      { Span nested("reduce"); }
+    }
+    const Report report = Snapshot(&registry, &trace);
+    return MetricsJsonLines(report) + ChromeTraceJson(report);
+  };
+  const std::string serial = run_workload(1);
+  const std::string parallel = run_workload(4);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("\"work\""), std::string::npos);
+}
+
+TEST(SpanTest, DisabledModeIsInertAndAllocationFree) {
+  ASSERT_EQ(CurrentTrace(), nullptr)
+      << "test requires no ambient obs context";
+  const uint64_t before = ObsAllocations();
+  for (int i = 0; i < 100; ++i) {
+    Span span("gale.test.disabled");
+    span.Arg("k", static_cast<double>(i));
+    EXPECT_FALSE(span.active());
+    EXPECT_EQ(span.ElapsedSeconds(), 0.0);
+  }
+  EXPECT_EQ(ObsAllocations() - before, 0u)
+      << "spans without an ambient context must not allocate";
+}
+
+TEST(ScopedAmbientContextTest, InstallsOnlyWhenAbsent) {
+  ASSERT_EQ(CurrentTrace(), nullptr);
+  {
+    ScopedAmbientContext ambient;
+    Trace* installed = CurrentTrace();
+    ASSERT_NE(installed, nullptr);
+    ASSERT_NE(CurrentRegistry(), nullptr);
+    {
+      // A nested ambient context must not re-install: spans opened inside
+      // keep nesting into the outer trace.
+      ScopedAmbientContext nested;
+      EXPECT_EQ(CurrentTrace(), installed);
+    }
+    EXPECT_EQ(CurrentTrace(), installed);
+  }
+  EXPECT_EQ(CurrentTrace(), nullptr);
+}
+
+TEST(ReportTest, SnapshotAndLookupHelpers) {
+  Trace trace(TimeMode::kLogical);
+  Registry registry;
+  ScopedObs obs(&trace, &registry);
+  registry.counter("gale.test.count")->Increment(7);
+  registry.gauge("gale.test.gauge")->Set(1.5);
+  Span open_span("still-open");
+  open_span.Arg("flag", 1.0);
+  const Report report = Snapshot(&registry, &trace);
+
+  EXPECT_EQ(report.CounterOr("gale.test.count"), 7u);
+  EXPECT_EQ(report.CounterOr("gale.test.absent", 42u), 42u);
+  EXPECT_DOUBLE_EQ(report.GaugeOr("gale.test.gauge"), 1.5);
+  EXPECT_DOUBLE_EQ(report.GaugeOr("gale.test.absent", -1.0), -1.0);
+
+  ASSERT_EQ(report.spans.size(), 1u);
+  const SpanRecord& span = report.spans[0];
+  EXPECT_EQ(span.name, "still-open");
+  EXPECT_EQ(span.dur_ns, 0u) << "open spans snapshot with zero duration";
+  EXPECT_TRUE(span.HasArg("flag"));
+  EXPECT_FALSE(span.HasArg("absent"));
+  EXPECT_DOUBLE_EQ(span.ArgOr("flag", 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(span.ArgOr("absent", -2.0), -2.0);
+}
+
+// Golden-file tests: the exporter formats are pinned byte for byte. If
+// these fail you changed the export format — update DESIGN.md §9 and any
+// downstream line parsers along with the expected strings.
+TEST(ExportTest, MetricsJsonLinesGolden) {
+  Registry registry;
+  registry.counter("gale.test.events")->Increment(3);
+  registry.gauge("gale.test.ratio")->Set(0.5);
+  Histogram* latency = registry.histogram("gale.test.lat");
+  latency->Record(0);
+  latency->Record(5);
+  latency->Record(5);
+  const Report report = Snapshot(&registry, nullptr);
+  EXPECT_EQ(
+      MetricsJsonLines(report),
+      "{\"metric\":\"gale.test.events\",\"type\":\"counter\",\"value\":3}\n"
+      "{\"metric\":\"gale.test.ratio\",\"type\":\"gauge\",\"value\":0.5}\n"
+      "{\"metric\":\"gale.test.lat\",\"type\":\"histogram\",\"count\":3,"
+      "\"sum_ns\":10,\"buckets\":[{\"pow2\":0,\"n\":1},{\"pow2\":3,\"n\":2}]}"
+      "\n");
+}
+
+TEST(ExportTest, ChromeTraceJsonGolden) {
+  Trace trace(TimeMode::kLogical);
+  ScopedObs obs(&trace, nullptr);
+  {
+    Span root("root");
+    Span child("child");
+    child.Arg("x", 2.0);
+  }
+  const Report report = Snapshot(nullptr, &trace);
+  EXPECT_EQ(ChromeTraceJson(report),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+            "{\"name\":\"root\",\"cat\":\"gale\",\"ph\":\"X\",\"pid\":0,"
+            "\"tid\":0,\"ts\":1.000,\"dur\":3.000,\"args\":{}},\n"
+            "{\"name\":\"child\",\"cat\":\"gale\",\"ph\":\"X\",\"pid\":0,"
+            "\"tid\":0,\"ts\":2.000,\"dur\":1.000,\"args\":{\"x\":2}}\n"
+            "]}\n");
+}
+
+}  // namespace
+}  // namespace gale::obs

@@ -183,7 +183,8 @@ int CmdDetect(const Flags& flags) {
   std::cout << "flagged " << flagged << " of " << g.value().num_nodes()
             << " nodes as erroneous (" << oracle.num_queries()
             << " oracle queries, "
-            << util::FormatDouble(result.value().total_seconds, 2) << "s)\n";
+            << util::FormatDouble(result.value().total_seconds(), 2)
+            << "s)\n";
   if (have_truth) {
     std::vector<uint8_t> flags_vec(g.value().num_nodes(), 0);
     for (size_t v = 0; v < flags_vec.size(); ++v) {

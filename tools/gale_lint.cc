@@ -28,6 +28,13 @@
 //                  With the closure pointer live, GCC spills inner-loop
 //                  bounds to the stack (~15% on the SpMM bench; DESIGN.md
 //                  §6).
+//   raw-chrono-timing
+//                  No std::chrono clock reads (steady_clock, system_clock,
+//                  high_resolution_clock) in src/ outside src/obs/ — all
+//                  timing flows through obs::Span / obs::Trace so it
+//                  respects logical-time mode and lands in one report.
+//                  Harness code (tools/, bench/, tests/, examples/) may
+//                  use obs::WallTimer or raw clocks freely.
 //   hot-path-alloc No allocating kernel calls (MatMul, Multiply,
 //                  SelectRows, ...) in a src/ file that already adopted
 //                  the *Into out-parameter path (it mentions la::Workspace
@@ -308,6 +315,7 @@ struct FileClass {
   bool log_exempt = false;  // src/util/logging.* — the one home for stderr
   bool par_exempt = false;  // src/util/parallel.* — the dispatch substrate
   bool la_exempt = false;   // src/la/* — defines the allocating wrappers
+  bool obs_exempt = false;  // src/obs/* — the one home for clock reads
 };
 
 FileClass Classify(const std::string& rel_path) {
@@ -317,6 +325,7 @@ FileClass Classify(const std::string& rel_path) {
   fc.log_exempt = rel_path.rfind("src/util/logging", 0) == 0;
   fc.par_exempt = rel_path.rfind("src/util/parallel", 0) == 0;
   fc.la_exempt = rel_path.rfind("src/la/", 0) == 0;
+  fc.obs_exempt = rel_path.rfind("src/obs/", 0) == 0;
   return fc;
 }
 
@@ -459,6 +468,24 @@ void CheckIo(const std::string& file, const FileClass& fc,
                          "'" + t.text +
                              "' in library code — route diagnostics through "
                              "util/logging (GALE_LOG / GALE_CHECK)"});
+  }
+}
+
+void CheckRawChronoTiming(const std::string& file, const FileClass& fc,
+                          const CleanFile& clean, const Annotations& ann,
+                          std::vector<Finding>* findings) {
+  if (!fc.in_src || fc.obs_exempt) return;
+  static const std::set<std::string> kBanned = {
+      "steady_clock", "system_clock", "high_resolution_clock"};
+  for (const Token& t : clean.tokens) {
+    if (kBanned.count(t.text) == 0) continue;
+    if (Suppressed(ann, "raw-chrono-timing", t.line)) continue;
+    findings->push_back(
+        {file, t.line, "raw-chrono-timing",
+         "'" + t.text +
+             "' in library code — time through obs::Span/obs::Trace "
+             "(src/obs/ is the one home for raw clock reads, so "
+             "logical-time mode and the run report stay complete)"});
   }
 }
 
@@ -608,6 +635,7 @@ std::vector<Finding> LintContent(const std::string& rel_path,
   CheckRng(rel_path, fc, clean, ann, &findings);
   CheckUnorderedIter(rel_path, clean, unordered_names, ann, &findings);
   CheckIo(rel_path, fc, clean, ann, &findings);
+  CheckRawChronoTiming(rel_path, fc, clean, ann, &findings);
   CheckNakedNew(rel_path, clean, ann, &findings);
   CheckShardNoinline(rel_path, fc, clean, ann, &findings);
   CheckHotPathAlloc(rel_path, fc, clean, adopted, ann, &findings);
@@ -857,6 +885,32 @@ void Wrapper(const gale::la::Matrix& a, gale::la::Matrix* out) {
 void Nothing() {}
 )__",
      "allow-reason", 1},
+    {"raw-chrono-bad", "src/fake/a.cc",
+     R"__(#include <chrono>
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+)__",
+     "raw-chrono-timing", 1},
+    {"raw-chrono-good-obs", "src/obs/fake.cc",
+     R"__(#include <chrono>
+auto Now() { return std::chrono::steady_clock::now(); }
+)__",
+     "raw-chrono-timing", 0},
+    {"raw-chrono-good-harness", "bench/fake.cc",
+     R"__(#include <chrono>
+auto Now() { return std::chrono::high_resolution_clock::now(); }
+)__",
+     "raw-chrono-timing", 0},
+    {"raw-chrono-suppressed", "src/fake/a.cc",
+     R"__(#include <chrono>
+// gale-lint: allow(raw-chrono-timing): boot-time log stamp, not telemetry
+auto Now() { return std::chrono::system_clock::now(); }
+)__",
+     "raw-chrono-timing", 0},
+
     {"comment-and-string-blanking", "src/fake/a.cc",
      R"__(// std::rand() in a comment is fine; so is new in prose.
 const char* kDoc = "call std::rand() and malloc() and printf()";
