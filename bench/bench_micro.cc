@@ -1,7 +1,9 @@
 // Kernel micro-benchmarks (google-benchmark) for the numerical substrates
 // the experiments run on: dense/sparse products, PPR power iteration,
-// k-means, feature encoding, edit distance, the greedy QSelect loop, and
-// the fixed-shape SGAN training step (steady-state allocation-free path).
+// k-means, feature encoding, edit distance, the greedy QSelect loop, the
+// fixed-shape SGAN training step (steady-state allocation-free path), and
+// lane-width cases for the SIMD primitives (exact-multiple and tail
+// lengths of the src/la/simd.h kernels).
 //
 // With GALE_BENCH_JSON_DIR set, per-benchmark times are also written to
 // $GALE_BENCH_JSON_DIR/BENCH_micro.json for tools/bench_check.sh (see
@@ -16,6 +18,7 @@
 #include "graph/synthetic_dataset.h"
 #include "la/kmeans.h"
 #include "la/matrix.h"
+#include "la/simd.h"
 #include "la/sparse_matrix.h"
 #include "prop/ppr.h"
 #include "util/parallel.h"
@@ -130,6 +133,54 @@ void BM_SganUpdateStep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * (512 + 2 * 128));
 }
 BENCHMARK(BM_SganUpdateStep);
+
+// Lane-width cases for the SIMD primitives (src/la/simd.h): each arg is a
+// buffer length, with 1024 an exact multiple of every lane width and 1027
+// forcing the scalar tail after the vector body. The active ISA is whatever
+// the runtime dispatch picked (GALE_SIMD_ISA overrides it); the per-ISA
+// sweep lives in bench_simd_scaling.
+void BM_SimdAxpy(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  util::Rng rng(12);
+  la::Matrix x = la::Matrix::RandomNormal(1, n, 1.0, rng);
+  la::Matrix y = la::Matrix::RandomNormal(1, n, 1.0, rng);
+  for (auto _ : state) {
+    la::simd::Axpy(y.RowPtr(0), x.RowPtr(0), 1.0000000001, n);
+    benchmark::DoNotOptimize(y.RowPtr(0));
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimdAxpy)->Arg(1024)->Arg(1027);
+
+void BM_SimdDot4(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  util::Rng rng(13);
+  la::Matrix a = la::Matrix::RandomNormal(1, n, 1.0, rng);
+  la::Matrix b = la::Matrix::RandomNormal(1, n, 1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::simd::Dot4(a.RowPtr(0), b.RowPtr(0), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimdDot4)->Arg(1024)->Arg(1027);
+
+void BM_SimdAdamUpdate(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  util::Rng rng(14);
+  la::Matrix p = la::Matrix::RandomNormal(1, n, 1.0, rng);
+  la::Matrix m(1, n, 0.0);
+  la::Matrix v(1, n, 0.0);
+  la::Matrix g = la::Matrix::RandomNormal(1, n, 1.0, rng);
+  for (auto _ : state) {
+    la::simd::AdamUpdate(p.RowPtr(0), m.RowPtr(0), v.RowPtr(0), g.RowPtr(0),
+                         1e-3, 0.9, 0.999, 0.1, 0.001, 1e-8, n);
+    benchmark::DoNotOptimize(p.RowPtr(0));
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimdAdamUpdate)->Arg(1024)->Arg(1027);
 
 void BM_QSelectGreedy(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

@@ -189,15 +189,4 @@ util::Result<GaleResult> Gale::Run(const la::Matrix& x_real,
   return result;
 }
 
-util::Result<GaleResult> Gale::Run(const la::Matrix& x_real,
-                                   const la::Matrix& x_synthetic,
-                                   detect::Oracle& oracle,
-                                   const std::vector<int>& initial_labels,
-                                   const std::vector<int>& val_labels) {
-  GaleRunInputs inputs;
-  inputs.initial_labels = initial_labels;
-  inputs.val_labels = val_labels;
-  return Run(x_real, x_synthetic, oracle, inputs);
-}
-
 }  // namespace gale::core

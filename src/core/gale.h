@@ -181,15 +181,6 @@ class Gale {
                                detect::Oracle& oracle,
                                const GaleRunInputs& inputs = {});
 
-  // Transition shim for the pre-GaleRunInputs signature; forwards to the
-  // struct form. Kept for one release.
-  [[deprecated("pass a GaleRunInputs struct instead of positional labels")]]
-  util::Result<GaleResult> Run(const la::Matrix& x_real,
-                               const la::Matrix& x_synthetic,
-                               detect::Oracle& oracle,
-                               const std::vector<int>& initial_labels,
-                               const std::vector<int>& val_labels = {});
-
   const GaleConfig& config() const { return config_; }
 
  private:

@@ -40,7 +40,10 @@ constexpr size_t kRowGrain = 8;
 // into the dispatch lambda, the live closure pointer costs the register
 // allocator one GPR and the hot loops spill (~15% on SpMM; DESIGN.md §6).
 // All matrices are dense row-major, so row r of an n-column matrix is
-// base + r * n.
+// base + r * n. The inner j (output-column) sweeps run on the la::simd
+// substrate: each output element keeps its scalar expression tree, so
+// the vector paths stay bitwise identical to the scalar fallback (see
+// simd.h for the determinism argument).
 
 // i-k-j with the k loop register-blocked four wide (see MatMul below for
 // the rationale). a: ? x cols, b: cols x n, out: ? x n; rows [r0, r1).
@@ -52,22 +55,12 @@ __attribute__((noinline)) void MatMulShard(const double* a, const double* b,
     double* out_row = out + i * n;
     size_t k = 0;
     for (; k + 4 <= cols; k += 4) {
-      const double a0 = a_row[k];
-      const double a1 = a_row[k + 1];
-      const double a2 = a_row[k + 2];
-      const double a3 = a_row[k + 3];
       const double* b0 = b + k * n;
-      const double* b1 = b0 + n;
-      const double* b2 = b1 + n;
-      const double* b3 = b2 + n;
-      for (size_t j = 0; j < n; ++j) {
-        out_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-      }
+      simd::Axpy4(out_row, b0, b0 + n, b0 + 2 * n, b0 + 3 * n, a_row[k],
+                  a_row[k + 1], a_row[k + 2], a_row[k + 3], n);
     }
     for (; k < cols; ++k) {
-      const double av = a_row[k];
-      const double* b_row = b + k * n;
-      for (size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+      simd::Axpy(out_row, b + k * n, a_row[k], n);
     }
   }
 }
@@ -84,27 +77,16 @@ __attribute__((noinline)) void TransposedMatMulShard(
     const double* a2 = a1 + a_cols;
     const double* a3 = a2 + a_cols;
     const double* b0 = b + r * n;
-    const double* b1 = b0 + n;
-    const double* b2 = b1 + n;
-    const double* b3 = b2 + n;
     for (size_t i = i0; i < i1; ++i) {
-      double* out_row = out + i * n;
-      const double c0 = a0[i];
-      const double c1 = a1[i];
-      const double c2 = a2[i];
-      const double c3 = a3[i];
-      for (size_t j = 0; j < n; ++j) {
-        out_row[j] += c0 * b0[j] + c1 * b1[j] + c2 * b2[j] + c3 * b3[j];
-      }
+      simd::Axpy4(out + i * n, b0, b0 + n, b0 + 2 * n, b0 + 3 * n, a0[i],
+                  a1[i], a2[i], a3[i], n);
     }
   }
   for (; r < rows; ++r) {
     const double* a_row = a + r * a_cols;
     const double* b_row = b + r * n;
     for (size_t i = i0; i < i1; ++i) {
-      const double av = a_row[i];
-      double* out_row = out + i * n;
-      for (size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+      simd::Axpy(out + i * n, b_row, a_row[i], n);
     }
   }
 }
@@ -119,20 +101,9 @@ __attribute__((noinline)) void MatMulTransposedShard(
     const double* a_row = a + i * cols;
     double* out_row = out + i * b_rows;
     for (size_t j = 0; j < b_rows; ++j) {
-      const double* b_row = b + j * cols;
-      double acc0 = 0.0;
-      double acc1 = 0.0;
-      double acc2 = 0.0;
-      double acc3 = 0.0;
-      size_t k = 0;
-      for (; k + 4 <= cols; k += 4) {
-        acc0 += a_row[k] * b_row[k];
-        acc1 += a_row[k + 1] * b_row[k + 1];
-        acc2 += a_row[k + 2] * b_row[k + 2];
-        acc3 += a_row[k + 3] * b_row[k + 3];
-      }
-      for (; k < cols; ++k) acc0 += a_row[k] * b_row[k];
-      out_row[j] = (acc0 + acc1) + (acc2 + acc3);
+      // simd::Dot4 reproduces this kernel's historical four-accumulator
+      // split exactly (lane l <-> k = l mod 4, combine (0+1)+(2+3)).
+      out_row[j] = simd::Dot4(a_row, b + j * cols, cols);
     }
   }
 }
@@ -231,24 +202,24 @@ void Matrix::SetRow(size_t r, const std::vector<double>& values) {
 
 Matrix& Matrix::operator+=(const Matrix& other) {
   GALE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  simd::AddAssign(data_.data(), other.data_.data(), data_.size());
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& other) {
   GALE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  simd::SubAssign(data_.data(), other.data_.data(), data_.size());
   return *this;
 }
 
 Matrix& Matrix::operator*=(double scalar) {
-  for (double& v : data_) v *= scalar;
+  simd::ScaleAssign(data_.data(), scalar, data_.size());
   return *this;
 }
 
 Matrix& Matrix::ElementwiseMul(const Matrix& other) {
   GALE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  simd::MulAssign(data_.data(), other.data_.data(), data_.size());
   return *this;
 }
 
@@ -384,35 +355,30 @@ void Matrix::AddInto(const Matrix& other, Matrix* out) const {
   GALE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
   GALE_CHECK(out != this && out != &other) << "AddInto aliased output";
   out->EnsureShape(rows_, cols_);
-  for (size_t i = 0; i < data_.size(); ++i) {
-    out->data_[i] = data_[i] + other.data_[i];
-  }
+  simd::Add(out->data_.data(), data_.data(), other.data_.data(),
+            data_.size());
 }
 
 void Matrix::SubInto(const Matrix& other, Matrix* out) const {
   GALE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
   GALE_CHECK(out != this && out != &other) << "SubInto aliased output";
   out->EnsureShape(rows_, cols_);
-  for (size_t i = 0; i < data_.size(); ++i) {
-    out->data_[i] = data_[i] - other.data_[i];
-  }
+  simd::Sub(out->data_.data(), data_.data(), other.data_.data(),
+            data_.size());
 }
 
 void Matrix::ScaleInto(double scalar, Matrix* out) const {
   GALE_CHECK(out != this) << "ScaleInto aliased output";
   out->EnsureShape(rows_, cols_);
-  for (size_t i = 0; i < data_.size(); ++i) {
-    out->data_[i] = data_[i] * scalar;
-  }
+  simd::Scale(out->data_.data(), data_.data(), scalar, data_.size());
 }
 
 Matrix& Matrix::AddRowBroadcast(const Matrix& row_vector) {
   GALE_CHECK_EQ(row_vector.rows(), 1u);
   GALE_CHECK_EQ(row_vector.cols(), cols_);
+  const double* b = row_vector.RowPtr(0);
   for (size_t r = 0; r < rows_; ++r) {
-    double* row = RowPtr(r);
-    const double* b = row_vector.RowPtr(0);
-    for (size_t c = 0; c < cols_; ++c) row[c] += b[c];
+    simd::AddAssign(RowPtr(r), b, cols_);
   }
   return *this;
 }
@@ -443,10 +409,9 @@ void Matrix::ColSumInto(Matrix* out, bool accumulate) const {
     out->EnsureShape(1, cols_);
     out->Fill(0.0);
   }
+  double* acc = out->RowPtr(0);
   for (size_t r = 0; r < rows_; ++r) {
-    const double* row = RowPtr(r);
-    double* acc = out->RowPtr(0);
-    for (size_t c = 0; c < cols_; ++c) acc[c] += row[c];
+    simd::AddAssign(acc, RowPtr(r), cols_);
   }
 }
 

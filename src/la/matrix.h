@@ -10,10 +10,16 @@
 //  * No expression templates: the matrices here are small (thousands of
 //    rows, tens-to-hundreds of columns) and clarity wins.
 //  * The O(n^3)/O(n^2 d) kernels (MatMul and friends, Transposed) are
-//    register-blocked and row-parallel on util::ParallelFor. Shards own
+//    register-blocked and row-parallel on util::ParallelFor, with the
+//    inner output-column sweeps on the la::simd substrate. Shards own
 //    disjoint output rows and per-element accumulation order is fixed, so
-//    results are bitwise identical at every GALE_NUM_THREADS setting (see
-//    util/parallel.h for the determinism contract).
+//    results are bitwise identical at every GALE_NUM_THREADS setting and
+//    on every SIMD path (see util/parallel.h and la/simd.h for the
+//    determinism contracts).
+//  * Storage is a simd::AlignedVector: the buffer base is 64-byte
+//    (cache-line) aligned, which also satisfies every vector ISA the
+//    simd layer dispatches to. Row pointers inside the buffer are only
+//    8-byte aligned, so the kernels use unaligned vector loads.
 
 #ifndef GALE_LA_MATRIX_H_
 #define GALE_LA_MATRIX_H_
@@ -24,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "la/simd.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -106,8 +113,8 @@ class Matrix {
   // Overwrites row `r` with `values` (size must equal cols()).
   void SetRow(size_t r, const std::vector<double>& values);
 
-  std::vector<double>& data() { return data_; }
-  const std::vector<double>& data() const { return data_; }
+  simd::AlignedVector& data() { return data_; }
+  const simd::AlignedVector& data() const { return data_; }
 
   // Reshapes to rows x cols, reusing the existing buffer when capacity
   // allows (the steady-state case: no allocation, no counter bump).
@@ -200,7 +207,7 @@ class Matrix {
  private:
   size_t rows_;
   size_t cols_;
-  std::vector<double> data_;
+  simd::AlignedVector data_;
 };
 
 }  // namespace gale::la

@@ -1,0 +1,84 @@
+// Runtime ISA resolution for the SIMD substrate. Deliberately free of
+// vendor intrinsics (those live only in simd.h): this file just probes
+// CPU capabilities and parses the GALE_SIMD_ISA override.
+
+#include "la/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace gale::la::simd {
+
+namespace internal {
+std::atomic<int> g_isa{-1};
+}  // namespace internal
+
+Isa BestSupportedIsa() {
+#if GALE_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+  return Isa::kSse2;  // baseline x86-64
+#else
+  return Isa::kScalar;
+#endif
+}
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kSse2:
+      return "sse2";
+    case Isa::kScalar:
+      return "scalar";
+  }
+  return "unknown";
+}
+
+namespace internal {
+
+namespace {
+
+// Clamps a requested ISA to what the machine can actually run.
+Isa Clamp(Isa requested) {
+  const Isa best = BestSupportedIsa();
+  return static_cast<int>(requested) <= static_cast<int>(best) ? requested
+                                                               : best;
+}
+
+}  // namespace
+
+int ResolveIsa() {
+  Isa isa = BestSupportedIsa();
+  if (const char* env = std::getenv("GALE_SIMD_ISA")) {
+    if (std::strcmp(env, "scalar") == 0) {
+      isa = Isa::kScalar;
+    } else if (std::strcmp(env, "sse2") == 0) {
+      isa = Clamp(Isa::kSse2);
+    } else if (std::strcmp(env, "avx2") == 0) {
+      isa = Clamp(Isa::kAvx2);
+    }
+    // Unrecognized values keep the probed default.
+  }
+  const int v = static_cast<int>(isa);
+  // Several threads may race the first resolution; they all compute the
+  // same value, so a plain store is fine.
+  g_isa.store(v, std::memory_order_relaxed);
+  return v;
+}
+
+}  // namespace internal
+
+ScopedIsaOverride::ScopedIsaOverride(Isa isa)
+    : previous_(internal::g_isa.load(std::memory_order_relaxed)) {
+  const Isa clamped =
+      static_cast<int>(isa) <= static_cast<int>(BestSupportedIsa())
+          ? isa
+          : BestSupportedIsa();
+  internal::g_isa.store(static_cast<int>(clamped), std::memory_order_relaxed);
+}
+
+ScopedIsaOverride::~ScopedIsaOverride() {
+  internal::g_isa.store(previous_, std::memory_order_relaxed);
+}
+
+}  // namespace gale::la::simd

@@ -1,0 +1,944 @@
+// Portable SIMD substrate for the dense/sparse hot kernels: double-lane
+// primitives with AVX2 (4 lanes) and SSE2 (2 lanes) implementations and a
+// scalar fallback, selected once at runtime. This header is the ONE home
+// for vendor intrinsics in the tree (gale_lint rule `simd-intrinsics`).
+//
+// Determinism contract — bitwise identity with the scalar path:
+//  * Every primitive vectorizes across *independent output elements*
+//    (the j/output-column direction), never across a sequential
+//    reduction. Lane l of a vector step computes exactly the expression
+//    the scalar loop computes for element j+l — same operands, same
+//    operation tree — so the result of each element is one fixed IEEE-754
+//    evaluation regardless of lane width.
+//  * Multiplies and adds stay separate instructions (no _mm*_fmadd_*):
+//    an FMA contracts mul+add into one rounding and would diverge from
+//    the scalar path. For the same reason the whole project compiles with
+//    -ffp-contract=off, so the compiler cannot contract the scalar
+//    reference loops either.
+//  * The one reduction shape, Dot4, mirrors the fixed four-accumulator
+//    split of the scalar kernel: accumulator i sums the k ≡ i (mod 4)
+//    terms and the final combine is (acc0+acc1)+(acc2+acc3). AVX2 maps
+//    the four accumulators onto the four lanes of one register, SSE2
+//    onto two registers of two lanes; the summation tree is identical in
+//    all three, and the tail accumulates into acc0 exactly like the
+//    scalar remainder loop.
+//  Consequently scalar, SSE2, and AVX2 results are bitwise equal to each
+//  other and (because the kernels shard over disjoint output rows) to
+//  every GALE_NUM_THREADS setting — pinned by simd_equivalence_test and
+//  la_parallel_equivalence_test.
+//
+// Dispatch rules:
+//  * GALE_SIMD=OFF at configure time compiles the scalar path only (no
+//    <immintrin.h> anywhere in the build).
+//  * With GALE_SIMD=ON (the default) the ISA is resolved once, on first
+//    use: the GALE_SIMD_ISA environment variable (scalar|sse2|avx2) if
+//    set and supported, else AVX2 when __builtin_cpu_supports says so,
+//    else SSE2 (baseline x86-64), else scalar. Requests the CPU cannot
+//    honor degrade to the best supported ISA.
+//  * Tests pin the path with ScopedIsaOverride; the override is a
+//    relaxed atomic so kernels running on pool threads observe it.
+//
+// Alignment contract: AlignedVector (the Matrix/Workspace storage) puts
+// every dense buffer on a kArenaAlignment (64-byte) boundary — one cache
+// line, and enough for any double vector ISA up to AVX-512. Kernels
+// still use unaligned loads/stores because a *row* pointer inside a
+// matrix is only 8-byte aligned (row r starts at r*cols doubles); the
+// base alignment buys cache-line-clean buffers, not aligned-op codegen.
+
+#ifndef GALE_LA_SIMD_H_
+#define GALE_LA_SIMD_H_
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+// gale-lint: allow(naked-new): the <new> header itself, for align_val_t
+#include <new>
+#include <vector>
+
+#if defined(GALE_SIMD_ENABLED) && defined(__x86_64__)
+#define GALE_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define GALE_SIMD_X86 0
+#endif
+
+namespace gale::la::simd {
+
+// ---------------------------------------------------------------------------
+// Aligned storage
+// ---------------------------------------------------------------------------
+
+// Dense-buffer alignment: one cache line, ≥ any double-lane vector width
+// this layer will ever select.
+inline constexpr std::size_t kArenaAlignment = 64;
+
+// Minimal C++17 allocator handing out kArenaAlignment-aligned blocks;
+// std::vector<double, AlignedAllocator<double>> is the storage type of
+// la::Matrix (and therefore of every Workspace arena buffer).
+template <typename T>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert(kArenaAlignment >= alignof(T));
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    // gale-lint: allow(naked-new): containers can only get aligned storage through align_val_t operator new
+    return static_cast<T*>(::operator new(
+        n * sizeof(T), std::align_val_t(kArenaAlignment)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    // gale-lint: allow(naked-new): matching aligned operator delete
+    ::operator delete(p, n * sizeof(T), std::align_val_t(kArenaAlignment));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+// The storage type of la::Matrix.
+using AlignedVector = std::vector<double, AlignedAllocator<double>>;
+
+inline bool IsArenaAligned(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % kArenaAlignment == 0;
+}
+
+// ---------------------------------------------------------------------------
+// ISA selection
+// ---------------------------------------------------------------------------
+
+enum class Isa : int { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+// True when this binary carries the vector paths at all (GALE_SIMD=ON on
+// an x86-64 target).
+constexpr bool Compiled() { return GALE_SIMD_X86 != 0; }
+
+namespace internal {
+// -1 = unresolved; otherwise a cached Isa value. Relaxed is enough: the
+// value is write-once (plus scoped test overrides at quiescent points)
+// and never orders other memory operations.
+extern std::atomic<int> g_isa;
+// Resolves the env override / CPUID probe; defined in simd.cc.
+int ResolveIsa();
+}  // namespace internal
+
+// Widest ISA the runtime guard allows on this machine.
+Isa BestSupportedIsa();
+
+// Human-readable ISA name ("scalar", "sse2", "avx2").
+const char* IsaName(Isa isa);
+
+// The path every primitive dispatches to. Resolved once on first use;
+// see the dispatch rules above.
+inline Isa ActiveIsa() {
+  const int v = internal::g_isa.load(std::memory_order_relaxed);
+  if (v >= 0) return static_cast<Isa>(v);
+  return static_cast<Isa>(internal::ResolveIsa());
+}
+
+// RAII ISA pin for tests and the lane-width benches: forces `isa`
+// (degraded to BestSupportedIsa() when the machine cannot run it) and
+// restores the previous resolution on destruction. Not for use while
+// kernels are in flight on pool threads.
+class ScopedIsaOverride {
+ public:
+  explicit ScopedIsaOverride(Isa isa);
+  ~ScopedIsaOverride();
+
+  ScopedIsaOverride(const ScopedIsaOverride&) = delete;
+  ScopedIsaOverride& operator=(const ScopedIsaOverride&) = delete;
+
+ private:
+  int previous_;
+};
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels
+// ---------------------------------------------------------------------------
+// These ARE the semantics: every vector variant below must be bitwise
+// equal to the scalar function of the same name. Each is written with an
+// explicit, fixed evaluation tree; -ffp-contract=off keeps the compiler
+// from fusing it.
+
+namespace scalar {
+
+inline void Axpy(double* out, const double* x, double a, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) out[j] += a * x[j];
+}
+
+inline void Axpy4(double* out, const double* x0, const double* x1,
+                  const double* x2, const double* x3, double a0, double a1,
+                  double a2, double a3, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    out[j] += a0 * x0[j] + a1 * x1[j] + a2 * x2[j] + a3 * x3[j];
+  }
+}
+
+inline double Dot4(const double* a, const double* b, std::size_t n) {
+  double acc0 = 0.0;
+  double acc1 = 0.0;
+  double acc2 = 0.0;
+  double acc3 = 0.0;
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    acc0 += a[k] * b[k];
+    acc1 += a[k + 1] * b[k + 1];
+    acc2 += a[k + 2] * b[k + 2];
+    acc3 += a[k + 3] * b[k + 3];
+  }
+  for (; k < n; ++k) acc0 += a[k] * b[k];
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+inline void Add(double* out, const double* a, const double* b,
+                std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) out[j] = a[j] + b[j];
+}
+
+inline void Sub(double* out, const double* a, const double* b,
+                std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) out[j] = a[j] - b[j];
+}
+
+inline void Scale(double* out, const double* a, double s, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) out[j] = a[j] * s;
+}
+
+inline void Mul(double* out, const double* a, const double* b,
+                std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) out[j] = a[j] * b[j];
+}
+
+inline void AddAssign(double* out, const double* x, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) out[j] += x[j];
+}
+
+inline void SubAssign(double* out, const double* x, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) out[j] -= x[j];
+}
+
+inline void ScaleAssign(double* out, double s, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) out[j] *= s;
+}
+
+inline void MulAssign(double* out, const double* x, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) out[j] *= x[j];
+}
+
+inline void ReluForward(double* out, const double* in, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    const double v = in[j];
+    out[j] = v > 0.0 ? v : 0.0;
+  }
+}
+
+// out[j] = in[j] <= 0 ? 0 : grad[j] — the mask the scalar Backward
+// applies in place.
+inline void ReluBackward(double* out, const double* grad, const double* in,
+                         std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    out[j] = in[j] <= 0.0 ? 0.0 : grad[j];
+  }
+}
+
+inline void LeakyReluForward(double* out, const double* in, double slope,
+                             std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    const double v = in[j];
+    out[j] = v > 0.0 ? v : slope * v;
+  }
+}
+
+inline void LeakyReluBackward(double* out, const double* grad,
+                              const double* in, double slope,
+                              std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    out[j] = in[j] <= 0.0 ? grad[j] * slope : grad[j];
+  }
+}
+
+// out[j] = grad[j] * (s[j] * (1 - s[j])), s = the cached sigmoid output.
+inline void SigmoidBackward(double* out, const double* grad, const double* s,
+                            std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    out[j] = grad[j] * (s[j] * (1.0 - s[j]));
+  }
+}
+
+// out[j] = grad[j] * (1 - t[j] * t[j]), t = the cached tanh output.
+inline void TanhBackward(double* out, const double* grad, const double* t,
+                         std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    out[j] = grad[j] * (1.0 - t[j] * t[j]);
+  }
+}
+
+// One Adam element sweep; the expression trees mirror nn/adam.cc exactly
+// (sqrt and divide are correctly rounded in both scalar and vector
+// forms, so the vector variants stay bitwise equal).
+inline void AdamUpdate(double* p, double* m, double* v, const double* g,
+                       double lr, double beta1, double beta2, double bias1,
+                       double bias2, double eps, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    const double grad = g[j];
+    m[j] = beta1 * m[j] + (1.0 - beta1) * grad;
+    v[j] = beta2 * v[j] + (1.0 - beta2) * grad * grad;
+    const double m_hat = m[j] / bias1;
+    const double v_hat = v[j] / bias2;
+    p[j] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+  }
+}
+
+}  // namespace scalar
+
+#if GALE_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// SSE2 (2 double lanes) — baseline x86-64, no target attribute needed
+// ---------------------------------------------------------------------------
+
+namespace sse2 {
+
+inline void Axpy(double* out, const double* x, double a, std::size_t n) {
+  const __m128d av = _mm_set1_pd(a);
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    const __m128d o = _mm_loadu_pd(out + j);
+    const __m128d t = _mm_mul_pd(av, _mm_loadu_pd(x + j));
+    _mm_storeu_pd(out + j, _mm_add_pd(o, t));
+  }
+  for (; j < n; ++j) out[j] += a * x[j];
+}
+
+inline void Axpy4(double* out, const double* x0, const double* x1,
+                  const double* x2, const double* x3, double a0, double a1,
+                  double a2, double a3, std::size_t n) {
+  const __m128d a0v = _mm_set1_pd(a0);
+  const __m128d a1v = _mm_set1_pd(a1);
+  const __m128d a2v = _mm_set1_pd(a2);
+  const __m128d a3v = _mm_set1_pd(a3);
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    // ((a0*x0 + a1*x1) + a2*x2) + a3*x3 — the scalar left-to-right tree.
+    __m128d s = _mm_add_pd(_mm_mul_pd(a0v, _mm_loadu_pd(x0 + j)),
+                           _mm_mul_pd(a1v, _mm_loadu_pd(x1 + j)));
+    s = _mm_add_pd(s, _mm_mul_pd(a2v, _mm_loadu_pd(x2 + j)));
+    s = _mm_add_pd(s, _mm_mul_pd(a3v, _mm_loadu_pd(x3 + j)));
+    _mm_storeu_pd(out + j, _mm_add_pd(_mm_loadu_pd(out + j), s));
+  }
+  for (; j < n; ++j) {
+    out[j] += a0 * x0[j] + a1 * x1[j] + a2 * x2[j] + a3 * x3[j];
+  }
+}
+
+inline double Dot4(const double* a, const double* b, std::size_t n) {
+  // accA = {acc0, acc1}, accB = {acc2, acc3}: lane l of accA sums the
+  // k ≡ l (mod 4) terms, lane l of accB the k ≡ 2+l (mod 4) terms —
+  // exactly the scalar kernel's four accumulators.
+  __m128d acc_a = _mm_setzero_pd();
+  __m128d acc_b = _mm_setzero_pd();
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    acc_a = _mm_add_pd(acc_a,
+                       _mm_mul_pd(_mm_loadu_pd(a + k), _mm_loadu_pd(b + k)));
+    acc_b = _mm_add_pd(
+        acc_b, _mm_mul_pd(_mm_loadu_pd(a + k + 2), _mm_loadu_pd(b + k + 2)));
+  }
+  double lanes_a[2];
+  double lanes_b[2];
+  _mm_storeu_pd(lanes_a, acc_a);
+  _mm_storeu_pd(lanes_b, acc_b);
+  double acc0 = lanes_a[0];
+  for (; k < n; ++k) acc0 += a[k] * b[k];
+  return (acc0 + lanes_a[1]) + (lanes_b[0] + lanes_b[1]);
+}
+
+inline void Add(double* out, const double* a, const double* b,
+                std::size_t n) {
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    _mm_storeu_pd(out + j,
+                  _mm_add_pd(_mm_loadu_pd(a + j), _mm_loadu_pd(b + j)));
+  }
+  for (; j < n; ++j) out[j] = a[j] + b[j];
+}
+
+inline void Sub(double* out, const double* a, const double* b,
+                std::size_t n) {
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    _mm_storeu_pd(out + j,
+                  _mm_sub_pd(_mm_loadu_pd(a + j), _mm_loadu_pd(b + j)));
+  }
+  for (; j < n; ++j) out[j] = a[j] - b[j];
+}
+
+inline void Scale(double* out, const double* a, double s, std::size_t n) {
+  const __m128d sv = _mm_set1_pd(s);
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    _mm_storeu_pd(out + j, _mm_mul_pd(_mm_loadu_pd(a + j), sv));
+  }
+  for (; j < n; ++j) out[j] = a[j] * s;
+}
+
+inline void Mul(double* out, const double* a, const double* b,
+                std::size_t n) {
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    _mm_storeu_pd(out + j,
+                  _mm_mul_pd(_mm_loadu_pd(a + j), _mm_loadu_pd(b + j)));
+  }
+  for (; j < n; ++j) out[j] = a[j] * b[j];
+}
+
+inline void AddAssign(double* out, const double* x, std::size_t n) {
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    _mm_storeu_pd(out + j,
+                  _mm_add_pd(_mm_loadu_pd(out + j), _mm_loadu_pd(x + j)));
+  }
+  for (; j < n; ++j) out[j] += x[j];
+}
+
+inline void SubAssign(double* out, const double* x, std::size_t n) {
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    _mm_storeu_pd(out + j,
+                  _mm_sub_pd(_mm_loadu_pd(out + j), _mm_loadu_pd(x + j)));
+  }
+  for (; j < n; ++j) out[j] -= x[j];
+}
+
+inline void ScaleAssign(double* out, double s, std::size_t n) {
+  const __m128d sv = _mm_set1_pd(s);
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    _mm_storeu_pd(out + j, _mm_mul_pd(_mm_loadu_pd(out + j), sv));
+  }
+  for (; j < n; ++j) out[j] *= s;
+}
+
+inline void MulAssign(double* out, const double* x, std::size_t n) {
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    _mm_storeu_pd(out + j,
+                  _mm_mul_pd(_mm_loadu_pd(out + j), _mm_loadu_pd(x + j)));
+  }
+  for (; j < n; ++j) out[j] *= x[j];
+}
+
+inline void ReluForward(double* out, const double* in, std::size_t n) {
+  // max_pd(v, 0) matches `v > 0 ? v : 0` bit-for-bit: for v == ±0 it
+  // returns the second operand (+0), and for v == NaN the compare is
+  // false so it also returns +0 — the scalar branch behaves identically.
+  const __m128d zero = _mm_setzero_pd();
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    _mm_storeu_pd(out + j, _mm_max_pd(_mm_loadu_pd(in + j), zero));
+  }
+  for (; j < n; ++j) {
+    const double v = in[j];
+    out[j] = v > 0.0 ? v : 0.0;
+  }
+}
+
+inline void ReluBackward(double* out, const double* grad, const double* in,
+                         std::size_t n) {
+  // cmple(in, 0) then andnot: where in <= 0 the lane becomes +0, exactly
+  // the scalar assignment; NaN inputs fail the compare and keep grad,
+  // matching `in <= 0 ? 0 : grad`.
+  const __m128d zero = _mm_setzero_pd();
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    const __m128d mask = _mm_cmple_pd(_mm_loadu_pd(in + j), zero);
+    _mm_storeu_pd(out + j, _mm_andnot_pd(mask, _mm_loadu_pd(grad + j)));
+  }
+  for (; j < n; ++j) out[j] = in[j] <= 0.0 ? 0.0 : grad[j];
+}
+
+inline void LeakyReluForward(double* out, const double* in, double slope,
+                             std::size_t n) {
+  const __m128d zero = _mm_setzero_pd();
+  const __m128d sv = _mm_set1_pd(slope);
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    const __m128d v = _mm_loadu_pd(in + j);
+    const __m128d le = _mm_cmple_pd(v, zero);
+    const __m128d scaled = _mm_mul_pd(sv, v);
+    // Select scaled where v <= 0, v elsewhere (NaN keeps slope*NaN = NaN,
+    // same as the scalar ternary's false branch).
+    _mm_storeu_pd(out + j, _mm_or_pd(_mm_and_pd(le, scaled),
+                                     _mm_andnot_pd(le, v)));
+  }
+  for (; j < n; ++j) {
+    const double v = in[j];
+    out[j] = v > 0.0 ? v : slope * v;
+  }
+}
+
+inline void LeakyReluBackward(double* out, const double* grad,
+                              const double* in, double slope,
+                              std::size_t n) {
+  const __m128d zero = _mm_setzero_pd();
+  const __m128d sv = _mm_set1_pd(slope);
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    const __m128d g = _mm_loadu_pd(grad + j);
+    const __m128d le = _mm_cmple_pd(_mm_loadu_pd(in + j), zero);
+    const __m128d scaled = _mm_mul_pd(g, sv);
+    _mm_storeu_pd(out + j,
+                  _mm_or_pd(_mm_and_pd(le, scaled), _mm_andnot_pd(le, g)));
+  }
+  for (; j < n; ++j) out[j] = in[j] <= 0.0 ? grad[j] * slope : grad[j];
+}
+
+inline void SigmoidBackward(double* out, const double* grad, const double* s,
+                            std::size_t n) {
+  const __m128d one = _mm_set1_pd(1.0);
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    const __m128d sj = _mm_loadu_pd(s + j);
+    const __m128d t = _mm_mul_pd(sj, _mm_sub_pd(one, sj));
+    _mm_storeu_pd(out + j, _mm_mul_pd(_mm_loadu_pd(grad + j), t));
+  }
+  for (; j < n; ++j) out[j] = grad[j] * (s[j] * (1.0 - s[j]));
+}
+
+inline void TanhBackward(double* out, const double* grad, const double* t,
+                         std::size_t n) {
+  const __m128d one = _mm_set1_pd(1.0);
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    const __m128d tj = _mm_loadu_pd(t + j);
+    const __m128d d = _mm_sub_pd(one, _mm_mul_pd(tj, tj));
+    _mm_storeu_pd(out + j, _mm_mul_pd(_mm_loadu_pd(grad + j), d));
+  }
+  for (; j < n; ++j) out[j] = grad[j] * (1.0 - t[j] * t[j]);
+}
+
+inline void AdamUpdate(double* p, double* m, double* v, const double* g,
+                       double lr, double beta1, double beta2, double bias1,
+                       double bias2, double eps, std::size_t n) {
+  const __m128d b1 = _mm_set1_pd(beta1);
+  const __m128d b2 = _mm_set1_pd(beta2);
+  const __m128d omb1 = _mm_set1_pd(1.0 - beta1);
+  const __m128d omb2 = _mm_set1_pd(1.0 - beta2);
+  const __m128d bias1v = _mm_set1_pd(bias1);
+  const __m128d bias2v = _mm_set1_pd(bias2);
+  const __m128d lrv = _mm_set1_pd(lr);
+  const __m128d epsv = _mm_set1_pd(eps);
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    const __m128d grad = _mm_loadu_pd(g + j);
+    const __m128d mj = _mm_add_pd(_mm_mul_pd(b1, _mm_loadu_pd(m + j)),
+                                  _mm_mul_pd(omb1, grad));
+    // (1-b2) * grad * grad is left-associated in the scalar sweep.
+    const __m128d vj = _mm_add_pd(
+        _mm_mul_pd(b2, _mm_loadu_pd(v + j)),
+        _mm_mul_pd(_mm_mul_pd(omb2, grad), grad));
+    _mm_storeu_pd(m + j, mj);
+    _mm_storeu_pd(v + j, vj);
+    const __m128d m_hat = _mm_div_pd(mj, bias1v);
+    const __m128d v_hat = _mm_div_pd(vj, bias2v);
+    const __m128d denom = _mm_add_pd(_mm_sqrt_pd(v_hat), epsv);
+    const __m128d step = _mm_div_pd(_mm_mul_pd(lrv, m_hat), denom);
+    _mm_storeu_pd(p + j, _mm_sub_pd(_mm_loadu_pd(p + j), step));
+  }
+  if (j < n) {
+    scalar::AdamUpdate(p + j, m + j, v + j, g + j, lr, beta1, beta2, bias1,
+                       bias2, eps, n - j);
+  }
+}
+
+}  // namespace sse2
+
+// ---------------------------------------------------------------------------
+// AVX2 (4 double lanes) — per-function target attribute so the rest of
+// the build stays at the baseline ISA (identical scalar codegen whether
+// GALE_SIMD is ON or OFF)
+// ---------------------------------------------------------------------------
+
+#define GALE_SIMD_AVX2 __attribute__((target("avx2"))) inline
+
+namespace avx2 {
+
+GALE_SIMD_AVX2 void Axpy(double* out, const double* x, double a,
+                         std::size_t n) {
+  const __m256d av = _mm256_set1_pd(a);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d o = _mm256_loadu_pd(out + j);
+    const __m256d t = _mm256_mul_pd(av, _mm256_loadu_pd(x + j));
+    _mm256_storeu_pd(out + j, _mm256_add_pd(o, t));
+  }
+  for (; j < n; ++j) out[j] += a * x[j];
+}
+
+GALE_SIMD_AVX2 void Axpy4(double* out, const double* x0, const double* x1,
+                          const double* x2, const double* x3, double a0,
+                          double a1, double a2, double a3, std::size_t n) {
+  const __m256d a0v = _mm256_set1_pd(a0);
+  const __m256d a1v = _mm256_set1_pd(a1);
+  const __m256d a2v = _mm256_set1_pd(a2);
+  const __m256d a3v = _mm256_set1_pd(a3);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    __m256d s = _mm256_add_pd(_mm256_mul_pd(a0v, _mm256_loadu_pd(x0 + j)),
+                              _mm256_mul_pd(a1v, _mm256_loadu_pd(x1 + j)));
+    s = _mm256_add_pd(s, _mm256_mul_pd(a2v, _mm256_loadu_pd(x2 + j)));
+    s = _mm256_add_pd(s, _mm256_mul_pd(a3v, _mm256_loadu_pd(x3 + j)));
+    _mm256_storeu_pd(out + j, _mm256_add_pd(_mm256_loadu_pd(out + j), s));
+  }
+  for (; j < n; ++j) {
+    out[j] += a0 * x0[j] + a1 * x1[j] + a2 * x2[j] + a3 * x3[j];
+  }
+}
+
+GALE_SIMD_AVX2 double Dot4(const double* a, const double* b, std::size_t n) {
+  // Lane l accumulates the k ≡ l (mod 4) terms — the scalar kernel's four
+  // accumulators mapped onto one register.
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_loadu_pd(a + k), _mm256_loadu_pd(b + k)));
+  }
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  double acc0 = lanes[0];
+  for (; k < n; ++k) acc0 += a[k] * b[k];
+  return (acc0 + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+GALE_SIMD_AVX2 void Add(double* out, const double* a, const double* b,
+                        std::size_t n) {
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    _mm256_storeu_pd(
+        out + j, _mm256_add_pd(_mm256_loadu_pd(a + j), _mm256_loadu_pd(b + j)));
+  }
+  for (; j < n; ++j) out[j] = a[j] + b[j];
+}
+
+GALE_SIMD_AVX2 void Sub(double* out, const double* a, const double* b,
+                        std::size_t n) {
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    _mm256_storeu_pd(
+        out + j, _mm256_sub_pd(_mm256_loadu_pd(a + j), _mm256_loadu_pd(b + j)));
+  }
+  for (; j < n; ++j) out[j] = a[j] - b[j];
+}
+
+GALE_SIMD_AVX2 void Scale(double* out, const double* a, double s,
+                          std::size_t n) {
+  const __m256d sv = _mm256_set1_pd(s);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    _mm256_storeu_pd(out + j, _mm256_mul_pd(_mm256_loadu_pd(a + j), sv));
+  }
+  for (; j < n; ++j) out[j] = a[j] * s;
+}
+
+GALE_SIMD_AVX2 void Mul(double* out, const double* a, const double* b,
+                        std::size_t n) {
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    _mm256_storeu_pd(
+        out + j, _mm256_mul_pd(_mm256_loadu_pd(a + j), _mm256_loadu_pd(b + j)));
+  }
+  for (; j < n; ++j) out[j] = a[j] * b[j];
+}
+
+GALE_SIMD_AVX2 void AddAssign(double* out, const double* x, std::size_t n) {
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    _mm256_storeu_pd(out + j, _mm256_add_pd(_mm256_loadu_pd(out + j),
+                                            _mm256_loadu_pd(x + j)));
+  }
+  for (; j < n; ++j) out[j] += x[j];
+}
+
+GALE_SIMD_AVX2 void SubAssign(double* out, const double* x, std::size_t n) {
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    _mm256_storeu_pd(out + j, _mm256_sub_pd(_mm256_loadu_pd(out + j),
+                                            _mm256_loadu_pd(x + j)));
+  }
+  for (; j < n; ++j) out[j] -= x[j];
+}
+
+GALE_SIMD_AVX2 void ScaleAssign(double* out, double s, std::size_t n) {
+  const __m256d sv = _mm256_set1_pd(s);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    _mm256_storeu_pd(out + j, _mm256_mul_pd(_mm256_loadu_pd(out + j), sv));
+  }
+  for (; j < n; ++j) out[j] *= s;
+}
+
+GALE_SIMD_AVX2 void MulAssign(double* out, const double* x, std::size_t n) {
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    _mm256_storeu_pd(out + j, _mm256_mul_pd(_mm256_loadu_pd(out + j),
+                                            _mm256_loadu_pd(x + j)));
+  }
+  for (; j < n; ++j) out[j] *= x[j];
+}
+
+GALE_SIMD_AVX2 void ReluForward(double* out, const double* in,
+                                std::size_t n) {
+  const __m256d zero = _mm256_setzero_pd();
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    _mm256_storeu_pd(out + j, _mm256_max_pd(_mm256_loadu_pd(in + j), zero));
+  }
+  for (; j < n; ++j) {
+    const double v = in[j];
+    out[j] = v > 0.0 ? v : 0.0;
+  }
+}
+
+GALE_SIMD_AVX2 void ReluBackward(double* out, const double* grad,
+                                 const double* in, std::size_t n) {
+  const __m256d zero = _mm256_setzero_pd();
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d mask =
+        _mm256_cmp_pd(_mm256_loadu_pd(in + j), zero, _CMP_LE_OQ);
+    _mm256_storeu_pd(out + j,
+                     _mm256_andnot_pd(mask, _mm256_loadu_pd(grad + j)));
+  }
+  for (; j < n; ++j) out[j] = in[j] <= 0.0 ? 0.0 : grad[j];
+}
+
+GALE_SIMD_AVX2 void LeakyReluForward(double* out, const double* in,
+                                     double slope, std::size_t n) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d sv = _mm256_set1_pd(slope);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d v = _mm256_loadu_pd(in + j);
+    const __m256d le = _mm256_cmp_pd(v, zero, _CMP_LE_OQ);
+    const __m256d scaled = _mm256_mul_pd(sv, v);
+    _mm256_storeu_pd(out + j, _mm256_blendv_pd(v, scaled, le));
+  }
+  for (; j < n; ++j) {
+    const double v = in[j];
+    out[j] = v > 0.0 ? v : slope * v;
+  }
+}
+
+GALE_SIMD_AVX2 void LeakyReluBackward(double* out, const double* grad,
+                                      const double* in, double slope,
+                                      std::size_t n) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d sv = _mm256_set1_pd(slope);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d g = _mm256_loadu_pd(grad + j);
+    const __m256d le =
+        _mm256_cmp_pd(_mm256_loadu_pd(in + j), zero, _CMP_LE_OQ);
+    const __m256d scaled = _mm256_mul_pd(g, sv);
+    _mm256_storeu_pd(out + j, _mm256_blendv_pd(g, scaled, le));
+  }
+  for (; j < n; ++j) out[j] = in[j] <= 0.0 ? grad[j] * slope : grad[j];
+}
+
+GALE_SIMD_AVX2 void SigmoidBackward(double* out, const double* grad,
+                                    const double* s, std::size_t n) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d sj = _mm256_loadu_pd(s + j);
+    const __m256d t = _mm256_mul_pd(sj, _mm256_sub_pd(one, sj));
+    _mm256_storeu_pd(out + j, _mm256_mul_pd(_mm256_loadu_pd(grad + j), t));
+  }
+  for (; j < n; ++j) out[j] = grad[j] * (s[j] * (1.0 - s[j]));
+}
+
+GALE_SIMD_AVX2 void TanhBackward(double* out, const double* grad,
+                                 const double* t, std::size_t n) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d tj = _mm256_loadu_pd(t + j);
+    const __m256d d = _mm256_sub_pd(one, _mm256_mul_pd(tj, tj));
+    _mm256_storeu_pd(out + j, _mm256_mul_pd(_mm256_loadu_pd(grad + j), d));
+  }
+  for (; j < n; ++j) out[j] = grad[j] * (1.0 - t[j] * t[j]);
+}
+
+GALE_SIMD_AVX2 void AdamUpdate(double* p, double* m, double* v,
+                               const double* g, double lr, double beta1,
+                               double beta2, double bias1, double bias2,
+                               double eps, std::size_t n) {
+  const __m256d b1 = _mm256_set1_pd(beta1);
+  const __m256d b2 = _mm256_set1_pd(beta2);
+  const __m256d omb1 = _mm256_set1_pd(1.0 - beta1);
+  const __m256d omb2 = _mm256_set1_pd(1.0 - beta2);
+  const __m256d bias1v = _mm256_set1_pd(bias1);
+  const __m256d bias2v = _mm256_set1_pd(bias2);
+  const __m256d lrv = _mm256_set1_pd(lr);
+  const __m256d epsv = _mm256_set1_pd(eps);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d grad = _mm256_loadu_pd(g + j);
+    const __m256d mj = _mm256_add_pd(_mm256_mul_pd(b1, _mm256_loadu_pd(m + j)),
+                                     _mm256_mul_pd(omb1, grad));
+    const __m256d vj =
+        _mm256_add_pd(_mm256_mul_pd(b2, _mm256_loadu_pd(v + j)),
+                      _mm256_mul_pd(_mm256_mul_pd(omb2, grad), grad));
+    _mm256_storeu_pd(m + j, mj);
+    _mm256_storeu_pd(v + j, vj);
+    const __m256d m_hat = _mm256_div_pd(mj, bias1v);
+    const __m256d v_hat = _mm256_div_pd(vj, bias2v);
+    const __m256d denom = _mm256_add_pd(_mm256_sqrt_pd(v_hat), epsv);
+    const __m256d step = _mm256_div_pd(_mm256_mul_pd(lrv, m_hat), denom);
+    _mm256_storeu_pd(p + j, _mm256_sub_pd(_mm256_loadu_pd(p + j), step));
+  }
+  if (j < n) {
+    scalar::AdamUpdate(p + j, m + j, v + j, g + j, lr, beta1, beta2, bias1,
+                       bias2, eps, n - j);
+  }
+}
+
+}  // namespace avx2
+
+#undef GALE_SIMD_AVX2
+
+#endif  // GALE_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// Dispatch wrappers — what the kernels call
+// ---------------------------------------------------------------------------
+// Each wrapper costs one relaxed load + switch per row sweep, which is
+// noise next to the sweep itself (n is a feature/column count). The
+// GALE_SIMD=OFF build compiles straight to the scalar call.
+
+#if GALE_SIMD_X86
+#define GALE_SIMD_DISPATCH(call)                   \
+  switch (ActiveIsa()) {                           \
+    case Isa::kAvx2: { avx2::call; }               \
+      break;                                       \
+    case Isa::kSse2: { sse2::call; }               \
+      break;                                       \
+    default: { scalar::call; }                     \
+      break;                                       \
+  }
+#else
+#define GALE_SIMD_DISPATCH(call) scalar::call;
+#endif
+
+inline void Axpy(double* out, const double* x, double a, std::size_t n) {
+  GALE_SIMD_DISPATCH(Axpy(out, x, a, n))
+}
+
+inline void Axpy4(double* out, const double* x0, const double* x1,
+                  const double* x2, const double* x3, double a0, double a1,
+                  double a2, double a3, std::size_t n) {
+  GALE_SIMD_DISPATCH(Axpy4(out, x0, x1, x2, x3, a0, a1, a2, a3, n))
+}
+
+inline double Dot4(const double* a, const double* b, std::size_t n) {
+#if GALE_SIMD_X86
+  switch (ActiveIsa()) {
+    case Isa::kAvx2:
+      return avx2::Dot4(a, b, n);
+    case Isa::kSse2:
+      return sse2::Dot4(a, b, n);
+    default:
+      break;
+  }
+#endif
+  return scalar::Dot4(a, b, n);
+}
+
+inline void Add(double* out, const double* a, const double* b,
+                std::size_t n) {
+  GALE_SIMD_DISPATCH(Add(out, a, b, n))
+}
+
+inline void Sub(double* out, const double* a, const double* b,
+                std::size_t n) {
+  GALE_SIMD_DISPATCH(Sub(out, a, b, n))
+}
+
+inline void Scale(double* out, const double* a, double s, std::size_t n) {
+  GALE_SIMD_DISPATCH(Scale(out, a, s, n))
+}
+
+inline void Mul(double* out, const double* a, const double* b,
+                std::size_t n) {
+  GALE_SIMD_DISPATCH(Mul(out, a, b, n))
+}
+
+inline void AddAssign(double* out, const double* x, std::size_t n) {
+  GALE_SIMD_DISPATCH(AddAssign(out, x, n))
+}
+
+inline void SubAssign(double* out, const double* x, std::size_t n) {
+  GALE_SIMD_DISPATCH(SubAssign(out, x, n))
+}
+
+inline void ScaleAssign(double* out, double s, std::size_t n) {
+  GALE_SIMD_DISPATCH(ScaleAssign(out, s, n))
+}
+
+inline void MulAssign(double* out, const double* x, std::size_t n) {
+  GALE_SIMD_DISPATCH(MulAssign(out, x, n))
+}
+
+inline void ReluForward(double* out, const double* in, std::size_t n) {
+  GALE_SIMD_DISPATCH(ReluForward(out, in, n))
+}
+
+inline void ReluBackward(double* out, const double* grad, const double* in,
+                         std::size_t n) {
+  GALE_SIMD_DISPATCH(ReluBackward(out, grad, in, n))
+}
+
+inline void LeakyReluForward(double* out, const double* in, double slope,
+                             std::size_t n) {
+  GALE_SIMD_DISPATCH(LeakyReluForward(out, in, slope, n))
+}
+
+inline void LeakyReluBackward(double* out, const double* grad,
+                              const double* in, double slope,
+                              std::size_t n) {
+  GALE_SIMD_DISPATCH(LeakyReluBackward(out, grad, in, slope, n))
+}
+
+inline void SigmoidBackward(double* out, const double* grad, const double* s,
+                            std::size_t n) {
+  GALE_SIMD_DISPATCH(SigmoidBackward(out, grad, s, n))
+}
+
+inline void TanhBackward(double* out, const double* grad, const double* t,
+                         std::size_t n) {
+  GALE_SIMD_DISPATCH(TanhBackward(out, grad, t, n))
+}
+
+inline void AdamUpdate(double* p, double* m, double* v, const double* g,
+                       double lr, double beta1, double beta2, double bias1,
+                       double bias2, double eps, std::size_t n) {
+  GALE_SIMD_DISPATCH(
+      AdamUpdate(p, m, v, g, lr, beta1, beta2, bias1, bias2, eps, n))
+}
+
+#undef GALE_SIMD_DISPATCH
+
+}  // namespace gale::la::simd
+
+#endif  // GALE_LA_SIMD_H_

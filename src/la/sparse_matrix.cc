@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "la/simd.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -26,9 +27,10 @@ __attribute__((noinline)) void GatherRows(const size_t* ptr, const size_t* idx,
   for (size_t r = r0; r < r1; ++r) {
     double* out_row = out + r * d;
     for (size_t k = ptr[r]; k < ptr[r + 1]; ++k) {
-      const double w = vals[k];
-      const double* in_row = dense + idx[k] * d;
-      for (size_t c = 0; c < d; ++c) out_row[c] += w * in_row[c];
+      // simd::Axpy vectorizes across the d output columns; each column's
+      // accumulation order over k is unchanged, so the result is bitwise
+      // identical to the scalar sweep.
+      simd::Axpy(out_row, dense + idx[k] * d, vals[k], d);
     }
   }
 }
@@ -168,6 +170,10 @@ void SparseMatrix::MultiplyVectorInto(const std::vector<double>& v,
   GALE_CHECK_EQ(cols_, v.size());
   GALE_CHECK(out != &v) << "MultiplyVectorInto aliased output";
   out->resize(rows_);
+  // Deliberately scalar: each output entry is one sequential accumulator
+  // over an irregular gather (v[col_idx_[k]]), so there is no independent
+  // output-element direction to vectorize without changing the summation
+  // order — and SpMV is a negligible share of the training loop.
   for (size_t r = 0; r < rows_; ++r) {
     double acc = 0.0;
     for (size_t k = RowBegin(r); k < RowEnd(r); ++k) {

@@ -21,6 +21,12 @@
 //  * The Workspace is NOT thread-safe. It follows the layer threading
 //    contract: one training loop owns one workspace; parallelism lives
 //    inside the kernels, never across Checkout calls.
+//
+// Alignment: arena buffers are Matrix-backed, and Matrix storage is a
+// simd::AlignedVector, so every buffer a Checkout hands out starts on a
+// simd::kArenaAlignment (64-byte) boundary — the alignment contract the
+// la::simd substrate documents. Checkout DCHECKs it so a storage-type
+// regression fails loudly in debug builds.
 
 #ifndef GALE_LA_WORKSPACE_H_
 #define GALE_LA_WORKSPACE_H_
@@ -93,6 +99,9 @@ class Workspace {
     GALE_DCHECK(!frozen_ || !allocated)
         << "workspace allocation while frozen: no warm " << rows << "x"
         << cols << " buffer on what should be a steady-state path";
+    GALE_DCHECK(m->empty() || simd::IsArenaAligned(m->RowPtr(0)))
+        << "workspace buffer base not " << simd::kArenaAlignment
+        << "-byte aligned";
     return Scoped(this, m);
   }
 

@@ -2,41 +2,48 @@
 
 #include <cmath>
 
+#include "la/simd.h"
 #include "util/logging.h"
 
 namespace gale::nn {
 
+// The piecewise-linear activations (Relu, LeakyRelu) and all the Backward
+// mask sweeps run on the la::simd substrate: every element is independent
+// and the vector variants reproduce the scalar expression tree bit for
+// bit (see la/simd.h). Sigmoid and Tanh Forward stay scalar — libm
+// exp/tanh have no vector counterpart with guaranteed identical rounding.
+
 const la::Matrix& Relu::Forward(const la::Matrix& input, bool /*training*/) {
   input_cache_ = input;
-  out_ = input;
-  out_.Apply([](double v) { return v > 0.0 ? v : 0.0; });
+  out_.EnsureShape(input.rows(), input.cols());
+  la::simd::ReluForward(out_.data().data(), input.data().data(),
+                        input.data().size());
   return out_;
 }
 
 const la::Matrix& Relu::Backward(const la::Matrix& grad_output) {
   GALE_CHECK_EQ(grad_output.rows(), input_cache_.rows());
-  grad_ = grad_output;
-  for (size_t i = 0; i < grad_.data().size(); ++i) {
-    if (input_cache_.data()[i] <= 0.0) grad_.data()[i] = 0.0;
-  }
+  grad_.EnsureShape(grad_output.rows(), grad_output.cols());
+  la::simd::ReluBackward(grad_.data().data(), grad_output.data().data(),
+                         input_cache_.data().data(), grad_.data().size());
   return grad_;
 }
 
 const la::Matrix& LeakyRelu::Forward(const la::Matrix& input,
                                      bool /*training*/) {
   input_cache_ = input;
-  out_ = input;
-  const double slope = negative_slope_;
-  out_.Apply([slope](double v) { return v > 0.0 ? v : slope * v; });
+  out_.EnsureShape(input.rows(), input.cols());
+  la::simd::LeakyReluForward(out_.data().data(), input.data().data(),
+                             negative_slope_, input.data().size());
   return out_;
 }
 
 const la::Matrix& LeakyRelu::Backward(const la::Matrix& grad_output) {
   GALE_CHECK_EQ(grad_output.rows(), input_cache_.rows());
-  grad_ = grad_output;
-  for (size_t i = 0; i < grad_.data().size(); ++i) {
-    if (input_cache_.data()[i] <= 0.0) grad_.data()[i] *= negative_slope_;
-  }
+  grad_.EnsureShape(grad_output.rows(), grad_output.cols());
+  la::simd::LeakyReluBackward(grad_.data().data(), grad_output.data().data(),
+                              input_cache_.data().data(), negative_slope_,
+                              grad_.data().size());
   return grad_;
 }
 
@@ -49,11 +56,9 @@ const la::Matrix& Sigmoid::Forward(const la::Matrix& input,
 
 const la::Matrix& Sigmoid::Backward(const la::Matrix& grad_output) {
   GALE_CHECK_EQ(grad_output.rows(), output_cache_.rows());
-  grad_ = grad_output;
-  for (size_t i = 0; i < grad_.data().size(); ++i) {
-    const double s = output_cache_.data()[i];
-    grad_.data()[i] *= s * (1.0 - s);
-  }
+  grad_.EnsureShape(grad_output.rows(), grad_output.cols());
+  la::simd::SigmoidBackward(grad_.data().data(), grad_output.data().data(),
+                            output_cache_.data().data(), grad_.data().size());
   return grad_;
 }
 
@@ -65,11 +70,9 @@ const la::Matrix& Tanh::Forward(const la::Matrix& input, bool /*training*/) {
 
 const la::Matrix& Tanh::Backward(const la::Matrix& grad_output) {
   GALE_CHECK_EQ(grad_output.rows(), output_cache_.rows());
-  grad_ = grad_output;
-  for (size_t i = 0; i < grad_.data().size(); ++i) {
-    const double t = output_cache_.data()[i];
-    grad_.data()[i] *= 1.0 - t * t;
-  }
+  grad_.EnsureShape(grad_output.rows(), grad_output.cols());
+  la::simd::TanhBackward(grad_.data().data(), grad_output.data().data(),
+                         output_cache_.data().data(), grad_.data().size());
   return grad_;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "la/simd.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -30,16 +31,13 @@ void Adam::Step(const std::vector<la::Matrix*>& params,
     GALE_DCHECK_ALL_FINITE(g.data()) << "non-finite gradient, param " << i;
     la::Matrix& m = m_[i];
     la::Matrix& v = v_[i];
-    for (size_t j = 0; j < p.data().size(); ++j) {
-      const double grad = g.data()[j];
-      m.data()[j] = options_.beta1 * m.data()[j] + (1.0 - options_.beta1) * grad;
-      v.data()[j] =
-          options_.beta2 * v.data()[j] + (1.0 - options_.beta2) * grad * grad;
-      const double m_hat = m.data()[j] / bias1;
-      const double v_hat = v.data()[j] / bias2;
-      p.data()[j] -= options_.learning_rate * m_hat /
-                     (std::sqrt(v_hat) + options_.epsilon);
-    }
+    // One fused element sweep on the la::simd substrate; the vector
+    // variants replicate this exact expression tree (sqrt and divide are
+    // correctly rounded), so the update is bitwise ISA-invariant.
+    la::simd::AdamUpdate(p.data().data(), m.data().data(), v.data().data(),
+                         g.data().data(), options_.learning_rate,
+                         options_.beta1, options_.beta2, bias1, bias2,
+                         options_.epsilon, p.data().size());
     GALE_DCHECK_ALL_FINITE(p.data())
         << "parameter " << i << " diverged after Adam step " << step_;
   }

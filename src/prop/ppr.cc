@@ -3,6 +3,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "la/simd.h"
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -34,13 +35,16 @@ void PprEngine::ComputeRowInto(size_t v, std::vector<double>* p,
     // The ping-pong swap replaces the old per-iteration move of a freshly
     // allocated product vector; the value sequence is identical.
     walk_matrix_->MultiplyVectorInto(*p, next);
+    // Three passes with the same per-element value sequence as the
+    // original fused loop: damp every entry by (1-α) (SIMD — each element
+    // is one independent multiply), add the teleport mass at the source
+    // (the same single scalar add), then the sequential L1-diff reduction
+    // in ascending order (scalar — one running accumulator whose
+    // summation order defines convergence).
+    la::simd::ScaleAssign(next->data(), 1.0 - options_.alpha, n);
+    (*next)[v] += options_.alpha;
     double diff = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      double value = (1.0 - options_.alpha) * (*next)[i];
-      if (i == v) value += options_.alpha;
-      diff += std::abs(value - (*p)[i]);
-      (*next)[i] = value;
-    }
+    for (size_t i = 0; i < n; ++i) diff += std::abs((*next)[i] - (*p)[i]);
     std::swap(*p, *next);
     if (diff < options_.tolerance) break;
   }

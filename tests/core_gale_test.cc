@@ -256,22 +256,5 @@ TEST(GaleTest, TelemetryIsPopulated) {
   EXPECT_EQ(iteration_spans, r.iterations().size());
 }
 
-TEST(GaleTest, DeprecatedPositionalOverloadStillWorks) {
-  Fixture f = MakeFixture();
-  GaleConfig config = FastConfig(19);
-  config.iterations = 2;
-  Gale gale(&f.dirty, &f.library, &f.constraints, config);
-  detect::GroundTruthOracle oracle(&f.truth);
-  std::vector<int> initial(f.dirty.num_nodes(), kUnlabeled);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  auto result = gale.Run(f.features.x_real, f.features.x_synthetic, oracle,
-                         initial, std::vector<int>{});
-#pragma GCC diagnostic pop
-  ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result.value().iterations().size(),
-            static_cast<size_t>(config.iterations));
-}
-
 }  // namespace
 }  // namespace gale::core

@@ -45,7 +45,10 @@ void ExpectBitwiseStable(Fn compute) {
   std::vector<std::vector<double>> results;
   for (int threads : kThreadCounts) {
     util::ScopedParallelism p(threads);
-    results.push_back(compute());
+    // Copy through iterators: compute() may return any contiguous double
+    // container (Matrix::data() is an aligned vector type).
+    const auto r = compute();
+    results.emplace_back(r.begin(), r.end());
   }
   for (size_t i = 1; i < results.size(); ++i) {
     ASSERT_EQ(results[0].size(), results[i].size());
@@ -96,7 +99,8 @@ TEST(ParallelEquivalenceTest, KMeans) {
     util::Rng rng(42);  // same seed per run: only threading may vary
     util::Result<la::KMeansResult> result = la::KMeans(data, options, rng);
     EXPECT_TRUE(result.ok());
-    std::vector<double> flat = result.value().centroids.data();
+    const auto& centroids = result.value().centroids.data();
+    std::vector<double> flat(centroids.begin(), centroids.end());
     for (size_t a : result.value().assignments) {
       flat.push_back(static_cast<double>(a));
     }

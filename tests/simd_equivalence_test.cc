@@ -1,0 +1,415 @@
+// The SIMD substrate's whole contract is that it changes nothing but
+// time: every vectorized kernel must be bitwise identical to the scalar
+// fallback, at every thread count, on every ISA the machine can run,
+// including non-multiple-of-lane-width tails and the *Into workspace
+// forms. This test pins that by re-running each kernel under
+// simd::ScopedIsaOverride and comparing raw doubles (ASSERT_EQ, never
+// AllClose). The scalar results are the reference — the same numbers a
+// GALE_SIMD=OFF build produces (tools/check_all.sh's simdoff leg keeps
+// that build green). Run both plain and as the _mt4 ctest entry
+// (GALE_NUM_THREADS=4) so the lane argument composes with the thread
+// sharding one.
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "la/matrix.h"
+#include "la/simd.h"
+#include "la/sparse_matrix.h"
+#include "nn/activations.h"
+#include "nn/adam.h"
+#include "prop/ppr.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace gale {
+namespace {
+
+using la::simd::Isa;
+
+constexpr int kThreadCounts[] = {1, 4};
+constexpr double kPoison = -777.25;  // exactly representable
+
+// Every ISA worth pinning on this machine: scalar always, plus whatever
+// the runtime guard admits (ScopedIsaOverride degrades unsupported
+// requests, so listing avx2 on an sse2-only box just re-tests sse2 —
+// harmless, never wrong).
+std::vector<Isa> IsasUnderTest() {
+  std::vector<Isa> isas = {Isa::kScalar};
+  if (la::simd::Compiled()) {
+    isas.push_back(Isa::kSse2);
+    if (la::simd::BestSupportedIsa() == Isa::kAvx2) {
+      isas.push_back(Isa::kAvx2);
+    }
+  }
+  return isas;
+}
+
+la::Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  util::Rng rng(seed);
+  return la::Matrix::RandomNormal(rows, cols, 1.0, rng);
+}
+
+// A matrix with sign structure (positives, negatives, exact zeros) so the
+// piecewise activations exercise every branch.
+la::Matrix SignedMatrix(size_t rows, size_t cols, uint64_t seed) {
+  la::Matrix m = RandomMatrix(rows, cols, seed);
+  for (size_t i = 0; i < m.data().size(); ++i) {
+    if (i % 7 == 0) m.data()[i] = 0.0;
+    if (i % 11 == 0) m.data()[i] = -0.0;
+  }
+  return m;
+}
+
+void ExpectBitwiseEqual(const la::Matrix& expect, const la::Matrix& got,
+                        const char* what, Isa isa) {
+  ASSERT_EQ(expect.rows(), got.rows()) << what;
+  ASSERT_EQ(expect.cols(), got.cols()) << what;
+  for (size_t i = 0; i < expect.data().size(); ++i) {
+    ASSERT_EQ(expect.data()[i], got.data()[i])
+        << what << ": element " << i << " differs on "
+        << la::simd::IsaName(isa);
+  }
+}
+
+// Runs `compute` under the scalar ISA, then under every vector ISA, at 1
+// and 4 threads, and demands bitwise identity with the scalar result.
+template <typename Fn>
+void ExpectIsaInvariant(Fn compute, const char* what) {
+  for (int threads : kThreadCounts) {
+    util::ScopedParallelism p(threads);
+    la::Matrix reference;
+    {
+      la::simd::ScopedIsaOverride pin(Isa::kScalar);
+      reference = compute();
+    }
+    for (Isa isa : IsasUnderTest()) {
+      la::simd::ScopedIsaOverride pin(isa);
+      const la::Matrix got = compute();
+      ExpectBitwiseEqual(reference, got, what, isa);
+    }
+  }
+}
+
+// --- raw primitives, every tail length -------------------------------------
+
+// Exercises one primitive at n = 1..2*lane+1 so every tail remainder
+// (0..3 against the widest 4-lane path) is covered, plus a long run.
+template <typename Fn>
+void CheckPrimitiveAllTails(Fn run_and_flatten, const char* what) {
+  for (size_t n : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 257u}) {
+    std::vector<double> reference;
+    {
+      la::simd::ScopedIsaOverride pin(Isa::kScalar);
+      reference = run_and_flatten(n);
+    }
+    for (Isa isa : IsasUnderTest()) {
+      la::simd::ScopedIsaOverride pin(isa);
+      const std::vector<double> got = run_and_flatten(n);
+      ASSERT_EQ(reference.size(), got.size()) << what;
+      for (size_t i = 0; i < reference.size(); ++i) {
+        ASSERT_EQ(reference[i], got[i])
+            << what << ": n=" << n << " element " << i << " differs on "
+            << la::simd::IsaName(isa);
+      }
+    }
+  }
+}
+
+std::vector<double> RandomVec(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Normal(0.0, 1.0);
+  return v;
+}
+
+TEST(SimdEquivalenceTest, PrimitivesAllTails) {
+  CheckPrimitiveAllTails(
+      [](size_t n) {
+        std::vector<double> out = RandomVec(n, 1);
+        const std::vector<double> x = RandomVec(n, 2);
+        la::simd::Axpy(out.data(), x.data(), 1.7, n);
+        return out;
+      },
+      "Axpy");
+  CheckPrimitiveAllTails(
+      [](size_t n) {
+        std::vector<double> out = RandomVec(n, 3);
+        const std::vector<double> x0 = RandomVec(n, 4);
+        const std::vector<double> x1 = RandomVec(n, 5);
+        const std::vector<double> x2 = RandomVec(n, 6);
+        const std::vector<double> x3 = RandomVec(n, 7);
+        la::simd::Axpy4(out.data(), x0.data(), x1.data(), x2.data(),
+                        x3.data(), 0.3, -1.1, 2.7, -0.2, n);
+        return out;
+      },
+      "Axpy4");
+  CheckPrimitiveAllTails(
+      [](size_t n) {
+        const std::vector<double> a = RandomVec(n, 8);
+        const std::vector<double> b = RandomVec(n, 9);
+        return std::vector<double>{la::simd::Dot4(a.data(), b.data(), n)};
+      },
+      "Dot4");
+  CheckPrimitiveAllTails(
+      [](size_t n) {
+        const std::vector<double> a = RandomVec(n, 10);
+        const std::vector<double> b = RandomVec(n, 11);
+        std::vector<double> out(n);
+        la::simd::Add(out.data(), a.data(), b.data(), n);
+        la::simd::Sub(out.data(), out.data(), a.data(), n);
+        la::simd::Mul(out.data(), out.data(), b.data(), n);
+        la::simd::Scale(out.data(), out.data(), -0.37, n);
+        la::simd::AddAssign(out.data(), a.data(), n);
+        la::simd::SubAssign(out.data(), b.data(), n);
+        la::simd::MulAssign(out.data(), a.data(), n);
+        la::simd::ScaleAssign(out.data(), 1.13, n);
+        return out;
+      },
+      "elementwise family");
+  CheckPrimitiveAllTails(
+      [](size_t n) {
+        std::vector<double> in = RandomVec(n, 12);
+        if (!in.empty()) in[0] = -0.0;  // signed-zero edge
+        const std::vector<double> grad = RandomVec(n, 13);
+        std::vector<double> out(4 * n);
+        la::simd::ReluForward(out.data(), in.data(), n);
+        la::simd::ReluBackward(out.data() + n, grad.data(), in.data(), n);
+        la::simd::LeakyReluForward(out.data() + 2 * n, in.data(), 0.2, n);
+        la::simd::LeakyReluBackward(out.data() + 3 * n, grad.data(),
+                                    in.data(), 0.2, n);
+        return out;
+      },
+      "relu family");
+  CheckPrimitiveAllTails(
+      [](size_t n) {
+        const std::vector<double> grad = RandomVec(n, 14);
+        std::vector<double> s = RandomVec(n, 15);
+        for (double& v : s) v = 1.0 / (1.0 + std::exp(-v));
+        std::vector<double> out(2 * n);
+        la::simd::SigmoidBackward(out.data(), grad.data(), s.data(), n);
+        la::simd::TanhBackward(out.data() + n, grad.data(), s.data(), n);
+        return out;
+      },
+      "sigmoid/tanh backward");
+  CheckPrimitiveAllTails(
+      [](size_t n) {
+        std::vector<double> p = RandomVec(n, 16);
+        std::vector<double> m = RandomVec(n, 17);
+        std::vector<double> v = RandomVec(n, 18);
+        for (double& x : v) x = x * x;  // second moments are non-negative
+        const std::vector<double> g = RandomVec(n, 19);
+        la::simd::AdamUpdate(p.data(), m.data(), v.data(), g.data(), 1e-3,
+                             0.9, 0.999, 0.1, 0.01, 1e-8, n);
+        std::vector<double> out = p;
+        out.insert(out.end(), m.begin(), m.end());
+        out.insert(out.end(), v.begin(), v.end());
+        return out;
+      },
+      "AdamUpdate");
+}
+
+// --- dense kernels ---------------------------------------------------------
+
+TEST(SimdEquivalenceTest, MatMulFamily) {
+  // 33/77/91 are not lane multiples, so every inner sweep has a tail.
+  const la::Matrix a = RandomMatrix(45, 77, 21);
+  const la::Matrix b = RandomMatrix(77, 91, 22);
+  const la::Matrix c = RandomMatrix(45, 33, 23);
+  const la::Matrix d = RandomMatrix(53, 77, 24);
+  ExpectIsaInvariant([&] { return a.MatMul(b); }, "MatMul");
+  ExpectIsaInvariant([&] { return a.TransposedMatMul(c); },
+                     "TransposedMatMul");
+  ExpectIsaInvariant([&] { return a.MatMulTransposed(d); },
+                     "MatMulTransposed");
+}
+
+TEST(SimdEquivalenceTest, MatMulIntoWarmBuffers) {
+  const la::Matrix a = RandomMatrix(31, 53, 25);
+  const la::Matrix b = RandomMatrix(53, 27, 26);
+  ExpectIsaInvariant(
+      [&] {
+        // Dirty warm buffer of a different prior shape, like a workspace
+        // checkout mid-training.
+        la::Matrix out(b.cols() + 3, a.rows() + 2);
+        out.Fill(kPoison);
+        a.MatMulInto(b, &out);
+        return out;
+      },
+      "MatMulInto(warm)");
+  const la::Matrix c = RandomMatrix(31, 27, 46);  // A^T C needs rows == 31
+  ExpectIsaInvariant(
+      [&] {
+        la::Matrix out(a.cols(), c.cols());
+        out.Fill(0.25);
+        a.TransposedMatMulInto(c, &out, /*accumulate=*/true);
+        return out;
+      },
+      "TransposedMatMulInto(accumulate)");
+}
+
+TEST(SimdEquivalenceTest, ElementwiseFamily) {
+  const la::Matrix a = RandomMatrix(19, 37, 27);
+  const la::Matrix b = RandomMatrix(19, 37, 28);
+  const la::Matrix row = RandomMatrix(1, 37, 29);
+  ExpectIsaInvariant(
+      [&] {
+        la::Matrix m = a;
+        m += b;
+        m -= a;
+        m *= -1.7;
+        m.ElementwiseMul(b);
+        m.AddRowBroadcast(row);
+        return m;
+      },
+      "in-place elementwise");
+  ExpectIsaInvariant(
+      [&] {
+        la::Matrix sum;
+        la::Matrix diff;
+        la::Matrix scaled;
+        a.AddInto(b, &sum);
+        a.SubInto(b, &diff);
+        a.ScaleInto(0.77, &scaled);
+        sum.ElementwiseMul(diff);
+        sum += scaled;
+        return sum;
+      },
+      "*Into elementwise");
+  ExpectIsaInvariant(
+      [&] {
+        la::Matrix acc(1, a.cols());
+        acc.Fill(0.5);
+        a.ColSumInto(&acc, /*accumulate=*/true);
+        la::Matrix plain = a.ColSum();
+        acc += plain;
+        return acc;
+      },
+      "ColSum / ColSumInto(accumulate)");
+}
+
+// --- sparse kernels --------------------------------------------------------
+
+std::vector<std::pair<size_t, size_t>> RingWithChords(size_t n) {
+  std::vector<std::pair<size_t, size_t>> edges;
+  for (size_t i = 0; i < n; ++i) {
+    edges.emplace_back(i, (i + 1) % n);
+    if (i % 3 == 0) edges.emplace_back(i, (i + n / 2) % n);
+  }
+  return edges;
+}
+
+TEST(SimdEquivalenceTest, SparseMultiply) {
+  const la::SparseMatrix s =
+      la::SparseMatrix::NormalizedAdjacency(300, RingWithChords(300));
+  const la::Matrix x = RandomMatrix(300, 33, 31);  // non-lane-multiple d
+  ExpectIsaInvariant([&] { return s.Multiply(x); }, "SpMM");
+  ExpectIsaInvariant([&] { return s.TransposedMultiply(x); }, "SpMM^T");
+  ExpectIsaInvariant(
+      [&] {
+        la::Matrix out(7, 5);
+        out.Fill(kPoison);
+        s.MultiplyInto(x, &out);
+        return out;
+      },
+      "MultiplyInto(warm)");
+}
+
+// --- nn sweeps -------------------------------------------------------------
+
+TEST(SimdEquivalenceTest, Activations) {
+  const la::Matrix x = SignedMatrix(23, 31, 33);
+  const la::Matrix grad = RandomMatrix(23, 31, 34);
+  ExpectIsaInvariant(
+      [&] {
+        nn::Relu relu;
+        la::Matrix out = relu.Forward(x, /*training=*/true);
+        out += relu.Backward(grad);
+        return out;
+      },
+      "Relu");
+  ExpectIsaInvariant(
+      [&] {
+        nn::LeakyRelu leaky(0.2);
+        la::Matrix out = leaky.Forward(x, /*training=*/true);
+        out += leaky.Backward(grad);
+        return out;
+      },
+      "LeakyRelu");
+  ExpectIsaInvariant(
+      [&] {
+        nn::Sigmoid sigmoid;
+        la::Matrix out = sigmoid.Forward(x, /*training=*/true);
+        out += sigmoid.Backward(grad);
+        return out;
+      },
+      "Sigmoid");
+  ExpectIsaInvariant(
+      [&] {
+        nn::Tanh tanh_act;
+        la::Matrix out = tanh_act.Forward(x, /*training=*/true);
+        out += tanh_act.Backward(grad);
+        return out;
+      },
+      "Tanh");
+}
+
+TEST(SimdEquivalenceTest, AdamSteps) {
+  ExpectIsaInvariant(
+      [&] {
+        la::Matrix p = RandomMatrix(13, 21, 35);
+        nn::Adam adam(nn::AdamOptions{});
+        util::Rng rng(36);
+        for (int step = 0; step < 5; ++step) {
+          la::Matrix g = la::Matrix::RandomNormal(13, 21, 0.1, rng);
+          adam.Step({&p}, {&g});
+        }
+        return p;
+      },
+      "Adam");
+}
+
+// --- propagation -----------------------------------------------------------
+
+TEST(SimdEquivalenceTest, PprRows) {
+  const la::SparseMatrix s =
+      la::SparseMatrix::NormalizedAdjacency(200, RingWithChords(200));
+  ExpectIsaInvariant(
+      [&] {
+        prop::PprEngine engine(&s);
+        std::vector<size_t> seeds = {0, 7, 50, 199};
+        engine.ComputeRows(seeds);
+        la::Matrix flat(seeds.size(), 200);
+        for (size_t i = 0; i < seeds.size(); ++i) {
+          const std::vector<double>& row = engine.Row(seeds[i]);
+          for (size_t j = 0; j < row.size(); ++j) flat.At(i, j) = row[j];
+        }
+        return flat;
+      },
+      "PPR rows");
+}
+
+// --- dispatch plumbing -----------------------------------------------------
+
+TEST(SimdEquivalenceTest, ScopedOverrideRestores) {
+  const Isa before = la::simd::ActiveIsa();
+  {
+    la::simd::ScopedIsaOverride pin(Isa::kScalar);
+    EXPECT_EQ(la::simd::ActiveIsa(), Isa::kScalar);
+  }
+  EXPECT_EQ(la::simd::ActiveIsa(), before);
+}
+
+TEST(SimdEquivalenceTest, MatrixStorageIsArenaAligned) {
+  la::Matrix m(7, 9);
+  EXPECT_TRUE(la::simd::IsArenaAligned(m.RowPtr(0)));
+  // Alignment survives growth reallocation.
+  m.EnsureShape(333, 41);
+  EXPECT_TRUE(la::simd::IsArenaAligned(m.RowPtr(0)));
+}
+
+}  // namespace
+}  // namespace gale

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Benchmark-regression gate: runs the two instrumented benches
-# (bench_parallel_scaling, bench_micro) with GALE_BENCH_JSON_DIR set, then
-# compares every (name, threads) record against the committed baselines in
-# bench/baselines/. A record FAILS only if its median_ns is more than
+# Benchmark-regression gate: runs the three instrumented benches
+# (bench_parallel_scaling, bench_micro, bench_simd_scaling) with
+# GALE_BENCH_JSON_DIR set, then compares every (name, threads) record
+# against the committed baselines in bench/baselines/. A record FAILS only if its median_ns is more than
 # GALE_BENCH_TOLERANCE (default 1.00, i.e. 2x) slower than the baseline —
 # generous on purpose: this catches order-of-magnitude regressions (an
 # accidentally serialised kernel, an allocating hot loop), not CPU jitter;
@@ -34,7 +34,7 @@ if [ ! -d "${build_dir}" ]; then
   cmake -B "${build_dir}" -S "${repo_root}"
 fi
 cmake --build "${build_dir}" -j "$(nproc)" --target \
-  bench_parallel_scaling bench_micro
+  bench_parallel_scaling bench_micro bench_simd_scaling
 
 json_dir="$(mktemp -d)"
 trap 'rm -rf "${json_dir}"' EXIT
@@ -44,17 +44,21 @@ GALE_BENCH_JSON_DIR="${json_dir}" "${build_dir}/bench/bench_parallel_scaling"
 echo "bench_check: running bench_micro"
 GALE_BENCH_JSON_DIR="${json_dir}" "${build_dir}/bench/bench_micro" \
   --benchmark_min_time=0.2
+echo "bench_check: running bench_simd_scaling"
+GALE_BENCH_JSON_DIR="${json_dir}" "${build_dir}/bench/bench_simd_scaling"
 
 if [ "${update}" -eq 1 ]; then
   mkdir -p "${baseline_dir}"
   cp "${json_dir}/BENCH_parallel_scaling.json" \
-     "${json_dir}/BENCH_micro.json" "${baseline_dir}/"
+     "${json_dir}/BENCH_micro.json" \
+     "${json_dir}/BENCH_simd_scaling.json" "${baseline_dir}/"
   echo "bench_check: baselines updated in bench/baselines/"
   exit 0
 fi
 
 status=0
-for name in BENCH_parallel_scaling.json BENCH_micro.json; do
+for name in BENCH_parallel_scaling.json BENCH_micro.json \
+            BENCH_simd_scaling.json; do
   baseline="${baseline_dir}/${name}"
   fresh="${json_dir}/${name}"
   if [ ! -f "${baseline}" ]; then

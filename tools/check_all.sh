@@ -11,6 +11,9 @@
 #   ubsan   UndefinedBehaviorSanitizer build (unrecoverable), full suite
 #   tsan    ThreadSanitizer build, thread-pool/determinism suites at
 #           several thread counts (the old tools/check_tsan.sh)
+#   simdoff GALE_SIMD=OFF scalar-fallback build, full ctest suite — keeps
+#           the non-vectorized path green (it is the bitwise reference
+#           the SIMD kernels are checked against)
 #
 # Opt-in stages (never run by default; name them explicitly):
 #   bench   tools/bench_check.sh — benchmark-regression gate against the
@@ -24,7 +27,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-  stages=(lint werror asan ubsan tsan)
+  stages=(lint werror asan ubsan tsan simdoff)
 fi
 jobs="$(nproc)"
 
@@ -88,6 +91,12 @@ for stage in "${stages[@]}"; do
       GALE_NUM_THREADS=8 ctest --test-dir "${build_dir}" --output-on-failure \
         -R '(util_thread_pool|la_parallel_equivalence|la_into_equivalence)_test$'
       ;;
+    simdoff)
+      run_stage "GALE_SIMD=OFF scalar fallback"
+      configure_and_test "${repo_root}/build-simdoff" \
+        -DCMAKE_BUILD_TYPE=Release \
+        -DGALE_SIMD=OFF -DGALE_DEBUG_CHECKS=ON
+      ;;
     bench)
       run_stage "benchmark-regression gate (opt-in)"
       GALE_BENCH_BUILD_DIR="${repo_root}/build-bench" \
@@ -95,7 +104,7 @@ for stage in "${stages[@]}"; do
       ;;
     *)
       echo "check_all: unknown stage '${stage}'" >&2
-      echo "stages: lint werror asan ubsan tsan bench" >&2
+      echo "stages: lint werror asan ubsan tsan simdoff bench" >&2
       exit 2
       ;;
   esac

@@ -35,6 +35,13 @@
 //                  respects logical-time mode and lands in one report.
 //                  Harness code (tools/, bench/, tests/, examples/) may
 //                  use obs::WallTimer or raw clocks freely.
+//   simd-intrinsics
+//                  No vendor SIMD intrinsics (immintrin.h and friends,
+//                  _mm* / __m128 / __m256 / __m512 identifiers) outside
+//                  src/la/simd.h — the one home for intrinsics, where the
+//                  bitwise-determinism argument (lane order, no FMA
+//                  contraction) is made once. Everything else goes
+//                  through the la::simd primitives.
 //   hot-path-alloc No allocating kernel calls (MatMul, Multiply,
 //                  SelectRows, ...) in a src/ file that already adopted
 //                  the *Into out-parameter path (it mentions la::Workspace
@@ -316,6 +323,7 @@ struct FileClass {
   bool par_exempt = false;  // src/util/parallel.* — the dispatch substrate
   bool la_exempt = false;   // src/la/* — defines the allocating wrappers
   bool obs_exempt = false;  // src/obs/* — the one home for clock reads
+  bool simd_exempt = false;  // src/la/simd.h — the one home for intrinsics
 };
 
 FileClass Classify(const std::string& rel_path) {
@@ -326,6 +334,7 @@ FileClass Classify(const std::string& rel_path) {
   fc.par_exempt = rel_path.rfind("src/util/parallel", 0) == 0;
   fc.la_exempt = rel_path.rfind("src/la/", 0) == 0;
   fc.obs_exempt = rel_path.rfind("src/obs/", 0) == 0;
+  fc.simd_exempt = rel_path == "src/la/simd.h";
   return fc;
 }
 
@@ -565,6 +574,36 @@ void CheckShardNoinline(const std::string& file, const FileClass& fc,
   }
 }
 
+void CheckSimdIntrinsics(const std::string& file, const FileClass& fc,
+                         const CleanFile& clean, const Annotations& ann,
+                         std::vector<Finding>* findings) {
+  if (fc.simd_exempt) return;
+  // Vendor intrinsic headers by name, plus the identifier prefixes every
+  // x86 intrinsic and vector type uses. Prefix matching keeps the list
+  // ISA-complete (_mm_/_mm256_/_mm512_, __m128d/__m256i/...).
+  static const std::set<std::string> kBannedHeaders = {
+      "immintrin", "emmintrin", "xmmintrin", "pmmintrin",
+      "smmintrin", "tmmintrin", "nmmintrin", "ammintrin",
+      "wmmintrin", "avxintrin", "avx2intrin"};
+  static const char* kBannedPrefixes[] = {"_mm", "__m128", "__m256",
+                                          "__m512"};
+  for (const Token& t : clean.tokens) {
+    bool hit = kBannedHeaders.count(t.text) > 0;
+    for (const char* prefix : kBannedPrefixes) {
+      if (hit) break;
+      if (t.text.rfind(prefix, 0) == 0) hit = true;
+    }
+    if (!hit) continue;
+    if (Suppressed(ann, "simd-intrinsics", t.line)) continue;
+    findings->push_back(
+        {file, t.line, "simd-intrinsics",
+         "'" + t.text +
+             "' — vendor intrinsics live only in src/la/simd.h, where the "
+             "bitwise-determinism argument is made once; call the la::simd "
+             "primitives instead"});
+  }
+}
+
 // True when the TU is on the allocation-free path: it names la::Workspace
 // or calls an *Into kernel. Identifier check, so comments don't count.
 bool AdoptedIntoPath(const CleanFile& clean) {
@@ -638,6 +677,7 @@ std::vector<Finding> LintContent(const std::string& rel_path,
   CheckRawChronoTiming(rel_path, fc, clean, ann, &findings);
   CheckNakedNew(rel_path, clean, ann, &findings);
   CheckShardNoinline(rel_path, fc, clean, ann, &findings);
+  CheckSimdIntrinsics(rel_path, fc, clean, ann, &findings);
   CheckHotPathAlloc(rel_path, fc, clean, adopted, ann, &findings);
   return findings;
 }
@@ -879,6 +919,44 @@ void Wrapper(const gale::la::Matrix& a, gale::la::Matrix* out) {
 }
 )__",
      "hot-path-alloc", 0},
+
+    {"simd-intrinsics-bad-include", "src/fake/a.cc",
+     R"__(#include <immintrin.h>
+void Nothing() {}
+)__",
+     "simd-intrinsics", 1},
+    {"simd-intrinsics-bad-usage", "src/nn/fake.cc",
+     R"__(void Sum2(double* out, const double* a, const double* b) {
+  __m128d va = _mm_loadu_pd(a);
+  __m128d vb = _mm_loadu_pd(b);
+  _mm_storeu_pd(out, _mm_add_pd(va, vb));
+}
+)__",
+     "simd-intrinsics", 6},
+    {"simd-intrinsics-bad-outside-src", "bench/fake.cc",
+     R"__(#include <immintrin.h>
+void Nothing() {}
+)__",
+     "simd-intrinsics", 1},
+    {"simd-intrinsics-good-home", "src/la/simd.h",
+     R"__(#include <immintrin.h>
+void Add2(double* out, const double* a, const double* b) {
+  _mm_storeu_pd(out, _mm_add_pd(_mm_loadu_pd(a), _mm_loadu_pd(b)));
+}
+)__",
+     "simd-intrinsics", 0},
+    {"simd-intrinsics-good-wrapper", "src/nn/fake.cc",
+     R"__(#include "la/simd.h"
+void Add(double* out, const double* a, const double* b, size_t n) {
+  gale::la::simd::Add(out, a, b, n);
+}
+)__",
+     "simd-intrinsics", 0},
+    {"simd-intrinsics-suppressed", "src/fake/a.cc",
+     R"__(// gale-lint: allow(simd-intrinsics): compat shim names the type
+using m128_alias = __m128d;
+)__",
+     "simd-intrinsics", 0},
 
     {"allow-reason-bad", "src/fake/a.cc",
      R"__(// gale-lint: allow(io)
