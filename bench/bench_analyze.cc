@@ -1,0 +1,88 @@
+// Wall-clock benchmark for the gale_analyze scan pipeline over the real
+// repository tree: a cold scan (every file tokenized), and a warm scan
+// against a primed cache (every file served from size+mtime identity).
+// The spread between the two is the value of the incremental path; the
+// cold number gates tokenizer/rule-engine regressions.
+//
+// With GALE_BENCH_JSON_DIR set, medians are also written to
+// $GALE_BENCH_JSON_DIR/BENCH_analyze.json for tools/bench_check.sh.
+//
+// Usage: bench_analyze [--repeats N] [--repo ROOT]   (default ROOT: cwd)
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analyze/scanner.h"
+#include "bench_common.h"
+#include "obs/stopwatch.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace gale;
+  int repeats = 3;
+  std::string repo = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc) {
+      repeats = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--repo") == 0 && i + 1 < argc) {
+      repo = argv[++i];
+    } else {
+      std::cerr << "usage: bench_analyze [--repeats N] [--repo ROOT]\n";
+      return 2;
+    }
+  }
+
+  const std::filesystem::path cache =
+      std::filesystem::temp_directory_path() /
+      ("bench_analyze_" + std::to_string(::getpid()) + ".cache");
+
+  analyze::ScanOptions cold_options;  // no cache: tokenizes everything
+  analyze::ScanOptions warm_options;
+  warm_options.cache_path = cache.string();
+
+  // Prime the cache once (also reports the tree size up front).
+  const analyze::ScanResult primed = analyze::ScanTree(repo, warm_options);
+  std::cout << "bench_analyze: " << primed.stats.files
+            << " files under " << repo << ", " << primed.findings.size()
+            << " finding(s)\n\n";
+
+  struct Case {
+    std::string name;
+    const analyze::ScanOptions* options;
+  };
+  const std::vector<Case> cases = {
+      {"BM_AnalyzeFullTree/cold", &cold_options},
+      {"BM_AnalyzeFullTree/warm", &warm_options},
+  };
+
+  bench::BenchJsonWriter json("BENCH_analyze.json");
+  util::TablePrinter table({"workload", "median_ms", "files/s"});
+  for (const Case& c : cases) {
+    std::vector<double> seconds;
+    seconds.reserve(repeats);
+    size_t files = 0;
+    for (int r = 0; r < repeats; ++r) {
+      obs::WallTimer timer;
+      const analyze::ScanResult result = analyze::ScanTree(repo, *c.options);
+      seconds.push_back(timer.ElapsedSeconds());
+      files = result.stats.files;
+    }
+    const double median_s = bench::Median(seconds);
+    json.Record(c.name, 1, repeats, median_s * 1e9);
+    table.AddRow({c.name, bench::Fmt(median_s * 1e3, 2),
+                  bench::Fmt(median_s > 0.0 ? files / median_s : 0.0, 0)});
+  }
+  table.Print(std::cout);
+
+  std::error_code ec;
+  std::filesystem::remove(cache, ec);
+  return 0;
+}

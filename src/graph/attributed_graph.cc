@@ -13,6 +13,7 @@ bool AttributeValue::operator==(const AttributeValue& other) const {
     case ValueKind::kNull:
       return true;
     case ValueKind::kNumeric:
+      // gale-lint: allow(float-compare): value identity — bitwise by design
       return numeric == other.numeric;
     case ValueKind::kText:
       return text == other.text;

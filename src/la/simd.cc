@@ -49,6 +49,7 @@ Isa Clamp(Isa requested) {
 
 int ResolveIsa() {
   Isa isa = BestSupportedIsa();
+  // gale-lint: allow(env-read): one-time ISA pin, cached after first call
   if (const char* env = std::getenv("GALE_SIMD_ISA")) {
     if (std::strcmp(env, "scalar") == 0) {
       isa = Isa::kScalar;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+// gale-lint: allow(simd-include): fused loops use lane primitives here
 #include "la/simd.h"
 #include "util/logging.h"
 

@@ -12,7 +12,7 @@ const la::Matrix& Dropout::Forward(const la::Matrix& input, bool training) {
   last_training_ = training;
   // Identity in eval mode: hand the caller's matrix straight back (the
   // Layer buffer contract allows this).
-  if (!training || rate_ == 0.0) return input;
+  if (!training || rate_ <= 0.0) return input;
   const double keep = 1.0 - rate_;
   mask_.EnsureShape(input.rows(), input.cols());
   out_ = input;
@@ -29,7 +29,7 @@ const la::Matrix& Dropout::Forward(const la::Matrix& input, bool training) {
 }
 
 const la::Matrix& Dropout::Backward(const la::Matrix& grad_output) {
-  if (!last_training_ || rate_ == 0.0) return grad_output;
+  if (!last_training_ || rate_ <= 0.0) return grad_output;
   grad_ = grad_output;
   grad_.ElementwiseMul(mask_);
   return grad_;

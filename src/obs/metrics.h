@@ -64,11 +64,11 @@ class Histogram {
   // 0, then one bucket per bit of a uint64_t.
   static constexpr size_t kNumBuckets = 65;
 
-  void Record(uint64_t value) {
+  void Record(uint64_t sample) {
     ++count_;
-    sum_ += value;
+    sum_ += sample;
     const size_t bucket =
-        value == 0 ? 0 : static_cast<size_t>(std::bit_width(value));
+        sample == 0 ? 0 : static_cast<size_t>(std::bit_width(sample));
     ++buckets_[bucket];
   }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <unordered_set>
 
+// gale-lint: allow(simd-include): fused loops use lane primitives here
 #include "la/simd.h"
 #include "obs/trace.h"
 #include "util/check.h"

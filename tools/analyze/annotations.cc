@@ -1,0 +1,106 @@
+#include "analyze/annotations.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gale::analyze {
+namespace {
+
+// Line of the last token of the statement that begins at token index
+// `start`: the first `;`, `{`, or `}` at the statement's own bracket
+// depth ends it. Falls back to the start line when the stream ends first.
+int StatementEndLine(const TokenFile& tf, size_t start) {
+  int depth = 0;
+  for (size_t i = start; i < tf.tokens.size(); ++i) {
+    const Tok& t = tf.tokens[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "(" || t.text == "[") ++depth;
+    if (t.text == ")" || t.text == "]") --depth;
+    if (depth <= 0 && (t.text == ";" || t.text == "{" || t.text == "}")) {
+      return t.line;
+    }
+  }
+  return tf.tokens[start].line;
+}
+
+// True when any token sits on `line` (the allow comment trails code).
+bool LineHasCode(const TokenFile& tf, int line) {
+  const auto it = std::lower_bound(
+      tf.tokens.begin(), tf.tokens.end(), line,
+      [](const Tok& t, int l) { return t.line < l; });
+  return it != tf.tokens.end() && it->line == line;
+}
+
+}  // namespace
+
+Annotations ParseAnnotations(const std::string& file, const TokenFile& tf,
+                             const std::set<std::string>& known_rules) {
+  Annotations out;
+  for (const auto& [line, comment] : tf.comments) {
+    // An annotation is a comment whose text BEGINS with the marker
+    // (after the comment punctuation itself); prose that merely quotes
+    // the contract mid-sentence is not parsed.
+    const size_t text = comment.find_first_not_of(" \t/");
+    if (text == std::string::npos ||
+        comment.compare(text, 10, "gale-lint:") != 0) {
+      continue;
+    }
+    size_t at = comment.find("allow(", text + 10);
+    if (at == std::string::npos) continue;
+    const size_t open = at + 5;
+    const size_t close = comment.find(')', open);
+    if (close == std::string::npos) continue;
+    std::string rules = comment.substr(open + 1, close - open - 1);
+    std::replace(rules.begin(), rules.end(), ',', ' ');
+
+    // Coverage: own line, plus either the next line (trailing comment) or
+    // the whole statement starting on the next line (standalone comment).
+    int last = line + 1;
+    if (!LineHasCode(tf, line)) {
+      const auto it = std::lower_bound(
+          tf.tokens.begin(), tf.tokens.end(), line + 1,
+          [](const Tok& t, int l) { return t.line < l; });
+      if (it != tf.tokens.end() && it->line == line + 1) {
+        const size_t start =
+            static_cast<size_t>(it - tf.tokens.begin());
+        last = std::max(last, StatementEndLine(tf, start));
+        last = std::min(last, line + kMaxAllowSpanLines);
+      }
+    }
+
+    std::istringstream split(rules);
+    std::string rule;
+    while (split >> rule) {
+      if (known_rules.count(rule) == 0) {
+        out.findings.push_back(
+            {file, line, "allow-unknown-rule",
+             "allow(" + rule +
+                 ") names a rule that does not exist — a typo'd "
+                 "suppression masks nothing and must be fixed (run with "
+                 "--list-rules for the registry)"});
+      }
+      out.allow[rule].push_back({line, last});
+    }
+
+    // Require a justification after the rule list: ": why".
+    const std::string tail = comment.substr(close + 1);
+    if (tail.find_first_not_of(" \t:") == std::string::npos) {
+      out.findings.push_back(
+          {file, line, "allow-reason",
+           "gale-lint: allow() without a justification — say why after "
+           "the rule list"});
+    }
+  }
+  return out;
+}
+
+bool Suppressed(const Annotations& ann, const std::string& rule, int line) {
+  const auto it = ann.allow.find(rule);
+  if (it == ann.allow.end()) return false;
+  for (const auto& [first, last] : it->second) {
+    if (line >= first && line <= last) return true;
+  }
+  return false;
+}
+
+}  // namespace gale::analyze

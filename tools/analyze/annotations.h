@@ -1,0 +1,57 @@
+// Suppression annotations: `// gale-lint: allow(<rule>[, <rule>...]): why`.
+//
+// Scope contract (exact, and pinned by self-test fixtures):
+//  * Only a comment whose text BEGINS with `gale-lint:` is an
+//    annotation; prose that quotes the marker mid-sentence is ignored.
+//  * An allow comment suppresses the named rules on its own line.
+//  * A *standalone* allow comment (no code tokens on its line) also
+//    suppresses the whole statement that begins on the next line: coverage
+//    extends from the next line to the line of the first `;`, `{`, or `}`
+//    at the statement's own bracket depth, capped at kMaxAllowSpanLines.
+//    A multi-line call or declaration under an allow is therefore covered
+//    in full — not just its first line.
+//  * A *trailing* allow comment (code and comment on one line) suppresses
+//    its own line and the next line only, so it cannot silently swallow
+//    an unrelated statement below it.
+//
+// Annotation hygiene is itself checked: an allow with no justification
+// after the rule list is an `allow-reason` finding, and a rule name that
+// is not in the registry is an `allow-unknown-rule` finding (a typo'd
+// suppression must never silently mask a real violation).
+
+#ifndef GALE_TOOLS_ANALYZE_ANNOTATIONS_H_
+#define GALE_TOOLS_ANALYZE_ANNOTATIONS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/finding.h"
+#include "analyze/token.h"
+
+namespace gale::analyze {
+
+// Statement coverage never extends more than this many lines past the
+// allow comment; a suppression that "needs" more is hiding too much.
+inline constexpr int kMaxAllowSpanLines = 32;
+
+struct Annotations {
+  // rule -> inclusive [first, last] line ranges suppressed for that rule.
+  std::map<std::string, std::vector<std::pair<int, int>>> allow;
+  // allow-reason / allow-unknown-rule hygiene findings.
+  std::vector<Finding> findings;
+};
+
+// Parses every allow comment in `tf`. `known_rules` is the full rule
+// registry (see rules.h); names outside it produce allow-unknown-rule
+// findings but are still recorded as suppressions, so one typo does not
+// cascade into a second finding for the rule the author meant to name.
+Annotations ParseAnnotations(const std::string& file, const TokenFile& tf,
+                             const std::set<std::string>& known_rules);
+
+bool Suppressed(const Annotations& ann, const std::string& rule, int line);
+
+}  // namespace gale::analyze
+
+#endif  // GALE_TOOLS_ANALYZE_ANNOTATIONS_H_

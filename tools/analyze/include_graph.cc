@@ -1,0 +1,221 @@
+#include "analyze/include_graph.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+
+namespace gale::analyze {
+namespace {
+
+namespace fs = std::filesystem;
+
+// The layering DAG. Same level = may not include each other (nn/graph);
+// lower = includable from above.
+const std::map<std::string, int>& ModuleLayers() {
+  static const std::map<std::string, int> kLayers = {
+      {"util", 0}, {"obs", 1},    {"la", 2},   {"nn", 3},        {"graph", 3},
+      {"prop", 4}, {"detect", 5}, {"core", 6}, {"baselines", 7}, {"eval", 8},
+  };
+  return kLayers;
+}
+
+const char kDagSpelling[] =
+    "util -> obs -> la -> {nn, graph} -> prop -> detect -> core -> "
+    "baselines -> eval";
+
+// "src/nn/adam.cc" -> "nn"; "tools/analyze/rules.cc" -> "tools".
+std::string ModuleOf(const std::string& rel) {
+  const size_t first = rel.find('/');
+  if (first == std::string::npos) return rel;
+  const std::string head = rel.substr(0, first);
+  if (head != "src") return head;
+  const size_t second = rel.find('/', first + 1);
+  if (second == std::string::npos) return head;
+  return rel.substr(first + 1, second - first - 1);
+}
+
+bool IsHarnessDir(const std::string& module) {
+  return module == "tools" || module == "bench" || module == "tests" ||
+         module == "examples";
+}
+
+std::string Normalize(const std::string& path) {
+  return fs::path(path).lexically_normal().generic_string();
+}
+
+// Resolves an include target the way the build does: against the
+// includer's directory, then the include roots (src/, tools/, repo root).
+// Returns "" when the target is not in the scanned set (system header).
+std::string Resolve(const std::string& includer, const std::string& target,
+                    const std::set<std::string>& known) {
+  const std::string dir = fs::path(includer).parent_path().generic_string();
+  const std::string candidates[] = {
+      dir.empty() ? target : Normalize(dir + "/" + target),
+      Normalize("src/" + target),
+      Normalize("tools/" + target),
+      Normalize(target),
+  };
+  for (const std::string& c : candidates) {
+    if (known.count(c) > 0) return c;
+  }
+  return "";
+}
+
+struct Edge {
+  size_t to = 0;
+  int line = 0;
+  const std::set<std::string>* allows = nullptr;
+};
+
+// Depth-first cycle search over the resolved edges. Nodes are visited in
+// sorted-path order and adjacency lists preserve directive order, so the
+// same cycles are reported in the same order on every run.
+class CycleFinder {
+ public:
+  CycleFinder(const std::vector<IncludeGraphInput>& files,
+              const std::vector<std::vector<Edge>>& adj)
+      : files_(files), adj_(adj), color_(files.size(), 0) {}
+
+  std::vector<Finding> Run() {
+    for (size_t i = 0; i < files_.size(); ++i) {
+      if (color_[i] == 0) Visit(i);
+    }
+    return std::move(findings_);
+  }
+
+ private:
+  void Visit(size_t node) {
+    color_[node] = 1;
+    stack_.push_back(node);
+    for (const Edge& e : adj_[node]) {
+      if (color_[e.to] == 1) {
+        Report(node, e);
+      } else if (color_[e.to] == 0) {
+        Visit(e.to);
+      }
+    }
+    stack_.pop_back();
+    color_[node] = 2;
+  }
+
+  void Report(size_t from, const Edge& back_edge) {
+    // The cycle is the stack suffix starting at the back edge's target.
+    auto it = std::find(stack_.begin(), stack_.end(), back_edge.to);
+    if (it == stack_.end()) return;
+    std::vector<std::string> cycle;
+    for (; it != stack_.end(); ++it) cycle.push_back(files_[*it].path);
+    // Canonical key so each cycle is reported once however it is entered.
+    std::vector<std::string> key = cycle;
+    std::sort(key.begin(), key.end());
+    std::string joined;
+    for (const std::string& p : key) joined += p + "|";
+    if (!seen_.insert(joined).second) return;
+    if (back_edge.allows != nullptr &&
+        back_edge.allows->count("include-cycle") > 0) {
+      return;
+    }
+    std::string chain;
+    for (const std::string& p : cycle) chain += p + " -> ";
+    chain += files_[back_edge.to].path;
+    findings_.push_back(
+        {files_[from].path, back_edge.line, "include-cycle",
+         "cyclic include chain " + chain +
+             " — header guards hide the cycle from the compiler but the "
+             "layering is broken; invert or split the dependency"});
+  }
+
+  const std::vector<IncludeGraphInput>& files_;
+  const std::vector<std::vector<Edge>>& adj_;
+  std::vector<int> color_;
+  std::vector<size_t> stack_;
+  std::set<std::string> seen_;
+  std::vector<Finding> findings_;
+};
+
+bool Allows(const std::set<std::string>& allows, const char* rule) {
+  return allows.count(rule) > 0;
+}
+
+}  // namespace
+
+int ModuleLayer(const std::string& module) {
+  const auto it = ModuleLayers().find(module);
+  return it == ModuleLayers().end() ? -1 : it->second;
+}
+
+std::vector<Finding> IncludeGraphPass(
+    const std::vector<IncludeGraphInput>& files) {
+  std::set<std::string> known;
+  std::map<std::string, size_t> index;
+  for (size_t i = 0; i < files.size(); ++i) {
+    known.insert(files[i].path);
+    index[files[i].path] = i;
+  }
+
+  std::vector<Finding> findings;
+  std::vector<std::vector<Edge>> adj(files.size());
+  static const std::set<std::string> kNoAllows;
+
+  for (size_t i = 0; i < files.size(); ++i) {
+    const IncludeGraphInput& f = files[i];
+    const bool in_src = f.path.rfind("src/", 0) == 0;
+    const std::string from_module = ModuleOf(f.path);
+    const int from_layer = ModuleLayer(from_module);
+    for (size_t k = 0; k < f.includes.size(); ++k) {
+      const IncludeDirective& inc = f.includes[k];
+      const std::string target = Resolve(f.path, inc.target, known);
+      if (target.empty()) continue;  // system or generated header
+      const std::set<std::string>& allows =
+          k < f.include_allows.size() ? f.include_allows[k] : kNoAllows;
+      adj[i].push_back({index.at(target), inc.line, &allows});
+
+      if (!in_src) continue;  // harness code may include anything
+
+      const std::string to_module = ModuleOf(target);
+      if (IsHarnessDir(to_module)) {
+        if (!Allows(allows, "harness-include")) {
+          findings.push_back(
+              {f.path, inc.line, "harness-include",
+               "library code includes harness code '" + target +
+                   "' — the dependency arrow points src -> "
+                   "tools/bench/tests only; move the shared piece into "
+                   "src/ or duplicate the helper in the harness"});
+        }
+        continue;
+      }
+
+      if (target == "src/la/simd.h" && from_module != "la" &&
+          !Allows(allows, "simd-include")) {
+        findings.push_back(
+            {f.path, inc.line, "simd-include",
+             "direct include of la/simd.h from module '" + from_module +
+                 "' — the intrinsics substrate is an la implementation "
+                 "detail; use the la kernel wrappers, or justify the "
+                 "direct lane-level use with an allow"});
+      }
+
+      const int to_layer =
+          target.rfind("src/", 0) == 0 ? ModuleLayer(to_module) : -1;
+      if (from_layer >= 0 && to_layer >= 0 && to_module != from_module &&
+          to_layer >= from_layer && !Allows(allows, "include-layering")) {
+        findings.push_back(
+            {f.path, inc.line, "include-layering",
+             "module '" + from_module + "' (layer " +
+                 std::to_string(from_layer) + ") includes '" + inc.target +
+                 "' from module '" + to_module + "' (layer " +
+                 std::to_string(to_layer) + ") — against the DAG " +
+                 kDagSpelling +
+                 "; a module may include only itself and strictly lower "
+                 "layers"});
+      }
+    }
+  }
+
+  CycleFinder cycles(files, adj);
+  std::vector<Finding> cycle_findings = cycles.Run();
+  findings.insert(findings.end(), cycle_findings.begin(),
+                  cycle_findings.end());
+  return findings;
+}
+
+}  // namespace gale::analyze

@@ -1,0 +1,64 @@
+// Cross-TU include-graph pass: the one analysis that needs every file's
+// facts at once. It machine-enforces the architecture the tree has been
+// built around since PR 1:
+//
+//  * include-layering — the module layering DAG
+//
+//        util → obs → la → {nn, graph} → prop → detect → core
+//             → baselines → eval
+//
+//    A src/ module may include itself and strictly lower layers only.
+//    (obs sits between util and la — the ISSUE sketch lists them in the
+//    other order, but the la kernels emit obs spans and gale_la links
+//    gale_obs, so the enforced DAG follows the real dependency
+//    direction; DESIGN.md §11 records the decision.) nn and graph share
+//    a level and may not include each other.
+//  * harness-include — library code (src/) must never include harness
+//    code (tools/, bench/, tests/, examples/); the dependency arrow
+//    points one way.
+//  * simd-include — src/la/simd.h is reachable only from src/la/: the
+//    intrinsics substrate is an la implementation detail, and every
+//    direct use elsewhere must carry an allow that argues why the la
+//    wrappers don't suffice.
+//  * include-cycle — no cyclic include chains anywhere in the tree
+//    (header guards make them build, which is exactly why only an
+//    analyzer notices).
+//
+// Include targets are resolved against the scanned file set with the
+// project's include roots (the includer's directory, src/, tools/, and
+// the repo root); unresolved targets (system headers) are ignored.
+// Findings anchor at the offending #include line and honor the standard
+// allow() contract via the per-include allow sets captured by the
+// single-TU pass.
+
+#ifndef GALE_TOOLS_ANALYZE_INCLUDE_GRAPH_H_
+#define GALE_TOOLS_ANALYZE_INCLUDE_GRAPH_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/finding.h"
+#include "analyze/token.h"
+
+namespace gale::analyze {
+
+struct IncludeGraphInput {
+  std::string path;  // repo-relative, generic separators
+  std::vector<IncludeDirective> includes;
+  // Parallel to `includes`: rules allow()ed at that directive line.
+  std::vector<std::set<std::string>> include_allows;
+};
+
+// Runs all cross-TU rules. `files` must be sorted by path; findings come
+// back in deterministic order regardless.
+std::vector<Finding> IncludeGraphPass(
+    const std::vector<IncludeGraphInput>& files);
+
+// Layer of a src/ module in the layering DAG, or -1 for unknown modules
+// and harness code. Exposed for the self-test.
+int ModuleLayer(const std::string& module);
+
+}  // namespace gale::analyze
+
+#endif  // GALE_TOOLS_ANALYZE_INCLUDE_GRAPH_H_

@@ -1,0 +1,98 @@
+#include "analyze/output.h"
+
+#include <sstream>
+
+#include "analyze/rules.h"
+
+namespace gale::analyze {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatText(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string FormatSarif(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": "
+         "\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+         "Schemata/sarif-schema-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"gale_analyze\",\n"
+      << "          \"informationUri\": "
+         "\"DESIGN.md#11-static-analysis-model\",\n"
+      << "          \"rules\": [\n";
+  const std::vector<RuleInfo>& catalog = RuleCatalog();
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    out << "            {\"id\": \"" << JsonEscape(catalog[i].id)
+        << "\", \"shortDescription\": {\"text\": \""
+        << JsonEscape(catalog[i].summary) << "\"}}"
+        << (i + 1 < catalog.size() ? "," : "") << "\n";
+  }
+  out << "          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << "        {\"ruleId\": \"" << JsonEscape(f.rule)
+        << "\", \"level\": \"error\", \"message\": {\"text\": \""
+        << JsonEscape(f.message)
+        << "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \""
+        << JsonEscape(f.file) << "\"}, \"region\": {\"startLine\": "
+        << (f.line > 0 ? f.line : 1) << "}}}]}"
+        << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace gale::analyze

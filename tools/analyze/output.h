@@ -1,0 +1,25 @@
+// Report formatting: plain text for humans/ctest, SARIF 2.1.0 for CI
+// annotation surfaces. Both are pure functions of the (already sorted)
+// finding list, so a byte-compare of two reports is a semantic compare
+// of two runs.
+
+#ifndef GALE_TOOLS_ANALYZE_OUTPUT_H_
+#define GALE_TOOLS_ANALYZE_OUTPUT_H_
+
+#include <string>
+#include <vector>
+
+#include "analyze/finding.h"
+
+namespace gale::analyze {
+
+// One line per finding: `file:line: [rule] message`.
+std::string FormatText(const std::vector<Finding>& findings);
+
+// A complete SARIF 2.1.0 document with the full rule catalog as the
+// tool's rule metadata and one result per finding.
+std::string FormatSarif(const std::vector<Finding>& findings);
+
+}  // namespace gale::analyze
+
+#endif  // GALE_TOOLS_ANALYZE_OUTPUT_H_

@@ -1,0 +1,224 @@
+#include "analyze/token.h"
+
+#include <cstddef>
+
+namespace gale::analyze {
+namespace {
+
+// Multi-character operators fused into single tokens, longest first so
+// the scan is a simple prefix match.
+const char* const kFusedOps[] = {"::", "==", "!=", "<=", ">=",
+                                 "->", "&&", "||"};
+
+// True when `text[i]` starts a pp-number: a digit, or '.' followed by a
+// digit.
+bool StartsNumber(const std::string& text, size_t i) {
+  if (IsDigit(text[i])) return true;
+  return text[i] == '.' && i + 1 < text.size() && IsDigit(text[i + 1]);
+}
+
+// Consumes a pp-number starting at `i`: digits, identifier chars, '.',
+// digit separators ('), and signed exponents (e+/-, E+/-, p+/-, P+/-).
+size_t LexNumber(const std::string& text, size_t i, std::string* out) {
+  const size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (IsIdentChar(c) || c == '.') {
+      out->push_back(c);
+      ++i;
+      if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') && i < n &&
+          (text[i] == '+' || text[i] == '-') &&
+          // Hex literals use e as a digit; only treat the sign as part of
+          // the number when the literal is not hexadecimal.
+          out->compare(0, 2, "0x") != 0 && out->compare(0, 2, "0X") != 0) {
+        out->push_back(text[i]);
+        ++i;
+      }
+      continue;
+    }
+    if (c == '\'' && i + 1 < n && IsIdentChar(text[i + 1])) {
+      // Digit separator: 1'000'000.
+      ++i;
+      continue;
+    }
+    break;
+  }
+  return i;
+}
+
+// Parses the remainder of a `#include` line starting just after the
+// directive name. Returns true and fills `inc` when a header-name was
+// found; `i` is advanced to the end of the header-name either way.
+bool LexIncludeTarget(const std::string& text, size_t* i,
+                      IncludeDirective* inc) {
+  const size_t n = text.size();
+  size_t j = *i;
+  while (j < n && (text[j] == ' ' || text[j] == '\t')) ++j;
+  if (j >= n) return false;
+  char close = 0;
+  if (text[j] == '<') {
+    close = '>';
+    inc->angled = true;
+  } else if (text[j] == '"') {
+    close = '"';
+    inc->angled = false;
+  } else {
+    return false;
+  }
+  ++j;
+  std::string target;
+  while (j < n && text[j] != close && text[j] != '\n') {
+    target.push_back(text[j]);
+    ++j;
+  }
+  if (j >= n || text[j] != close) return false;
+  *i = j + 1;
+  inc->target = target;
+  return true;
+}
+
+}  // namespace
+
+TokenFile Lex(const std::string& text) {
+  TokenFile out;
+  const size_t n = text.size();
+  size_t i = 0;
+  int line = 1;
+  // True until a token or directive has been seen on the current line;
+  // `#` only introduces a preprocessor directive at the start of a line.
+  bool at_line_start = true;
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      std::string comment;
+      while (i < n && text[i] != '\n') {
+        comment.push_back(text[i]);
+        ++i;
+      }
+      out.comments[line] += comment;
+      continue;
+    }
+    // Block comment; contributes its text to every line it spans.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      i += 2;
+      std::string comment;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') {
+          out.comments[line] += comment;
+          comment.clear();
+          ++line;
+        } else {
+          comment.push_back(text[i]);
+        }
+        ++i;
+      }
+      out.comments[line] += comment;
+      if (i + 1 < n) i += 2;
+      continue;
+    }
+    // Preprocessor directive. Only #include gets special treatment (its
+    // header-name never becomes tokens); other directives fall through
+    // and their bodies are lexed normally, so e.g. a banned identifier
+    // inside a macro definition is still seen.
+    if (c == '#' && at_line_start) {
+      size_t j = i + 1;
+      while (j < n && (text[j] == ' ' || text[j] == '\t')) ++j;
+      size_t word_end = j;
+      while (word_end < n && IsIdentChar(text[word_end])) ++word_end;
+      const std::string directive = text.substr(j, word_end - j);
+      if (directive == "include" || directive == "include_next") {
+        IncludeDirective inc;
+        inc.line = line;
+        size_t k = word_end;
+        if (LexIncludeTarget(text, &k, &inc)) {
+          out.includes.push_back(inc);
+          i = k;
+          at_line_start = false;
+          continue;
+        }
+      }
+      // Not an include: emit '#' and keep lexing.
+      out.tokens.push_back({TokKind::kPunct, "#", line});
+      i = i + 1;
+      at_line_start = false;
+      continue;
+    }
+    at_line_start = false;
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"' &&
+        (i == 0 || !IsIdentChar(text[i - 1]))) {
+      size_t j = i + 2;
+      std::string delim;
+      while (j < n && text[j] != '(' && text[j] != '\n' &&
+             delim.size() <= 16) {
+        delim.push_back(text[j]);
+        ++j;
+      }
+      if (j < n && text[j] == '(') {
+        const std::string closer = ")" + delim + "\"";
+        const size_t end = text.find(closer, j + 1);
+        const size_t stop = end == std::string::npos ? n : end + closer.size();
+        for (size_t k = i; k < stop; ++k) {
+          if (text[k] == '\n') ++line;
+        }
+        i = stop;
+        continue;
+      }
+      // Malformed raw string: fall through and lex 'R' as an identifier.
+    }
+    // Number before char-literal so digit separators never look like the
+    // start of a '...' literal.
+    if (StartsNumber(text, i)) {
+      std::string num;
+      i = LexNumber(text, i, &num);
+      out.tokens.push_back({TokKind::kNumber, num, line});
+      continue;
+    }
+    // String / char literal: contents are dropped entirely.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && text[i] != quote && text[i] != '\n') {
+        if (text[i] == '\\' && i + 1 < n && text[i + 1] != '\n') ++i;
+        ++i;
+      }
+      if (i < n && text[i] == quote) ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      const size_t start = i;
+      while (i < n && IsIdentChar(text[i])) ++i;
+      out.tokens.push_back(
+          {TokKind::kIdent, text.substr(start, i - start), line});
+      continue;
+    }
+    // Punctuation: fuse the known multi-char operators.
+    bool fused = false;
+    for (const char* op : kFusedOps) {
+      const size_t len = 2;
+      if (i + len <= n && text.compare(i, len, op) == 0) {
+        out.tokens.push_back({TokKind::kPunct, op, line});
+        i += len;
+        fused = true;
+        break;
+      }
+    }
+    if (fused) continue;
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace gale::analyze

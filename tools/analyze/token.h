@@ -1,0 +1,74 @@
+// gale::analyze tokenizer — the lexical substrate every analysis pass
+// shares.
+//
+// Lex() turns one translation unit into
+//  * a token stream of identifiers, numbers, and punctuation (comments,
+//    string/char-literal contents, and #include header-names excluded, so
+//    no rule can ever match prose or quoted text),
+//  * a per-line comment table (the annotation layer parses
+//    `gale-lint: allow(...)` out of it), and
+//  * the file's #include directives with their targets, preserved
+//    separately for the cross-TU include-graph pass.
+//
+// The lexer understands //- and /**/-comments, "..." and '...' literals
+// with escapes, raw strings R"delim(...)delim", pp-numbers (including
+// digit separators and exponents, so 1'000'000 and 1e-9 are single
+// tokens), and preprocessor #include lines. A small set of multi-char
+// operators is fused into single punctuation tokens (`::`, `==`, `!=`,
+// `<=`, `>=`, `->`, `&&`, `||`) because the rules reason about them as
+// units; everything else is one punctuation token per character.
+
+#ifndef GALE_TOOLS_ANALYZE_TOKEN_H_
+#define GALE_TOOLS_ANALYZE_TOKEN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gale::analyze {
+
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kPunct,
+};
+
+struct Tok {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;
+};
+
+// One `#include` directive. `target` is the header-name as written
+// (without the quotes/angle brackets); `angled` distinguishes <...> from
+// "...".
+struct IncludeDirective {
+  std::string target;
+  bool angled = false;
+  int line = 0;
+};
+
+struct TokenFile {
+  std::vector<Tok> tokens;
+  // line -> concatenated comment text on that line (block comments
+  // contribute to every line they span).
+  std::map<int, std::string> comments;
+  std::vector<IncludeDirective> includes;
+};
+
+TokenFile Lex(const std::string& text);
+
+inline bool IsIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+inline bool IsIdentStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+inline bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+}  // namespace gale::analyze
+
+#endif  // GALE_TOOLS_ANALYZE_TOKEN_H_

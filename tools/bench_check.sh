@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Benchmark-regression gate: runs the three instrumented benches
-# (bench_parallel_scaling, bench_micro, bench_simd_scaling) with
+# Benchmark-regression gate: runs the instrumented benches
+# (bench_parallel_scaling, bench_micro, bench_simd_scaling,
+# bench_analyze) with
 # GALE_BENCH_JSON_DIR set, then compares every (name, threads) record
 # against the committed baselines in bench/baselines/. A record FAILS only if its median_ns is more than
 # GALE_BENCH_TOLERANCE (default 1.00, i.e. 2x) slower than the baseline —
@@ -34,7 +35,7 @@ if [ ! -d "${build_dir}" ]; then
   cmake -B "${build_dir}" -S "${repo_root}"
 fi
 cmake --build "${build_dir}" -j "$(nproc)" --target \
-  bench_parallel_scaling bench_micro bench_simd_scaling
+  bench_parallel_scaling bench_micro bench_simd_scaling bench_analyze
 
 json_dir="$(mktemp -d)"
 trap 'rm -rf "${json_dir}"' EXIT
@@ -46,19 +47,23 @@ GALE_BENCH_JSON_DIR="${json_dir}" "${build_dir}/bench/bench_micro" \
   --benchmark_min_time=0.2
 echo "bench_check: running bench_simd_scaling"
 GALE_BENCH_JSON_DIR="${json_dir}" "${build_dir}/bench/bench_simd_scaling"
+echo "bench_check: running bench_analyze"
+GALE_BENCH_JSON_DIR="${json_dir}" "${build_dir}/bench/bench_analyze" \
+  --repo "${repo_root}"
 
 if [ "${update}" -eq 1 ]; then
   mkdir -p "${baseline_dir}"
   cp "${json_dir}/BENCH_parallel_scaling.json" \
      "${json_dir}/BENCH_micro.json" \
-     "${json_dir}/BENCH_simd_scaling.json" "${baseline_dir}/"
+     "${json_dir}/BENCH_simd_scaling.json" \
+     "${json_dir}/BENCH_analyze.json" "${baseline_dir}/"
   echo "bench_check: baselines updated in bench/baselines/"
   exit 0
 fi
 
 status=0
 for name in BENCH_parallel_scaling.json BENCH_micro.json \
-            BENCH_simd_scaling.json; do
+            BENCH_simd_scaling.json BENCH_analyze.json; do
   baseline="${baseline_dir}/${name}"
   fresh="${json_dir}/${name}"
   if [ ! -f "${baseline}" ]; then

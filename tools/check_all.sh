@@ -6,6 +6,9 @@
 #
 # Stages (default: all of them, in this order):
 #   lint    gale_lint over the tree + its self-test
+#   analyze gale_analyze: rule self-test, clean cold scan, then a
+#           warm-cache rerun that must re-tokenize zero files and emit a
+#           byte-identical report at 1 and 4 threads; SARIF must parse
 #   werror  -Werror build with GALE_DEBUG_CHECKS=ON, full ctest suite
 #   asan    AddressSanitizer build, full ctest suite
 #   ubsan   UndefinedBehaviorSanitizer build (unrecoverable), full suite
@@ -27,7 +30,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-  stages=(lint werror asan ubsan tsan simdoff)
+  stages=(lint analyze werror asan ubsan tsan simdoff)
 fi
 jobs="$(nproc)"
 
@@ -55,6 +58,44 @@ for stage in "${stages[@]}"; do
       cmake --build "${build_dir}" -j "${jobs}" --target gale_lint
       "${build_dir}/tools/gale_lint" --self-test
       "${build_dir}/tools/gale_lint" "${repo_root}"
+      ;;
+    analyze)
+      run_stage "gale_analyze (incremental scan + include graph + SARIF)"
+      build_dir="${repo_root}/build-lint"
+      cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
+      cmake --build "${build_dir}" -j "${jobs}" --target gale_analyze
+      analyzer="${build_dir}/tools/gale_analyze"
+      "${analyzer}" --self-test
+      scratch="$(mktemp -d)"
+      trap 'rm -rf "${scratch}"' EXIT
+      # Cold scan (must be clean), then a warm rerun through the cache:
+      # zero files re-tokenized, byte-identical report. A third pass at a
+      # different thread count pins thread-count invariance of the output.
+      "${analyzer}" --cache="${scratch}/scan.cache" "${repo_root}" \
+        > "${scratch}/cold.txt" 2> "${scratch}/cold.stats"
+      "${analyzer}" --cache="${scratch}/scan.cache" "${repo_root}" \
+        > "${scratch}/warm.txt" 2> "${scratch}/warm.stats"
+      grep -q " 0 re-tokenized," "${scratch}/warm.stats" || {
+        echo "check_all: warm cache rerun re-tokenized files:" >&2
+        cat "${scratch}/warm.stats" >&2
+        exit 1
+      }
+      cmp "${scratch}/cold.txt" "${scratch}/warm.txt" || {
+        echo "check_all: cold/warm reports differ" >&2
+        exit 1
+      }
+      GALE_NUM_THREADS=1 "${analyzer}" "${repo_root}" \
+        > "${scratch}/t1.txt" 2>/dev/null
+      GALE_NUM_THREADS=4 "${analyzer}" "${repo_root}" \
+        > "${scratch}/t4.txt" 2>/dev/null
+      cmp "${scratch}/t1.txt" "${scratch}/t4.txt" || {
+        echo "check_all: reports differ across thread counts" >&2
+        exit 1
+      }
+      # SARIF output must be valid JSON.
+      "${analyzer}" --format=sarif "${repo_root}" 2>/dev/null \
+        | python3 -c "import json,sys; json.load(sys.stdin)"
+      echo "check_all: analyze stage OK (clean tree, warm cache exact)"
       ;;
     werror)
       run_stage "-Werror build with contract checks live"
@@ -104,7 +145,7 @@ for stage in "${stages[@]}"; do
       ;;
     *)
       echo "check_all: unknown stage '${stage}'" >&2
-      echo "stages: lint werror asan ubsan tsan simdoff bench" >&2
+      echo "stages: lint analyze werror asan ubsan tsan simdoff bench" >&2
       exit 2
       ;;
   esac

@@ -1,1035 +1,64 @@
-// gale_lint — project-specific determinism/safety checker.
+// gale_lint — determinism/safety checker for the GALE tree.
 //
-// GALE's headline results only reproduce when every run is bit-
-// deterministic. PR 1 made the parallel kernels bitwise thread-count-
-// invariant; this tool machine-checks the source-level rules that keep
-// the rest of the tree that way. It runs as a ctest entry over src/,
-// tests/, bench/, tools/, and examples/ and fails the build on any
-// violation.
+// Compatibility driver: the analysis itself lives in tools/analyze/
+// (shared with gale_analyze, which adds the include-graph rules, an
+// incremental cache, and SARIF output). This binary keeps the original
+// CLI, rule ids, and report format so existing scripts keep working:
 //
-// Rules (ids are what allow() annotations name):
-//   rng            No std::rand / random_device / <random> engines /
-//                  wall-clock seeding outside src/util/rng — every
-//                  stochastic component must draw from the seeded
-//                  util::Rng streams.
-//   unordered-iter No range-for over a std::unordered_map/unordered_set
-//                  variable: hash-table iteration order is unspecified and
-//                  silently leaks into results. Copy into a vector and
-//                  sort, or iterate an ordered sibling structure.
-//   io             No std::cout/cerr or printf-family output in library
-//                  code (src/): use util/logging. Tools, benches, tests,
-//                  and examples print freely.
-//   naked-new      No new/delete/malloc/free: containers and smart
-//                  pointers own all memory ('= delete' declarations are
-//                  fine).
-//   shard-noinline No loops inside a lambda passed to util::ParallelFor /
-//                  ParallelForShards in src/: hoist the loop body into a
-//                  noinline free function with plain-pointer arguments.
-//                  With the closure pointer live, GCC spills inner-loop
-//                  bounds to the stack (~15% on the SpMM bench; DESIGN.md
-//                  §6).
-//   raw-chrono-timing
-//                  No std::chrono clock reads (steady_clock, system_clock,
-//                  high_resolution_clock) in src/ outside src/obs/ — all
-//                  timing flows through obs::Span / obs::Trace so it
-//                  respects logical-time mode and lands in one report.
-//                  Harness code (tools/, bench/, tests/, examples/) may
-//                  use obs::WallTimer or raw clocks freely.
-//   simd-intrinsics
-//                  No vendor SIMD intrinsics (immintrin.h and friends,
-//                  _mm* / __m128 / __m256 / __m512 identifiers) outside
-//                  src/la/simd.h — the one home for intrinsics, where the
-//                  bitwise-determinism argument (lane order, no FMA
-//                  contraction) is made once. Everything else goes
-//                  through the la::simd primitives.
-//   hot-path-alloc No allocating kernel calls (MatMul, Multiply,
-//                  SelectRows, ...) in a src/ file that already adopted
-//                  the *Into out-parameter path (it mentions la::Workspace
-//                  or calls some *Into kernel): once a TU is on the
-//                  allocation-free training path, a stray allocating call
-//                  silently reintroduces per-step allocations. Use the
-//                  *Into form with a warm buffer, or justify cold-path
-//                  calls with an allow. src/la/ itself is exempt (it
-//                  defines the allocating wrappers).
+//   gale_lint [<repo_root>]   scan the tree (default: cwd)
+//   gale_lint --self-test     run the embedded rule fixtures
 //
-// Suppression: a comment `// gale-lint: allow(<rule>): <why>` suppresses
-// that rule on its own line and the next line. Every allow must carry a
-// justification after the rule list; bare allows are themselves findings
-// (rule 'allow-reason').
+// Report: one `file:line: [rule] message` line per finding on stdout,
+// then `gale_lint: N files, F finding(s)`. Exit 0 clean, 1 findings,
+// 2 usage error.
 //
-// The checker is lexical, not semantic: it blanks comments and string
-// literals (raw strings included), then matches identifier tokens and a
-// little bracket structure. That is exactly enough for the rules above to
-// have no false positives on this codebase while staying dependency-free;
-// known blind spots (iterator-loop unordered walks, lambdas passed through
-// variables) are documented in DESIGN.md §7.
+// Suppression contract (`// gale-lint: allow(rule[,rule...]): why`):
+//   - A trailing annotation (code before the comment on the same line)
+//     suppresses the named rules on that line and the next line only.
+//   - A standalone annotation line suppresses the named rules from the
+//     annotation line through the END of the statement that begins on
+//     the next code line — up to the first `;`, `{`, or `}` at
+//     paren/bracket depth zero, capped at 32 lines. A multi-line call
+//     therefore needs exactly one annotation above it, not one per
+//     line.
+//   - The reason after the colon is mandatory (rule `allow-reason`),
+//     and every named rule must exist in the catalog (rule
+//     `allow-unknown-rule`).
+// The contract is implemented once, in tools/analyze/annotations.h.
 //
-// Usage:
-//   gale_lint <repo_root>   lint the tree rooted at <repo_root>
-//   gale_lint --self-test   run the embedded known-good/known-bad fixtures
+// Rule catalog and per-rule rationale: tools/analyze/rules.h.
 
-#include <algorithm>
-#include <cctype>
-#include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <map>
-#include <set>
-#include <sstream>
 #include <string>
-#include <vector>
 
-namespace {
-
-namespace fs = std::filesystem;
-
-// ---------------------------------------------------------------------------
-// Source model
-// ---------------------------------------------------------------------------
-
-struct Finding {
-  std::string file;
-  int line = 0;
-  std::string rule;
-  std::string message;
-};
-
-struct Token {
-  std::string text;
-  int line = 0;
-  size_t offset = 0;  // into the cleaned source
-};
-
-// A file stripped to what the rules need: `code` is the original text with
-// comments and string/char-literal contents replaced by spaces (newlines
-// kept, so offsets and line numbers survive), `comments` holds the comment
-// text per line (for annotations), and `tokens` the identifier stream.
-struct CleanFile {
-  std::string code;
-  std::map<int, std::string> comments;
-  std::vector<Token> tokens;
-};
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-bool IsIdentStart(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-// Blanks comments and literals. Handles //, /* */, "..." with escapes,
-// '...' with escapes, and raw strings R"delim(...)delim" — the self-test
-// fixtures below are raw strings full of banned tokens, so this must be
-// exact.
-CleanFile CleanSource(const std::string& text) {
-  CleanFile out;
-  out.code = text;
-  int line = 1;
-  size_t i = 0;
-  const size_t n = text.size();
-  auto blank = [&](size_t pos) {
-    if (out.code[pos] != '\n') out.code[pos] = ' ';
-  };
-  while (i < n) {
-    const char c = text[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
-      std::string comment;
-      while (i < n && text[i] != '\n') {
-        comment.push_back(text[i]);
-        blank(i);
-        ++i;
-      }
-      out.comments[line] += comment;
-      continue;
-    }
-    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
-      std::string comment;
-      blank(i);
-      blank(i + 1);
-      i += 2;
-      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
-        if (text[i] == '\n') {
-          out.comments[line] += comment;
-          comment.clear();
-          ++line;
-        } else {
-          comment.push_back(text[i]);
-        }
-        blank(i);
-        ++i;
-      }
-      out.comments[line] += comment;
-      if (i + 1 < n) {
-        blank(i);
-        blank(i + 1);
-        i += 2;
-      }
-      continue;
-    }
-    // Raw string literal: R"delim( ... )delim". Must be checked before the
-    // plain-string case and only when R directly abuts the quote.
-    if (c == 'R' && i + 1 < n && text[i + 1] == '"' &&
-        (i == 0 || !IsIdentChar(text[i - 1]))) {
-      size_t j = i + 2;
-      std::string delim;
-      while (j < n && text[j] != '(' && text[j] != '\n' &&
-             delim.size() <= 16) {
-        delim.push_back(text[j]);
-        ++j;
-      }
-      if (j < n && text[j] == '(') {
-        const std::string closer = ")" + delim + "\"";
-        const size_t end = text.find(closer, j + 1);
-        const size_t stop = end == std::string::npos ? n : end + closer.size();
-        for (size_t k = i; k < stop; ++k) {
-          if (text[k] == '\n') ++line;
-          blank(k);
-        }
-        i = stop;
-        continue;
-      }
-    }
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      blank(i);
-      ++i;
-      while (i < n && text[i] != quote && text[i] != '\n') {
-        if (text[i] == '\\' && i + 1 < n && text[i + 1] != '\n') {
-          blank(i);
-          ++i;
-        }
-        blank(i);
-        ++i;
-      }
-      if (i < n && text[i] == quote) {
-        blank(i);
-        ++i;
-      }
-      continue;
-    }
-    ++i;
-  }
-
-  // Identifier stream over the cleaned text.
-  size_t pos = 0;
-  int tok_line = 1;
-  while (pos < out.code.size()) {
-    const char ch = out.code[pos];
-    if (ch == '\n') {
-      ++tok_line;
-      ++pos;
-      continue;
-    }
-    if (IsIdentStart(ch)) {
-      const size_t start = pos;
-      while (pos < out.code.size() && IsIdentChar(out.code[pos])) ++pos;
-      out.tokens.push_back(
-          {out.code.substr(start, pos - start), tok_line, start});
-      continue;
-    }
-    ++pos;
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Annotations
-// ---------------------------------------------------------------------------
-
-struct Annotations {
-  // line -> rules allowed on that line and the next.
-  std::map<int, std::set<std::string>> allow;
-  std::vector<Finding> bare_allows;  // allows with no justification
-};
-
-Annotations ParseAnnotations(const std::string& file,
-                             const CleanFile& clean) {
-  Annotations out;
-  for (const auto& [line, comment] : clean.comments) {
-    size_t at = comment.find("gale-lint:");
-    if (at == std::string::npos) continue;
-    at = comment.find("allow(", at);
-    if (at == std::string::npos) continue;
-    const size_t open = at + 5;
-    const size_t close = comment.find(')', open);
-    if (close == std::string::npos) continue;
-    std::string rules = comment.substr(open + 1, close - open - 1);
-    std::replace(rules.begin(), rules.end(), ',', ' ');
-    std::istringstream split(rules);
-    std::string rule;
-    while (split >> rule) out.allow[line].insert(rule);
-    // Require a justification after the rule list: ": why".
-    std::string tail = comment.substr(close + 1);
-    const bool justified =
-        tail.find_first_not_of(" \t:") != std::string::npos;
-    if (!justified) {
-      out.bare_allows.push_back(
-          {file, line, "allow-reason",
-           "gale-lint: allow() without a justification — say why after "
-           "the rule list"});
-    }
-  }
-  return out;
-}
-
-bool Suppressed(const Annotations& ann, const std::string& rule, int line) {
-  for (int l : {line, line - 1}) {
-    auto it = ann.allow.find(l);
-    if (it != ann.allow.end() && it->second.count(rule) > 0) return true;
-  }
-  return false;
-}
-
-// ---------------------------------------------------------------------------
-// Bracket helpers
-// ---------------------------------------------------------------------------
-
-// Index of the matching closer for the opener at `open`, or npos.
-size_t MatchBracket(const std::string& code, size_t open, char open_ch,
-                    char close_ch) {
-  int depth = 0;
-  for (size_t i = open; i < code.size(); ++i) {
-    if (code[i] == open_ch) ++depth;
-    if (code[i] == close_ch) {
-      --depth;
-      if (depth == 0) return i;
-    }
-  }
-  return std::string::npos;
-}
-
-size_t SkipSpace(const std::string& code, size_t i) {
-  while (i < code.size() &&
-         std::isspace(static_cast<unsigned char>(code[i])) != 0) {
-    ++i;
-  }
-  return i;
-}
-
-// ---------------------------------------------------------------------------
-// File classification
-// ---------------------------------------------------------------------------
-
-struct FileClass {
-  bool in_src = false;      // library code under src/
-  bool rng_exempt = false;  // src/util/rng.* — the one home for RNG
-  bool log_exempt = false;  // src/util/logging.* — the one home for stderr
-  bool par_exempt = false;  // src/util/parallel.* — the dispatch substrate
-  bool la_exempt = false;   // src/la/* — defines the allocating wrappers
-  bool obs_exempt = false;  // src/obs/* — the one home for clock reads
-  bool simd_exempt = false;  // src/la/simd.h — the one home for intrinsics
-};
-
-FileClass Classify(const std::string& rel_path) {
-  FileClass fc;
-  fc.in_src = rel_path.rfind("src/", 0) == 0;
-  fc.rng_exempt = rel_path.rfind("src/util/rng", 0) == 0;
-  fc.log_exempt = rel_path.rfind("src/util/logging", 0) == 0;
-  fc.par_exempt = rel_path.rfind("src/util/parallel", 0) == 0;
-  fc.la_exempt = rel_path.rfind("src/la/", 0) == 0;
-  fc.obs_exempt = rel_path.rfind("src/obs/", 0) == 0;
-  fc.simd_exempt = rel_path == "src/la/simd.h";
-  return fc;
-}
-
-// ---------------------------------------------------------------------------
-// Rules
-// ---------------------------------------------------------------------------
-
-const std::set<std::string>& BannedRngTokens() {
-  static const std::set<std::string> kBanned = {
-      "rand",        "srand",          "rand_r",
-      "drand48",     "lrand48",        "random",
-      "random_device", "mt19937",      "mt19937_64",
-      "minstd_rand", "minstd_rand0",   "default_random_engine",
-      "knuth_b",     "ranlux24",       "ranlux48",
-  };
-  return kBanned;
-}
-
-void CheckRng(const std::string& file, const FileClass& fc,
-              const CleanFile& clean, const Annotations& ann,
-              std::vector<Finding>* findings) {
-  if (fc.rng_exempt) return;
-  static const std::set<std::string> kClockSeeds = {"time", "clock",
-                                                    "gettimeofday"};
-  for (const Token& t : clean.tokens) {
-    const bool banned = BannedRngTokens().count(t.text) > 0;
-    const bool clock_call =
-        kClockSeeds.count(t.text) > 0 &&
-        SkipSpace(clean.code, t.offset + t.text.size()) < clean.code.size() &&
-        clean.code[SkipSpace(clean.code, t.offset + t.text.size())] == '(';
-    if (!banned && !clock_call) continue;
-    if (Suppressed(ann, "rng", t.line)) continue;
-    findings->push_back(
-        {file, t.line, "rng",
-         "'" + t.text +
-             "' — unseeded/wall-clock randomness breaks bit-determinism; "
-             "draw from util::Rng (src/util/rng.h) instead"});
-  }
-}
-
-// Collects names declared as unordered_map/unordered_set in `clean`
-// (variables, members, parameters). Template arguments may nest.
-std::set<std::string> UnorderedDeclNames(const CleanFile& clean) {
-  std::set<std::string> names;
-  for (size_t i = 0; i < clean.tokens.size(); ++i) {
-    const Token& t = clean.tokens[i];
-    if (t.text != "unordered_map" && t.text != "unordered_set") continue;
-    size_t pos = SkipSpace(clean.code, t.offset + t.text.size());
-    if (pos >= clean.code.size() || clean.code[pos] != '<') continue;
-    int depth = 0;
-    while (pos < clean.code.size()) {
-      if (clean.code[pos] == '<') ++depth;
-      if (clean.code[pos] == '>') {
-        --depth;
-        if (depth == 0) break;
-      }
-      ++pos;
-    }
-    if (pos >= clean.code.size()) continue;
-    pos = SkipSpace(clean.code, pos + 1);
-    while (pos < clean.code.size() &&
-           (clean.code[pos] == '&' || clean.code[pos] == '*')) {
-      pos = SkipSpace(clean.code, pos + 1);
-    }
-    if (pos < clean.code.size() && IsIdentStart(clean.code[pos])) {
-      size_t end = pos;
-      while (end < clean.code.size() && IsIdentChar(clean.code[end])) ++end;
-      names.insert(clean.code.substr(pos, end - pos));
-    }
-  }
-  return names;
-}
-
-void CheckUnorderedIter(const std::string& file, const CleanFile& clean,
-                        const std::set<std::string>& unordered_names,
-                        const Annotations& ann,
-                        std::vector<Finding>* findings) {
-  if (unordered_names.empty()) return;
-  for (size_t i = 0; i < clean.tokens.size(); ++i) {
-    if (clean.tokens[i].text != "for") continue;
-    const Token& t = clean.tokens[i];
-    size_t open = SkipSpace(clean.code, t.offset + 3);
-    if (open >= clean.code.size() || clean.code[open] != '(') continue;
-    const size_t close = MatchBracket(clean.code, open, '(', ')');
-    if (close == std::string::npos) continue;
-    // Top-level ':' (not '::') marks a range-for; the range expression is
-    // everything after it.
-    size_t colon = std::string::npos;
-    int depth = 0;
-    for (size_t p = open; p < close; ++p) {
-      const char ch = clean.code[p];
-      if (ch == '(' || ch == '[' || ch == '{') ++depth;
-      if (ch == ')' || ch == ']' || ch == '}') --depth;
-      if (ch == ':' && depth == 1) {
-        if (p + 1 < close && clean.code[p + 1] == ':') {
-          ++p;
-          continue;
-        }
-        if (p > open && clean.code[p - 1] == ':') continue;
-        colon = p;
-        break;
-      }
-    }
-    if (colon == std::string::npos) continue;
-    const std::string range_expr =
-        clean.code.substr(colon + 1, close - colon - 1);
-    size_t p = 0;
-    while (p < range_expr.size()) {
-      if (!IsIdentStart(range_expr[p])) {
-        ++p;
-        continue;
-      }
-      size_t end = p;
-      while (end < range_expr.size() && IsIdentChar(range_expr[end])) ++end;
-      const std::string ident = range_expr.substr(p, end - p);
-      if (unordered_names.count(ident) > 0 &&
-          !Suppressed(ann, "unordered-iter", t.line)) {
-        findings->push_back(
-            {file, t.line, "unordered-iter",
-             "range-for over unordered container '" + ident +
-                 "' — hash order is unspecified and leaks into results; "
-                 "sort into a vector first (or justify with an allow)"});
-        break;
-      }
-      p = end;
-    }
-  }
-}
-
-void CheckIo(const std::string& file, const FileClass& fc,
-             const CleanFile& clean, const Annotations& ann,
-             std::vector<Finding>* findings) {
-  if (!fc.in_src || fc.log_exempt) return;
-  static const std::set<std::string> kBanned = {
-      "cout", "cerr", "printf", "fprintf", "puts", "fputs", "putchar"};
-  for (const Token& t : clean.tokens) {
-    if (kBanned.count(t.text) == 0) continue;
-    if (Suppressed(ann, "io", t.line)) continue;
-    findings->push_back({file, t.line, "io",
-                         "'" + t.text +
-                             "' in library code — route diagnostics through "
-                             "util/logging (GALE_LOG / GALE_CHECK)"});
-  }
-}
-
-void CheckRawChronoTiming(const std::string& file, const FileClass& fc,
-                          const CleanFile& clean, const Annotations& ann,
-                          std::vector<Finding>* findings) {
-  if (!fc.in_src || fc.obs_exempt) return;
-  static const std::set<std::string> kBanned = {
-      "steady_clock", "system_clock", "high_resolution_clock"};
-  for (const Token& t : clean.tokens) {
-    if (kBanned.count(t.text) == 0) continue;
-    if (Suppressed(ann, "raw-chrono-timing", t.line)) continue;
-    findings->push_back(
-        {file, t.line, "raw-chrono-timing",
-         "'" + t.text +
-             "' in library code — time through obs::Span/obs::Trace "
-             "(src/obs/ is the one home for raw clock reads, so "
-             "logical-time mode and the run report stay complete)"});
-  }
-}
-
-void CheckNakedNew(const std::string& file, const CleanFile& clean,
-                   const Annotations& ann, std::vector<Finding>* findings) {
-  static const std::set<std::string> kBanned = {
-      "new", "delete", "malloc", "calloc", "realloc", "free", "strdup"};
-  for (const Token& t : clean.tokens) {
-    if (kBanned.count(t.text) == 0) continue;
-    if (t.text == "delete") {
-      // '= delete' declarations are idiomatic and allowed.
-      size_t prev = t.offset;
-      while (prev > 0 && std::isspace(static_cast<unsigned char>(
-                             clean.code[prev - 1])) != 0) {
-        --prev;
-      }
-      if (prev > 0 && clean.code[prev - 1] == '=') continue;
-    }
-    if (Suppressed(ann, "naked-new", t.line)) continue;
-    findings->push_back(
-        {file, t.line, "naked-new",
-         "'" + t.text +
-             "' — raw allocation; use containers or std::make_unique"});
-  }
-}
-
-void CheckShardNoinline(const std::string& file, const FileClass& fc,
-                        const CleanFile& clean, const Annotations& ann,
-                        std::vector<Finding>* findings) {
-  if (!fc.in_src || fc.par_exempt) return;
-  for (const Token& t : clean.tokens) {
-    if (t.text != "ParallelFor" && t.text != "ParallelForShards") continue;
-    const size_t open = SkipSpace(clean.code, t.offset + t.text.size());
-    if (open >= clean.code.size() || clean.code[open] != '(') continue;
-    const size_t close = MatchBracket(clean.code, open, '(', ')');
-    if (close == std::string::npos) continue;
-    // Find a lambda literal among the arguments.
-    size_t lb = clean.code.find('[', open);
-    if (lb == std::string::npos || lb > close) continue;  // named callable
-    const size_t rb = MatchBracket(clean.code, lb, '[', ']');
-    if (rb == std::string::npos) continue;
-    size_t pos = SkipSpace(clean.code, rb + 1);
-    if (pos < clean.code.size() && clean.code[pos] == '(') {
-      const size_t pe = MatchBracket(clean.code, pos, '(', ')');
-      if (pe == std::string::npos) continue;
-      pos = SkipSpace(clean.code, pe + 1);
-    }
-    if (pos >= clean.code.size() || clean.code[pos] != '{') continue;
-    const size_t body_end = MatchBracket(clean.code, pos, '{', '}');
-    if (body_end == std::string::npos) continue;
-    const std::string body = clean.code.substr(pos, body_end - pos);
-    // Keyword scan of the body for loops.
-    bool has_loop = false;
-    size_t p = 0;
-    while (p < body.size() && !has_loop) {
-      if (!IsIdentStart(body[p])) {
-        ++p;
-        continue;
-      }
-      size_t end = p;
-      while (end < body.size() && IsIdentChar(body[end])) ++end;
-      const std::string word = body.substr(p, end - p);
-      if ((word == "for" || word == "while") &&
-          (p == 0 || !IsIdentChar(body[p - 1]))) {
-        has_loop = true;
-      }
-      p = end;
-    }
-    if (!has_loop) continue;
-    if (Suppressed(ann, "shard-noinline", t.line)) continue;
-    findings->push_back(
-        {file, t.line, "shard-noinline",
-         "loop body inside a " + t.text +
-             " closure — the live closure pointer costs registers "
-             "(~15% on SpMM); hoist the kernel into a noinline free "
-             "function with plain-pointer arguments (DESIGN.md §6)"});
-  }
-}
-
-void CheckSimdIntrinsics(const std::string& file, const FileClass& fc,
-                         const CleanFile& clean, const Annotations& ann,
-                         std::vector<Finding>* findings) {
-  if (fc.simd_exempt) return;
-  // Vendor intrinsic headers by name, plus the identifier prefixes every
-  // x86 intrinsic and vector type uses. Prefix matching keeps the list
-  // ISA-complete (_mm_/_mm256_/_mm512_, __m128d/__m256i/...).
-  static const std::set<std::string> kBannedHeaders = {
-      "immintrin", "emmintrin", "xmmintrin", "pmmintrin",
-      "smmintrin", "tmmintrin", "nmmintrin", "ammintrin",
-      "wmmintrin", "avxintrin", "avx2intrin"};
-  static const char* kBannedPrefixes[] = {"_mm", "__m128", "__m256",
-                                          "__m512"};
-  for (const Token& t : clean.tokens) {
-    bool hit = kBannedHeaders.count(t.text) > 0;
-    for (const char* prefix : kBannedPrefixes) {
-      if (hit) break;
-      if (t.text.rfind(prefix, 0) == 0) hit = true;
-    }
-    if (!hit) continue;
-    if (Suppressed(ann, "simd-intrinsics", t.line)) continue;
-    findings->push_back(
-        {file, t.line, "simd-intrinsics",
-         "'" + t.text +
-             "' — vendor intrinsics live only in src/la/simd.h, where the "
-             "bitwise-determinism argument is made once; call the la::simd "
-             "primitives instead"});
-  }
-}
-
-// True when the TU is on the allocation-free path: it names la::Workspace
-// or calls an *Into kernel. Identifier check, so comments don't count.
-bool AdoptedIntoPath(const CleanFile& clean) {
-  for (const Token& t : clean.tokens) {
-    if (t.text == "Workspace" || t.text == "BorrowedMatrix") return true;
-    if (t.text.size() > 4 &&
-        t.text.compare(t.text.size() - 4, 4, "Into") == 0) {
-      return true;
-    }
-  }
-  return false;
-}
-
-void CheckHotPathAlloc(const std::string& file, const FileClass& fc,
-                       const CleanFile& clean, bool adopted,
-                       const Annotations& ann,
-                       std::vector<Finding>* findings) {
-  if (!fc.in_src || fc.la_exempt || !adopted) return;
-  // The allocating kernels with an *Into twin. Whole-identifier matches
-  // followed by '(' — `MatMulInto` is its own token and never matches
-  // `MatMul`.
-  static const std::set<std::string> kAllocating = {
-      "MatMul",        "TransposedMatMul", "MatMulTransposed",
-      "Transposed",    "Multiply",         "MultiplyVector",
-      "SelectRows",    "ColSum",           "ColMean",
-  };
-  for (const Token& t : clean.tokens) {
-    if (kAllocating.count(t.text) == 0) continue;
-    const size_t pos = SkipSpace(clean.code, t.offset + t.text.size());
-    if (pos >= clean.code.size() || clean.code[pos] != '(') continue;
-    if (Suppressed(ann, "hot-path-alloc", t.line)) continue;
-    findings->push_back(
-        {file, t.line, "hot-path-alloc",
-         "allocating '" + t.text +
-             "(...)' in a file already on the *Into path — every call "
-             "allocates a fresh buffer; write into a warm buffer with the "
-             "*Into form, or justify a cold-path call with an allow"});
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Driver
-// ---------------------------------------------------------------------------
-
-// Lints one in-memory file. `sibling_header` supplies member declarations
-// for a .cc (so range-fors over members declared in the paired .h are
-// seen).
-std::vector<Finding> LintContent(const std::string& rel_path,
-                                 const std::string& content,
-                                 const std::string& sibling_header) {
-  const FileClass fc = Classify(rel_path);
-  const CleanFile clean = CleanSource(content);
-  const Annotations ann = ParseAnnotations(rel_path, clean);
-
-  std::set<std::string> unordered_names = UnorderedDeclNames(clean);
-  bool adopted = AdoptedIntoPath(clean);
-  if (!sibling_header.empty()) {
-    const CleanFile header = CleanSource(sibling_header);
-    for (const std::string& name : UnorderedDeclNames(header)) {
-      unordered_names.insert(name);
-    }
-    // A .cc whose header holds the Workspace member is on the hot path
-    // even if the .cc itself never names the type.
-    adopted = adopted || AdoptedIntoPath(header);
-  }
-
-  std::vector<Finding> findings = ann.bare_allows;
-  CheckRng(rel_path, fc, clean, ann, &findings);
-  CheckUnorderedIter(rel_path, clean, unordered_names, ann, &findings);
-  CheckIo(rel_path, fc, clean, ann, &findings);
-  CheckRawChronoTiming(rel_path, fc, clean, ann, &findings);
-  CheckNakedNew(rel_path, clean, ann, &findings);
-  CheckShardNoinline(rel_path, fc, clean, ann, &findings);
-  CheckSimdIntrinsics(rel_path, fc, clean, ann, &findings);
-  CheckHotPathAlloc(rel_path, fc, clean, adopted, ann, &findings);
-  return findings;
-}
-
-std::string ReadFileOrDie(const fs::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    std::cerr << "gale_lint: cannot read " << path << "\n";
-    std::exit(2);
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return buf.str();
-}
-
-int LintTree(const fs::path& root) {
-  static const char* kDirs[] = {"src", "tests", "bench", "tools", "examples"};
-  static const char* kExts[] = {".cc", ".h", ".cpp", ".hpp"};
-  std::vector<fs::path> files;
-  for (const char* dir : kDirs) {
-    const fs::path base = root / dir;
-    if (!fs::exists(base)) continue;
-    for (const auto& entry : fs::recursive_directory_iterator(base)) {
-      if (!entry.is_regular_file()) continue;
-      const std::string ext = entry.path().extension().string();
-      if (std::find_if(std::begin(kExts), std::end(kExts),
-                       [&](const char* e) { return ext == e; }) !=
-          std::end(kExts)) {
-        files.push_back(entry.path());
-      }
-    }
-  }
-  std::sort(files.begin(), files.end());
-
-  std::vector<Finding> findings;
-  size_t scanned = 0;
-  for (const fs::path& path : files) {
-    const std::string rel = fs::relative(path, root).generic_string();
-    std::string sibling;
-    if (path.extension() == ".cc" || path.extension() == ".cpp") {
-      fs::path header = path;
-      header.replace_extension(".h");
-      if (fs::exists(header)) sibling = ReadFileOrDie(header);
-    }
-    const std::vector<Finding> file_findings =
-        LintContent(rel, ReadFileOrDie(path), sibling);
-    findings.insert(findings.end(), file_findings.begin(),
-                    file_findings.end());
-    ++scanned;
-  }
-
-  for (const Finding& f : findings) {
-    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
-              << f.message << "\n";
-  }
-  std::cout << "gale_lint: " << scanned << " files, " << findings.size()
-            << " finding(s)\n";
-  return findings.empty() ? 0 : 1;
-}
-
-// ---------------------------------------------------------------------------
-// Self-test fixtures: for every rule one known-bad snippet (must trigger
-// exactly once) and one known-good twin (must not trigger), plus
-// suppression and annotation-hygiene cases.
-// ---------------------------------------------------------------------------
-
-struct Fixture {
-  const char* name;
-  const char* path;  // decides scoping (src/ vs tools/ etc.)
-  const char* source;
-  const char* rule;      // rule expected
-  int expected_count;    // findings of `rule` expected
-};
-
-const Fixture kFixtures[] = {
-    {"rng-bad", "src/fake/a.cc",
-     R"__(#include <cstdlib>
-int Draw() { return std::rand(); }
-)__",
-     "rng", 1},
-    {"rng-clock-seed-bad", "src/fake/a.cc",
-     R"__(#include <ctime>
-long Seed() { return time(nullptr); }
-)__",
-     "rng", 1},
-    {"rng-good", "src/fake/a.cc",
-     R"__(#include "util/rng.h"
-double Draw(gale::util::Rng& rng) { return rng.Uniform(); }
-)__",
-     "rng", 0},
-    {"rng-good-identifier", "src/fake/a.cc",
-     R"__(int randomize_count = 0;  // 'randomize_count' is not 'random'
-void TimeSince() {}              // 'time' not followed by '('
-)__",
-     "rng", 0},
-
-    {"unordered-iter-bad", "src/fake/a.cc",
-     R"__(#include <unordered_map>
-double Sum(const std::unordered_map<int, double>& weights) {
-  double acc = 0.0;
-  for (const auto& [k, w] : weights) acc += w;  // order-dependent FP sum
-  return acc;
-}
-)__",
-     "unordered-iter", 1},
-    {"unordered-iter-good-sorted", "src/fake/a.cc",
-     R"__(#include <unordered_map>
-#include <algorithm>
-#include <vector>
-double Sum(const std::unordered_map<int, double>& weights) {
-  std::vector<std::pair<int, double>> sorted(weights.begin(), weights.end());
-  std::sort(sorted.begin(), sorted.end());
-  double acc = 0.0;
-  for (const auto& [k, w] : sorted) acc += w;
-  return acc;
-}
-)__",
-     "unordered-iter", 0},
-    {"unordered-iter-suppressed", "src/fake/a.cc",
-     R"__(#include <unordered_set>
-size_t Count(const std::unordered_set<int>& seen) {
-  size_t n = 0;
-  // gale-lint: allow(unordered-iter): count is order-independent
-  for (int v : seen) n += static_cast<size_t>(v >= 0);
-  return n;
-}
-)__",
-     "unordered-iter", 0},
-
-    {"io-bad", "src/fake/a.cc",
-     R"__(#include <iostream>
-void Report(int n) { std::cout << n << "\n"; }
-)__",
-     "io", 1},
-    {"io-good-logging", "src/fake/a.cc",
-     R"__(#include "util/logging.h"
-void Report(int n) { GALE_LOG(Info) << n; }
-)__",
-     "io", 0},
-    {"io-good-outside-src", "tools/fake.cc",
-     R"__(#include <iostream>
-void Report(int n) { std::cout << n << "\n"; }
-)__",
-     "io", 0},
-
-    {"naked-new-bad", "src/fake/a.cc",
-     R"__(int* Make() { return new int(7); }
-)__",
-     "naked-new", 1},
-    {"naked-new-good", "src/fake/a.cc",
-     R"__(#include <memory>
-std::unique_ptr<int> Make() { return std::make_unique<int>(7); }
-struct NoCopy {
-  NoCopy(const NoCopy&) = delete;
-};
-)__",
-     "naked-new", 0},
-
-    {"shard-noinline-bad", "src/fake/a.cc",
-     R"__(#include "util/parallel.h"
-void Scale(double* data, size_t n) {
-  gale::util::ParallelFor(0, n, 64, [&](size_t b, size_t e) {
-    for (size_t i = b; i < e; ++i) data[i] *= 2.0;
-  });
-}
-)__",
-     "shard-noinline", 1},
-    {"shard-noinline-good-hoisted", "src/fake/a.cc",
-     R"__(#include "util/parallel.h"
-__attribute__((noinline)) void ScaleShard(double* data, size_t b, size_t e) {
-  for (size_t i = b; i < e; ++i) data[i] *= 2.0;
-}
-void Scale(double* data, size_t n) {
-  gale::util::ParallelFor(0, n, 64, [&](size_t b, size_t e) {
-    ScaleShard(data, b, e);
-  });
-}
-)__",
-     "shard-noinline", 0},
-    {"shard-noinline-suppressed", "src/fake/a.cc",
-     R"__(#include "util/parallel.h"
-void Scale(double* data, size_t n) {
-  // gale-lint: allow(shard-noinline): measured no spill; trivial body
-  gale::util::ParallelFor(0, n, 64, [&](size_t b, size_t e) {
-    for (size_t i = b; i < e; ++i) data[i] *= 2.0;
-  });
-}
-)__",
-     "shard-noinline", 0},
-
-    {"hot-path-alloc-bad", "src/fake/a.cc",
-     R"__(#include "la/matrix.h"
-void Step(const gale::la::Matrix& a, const gale::la::Matrix& b,
-          gale::la::Matrix* out) {
-  a.MatMulInto(b, out);                     // adopted the Into path...
-  gale::la::Matrix extra = a.MatMul(b);     // ...so this allocation flags
-}
-)__",
-     "hot-path-alloc", 1},
-    {"hot-path-alloc-good-into-only", "src/fake/a.cc",
-     R"__(#include "la/matrix.h"
-void Step(const gale::la::Matrix& a, const gale::la::Matrix& b,
-          gale::la::Matrix* out, gale::la::Matrix* out2) {
-  a.MatMulInto(b, out);
-  a.TransposedMatMulInto(b, out2, /*accumulate=*/true);
-}
-)__",
-     "hot-path-alloc", 0},
-    {"hot-path-alloc-good-not-adopted", "src/fake/a.cc",
-     R"__(#include "la/matrix.h"
-gale::la::Matrix Once(const gale::la::Matrix& a, const gale::la::Matrix& b) {
-  return a.MatMul(b);  // cold path, never opted into the arena
-}
-)__",
-     "hot-path-alloc", 0},
-    {"hot-path-alloc-suppressed", "src/fake/a.cc",
-     R"__(#include "la/matrix.h"
-#include "la/workspace.h"
-void Step(const gale::la::Matrix& a, const gale::la::Matrix& b,
-          gale::la::Workspace* ws) {
-  // gale-lint: allow(hot-path-alloc): one-time setup, not per-step
-  gale::la::Matrix init = a.MatMul(b);
-}
-)__",
-     "hot-path-alloc", 0},
-    {"hot-path-alloc-good-outside-src", "tools/fake.cc",
-     R"__(#include "la/matrix.h"
-void Bench(const gale::la::Matrix& a, gale::la::Matrix* out) {
-  a.MatMulInto(a, out);
-  gale::la::Matrix copy = a.MatMul(a);  // tools may allocate freely
-}
-)__",
-     "hot-path-alloc", 0},
-    {"hot-path-alloc-good-la-exempt", "src/la/fake.cc",
-     R"__(#include "la/matrix.h"
-void Wrapper(const gale::la::Matrix& a, gale::la::Matrix* out) {
-  a.MatMulInto(a, out);
-  gale::la::Matrix copy = a.MatMul(a);  // la defines the wrappers
-}
-)__",
-     "hot-path-alloc", 0},
-
-    {"simd-intrinsics-bad-include", "src/fake/a.cc",
-     R"__(#include <immintrin.h>
-void Nothing() {}
-)__",
-     "simd-intrinsics", 1},
-    {"simd-intrinsics-bad-usage", "src/nn/fake.cc",
-     R"__(void Sum2(double* out, const double* a, const double* b) {
-  __m128d va = _mm_loadu_pd(a);
-  __m128d vb = _mm_loadu_pd(b);
-  _mm_storeu_pd(out, _mm_add_pd(va, vb));
-}
-)__",
-     "simd-intrinsics", 6},
-    {"simd-intrinsics-bad-outside-src", "bench/fake.cc",
-     R"__(#include <immintrin.h>
-void Nothing() {}
-)__",
-     "simd-intrinsics", 1},
-    {"simd-intrinsics-good-home", "src/la/simd.h",
-     R"__(#include <immintrin.h>
-void Add2(double* out, const double* a, const double* b) {
-  _mm_storeu_pd(out, _mm_add_pd(_mm_loadu_pd(a), _mm_loadu_pd(b)));
-}
-)__",
-     "simd-intrinsics", 0},
-    {"simd-intrinsics-good-wrapper", "src/nn/fake.cc",
-     R"__(#include "la/simd.h"
-void Add(double* out, const double* a, const double* b, size_t n) {
-  gale::la::simd::Add(out, a, b, n);
-}
-)__",
-     "simd-intrinsics", 0},
-    {"simd-intrinsics-suppressed", "src/fake/a.cc",
-     R"__(// gale-lint: allow(simd-intrinsics): compat shim names the type
-using m128_alias = __m128d;
-)__",
-     "simd-intrinsics", 0},
-
-    {"allow-reason-bad", "src/fake/a.cc",
-     R"__(// gale-lint: allow(io)
-void Nothing() {}
-)__",
-     "allow-reason", 1},
-    {"raw-chrono-bad", "src/fake/a.cc",
-     R"__(#include <chrono>
-double Now() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-)__",
-     "raw-chrono-timing", 1},
-    {"raw-chrono-good-obs", "src/obs/fake.cc",
-     R"__(#include <chrono>
-auto Now() { return std::chrono::steady_clock::now(); }
-)__",
-     "raw-chrono-timing", 0},
-    {"raw-chrono-good-harness", "bench/fake.cc",
-     R"__(#include <chrono>
-auto Now() { return std::chrono::high_resolution_clock::now(); }
-)__",
-     "raw-chrono-timing", 0},
-    {"raw-chrono-suppressed", "src/fake/a.cc",
-     R"__(#include <chrono>
-// gale-lint: allow(raw-chrono-timing): boot-time log stamp, not telemetry
-auto Now() { return std::chrono::system_clock::now(); }
-)__",
-     "raw-chrono-timing", 0},
-
-    {"comment-and-string-blanking", "src/fake/a.cc",
-     R"__(// std::rand() in a comment is fine; so is new in prose.
-const char* kDoc = "call std::rand() and malloc() and printf()";
-)__",
-     "", 0},
-};
-
-int SelfTest() {
-  int failures = 0;
-  for (const Fixture& fx : kFixtures) {
-    const std::vector<Finding> findings =
-        LintContent(fx.path, fx.source, "");
-    int count = 0;
-    for (const Finding& f : findings) {
-      if (std::string(fx.rule).empty() || f.rule == fx.rule) ++count;
-    }
-    const bool pass = count == fx.expected_count;
-    if (!pass) {
-      ++failures;
-      std::cout << "FAIL " << fx.name << ": expected " << fx.expected_count
-                << " finding(s) of [" << (fx.rule[0] ? fx.rule : "any")
-                << "], got " << count << "\n";
-      for (const Finding& f : findings) {
-        std::cout << "    " << f.file << ":" << f.line << ": [" << f.rule
-                  << "] " << f.message << "\n";
-      }
-    } else {
-      std::cout << "ok   " << fx.name << "\n";
-    }
-  }
-  std::cout << "gale_lint self-test: "
-            << (sizeof(kFixtures) / sizeof(kFixtures[0])) << " fixtures, "
-            << failures << " failure(s)\n";
-  return failures == 0 ? 0 : 1;
-}
-
-}  // namespace
+#include "analyze/output.h"
+#include "analyze/scanner.h"
+#include "analyze/selftest.h"
 
 int main(int argc, char** argv) {
-  if (argc == 2 && std::string(argv[1]) == "--self-test") return SelfTest();
-  if (argc == 2) return LintTree(argv[1]);
-  std::cerr << "usage: gale_lint <repo_root> | gale_lint --self-test\n";
-  return 2;
+  std::string root = ".";
+  bool self_test = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") {
+      self_test = true;
+    } else if (!arg.empty() && arg[0] != '-') {
+      root = arg;
+    } else {
+      std::cerr << "usage: gale_lint [--self-test] [<repo_root>]\n";
+      return 2;
+    }
+  }
+
+  if (self_test) {
+    const int failures = gale::analyze::RunSelfTest(std::cout, "gale_lint");
+    return failures == 0 ? 0 : 1;
+  }
+
+  const gale::analyze::ScanResult result =
+      gale::analyze::ScanTree(root, gale::analyze::ScanOptions{});
+  std::cout << gale::analyze::FormatText(result.findings);
+  std::cout << "gale_lint: " << result.stats.files << " files, "
+            << result.findings.size() << " finding(s)\n";
+  return result.findings.empty() ? 0 : 1;
 }
