@@ -20,6 +20,7 @@
 #include "la/matrix.h"
 #include "la/simd.h"
 #include "la/sparse_matrix.h"
+#include "nn/gcn_layer.h"
 #include "prop/ppr.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -181,6 +182,41 @@ void BM_SimdAdamUpdate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_SimdAdamUpdate)->Arg(1024)->Arg(1027);
+
+// Fused vs unfused GCN forward at a full-batch layer shape. Both paths
+// produce bitwise-identical outputs (asserted in nn_layers_test); the
+// delta here is the whole-matrix bias/activation temporaries the fused
+// epilogue removes from the SpMM sweep.
+void BM_GcnForwardFused(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  la::SparseMatrix adj = RandomAdjacency(n, n * 3, 21);
+  util::Rng rng(22);
+  nn::GcnLayer layer(&adj, 64, 32, rng,
+                     {.activation = nn::GcnActivation::kRelu});
+  la::Matrix x = la::Matrix::RandomNormal(n, 64, 1.0, rng);
+  (void)layer.Forward(x, /*training=*/false);  // warm the buffers
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layer.Forward(x, /*training=*/false));
+  }
+  state.SetItemsProcessed(state.iterations() * adj.nnz() * 32);
+}
+BENCHMARK(BM_GcnForwardFused)->Arg(4000);
+
+void BM_GcnForwardUnfused(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  la::SparseMatrix adj = RandomAdjacency(n, n * 3, 21);
+  util::Rng rng(22);
+  nn::GcnLayer layer(&adj, 64, 32, rng,
+                     {.activation = nn::GcnActivation::kRelu,
+                      .fuse_epilogue = false});
+  la::Matrix x = la::Matrix::RandomNormal(n, 64, 1.0, rng);
+  (void)layer.Forward(x, /*training=*/false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layer.Forward(x, /*training=*/false));
+  }
+  state.SetItemsProcessed(state.iterations() * adj.nnz() * 32);
+}
+BENCHMARK(BM_GcnForwardUnfused)->Arg(4000);
 
 void BM_QSelectGreedy(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

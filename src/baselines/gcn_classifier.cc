@@ -2,7 +2,6 @@
 
 #include <optional>
 
-#include "nn/activations.h"
 #include "nn/dropout.h"
 #include "nn/gcn_layer.h"
 #include "nn/losses.h"
@@ -17,9 +16,11 @@ GcnClassifier::GcnClassifier(const la::SparseMatrix* adjacency,
       rng_(options.seed),
       optimizer_(nn::AdamOptions{.learning_rate = options.learning_rate}) {
   GALE_CHECK(adjacency != nullptr);
-  model_.Add(std::make_unique<nn::GcnLayer>(adjacency_, feature_dim,
-                                            options_.hidden_dim, rng_));
-  model_.Add(std::make_unique<nn::Relu>());
+  // The hidden layer folds its relu into the fused SpMM epilogue — no
+  // separate activation layer between the convolution and the dropout.
+  model_.Add(std::make_unique<nn::GcnLayer>(
+      adjacency_, feature_dim, options_.hidden_dim, rng_,
+      nn::GcnLayerOptions{.activation = nn::GcnActivation::kRelu}));
   model_.Add(std::make_unique<nn::Dropout>(options_.dropout, rng_));
   model_.Add(std::make_unique<nn::GcnLayer>(adjacency_, options_.hidden_dim,
                                             /*out=*/2, rng_));

@@ -91,7 +91,8 @@ QuerySelector::QuerySelector(const la::SparseMatrix* walk_matrix,
       rng_(options.seed),
       ppr_(walk_matrix,
            prop::PprOptions{.alpha = options.ppr_alpha,
-                            .cache_rows = options.memoization}),
+                            .cache_rows = options.memoization,
+                            .batch_size = options.ppr_batch_size}),
       registry_(obs::CurrentRegistry() != nullptr ? obs::CurrentRegistry()
                                                   : &own_registry_),
       cache_hits_(registry_->counter("gale.core.selector.distance_cache_hits")),

@@ -109,6 +109,13 @@ class AlignedAllocator {
 // The storage type of la::Matrix.
 using AlignedVector = std::vector<double, AlignedAllocator<double>>;
 
+// Aligned index storage for the CSR substrate: packed 32-bit column ids
+// (half the footprint and twice the gather-index density of size_t) and
+// the row-pointer array, both on cache-line boundaries like the value
+// arrays they are streamed alongside.
+using AlignedU32Vector = std::vector<std::uint32_t, AlignedAllocator<std::uint32_t>>;
+using AlignedSizeVector = std::vector<std::size_t, AlignedAllocator<std::size_t>>;
+
 inline bool IsArenaAligned(const void* p) {
   return reinterpret_cast<std::uintptr_t>(p) % kArenaAlignment == 0;
 }

@@ -2,14 +2,31 @@
 // the symmetric normalized adjacency of GCN layers, the label-propagation
 // operator, and personalized-PageRank walks.
 //
-// Multiply and TransposedMultiply are row-parallel over disjoint output
-// rows (util::ParallelFor) with a fixed per-row accumulation order, so
-// their results are bitwise identical at every GALE_NUM_THREADS setting.
+// Storage layout (the cache-blocked substrate):
+//  * Column indices are packed `uint32_t` (half the footprint of size_t,
+//    twice the index density per cache line in the gather loops); builds
+//    fail fast if a dimension cannot be indexed in 32 bits.
+//  * Index and value arrays live in 64-byte-aligned storage
+//    (simd::AlignedAllocator), matching the dense substrate's alignment
+//    contract.
+//  * Rows are pre-partitioned into blocks of roughly equal nonzero count
+//    (`block_row_`). The parallel products shard over blocks instead of
+//    raw rows, so skewed degree distributions (hubs next to leaves) still
+//    yield balanced shards. The partition depends only on the sparsity
+//    pattern — never on the thread count — and every output row is an
+//    independent gather, so results stay bitwise identical at every
+//    GALE_NUM_THREADS setting.
+//
+// Multiply, MultiplyFusedInto, and TransposedMultiplyInto are row-parallel
+// over disjoint output rows (util::ParallelFor) with a fixed per-row
+// accumulation order, so their results are bitwise identical at every
+// GALE_NUM_THREADS setting.
 
 #ifndef GALE_LA_SPARSE_MATRIX_H_
 #define GALE_LA_SPARSE_MATRIX_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "la/matrix.h"
@@ -21,6 +38,17 @@ struct Triplet {
   size_t row;
   size_t col;
   double value;
+};
+
+// Epilogue applied by MultiplyFusedInto in the same row sweep as the
+// gather: bias-add, optionally followed by an activation. The fused forms
+// are bitwise identical to the unfused MultiplyInto + AddRowBroadcast +
+// activation sequence (same per-element operations in the same order; the
+// fusion only removes the intermediate whole-matrix passes).
+enum class SpmmEpilogue {
+  kBias,           // out[r] = gather(r) + bias
+  kBiasRelu,       // out[r] = relu(gather(r) + bias)
+  kBiasLeakyRelu,  // out[r] = leaky_relu(gather(r) + bias, slope)
 };
 
 // Immutable CSR matrix. Duplicate (row, col) triplets are summed.
@@ -61,6 +89,11 @@ class SparseMatrix {
     return values_[k];
   }
 
+  // Number of nnz-balanced row blocks the parallel products shard over.
+  size_t num_row_blocks() const {
+    return block_row_.empty() ? 0 : block_row_.size() - 1;
+  }
+
   // Sparse x dense product: (rows x cols) * (cols x d) -> rows x d.
   Matrix Multiply(const Matrix& dense) const;
   // Out-parameter form: writes into `*out` (reshaped via EnsureShape, so a
@@ -71,8 +104,40 @@ class SparseMatrix {
   void MultiplyInto(const Matrix& dense, Matrix* out,
                     bool accumulate = false) const;
 
+  // Fused product + epilogue: out = epilogue(this * dense + bias), with
+  // `bias` a 1 x d row broadcast over output rows. The bias-add and
+  // activation run inside the same row-parallel sweep as the gather, so
+  // no whole-matrix temporary or extra memory pass exists between them —
+  // yet each row sees the same per-element operations in the same order
+  // as MultiplyInto + AddRowBroadcast + a simd activation sweep, keeping
+  // the fused result bitwise identical to the unfused composition.
+  // `leaky_slope` is only read for kBiasLeakyRelu.
+  void MultiplyFusedInto(const Matrix& dense, const Matrix& bias,
+                         SpmmEpilogue epilogue, double leaky_slope,
+                         Matrix* out) const;
+
+  // Strided multi-vector product for the batched PPR sweep: `in` and
+  // `out` are row-major (cols x stride) and (rows x stride) buffers of
+  // which only the first `width` columns are live. Computes
+  //   out[r][j] = sum_k value[k] * in[col[k]][j]   for j < width
+  // overwriting (zero-filling) the live columns of every output row and
+  // leaving columns [width, stride) untouched. Column j's accumulation
+  // order over k is exactly MultiplyVectorInto's, so each live column is
+  // bitwise identical to a separate SpMV of that column. `out` must not
+  // alias `in`; both row strides must be >= width.
+  void MultiplyStridedInto(const double* in, size_t width, size_t stride,
+                           double* out) const;
+
   // this^T * dense, without materializing the transpose.
   Matrix TransposedMultiply(const Matrix& dense) const;
+  // Out-parameter form of TransposedMultiply with MultiplyInto's reuse
+  // and accumulate semantics. The transpose's CSC view is built once on
+  // first use and cached (the matrix is immutable), so steady-state calls
+  // are allocation-free. Each output row accumulates in ascending
+  // source-row order — the serial scatter's order — so the result is
+  // bitwise thread-count-invariant.
+  void TransposedMultiplyInto(const Matrix& dense, Matrix* out,
+                              bool accumulate = false) const;
 
   // Sparse-matrix by dense-vector product.
   std::vector<double> MultiplyVector(const std::vector<double>& v) const;
@@ -85,11 +150,24 @@ class SparseMatrix {
   Matrix ToDense() const;
 
  private:
+  void EnsureTransposeView() const;
+
   size_t rows_;
   size_t cols_;
-  std::vector<size_t> row_ptr_;  // size rows_ + 1
-  std::vector<size_t> col_idx_;  // size nnz
-  std::vector<double> values_;   // size nnz
+  simd::AlignedSizeVector row_ptr_;  // size rows_ + 1
+  simd::AlignedU32Vector col_idx_;   // size nnz, packed 32-bit columns
+  simd::AlignedVector values_;       // size nnz
+  // nnz-balanced row partition: block b covers rows
+  // [block_row_[b], block_row_[b + 1]).
+  simd::AlignedU32Vector block_row_;
+
+  // Lazily-built cached transpose (CSC) view for TransposedMultiplyInto;
+  // logically const (the matrix is immutable once built), hence mutable.
+  mutable bool transpose_built_ = false;
+  mutable simd::AlignedSizeVector t_ptr_;        // size cols_ + 1
+  mutable simd::AlignedU32Vector t_idx_;         // source rows, size nnz
+  mutable simd::AlignedVector t_val_;            // size nnz
+  mutable simd::AlignedU32Vector t_block_row_;   // nnz-balanced, over cols_
 };
 
 }  // namespace gale::la

@@ -4,7 +4,6 @@
 #include <optional>
 
 #include "la/workspace.h"
-#include "nn/activations.h"
 #include "nn/losses.h"
 #include "util/logging.h"
 
@@ -19,9 +18,11 @@ Gae::Gae(const la::SparseMatrix* adjacency,
       rng_(options.seed),
       optimizer_(AdamOptions{.learning_rate = options.learning_rate}) {
   GALE_CHECK(adjacency_ != nullptr);
-  encoder_.Add(std::make_unique<GcnLayer>(adjacency_, in_features,
-                                          options_.hidden_dim, rng_));
-  encoder_.Add(std::make_unique<Relu>());
+  // The hidden layer folds its relu into the fused SpMM epilogue — no
+  // separate activation layer, so no extra whole-matrix input copy.
+  encoder_.Add(std::make_unique<GcnLayer>(
+      adjacency_, in_features, options_.hidden_dim, rng_,
+      GcnLayerOptions{.activation = GcnActivation::kRelu}));
   encoder_.Add(std::make_unique<GcnLayer>(adjacency_, options_.hidden_dim,
                                           options_.embedding_dim, rng_));
 }

@@ -1,6 +1,18 @@
-// Graph convolution layer (Kipf & Welling): H' = Â H W + b, with Â the
+// Graph convolution layer (Kipf & Welling): H' = σ(Â H W + b), with Â the
 // symmetric renormalized adjacency. Â is shared and owned by the caller
 // (one copy per graph, reused across layers and models).
+//
+// The product associates as Â (H W): the dense feature transform runs
+// first, so the SpMM is the final operator and carries the fused epilogue
+// — bias-add and the optional activation are applied inside the same
+// row-parallel gather sweep (SparseMatrix::MultiplyFusedInto), with no
+// whole-matrix temporary between product, bias, and activation. The
+// activation can also live outside the layer (activation = kNone plus a
+// separate Relu layer), but folding it in here removes that layer's
+// input-copy and gradient buffers as well. `fuse_epilogue = false` selects
+// the reference unfused composition (SpMM, then bias broadcast, then an
+// in-place activation sweep), which is bitwise identical to the fused
+// path — the nn tests assert it.
 //
 // Full-batch semantics: Forward expects one row per graph node. Because Â
 // is symmetric, the backward pass uses Â again in place of Â^T.
@@ -18,11 +30,27 @@
 
 namespace gale::nn {
 
+// Activation folded into the layer's epilogue. Only the sign-compatible
+// piecewise-linear activations are foldable: their backward mask reads
+// the activated output directly (H <= 0 exactly where Z <= 0), so the
+// layer never materializes the pre-activation matrix.
+enum class GcnActivation {
+  kNone,
+  kRelu,
+  kLeakyRelu,
+};
+
+struct GcnLayerOptions {
+  GcnActivation activation = GcnActivation::kNone;
+  double leaky_slope = 0.2;   // read only for kLeakyRelu; must be > 0
+  bool fuse_epilogue = true;  // false: reference unfused path (tests)
+};
+
 class GcnLayer : public Layer {
  public:
   // `adjacency` must outlive the layer.
   GcnLayer(const la::SparseMatrix* adjacency, size_t in_features,
-           size_t out_features, util::Rng& rng);
+           size_t out_features, util::Rng& rng, GcnLayerOptions options = {});
 
   const la::Matrix& Forward(const la::Matrix& input, bool training) override;
   const la::Matrix& Backward(const la::Matrix& grad_output) override;
@@ -39,14 +67,17 @@ class GcnLayer : public Layer {
 
  private:
   const la::SparseMatrix* adjacency_;  // not owned
+  GcnLayerOptions options_;
   la::Matrix weight_;                  // in x out
   la::Matrix bias_;                    // 1 x out
   la::Matrix grad_weight_;
   la::Matrix grad_bias_;
-  la::Matrix propagated_cache_;  // Â X from the last forward
-  la::Matrix out_;               // persistent forward output
-  la::Matrix grad_propagated_;   // dY W^T scratch
-  la::Matrix grad_input_;        // persistent backward output
+  la::Matrix input_cache_;   // X from the last forward (for dW)
+  la::Matrix xw_cache_;      // X W scratch
+  la::Matrix out_;           // persistent forward output (activated)
+  la::Matrix grad_z_;        // activation-masked dZ scratch
+  la::Matrix grad_propagated_;  // Â dZ scratch (shared by dW and dX)
+  la::Matrix grad_input_;    // persistent backward output
 };
 
 }  // namespace gale::nn

@@ -1,6 +1,7 @@
 #include "prop/label_propagation.h"
 
 #include <cmath>
+#include <utility>
 
 #include "util/check.h"
 
@@ -25,18 +26,24 @@ util::Result<la::Matrix> PropagateLabels(
     }
   }
 
+  // α·Y is loop-invariant — scale it once instead of copying the seed
+  // matrix every iteration, and ping-pong f/next so the iteration body
+  // allocates nothing. The per-element value sequence ((1-α)·(S·f) plus
+  // the α·Y add, then the ascending L1-diff reduction) is unchanged, so
+  // the fixed point is bitwise identical to the old allocating loop.
+  la::Matrix scaled_seeds = seeds;
+  scaled_seeds *= options.alpha;
   la::Matrix f = seeds;
+  la::Matrix next;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
-    la::Matrix next = S.Multiply(f);
+    S.MultiplyInto(f, &next);
     next *= 1.0 - options.alpha;
-    la::Matrix scaled_seeds = seeds;
-    scaled_seeds *= options.alpha;
     next += scaled_seeds;
     double diff = 0.0;
     for (size_t i = 0; i < next.data().size(); ++i) {
       diff += std::abs(next.data()[i] - f.data()[i]);
     }
-    f = std::move(next);
+    std::swap(f, next);
     if (diff < options.tolerance) break;
   }
   // Propagation invariant: iterating f ← (1-α)·S·f + α·Y from one-hot

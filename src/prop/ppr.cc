@@ -1,7 +1,7 @@
 #include "prop/ppr.h"
 
+#include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
 // gale-lint: allow(simd-include): fused loops use lane primitives here
 #include "la/simd.h"
@@ -12,11 +12,84 @@
 
 namespace gale::prop {
 
+namespace {
+
+// Rows per compaction shard: column compaction is a cheap permutation, so
+// shards need a few hundred rows to amortize dispatch.
+constexpr size_t kCompactRowGrain = 256;
+
+// One power-iteration epilogue over all n rows of the batch state:
+// damp the fresh product by (1 - alpha), add the teleport mass at each
+// column's seed row, and accumulate each column's L1 diff against the
+// previous state. Deliberately serial over rows: each column's diff is
+// one running accumulator summed in ascending row order — exactly the
+// serial ComputeRowInto reduction — and that summation order defines
+// convergence, so it must not be sharded. Per element the value sequence
+// (damp multiply, teleport add at the seed row, |next - prev|) is
+// identical to the serial path's, which keeps every extracted row bitwise
+// equal to Row(v). noinline for the usual shard-kernel reason (and to
+// keep the hot loop's bounds in registers).
+__attribute__((noinline)) void DampTeleportDiffRows(
+    double* next, const double* prev, size_t stride, size_t width,
+    const size_t* col_seed, double damp, double alpha, double* diffs,
+    size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    double* nrow = next + i * stride;
+    const double* prow = prev + i * stride;
+    // SIMD across the batch columns: each element is one independent
+    // multiply, same value as the serial ScaleAssign over the row vector.
+    la::simd::ScaleAssign(nrow, damp, width);
+    for (size_t j = 0; j < width; ++j) {
+      double v = nrow[j];
+      if (col_seed[j] == i) {
+        v += alpha;
+        nrow[j] = v;
+      }
+      diffs[j] += std::abs(v - prow[j]);
+    }
+  }
+}
+
+// Left-packs the surviving columns of rows [r0, r1): row[s] =
+// row[survivors[s]]. In-place safe because survivors is ascending and
+// survivors[s] >= s. A pure permutation — no arithmetic — so sharding
+// over rows cannot affect values.
+__attribute__((noinline)) void CompactColumnsRows(double* p, size_t stride,
+                                                  const uint32_t* survivors,
+                                                  size_t num_survivors,
+                                                  size_t r0, size_t r1) {
+  for (size_t r = r0; r < r1; ++r) {
+    double* row = p + r * stride;
+    for (size_t s = 0; s < num_survivors; ++s) row[s] = row[survivors[s]];
+  }
+}
+
+}  // namespace
+
 PprEngine::PprEngine(const la::SparseMatrix* walk_matrix, PprOptions options)
     : walk_matrix_(walk_matrix), options_(options) {
   GALE_CHECK(walk_matrix != nullptr);
   GALE_CHECK_EQ(walk_matrix->rows(), walk_matrix->cols());
   GALE_CHECK(options_.alpha > 0.0 && options_.alpha < 1.0);
+  GALE_CHECK(walk_matrix->rows() < kNoSlot)
+      << "graph too large for the 32-bit flat-cache slot table";
+  cache_slot_.assign(walk_matrix->rows(), kNoSlot);
+  seen_stamp_.assign(walk_matrix->rows(), 0);
+}
+
+void PprEngine::ClearCache() {
+  std::fill(cache_slot_.begin(), cache_slot_.end(), kNoSlot);
+  cached_rows_.clear();
+  // The memoization telemetry (Fig. 7f) counts computations against the
+  // current cache generation; a reset restarts both together so the
+  // counters never report more cached rows than computations.
+  computed_rows_ = 0;
+}
+
+void PprEngine::InsertRow(size_t v, std::vector<double> row) {
+  GALE_DCHECK_EQ(cache_slot_[v], kNoSlot);
+  cache_slot_[v] = static_cast<uint32_t>(cached_rows_.size());
+  cached_rows_.push_back(std::move(row));
 }
 
 std::vector<double> PprEngine::ComputeRow(size_t v) const {
@@ -58,46 +131,136 @@ void PprEngine::ComputeRowInto(size_t v, std::vector<double>* p,
   GALE_DCHECK_GE((*p)[v], options_.alpha - 1e-12);
 }
 
+void PprEngine::ComputeBatch(const size_t* seeds, size_t count) {
+  const size_t n = walk_matrix_->rows();
+  const size_t stride = std::max<size_t>(size_t{1}, options_.batch_size);
+  GALE_DCHECK(count >= 1 && count <= stride);
+
+  // Two fixed-shape ping-pong buffers: the stride is always batch_size,
+  // so the workspace only ever sees one shape and steady-state batches
+  // are allocation-free on the la-buffer path.
+  la::Workspace::Scoped p_buf = batch_ws_.Checkout(n, stride);
+  la::Workspace::Scoped next_buf = batch_ws_.Checkout(n, stride);
+  double* p = p_buf.mat().RowPtr(0);
+  double* next = next_buf.mat().RowPtr(0);
+
+  // Active-column bookkeeping. Column j of the state matrix currently
+  // iterates seed col_seed_[j]; col_block_[j] remembers its position in
+  // the original block so retired rows land in seed order.
+  col_seed_.assign(seeds, seeds + count);
+  col_block_.resize(count);
+  for (size_t j = 0; j < count; ++j) col_block_[j] = j;
+  batch_rows_.clear();
+  batch_rows_.resize(count);
+
+  // P = E restricted to the live columns: each column starts as e_seed.
+  for (size_t i = 0; i < n; ++i) {
+    std::fill(p + i * stride, p + i * stride + count, 0.0);
+  }
+  for (size_t j = 0; j < count; ++j) p[seeds[j] * stride + j] = 1.0;
+
+  size_t active = count;
+  for (int iter = 0; iter < options_.max_iterations && active > 0; ++iter) {
+    // One CSR traversal updates every live column: next = S * P.
+    walk_matrix_->MultiplyStridedInto(p, active, stride, next);
+    col_diff_.assign(active, 0.0);
+    DampTeleportDiffRows(next, p, stride, active, col_seed_.data(),
+                         1.0 - options_.alpha, options_.alpha,
+                         col_diff_.data(), n);
+    std::swap(p, next);
+
+    // Convergence masking with the serial loop's break-after-swap
+    // semantics: a column retires when its diff drops below tolerance, or
+    // unconditionally after the final sweep.
+    const bool last_sweep = iter == options_.max_iterations - 1;
+    survivors_.clear();
+    for (size_t j = 0; j < active; ++j) {
+      if (col_diff_[j] < options_.tolerance || last_sweep) {
+        std::vector<double>& row = batch_rows_[col_block_[j]];
+        row.resize(n);
+        for (size_t i = 0; i < n; ++i) row[i] = p[i * stride + j];
+        GALE_DCHECK(util::check_internal::AllFinite(row))
+            << "non-finite PPR row";
+        GALE_DCHECK(util::check_internal::AllNonNegative(row))
+            << "negative PPR mass, source " << col_seed_[j];
+        GALE_DCHECK_GE(row[col_seed_[j]], options_.alpha - 1e-12);
+      } else {
+        survivors_.push_back(static_cast<uint32_t>(j));
+      }
+    }
+    if (survivors_.size() != active) {
+      // Left-pack the surviving columns so they stay dense in the SpMM
+      // and damp sweeps; converged columns drop out of all further work.
+      const uint32_t* surv = survivors_.data();
+      const size_t num_surv = survivors_.size();
+      if (num_surv > 0) {
+        util::ParallelFor(0, n, kCompactRowGrain, [&](size_t r0, size_t r1) {
+          CompactColumnsRows(p, stride, surv, num_surv, r0, r1);
+        });
+      }
+      for (size_t s = 0; s < num_surv; ++s) {
+        col_seed_[s] = col_seed_[surv[s]];
+        col_block_[s] = col_block_[surv[s]];
+      }
+      active = num_surv;
+    }
+  }
+  // max_iterations <= 0: the loop never ran and every column still holds
+  // its initial e_seed state — extract as-is, matching the serial path.
+  for (size_t j = 0; j < active; ++j) {
+    std::vector<double>& row = batch_rows_[col_block_[j]];
+    row.resize(n);
+    for (size_t i = 0; i < n; ++i) row[i] = p[i * stride + j];
+  }
+
+  for (size_t j = 0; j < count; ++j) {
+    ++computed_rows_;
+    InsertRow(seeds[j], std::move(batch_rows_[j]));
+  }
+}
+
 void PprEngine::ComputeRows(std::span<const size_t> seeds) {
   if (!options_.cache_rows) return;
-  std::vector<size_t> missing;
-  std::unordered_set<size_t> seen;
+  // Epoch-stamped dedup: O(1) per seed, no per-call hash set.
+  ++seen_epoch_;
+  missing_.clear();
   for (size_t v : seeds) {
     GALE_CHECK_LT(v, walk_matrix_->rows());
-    if (cache_.count(v) == 0 && seen.insert(v).second) missing.push_back(v);
+    if (cache_slot_[v] == kNoSlot && seen_stamp_[v] != seen_epoch_) {
+      seen_stamp_[v] = seen_epoch_;
+      missing_.push_back(v);
+    }
   }
-  if (missing.empty()) return;
+  if (missing_.empty()) return;
 
   obs::Span span("gale.prop.ppr.batch");
-  span.Arg("rows", static_cast<double>(missing.size()));
+  span.Arg("rows", static_cast<double>(missing_.size()));
 
-  // Each power iteration only reads the walk matrix and writes its own
-  // row, so rows parallelize with no shared state; cache insertion stays
-  // on the calling thread, in seed order. The loop is pure dispatch — all
-  // the work happens inside ComputeRow, itself an out-of-line call, so the
-  // closure pointer never touches a hot loop.
-  std::vector<std::vector<double>> rows(missing.size());
-  // gale-lint: allow(shard-noinline): dispatch-only loop around ComputeRow
-  util::ParallelFor(0, missing.size(), 1, [&](size_t b, size_t e) {
-    // One ping-pong buffer per shard: rows in a shard reuse it instead of
-    // allocating a product vector every power iteration.
-    std::vector<double> next;
-    for (size_t i = b; i < e; ++i) ComputeRowInto(missing[i], &rows[i], &next);
-  });
-  for (size_t i = 0; i < missing.size(); ++i) {
-    ++computed_rows_;
-    cache_.emplace(missing[i], std::move(rows[i]));
+  const size_t batch = std::max<size_t>(size_t{1}, options_.batch_size);
+  for (size_t off = 0; off < missing_.size(); off += batch) {
+    ComputeBatch(missing_.data() + off,
+                 std::min(batch, missing_.size() - off));
   }
 }
 
 const std::vector<double>& PprEngine::Row(size_t v) {
+  GALE_CHECK_LT(v, walk_matrix_->rows());
   if (options_.cache_rows) {
-    auto it = cache_.find(v);
-    if (it != cache_.end()) return it->second;
+    const uint32_t slot = cache_slot_[v];
+    if (slot != kNoSlot) return cached_rows_[slot];
+    // Misses compute on the calling thread and mutate the cache; inside a
+    // parallel region that races with other readers. Prefetch the rows a
+    // parallel scan needs with ComputeRows first.
+    GALE_DCHECK(!util::InParallelRegion())
+        << "PPR cache miss for node " << v
+        << " inside a parallel region; prefetch with ComputeRows";
     ++computed_rows_;
-    auto [inserted, ok] = cache_.emplace(v, ComputeRow(v));
-    return inserted->second;
+    InsertRow(v, ComputeRow(v));
+    return cached_rows_[cache_slot_[v]];
   }
+  GALE_DCHECK(!util::InParallelRegion())
+      << "uncached PPR compute for node " << v
+      << " inside a parallel region (single scratch row, not thread-safe)";
   ++computed_rows_;
   ComputeRowInto(v, &scratch_, &scratch_next_);
   return scratch_;

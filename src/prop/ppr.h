@@ -8,16 +8,28 @@
 // and cached: the paper's Section VII observes that "P remains static once
 // computed" and memoizes it. The cache can be disabled to reproduce the
 // U_GALE ablation.
+//
+// Batch prefetches run the power iteration blocked: up to `batch_size`
+// seeds are packed into an n x batch_size workspace matrix P and iterated
+//   P <- alpha * E + (1 - alpha) * S * P
+// as one strided SpMM per sweep — a single CSR traversal per iteration for
+// the whole batch instead of one per seed — with per-seed convergence
+// masking (converged columns retire and the surviving columns compact
+// left, dropping out of both the SpMM and the damp pass). Every extracted
+// row is bitwise identical to what the serial Row(v) path computes, at any
+// thread count and any batch size.
 
 #ifndef GALE_PROP_PPR_H_
 #define GALE_PROP_PPR_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "la/sparse_matrix.h"
+#include "la/workspace.h"
 #include "util/status.h"
 
 namespace gale::prop {
@@ -28,6 +40,13 @@ struct PprOptions {
   int max_iterations = 60;
   double tolerance = 1e-8;
   bool cache_rows = true;
+  // Seeds per blocked power-iteration batch in ComputeRows. Larger
+  // batches amortize the CSR traversal over more seeds (the gather's
+  // simd::Axpy vectorizes across the batch) at n x batch_size doubles of
+  // workspace; results are bitwise identical at every setting. The SpMM
+  // inside a batch is row-parallel, so the batch size is orthogonal to
+  // GALE_NUM_THREADS.
+  size_t batch_size = 64;
 };
 
 class PprEngine {
@@ -37,11 +56,14 @@ class PprEngine {
   PprEngine(const la::SparseMatrix* walk_matrix, PprOptions options = {});
 
   // Row v of P (length n, sums to ~1). Cached when caching is enabled.
+  // Cached references stay valid until ClearCache(). A cache miss (or any
+  // call with caching disabled) computes on the calling thread and must
+  // not happen inside a parallel region — prefetch via ComputeRows first.
   const std::vector<double>& Row(size_t v);
 
-  // Batch prefetch: computes the not-yet-cached rows of `seeds` as
-  // independent power iterations on the thread pool and inserts them into
-  // the cache in seed order. Each row is bitwise identical to what Row(v)
+  // Batch prefetch: computes the not-yet-cached rows of `seeds` with the
+  // blocked power iteration (see file header) and inserts them into the
+  // cache in seed order. Each row is bitwise identical to what Row(v)
   // would compute serially. After the call, Row(v) is a pure cache hit for
   // every seed, so callers may read those rows concurrently.
   //
@@ -50,27 +72,55 @@ class PprEngine {
   void ComputeRows(std::span<const size_t> seeds);
 
   bool cache_enabled() const { return options_.cache_rows; }
-  bool IsCached(size_t v) const { return cache_.count(v) > 0; }
-  size_t num_cached_rows() const { return cache_.size(); }
+  // O(1) flat-cache membership test; callable from worker threads during
+  // a parallel scan (reads the slot table only, which ComputeRows never
+  // mutates concurrently with readers).
+  bool IsCached(size_t v) const { return cache_slot_[v] != kNoSlot; }
+  size_t num_cached_rows() const { return cached_rows_.size(); }
   size_t num_computed_rows() const { return computed_rows_; }
-  void ClearCache() { cache_.clear(); }
+  // Drops every cached row AND resets num_computed_rows() to zero: after
+  // a reset the memoization counters (Fig. 7f) restart from a cold cache,
+  // so computed == cached until the next miss-free steady state.
+  void ClearCache();
 
   double alpha() const { return options_.alpha; }
   size_t num_nodes() const { return walk_matrix_->rows(); }
 
  private:
+  // Flat-cache slot sentinel: node has no cached row.
+  static constexpr uint32_t kNoSlot = 0xffffffffu;
+
   std::vector<double> ComputeRow(size_t v) const;
   // Power iteration writing the row into `*p`, using `*next` as the
   // ping-pong buffer. Both are resized to n; reusing them across calls
   // makes repeated computation allocation-free after the first row.
   void ComputeRowInto(size_t v, std::vector<double>* p,
                       std::vector<double>* next) const;
+  // Blocked power iteration over `count` seeds (count <= batch_size);
+  // extracts every seed's row and inserts it into the cache in seed
+  // order.
+  void ComputeBatch(const size_t* seeds, size_t count);
+  void InsertRow(size_t v, std::vector<double> row);
 
   const la::SparseMatrix* walk_matrix_;
   PprOptions options_;
-  // Audited (gale_lint unordered-iter): keyed lookups only — rows are
-  // inserted in seed order and fetched by node id, never iterated.
-  std::unordered_map<size_t, std::vector<double>> cache_;
+  // Deterministic flat cache: cache_slot_[v] indexes cached_rows_, or
+  // kNoSlot. A deque keeps cached-row references stable across
+  // insertions (Row hands out long-lived const references).
+  std::vector<uint32_t> cache_slot_;
+  std::deque<std::vector<double>> cached_rows_;
+  // Epoch-stamped dedup table for ComputeRows (no per-call hash set).
+  std::vector<uint64_t> seen_stamp_;
+  uint64_t seen_epoch_ = 0;
+  std::vector<size_t> missing_;  // reused across ComputeRows calls
+  la::Workspace batch_ws_;       // n x batch_size ping-pong buffers
+  // Per-batch bookkeeping, reused across batches (steady state:
+  // allocation-free).
+  std::vector<size_t> col_seed_;   // seed node of each active column
+  std::vector<size_t> col_block_;  // original block position of each column
+  std::vector<double> col_diff_;   // this sweep's L1 diff per column
+  std::vector<uint32_t> survivors_;
+  std::vector<std::vector<double>> batch_rows_;
   std::vector<double> scratch_;       // reused when caching is off
   std::vector<double> scratch_next_;  // ping-pong partner of scratch_
   size_t computed_rows_ = 0;          // total power iterations run (telemetry)

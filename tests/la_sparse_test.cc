@@ -1,9 +1,13 @@
 #include "la/sparse_matrix.h"
 
 #include <cmath>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
+// gale-lint: allow(simd-include): reference epilogues use lane primitives
+#include "la/simd.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace gale::la {
@@ -93,6 +97,193 @@ TEST(NormalizedAdjacencyTest, EntriesMatchFormula) {
   Matrix dense = s.ToDense();
   EXPECT_NEAR(dense.At(0, 1), 0.5, 1e-12);
   EXPECT_NEAR(dense.At(0, 0), 0.5, 1e-12);
+}
+
+TEST(SparseMatrixTest, EmptyRowsStayZeroInEveryProduct) {
+  // Rows 0, 2, 4 have no entries under the packed uint32 layout; every
+  // product must leave their outputs exactly zero (or untouched under
+  // accumulate).
+  SparseMatrix s = SparseMatrix::FromTriplets(
+      5, 4, {{1, 0, 2.0}, {1, 3, -1.0}, {3, 2, 4.0}});
+  util::Rng rng(9);
+  Matrix x = Matrix::RandomNormal(4, 3, 1.0, rng);
+  Matrix out = s.Multiply(x);
+  for (size_t r : {0u, 2u, 4u}) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(out.At(r, c), 0.0);
+  }
+  EXPECT_TRUE(out.AllClose(s.ToDense().MatMul(x), 1e-12));
+
+  std::vector<double> vec_out = s.MultiplyVector({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(vec_out[0], 0.0);
+  EXPECT_DOUBLE_EQ(vec_out[2], 0.0);
+  EXPECT_DOUBLE_EQ(vec_out[4], 0.0);
+}
+
+TEST(SparseMatrixTest, SingleEntryRowsScaleTheGatheredRow) {
+  SparseMatrix s = SparseMatrix::FromTriplets(
+      3, 3, {{0, 2, 2.5}, {1, 0, -1.0}, {2, 1, 0.5}});
+  util::Rng rng(11);
+  Matrix x = Matrix::RandomNormal(3, 4, 1.0, rng);
+  Matrix out = s.Multiply(x);
+  for (size_t c = 0; c < 4; ++c) {
+    EXPECT_DOUBLE_EQ(out.At(0, c), 2.5 * x.At(2, c));
+    EXPECT_DOUBLE_EQ(out.At(1, c), -1.0 * x.At(0, c));
+    EXPECT_DOUBLE_EQ(out.At(2, c), 0.5 * x.At(1, c));
+  }
+}
+
+TEST(SparseMatrixTest, CoalescesDuplicatesAtWideColumnIndices) {
+  // Column ids beyond 16 bits exercise the packed uint32 index layout;
+  // duplicate triplets (including out-of-order ones) must still coalesce
+  // by summation.
+  const size_t wide = 70'000;
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      2, wide + 1,
+      {{0, wide, 1.5}, {0, 3, 1.0}, {0, wide, 2.0}, {1, wide - 1, 4.0},
+       {0, wide, -0.5}, {1, wide - 1, -4.0}});
+  EXPECT_EQ(m.nnz(), 3u);  // (0,3), (0,wide), (1,wide-1)
+  EXPECT_EQ(m.RowEnd(0) - m.RowBegin(0), 2u);
+  EXPECT_EQ(m.ColIndex(m.RowBegin(0)), 3u);
+  EXPECT_EQ(m.ColIndex(m.RowBegin(0) + 1), wide);
+  EXPECT_DOUBLE_EQ(m.Value(m.RowBegin(0) + 1), 3.0);
+  EXPECT_DOUBLE_EQ(m.Value(m.RowBegin(1)), 0.0);  // 4.0 + -4.0 kept
+}
+
+TEST(SparseMatrixTest, TransposedMultiplyIntoAccumulateTails) {
+  // Accumulate-mode transposed products over odd column counts (SIMD
+  // tails) at 1 and 4 threads: both thread counts must produce the same
+  // bytes, and accumulate must add exactly one product onto the prior
+  // contents.
+  util::Rng rng(21);
+  std::vector<Triplet> triplets;
+  for (int i = 0; i < 60; ++i) {
+    triplets.push_back({rng.UniformInt(10), rng.UniformInt(7), rng.Normal()});
+  }
+  SparseMatrix s = SparseMatrix::FromTriplets(10, 7, triplets);
+  for (size_t d : {size_t{1}, size_t{3}, size_t{5}}) {
+    Matrix x = Matrix::RandomNormal(10, d, 1.0, rng);
+    Matrix base = Matrix::RandomNormal(7, d, 1.0, rng);
+
+    Matrix expected = s.ToDense().Transposed().MatMul(x);
+    expected += base;
+
+    Matrix got_1t;
+    Matrix got_4t;
+    {
+      util::ScopedParallelism p(1);
+      got_1t = base;
+      s.TransposedMultiplyInto(x, &got_1t, /*accumulate=*/true);
+    }
+    {
+      util::ScopedParallelism p(4);
+      got_4t = base;
+      s.TransposedMultiplyInto(x, &got_4t, /*accumulate=*/true);
+    }
+    EXPECT_TRUE(got_1t.AllClose(expected, 1e-12)) << "d=" << d;
+    ASSERT_EQ(got_1t.size(), got_4t.size());
+    EXPECT_EQ(0, std::memcmp(got_1t.data().data(), got_4t.data().data(),
+                             got_1t.size() * sizeof(double)))
+        << "thread-count variance at d=" << d;
+
+    // Non-accumulate overwrites: same product without the base term.
+    Matrix overwrite;
+    s.TransposedMultiplyInto(x, &overwrite);
+    Matrix want = expected;
+    want -= base;
+    EXPECT_TRUE(overwrite.AllClose(want, 1e-9)) << "d=" << d;
+  }
+}
+
+TEST(SparseMatrixTest, FusedMultiplyMatchesUnfusedBitwise) {
+  util::Rng rng(31);
+  std::vector<Triplet> triplets;
+  for (int i = 0; i < 120; ++i) {
+    triplets.push_back({rng.UniformInt(20), rng.UniformInt(20), rng.Normal()});
+  }
+  SparseMatrix s = SparseMatrix::FromTriplets(20, 20, triplets);
+  for (size_t d : {size_t{1}, size_t{5}, size_t{8}}) {
+    Matrix x = Matrix::RandomNormal(20, d, 1.0, rng);
+    Matrix bias = Matrix::RandomNormal(1, d, 1.0, rng);
+    for (SpmmEpilogue epilogue :
+         {SpmmEpilogue::kBias, SpmmEpilogue::kBiasRelu,
+          SpmmEpilogue::kBiasLeakyRelu}) {
+      // Reference: unfused SpMM, then bias broadcast, then an in-place
+      // activation sweep — the composition the fusion replaces.
+      Matrix expected;
+      s.MultiplyInto(x, &expected);
+      expected.AddRowBroadcast(bias);
+      if (epilogue == SpmmEpilogue::kBiasRelu) {
+        simd::ReluForward(expected.data().data(), expected.data().data(),
+                          expected.data().size());
+      } else if (epilogue == SpmmEpilogue::kBiasLeakyRelu) {
+        simd::LeakyReluForward(expected.data().data(),
+                               expected.data().data(), 0.2,
+                               expected.data().size());
+      }
+      for (int threads : {1, 4}) {
+        util::ScopedParallelism p(threads);
+        Matrix fused;
+        s.MultiplyFusedInto(x, bias, epilogue, 0.2, &fused);
+        ASSERT_EQ(fused.size(), expected.size());
+        EXPECT_EQ(0, std::memcmp(fused.data().data(),
+                                 expected.data().data(),
+                                 fused.size() * sizeof(double)))
+            << "fused/unfused divergence at d=" << d
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(SparseMatrixTest, StridedMultiplyMatchesPerColumnSpmvBitwise) {
+  util::Rng rng(41);
+  std::vector<Triplet> triplets;
+  for (int i = 0; i < 90; ++i) {
+    triplets.push_back({rng.UniformInt(15), rng.UniformInt(15), rng.Normal()});
+  }
+  SparseMatrix s = SparseMatrix::FromTriplets(15, 15, triplets);
+  const size_t stride = 6;
+  const size_t width = 4;
+  std::vector<double> in(15 * stride);
+  for (double& v : in) v = rng.Normal();
+  std::vector<double> out(15 * stride, -7.0);
+
+  for (int threads : {1, 4}) {
+    util::ScopedParallelism p(threads);
+    std::fill(out.begin(), out.end(), -7.0);
+    s.MultiplyStridedInto(in.data(), width, stride, out.data());
+    for (size_t j = 0; j < width; ++j) {
+      std::vector<double> col(15);
+      for (size_t r = 0; r < 15; ++r) col[r] = in[r * stride + j];
+      std::vector<double> want = s.MultiplyVector(col);
+      for (size_t r = 0; r < 15; ++r) {
+        EXPECT_EQ(out[r * stride + j], want[r])
+            << "col " << j << " row " << r << " threads " << threads;
+      }
+    }
+    // Columns beyond `width` are untouched.
+    for (size_t r = 0; r < 15; ++r) {
+      for (size_t j = width; j < stride; ++j) {
+        EXPECT_EQ(out[r * stride + j], -7.0);
+      }
+    }
+  }
+}
+
+TEST(SparseMatrixTest, RowBlocksCoverAllRows) {
+  util::Rng rng(51);
+  std::vector<Triplet> triplets;
+  // A hub row with many entries next to sparse rows: the nnz-balanced
+  // partition must still cover [0, rows) exactly once.
+  for (int i = 0; i < 400; ++i) triplets.push_back({0, rng.UniformInt(500), 1.0});
+  for (int i = 0; i < 200; ++i) {
+    triplets.push_back({rng.UniformInt(500), rng.UniformInt(500), 1.0});
+  }
+  SparseMatrix s = SparseMatrix::FromTriplets(500, 500, triplets);
+  EXPECT_GE(s.num_row_blocks(), 1u);
+  util::Rng vrng(52);
+  Matrix x = Matrix::RandomNormal(500, 2, 1.0, vrng);
+  EXPECT_TRUE(s.Multiply(x).AllClose(s.ToDense().MatMul(x), 1e-9));
 }
 
 TEST(SparseMatrixTest, RowIteration) {

@@ -1,3 +1,4 @@
+#include <cstring>
 #include <memory>
 
 #include <gtest/gtest.h>
@@ -202,6 +203,96 @@ TEST(GcnLayerTest, GradientCheck) {
   GcnLayer gcn(&adj, 3, 2, rng);
   la::Matrix x = la::Matrix::RandomNormal(5, 3, 1.0, rng);
   CheckLayerGradients(gcn, x, rng);
+}
+
+TEST(GcnLayerTest, FusedEpilogueGradientCheck) {
+  // Gradient check with the activation folded into the layer (the fused
+  // forward + the mask-on-activated-output backward).
+  la::SparseMatrix adj =
+      la::SparseMatrix::NormalizedAdjacency(5, {{0, 1}, {1, 2}, {3, 4}});
+  for (GcnActivation activation :
+       {GcnActivation::kRelu, GcnActivation::kLeakyRelu}) {
+    util::Rng rng(14);
+    GcnLayer gcn(&adj, 3, 2, rng, GcnLayerOptions{.activation = activation});
+    la::Matrix x = la::Matrix::RandomNormal(5, 3, 1.0, rng);
+    CheckLayerGradients(gcn, x, rng);
+  }
+}
+
+TEST(GcnLayerTest, FusedForwardBackwardMatchesUnfusedBitwise) {
+  // The fused SpMM epilogue must be bitwise identical to the reference
+  // unfused composition, forward and backward, for every activation.
+  la::SparseMatrix adj = la::SparseMatrix::NormalizedAdjacency(
+      6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {0, 5}, {1, 4}});
+  for (GcnActivation activation :
+       {GcnActivation::kNone, GcnActivation::kRelu,
+        GcnActivation::kLeakyRelu}) {
+    // Identically-seeded RNGs give both layers identical weights.
+    util::Rng rng_fused(77);
+    util::Rng rng_ref(77);
+    GcnLayer fused(&adj, 4, 3, rng_fused,
+                   GcnLayerOptions{.activation = activation,
+                                   .fuse_epilogue = true});
+    GcnLayer unfused(&adj, 4, 3, rng_ref,
+                     GcnLayerOptions{.activation = activation,
+                                     .fuse_epilogue = false});
+    util::Rng data_rng(78);
+    la::Matrix x = la::Matrix::RandomNormal(6, 4, 1.0, data_rng);
+    la::Matrix dy = la::Matrix::RandomNormal(6, 3, 1.0, data_rng);
+
+    const la::Matrix& h_fused = fused.Forward(x, true);
+    const la::Matrix& h_unfused = unfused.Forward(x, true);
+    ASSERT_EQ(h_fused.size(), h_unfused.size());
+    EXPECT_EQ(0, std::memcmp(h_fused.data().data(), h_unfused.data().data(),
+                             h_fused.size() * sizeof(double)));
+
+    fused.ZeroGrad();
+    unfused.ZeroGrad();
+    const la::Matrix& dx_fused = fused.Backward(dy);
+    const la::Matrix& dx_unfused = unfused.Backward(dy);
+    EXPECT_EQ(0,
+              std::memcmp(dx_fused.data().data(), dx_unfused.data().data(),
+                          dx_fused.size() * sizeof(double)));
+    for (size_t g = 0; g < 2; ++g) {
+      const la::Matrix* gf = fused.Gradients()[g];
+      const la::Matrix* gu = unfused.Gradients()[g];
+      EXPECT_EQ(0, std::memcmp(gf->data().data(), gu->data().data(),
+                               gf->size() * sizeof(double)));
+    }
+  }
+}
+
+TEST(GcnLayerTest, FoldedActivationMatchesCompositeStack) {
+  // GcnLayer(kRelu) must agree with GcnLayer(kNone) + a separate Relu
+  // layer: same forward values and same gradients (the folded backward
+  // masks on the activated output, the composite on the pre-activation —
+  // equivalent for sign-compatible activations).
+  la::SparseMatrix adj = la::SparseMatrix::NormalizedAdjacency(
+      5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}});
+  util::Rng rng_folded(91);
+  util::Rng rng_stack(91);
+  GcnLayer folded(&adj, 3, 4, rng_folded,
+                  GcnLayerOptions{.activation = GcnActivation::kRelu});
+  Sequential stack;
+  stack.Add(std::make_unique<GcnLayer>(&adj, 3, 4, rng_stack));
+  stack.Add(std::make_unique<Relu>());
+
+  util::Rng data_rng(92);
+  la::Matrix x = la::Matrix::RandomNormal(5, 3, 1.0, data_rng);
+  la::Matrix dy = la::Matrix::RandomNormal(5, 4, 1.0, data_rng);
+
+  const la::Matrix& h_folded = folded.Forward(x, true);
+  const la::Matrix& h_stack = stack.Forward(x, true);
+  ASSERT_EQ(h_folded.size(), h_stack.size());
+  EXPECT_EQ(0, std::memcmp(h_folded.data().data(), h_stack.data().data(),
+                           h_folded.size() * sizeof(double)));
+
+  folded.ZeroGrad();
+  stack.ZeroGrad();
+  const la::Matrix& dx_folded = folded.Backward(dy);
+  const la::Matrix& dx_stack = stack.Backward(dy);
+  EXPECT_EQ(0, std::memcmp(dx_folded.data().data(), dx_stack.data().data(),
+                           dx_folded.size() * sizeof(double)));
 }
 
 TEST(SequentialTest, BackwardFromIntermediateLayer) {

@@ -87,6 +87,37 @@ TEST(PprTest, CachingCountsRows) {
   EXPECT_EQ(ppr.num_cached_rows(), 0u);
 }
 
+TEST(PprTest, ClearCacheResetsComputedRowCounter) {
+  // Regression: ClearCache used to drop the rows but keep the computed
+  // counter, so the Fig. 7f memoization telemetry misreported after a
+  // reset (more computations than the live cache generation ever ran).
+  la::SparseMatrix walk = PathGraph(6);
+  PprEngine ppr(&walk);
+  ppr.Row(1);
+  ppr.Row(2);
+  EXPECT_EQ(ppr.num_computed_rows(), 2u);
+  ppr.ClearCache();
+  EXPECT_EQ(ppr.num_cached_rows(), 0u);
+  EXPECT_EQ(ppr.num_computed_rows(), 0u);
+  EXPECT_FALSE(ppr.IsCached(1));
+  // The counters restart together: recomputing after the reset counts
+  // from zero and the row is identical to the pre-reset one.
+  ppr.Row(1);
+  EXPECT_EQ(ppr.num_computed_rows(), 1u);
+  EXPECT_EQ(ppr.num_cached_rows(), 1u);
+}
+
+TEST(PprTest, BatchPrefetchCountsEachRowOnce) {
+  la::SparseMatrix walk = PathGraph(8);
+  PprEngine ppr(&walk, PprOptions{.batch_size = 3});
+  const std::vector<size_t> seeds = {0, 2, 4, 6, 2, 0};  // dups collapse
+  ppr.ComputeRows(seeds);
+  EXPECT_EQ(ppr.num_computed_rows(), 4u);
+  EXPECT_EQ(ppr.num_cached_rows(), 4u);
+  for (size_t v : {0u, 2u, 4u, 6u}) EXPECT_TRUE(ppr.IsCached(v));
+  EXPECT_FALSE(ppr.IsCached(1));
+}
+
 TEST(PprTest, DisabledCacheRecomputes) {
   la::SparseMatrix walk = PathGraph(5);
   PprOptions options;

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Benchmark-regression gate: runs the instrumented benches
 # (bench_parallel_scaling, bench_micro, bench_simd_scaling,
-# bench_analyze) with
+# bench_analyze, bench_ppr_batch) with
 # GALE_BENCH_JSON_DIR set, then compares every (name, threads) record
 # against the committed baselines in bench/baselines/. A record FAILS only if its median_ns is more than
 # GALE_BENCH_TOLERANCE (default 1.00, i.e. 2x) slower than the baseline —
@@ -9,6 +9,9 @@
 # accidentally serialised kernel, an allocating hot loop), not CPU jitter;
 # shared CI boxes routinely swing short benchmarks by 50%+.
 # Faster-than-baseline is always fine and is reported so wins are visible.
+# A benchmark that emits records with no committed baseline FAILS the gate
+# (run --update to record it): every bench added to the suite must land
+# with its baseline, or the gate would silently never cover it.
 #
 # Usage:
 #   tools/bench_check.sh            run + compare against baselines
@@ -35,7 +38,8 @@ if [ ! -d "${build_dir}" ]; then
   cmake -B "${build_dir}" -S "${repo_root}"
 fi
 cmake --build "${build_dir}" -j "$(nproc)" --target \
-  bench_parallel_scaling bench_micro bench_simd_scaling bench_analyze
+  bench_parallel_scaling bench_micro bench_simd_scaling bench_analyze \
+  bench_ppr_batch
 
 json_dir="$(mktemp -d)"
 trap 'rm -rf "${json_dir}"' EXIT
@@ -50,20 +54,37 @@ GALE_BENCH_JSON_DIR="${json_dir}" "${build_dir}/bench/bench_simd_scaling"
 echo "bench_check: running bench_analyze"
 GALE_BENCH_JSON_DIR="${json_dir}" "${build_dir}/bench/bench_analyze" \
   --repo "${repo_root}"
+echo "bench_check: running bench_ppr_batch"
+GALE_BENCH_JSON_DIR="${json_dir}" "${build_dir}/bench/bench_ppr_batch"
 
 if [ "${update}" -eq 1 ]; then
   mkdir -p "${baseline_dir}"
   cp "${json_dir}/BENCH_parallel_scaling.json" \
      "${json_dir}/BENCH_micro.json" \
      "${json_dir}/BENCH_simd_scaling.json" \
-     "${json_dir}/BENCH_analyze.json" "${baseline_dir}/"
+     "${json_dir}/BENCH_analyze.json" \
+     "${json_dir}/BENCH_ppr_batch.json" "${baseline_dir}/"
   echo "bench_check: baselines updated in bench/baselines/"
   exit 0
 fi
 
 status=0
+
+# Every emitted JSON file must have a committed baseline: a new bench
+# binary that records to GALE_BENCH_JSON_DIR without a baseline would
+# otherwise never be gated.
+for fresh in "${json_dir}"/*.json; do
+  name="$(basename "${fresh}")"
+  if [ ! -f "${baseline_dir}/${name}" ]; then
+    echo "bench_check: FAIL ${name} was emitted but has no committed" \
+         "baseline in bench/baselines/ (run --update to record it)" >&2
+    status=1
+  fi
+done
+
 for name in BENCH_parallel_scaling.json BENCH_micro.json \
-            BENCH_simd_scaling.json BENCH_analyze.json; do
+            BENCH_simd_scaling.json BENCH_analyze.json \
+            BENCH_ppr_batch.json; do
   baseline="${baseline_dir}/${name}"
   fresh="${json_dir}/${name}"
   if [ ! -f "${baseline}" ]; then
@@ -106,8 +127,9 @@ for key, old_ns in sorted(base.items()):
     elif ratio < 0.8:
         print(f"  faster  {label}: {ratio:.2f}x of baseline")
 for key in sorted(set(fresh) - set(base)):
-    print(f"  note: new benchmark {key[0]} @{key[1]}T has no baseline "
+    print(f"  FAIL    new benchmark {key[0]} @{key[1]}T has no baseline "
           f"(run --update to record it)")
+    failed = True
 sys.exit(1 if failed else 0)
 EOF
   echo "bench_check: ${name} compared (tolerance +${tolerance})"
