@@ -66,7 +66,7 @@ int Main() {
         ds->features = std::move(features).value();
       }
 
-      auto examples = eval::MakeExamples(*ds, seed, 0.10, 0.1);
+      auto examples = eval::MakeExamples(*ds, {.initial_fraction = 0.1, .seed = seed});
       GALE_CHECK(examples.ok()) << examples.status();
 
       core::GaleConfig config;

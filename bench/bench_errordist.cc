@@ -42,7 +42,7 @@ int Main() {
       eval::DatasetSpec spec = base.value();
       spec.injector.type_mix = mix.weights;
       auto ds = bench::Prepare(spec, seed);
-      auto sparse = eval::MakeExamples(*ds, seed, 0.10, 0.1);
+      auto sparse = eval::MakeExamples(*ds, {.initial_fraction = 0.1, .seed = seed});
       GALE_CHECK(sparse.ok()) << sparse.status();
 
       eval::GaleRunOptions options;

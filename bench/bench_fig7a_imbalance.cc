@@ -29,9 +29,12 @@ int Main() {
     for (int run = 0; run < bench::EnvRuns(); ++run) {
       const uint64_t seed = bench::EnvSeed() + 1000 * run;
       auto ds = bench::Prepare(spec.value(), seed);
-      auto full = eval::MakeExamples(*ds, seed, 0.10, 1.0, pe);
+      auto full = eval::MakeExamples(
+          *ds, {.forced_error_share = pe, .seed = seed});
       GALE_CHECK(full.ok()) << full.status();
-      auto sparse = eval::MakeExamples(*ds, seed, 0.10, 0.1, pe);
+      auto sparse = eval::MakeExamples(*ds, {.initial_fraction = 0.1,
+                                              .forced_error_share = pe,
+                                              .seed = seed});
       GALE_CHECK(sparse.ok()) << sparse.status();
 
       auto gcn = eval::RunGcn(*ds, full.value(), seed);

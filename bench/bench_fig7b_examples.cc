@@ -23,7 +23,7 @@ int Main() {
   // Reference row: p_t-insensitive detectors.
   {
     auto ds = bench::Prepare(spec.value(), bench::EnvSeed());
-    auto ex = eval::MakeExamples(*ds, bench::EnvSeed());
+    auto ex = eval::MakeExamples(*ds, {.seed = bench::EnvSeed()});
     GALE_CHECK(ex.ok()) << ex.status();
     auto viodet = eval::RunVioDet(*ds);
     GALE_CHECK(viodet.ok()) << viodet.status();
@@ -39,9 +39,10 @@ int Main() {
     for (int run = 0; run < bench::EnvRuns(); ++run) {
       const uint64_t seed = bench::EnvSeed() + 1000 * run;
       auto ds = bench::Prepare(spec.value(), seed);
-      auto full = eval::MakeExamples(*ds, seed, pt, 1.0);
+      auto full = eval::MakeExamples(*ds, {.train_ratio = pt, .seed = seed});
       GALE_CHECK(full.ok()) << full.status();
-      auto sparse = eval::MakeExamples(*ds, seed, pt, 0.1);
+      auto sparse = eval::MakeExamples(
+          *ds, {.train_ratio = pt, .initial_fraction = 0.1, .seed = seed});
       GALE_CHECK(sparse.ok()) << sparse.status();
 
       auto gcn = eval::RunGcn(*ds, full.value(), seed);

@@ -25,7 +25,7 @@ int Main() {
     for (int run = 0; run < bench::EnvRuns(); ++run) {
       const uint64_t seed = bench::EnvSeed() + 1000 * run;
       auto ds = bench::Prepare(spec.value(), seed);
-      auto sparse = eval::MakeExamples(*ds, seed, 0.10, 0.1);
+      auto sparse = eval::MakeExamples(*ds, {.initial_fraction = 0.1, .seed = seed});
       GALE_CHECK(sparse.ok()) << sparse.status();
       for (core::QueryStrategy strategy :
            {core::QueryStrategy::kEntropy, core::QueryStrategy::kRandom,

@@ -23,9 +23,9 @@ int Main() {
     GALE_CHECK(spec.ok()) << spec.status();
     const uint64_t seed = bench::EnvSeed();
     auto ds = bench::Prepare(spec.value(), seed);
-    auto full = eval::MakeExamples(*ds, seed);
+    auto full = eval::MakeExamples(*ds, {.seed = seed});
     GALE_CHECK(full.ok()) << full.status();
-    auto sparse = eval::MakeExamples(*ds, seed, 0.10, 0.1);
+    auto sparse = eval::MakeExamples(*ds, {.initial_fraction = 0.1, .seed = seed});
     GALE_CHECK(sparse.ok()) << sparse.status();
 
     std::vector<std::string> row = {name};

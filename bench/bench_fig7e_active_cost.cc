@@ -25,7 +25,7 @@ int Main() {
   // cumulative seconds per strategy per iteration
   std::map<std::string, std::vector<double>> cumulative;
   auto ds = bench::Prepare(spec.value(), seed);
-  auto sparse = eval::MakeExamples(*ds, seed, 0.10, 0.1);
+  auto sparse = eval::MakeExamples(*ds, {.initial_fraction = 0.1, .seed = seed});
   GALE_CHECK(sparse.ok()) << sparse.status();
 
   for (core::QueryStrategy strategy :

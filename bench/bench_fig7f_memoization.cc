@@ -23,7 +23,7 @@ int Main() {
 
   for (size_t k : {5, 10, 20}) {
     auto ds = bench::Prepare(spec.value(), seed);
-    auto sparse = eval::MakeExamples(*ds, seed, 0.10, 0.1);
+    auto sparse = eval::MakeExamples(*ds, {.initial_fraction = 0.1, .seed = seed});
     GALE_CHECK(sparse.ok()) << sparse.status();
 
     auto run_with = [&](bool memo) {

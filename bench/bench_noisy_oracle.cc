@@ -28,7 +28,7 @@ int Main() {
     for (int run = 0; run < bench::EnvRuns(); ++run) {
       const uint64_t seed = bench::EnvSeed() + 1000 * run;
       auto ds = bench::Prepare(spec.value(), seed);
-      auto examples = eval::MakeExamples(*ds, seed, 0.10, 0.1);
+      auto examples = eval::MakeExamples(*ds, {.initial_fraction = 0.1, .seed = seed});
       GALE_CHECK(examples.ok()) << examples.status();
 
       core::GaleConfig config;

@@ -1,0 +1,164 @@
+// Serving-path throughput bench: batched scoring against single-request
+// scoring. The batch-N workload submits N-node requests to a batcher
+// configured with max_batch = N, so batch 1 is the serial
+// one-node-per-request reference (one queue round trip and one 1-row
+// forward per node) and batch 64 amortizes the round trip over one fused
+// 64-row forward. Every workload scores the same node stream, and scores
+// are bitwise identical in every configuration — serve_replay_test pins
+// that — so the columns differ only in how the round-trip and
+// per-forward overheads amortize.
+//
+// The acceptance bar (ISSUE 9): batch-64 throughput >= 2x the batch-1
+// single-request reference at 4 caller threads.
+//
+// With GALE_BENCH_JSON_DIR set, per-(workload, callers) medians are also
+// written to $GALE_BENCH_JSON_DIR/BENCH_serve.json for
+// tools/bench_check.sh (see bench_common.h for the record format).
+//
+// Usage: bench_serve [--repeats N]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/sgan.h"
+#include "la/matrix.h"
+#include "la/sparse_matrix.h"
+#include "obs/stopwatch.h"
+#include "serve/batcher.h"
+#include "serve/snapshot.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+namespace gale {
+namespace {
+
+constexpr size_t kNodes = 2000;
+constexpr size_t kDim = 32;
+constexpr int kCallerCounts[] = {1, 4};
+// Every caller scores this many nodes per timed pass regardless of the
+// request batch size, so the workloads are directly comparable and each
+// pass averages over enough requests to damp scheduling jitter.
+constexpr size_t kNodesPerCaller = 2048;
+
+serve::ScoringSnapshot MakeSnapshot() {
+  la::Matrix x(kNodes, kDim);
+  util::Rng rng(5);
+  for (size_t r = 0; r < kNodes; ++r) {
+    for (size_t c = 0; c < kDim; ++c) {
+      *(x.RowPtr(r) + c) = rng.Uniform(-1.0, 1.0);
+    }
+  }
+  std::vector<std::pair<size_t, size_t>> edges;
+  for (size_t v = 0; v < kNodes; ++v) {
+    edges.emplace_back(v, (v + 1) % kNodes);
+    edges.emplace_back(v, (v + 17) % kNodes);
+    edges.emplace_back(v, (v + 131) % kNodes);
+  }
+  std::vector<int> labels(kNodes, core::kUnlabeled);
+  for (size_t v = 0; v < kNodes; v += 97) labels[v] = core::kLabelError;
+
+  core::Sgan sgan(kDim, core::SganConfig{.seed = 5});
+  auto snap = serve::ScoringSnapshot::FromParts(
+      sgan.ExportDiscriminator(), std::move(x),
+      la::SparseMatrix::NormalizedAdjacency(kNodes, edges),
+      std::move(labels));
+  if (!snap.ok()) {
+    std::fprintf(stderr, "snapshot build failed: %s\n",
+                 snap.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(snap).value();
+}
+
+// One timed pass: `callers` threads each score kNodesPerCaller nodes in
+// `batch`-node requests through a fresh batcher with max_batch = batch.
+// Batcher construction (thread spawn + scorer warmup) and Stop() happen
+// outside the timer.
+double TimeServe(const serve::ScoringSnapshot& snap, size_t batch,
+                 int callers) {
+  serve::ServeOptions options;
+  options.max_batch = batch;
+  serve::RequestBatcher batcher(&snap, options);
+
+  obs::WallTimer timer;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < callers; ++t) {
+    threads.emplace_back([&, t] {
+      serve::ScoreRequest request;
+      const size_t requests = kNodesPerCaller / batch;
+      for (size_t j = 0; j < requests; ++j) {
+        request.node_ids.clear();
+        const size_t base = (static_cast<size_t>(t) * 509 + j * 89) % kNodes;
+        for (size_t i = 0; i < batch; ++i) {
+          request.node_ids.push_back((base + i * 7) % kNodes);
+        }
+        auto scores = batcher.Score(request);
+        if (!scores.ok()) {
+          std::fprintf(stderr, "Score failed: %s\n",
+                       scores.status().ToString().c_str());
+          std::exit(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds = timer.ElapsedSeconds();
+  batcher.Stop();
+  return seconds;
+}
+
+}  // namespace
+}  // namespace gale
+
+int main(int argc, char** argv) {
+  using namespace gale;
+  int repeats = 5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc) {
+      repeats = std::max(1, std::atoi(argv[++i]));
+    }
+  }
+
+  const serve::ScoringSnapshot snap = MakeSnapshot();
+
+  std::vector<std::string> header = {"workload"};
+  for (int c : kCallerCounts) {
+    header.push_back(std::to_string(c) + " callers (ms)");
+  }
+  util::TablePrinter table(header);
+  bench::BenchJsonWriter json("BENCH_serve.json");
+
+  double batch1_4c_ms = 0.0;
+  double batch64_4c_ms = 0.0;
+  for (size_t max_batch : {size_t{1}, size_t{8}, size_t{64}}) {
+    const std::string name = "serve batch " + std::to_string(max_batch);
+    std::vector<std::string> row = {name};
+    for (int callers : kCallerCounts) {
+      std::vector<double> seconds;
+      seconds.reserve(repeats);
+      for (int r = 0; r < repeats; ++r) {
+        seconds.push_back(TimeServe(snap, max_batch, callers));
+      }
+      const double ms =
+          *std::min_element(seconds.begin(), seconds.end()) * 1e3;
+      json.Record(name, callers, repeats, bench::Median(seconds) * 1e9);
+      if (callers == 4 && max_batch == 1) batch1_4c_ms = ms;
+      if (callers == 4 && max_batch == 64) batch64_4c_ms = ms;
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.2f", ms);
+      row.push_back(buf);
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::printf(
+      "batch-64 throughput over the batch-1 reference at 4 callers: %.2fx\n",
+      batch1_4c_ms / batch64_4c_ms);
+  return 0;
+}

@@ -38,10 +38,10 @@ int Main() {
       auto ds = bench::Prepare(spec, seed);
 
       // Competitors: full V_T.
-      auto full = eval::MakeExamples(*ds, seed);
+      auto full = eval::MakeExamples(*ds, {.seed = seed});
       GALE_CHECK(full.ok()) << full.status();
       // GALE variants: 10% of V_T plus the active budget.
-      auto sparse = eval::MakeExamples(*ds, seed, 0.10, 0.1);
+      auto sparse = eval::MakeExamples(*ds, {.initial_fraction = 0.1, .seed = seed});
       GALE_CHECK(sparse.ok()) << sparse.status();
 
       auto viodet = eval::RunVioDet(*ds);

@@ -26,8 +26,7 @@ int main() {
             << ds.truth.NumErroneousNodes() << " erroneous ("
             << ds.constraints.size() << " mined constraints)\n\n";
 
-  auto examples = eval::MakeExamples(ds, /*seed=*/5, /*train_ratio=*/0.10,
-                                     /*initial_fraction=*/0.1);
+  auto examples = eval::MakeExamples(ds, {.initial_fraction = 0.1, .seed = 5});
   GALE_CHECK(examples.ok()) << examples.status();
   std::cout << "Cold-start examples: " << examples.value().num_examples
             << " (" << examples.value().num_error_examples << " errors)\n\n";

@@ -9,6 +9,14 @@
 
 namespace gale::core {
 
+util::Result<void> AnnotatorOptions::Validate() const {
+  // Every representable value of max_influential_nodes is meaningful
+  // (0 = neighbors-only soft subgraphs); the method exists so the
+  // annotator participates in the uniform entry-point validation
+  // vocabulary and future fields gain a home for their domain checks.
+  return {};
+}
+
 std::string Annotation::DebugString(const graph::AttributedGraph& g) const {
   std::ostringstream os;
   os << "Annotation(node=" << node << ", type="
@@ -60,6 +68,8 @@ Annotator::Annotator(const graph::AttributedGraph* g,
   GALE_CHECK(constraints != nullptr);
   GALE_CHECK(ppr != nullptr);
   GALE_CHECK(library->has_results()) << "Annotator needs RunAll results";
+  const util::Result<void> valid = options_.Validate();
+  GALE_CHECK(valid.ok()) << valid.status();
 }
 
 Annotation Annotator::Annotate(size_t v,

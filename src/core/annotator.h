@@ -25,6 +25,7 @@
 #include "graph/attributed_graph.h"
 #include "graph/constraints.h"
 #include "prop/ppr.h"
+#include "util/status.h"
 
 namespace gale::core {
 
@@ -67,8 +68,13 @@ struct Annotation {
 };
 
 struct AnnotatorOptions {
-  // Soft-subgraph size cap beyond the 1-hop neighbors.
+  // Soft-subgraph size cap beyond the 1-hop neighbors. 0 disables the
+  // PPR-ranked extension (neighbors-only soft subgraphs).
   size_t max_influential_nodes = 8;
+
+  // kInvalidArgument when any field is outside its documented domain;
+  // checked at Annotator construction.
+  util::Result<void> Validate() const;
 };
 
 class Annotator {

@@ -7,10 +7,38 @@
 
 namespace gale::core {
 
+util::Result<void> AugmentOptions::Validate() const {
+  if (synthetic_node_rate <= 0.0 || synthetic_node_rate > 1.0) {
+    return util::Status::InvalidArgument(
+        "AugmentOptions: synthetic_node_rate must be in (0, 1]");
+  }
+  if (synthetic_mix.empty()) {
+    return util::Status::InvalidArgument(
+        "AugmentOptions: synthetic_mix must not be empty");
+  }
+  double mix_sum = 0.0;
+  for (double m : synthetic_mix) {
+    if (m < 0.0) {
+      return util::Status::InvalidArgument(
+          "AugmentOptions: synthetic_mix entries must be >= 0");
+    }
+    mix_sum += m;
+  }
+  if (mix_sum <= 0.0) {
+    return util::Status::InvalidArgument(
+        "AugmentOptions: synthetic_mix must have positive mass");
+  }
+  return {};
+}
+
 util::Result<AugmentResult> GAugment(
     const graph::AttributedGraph& g,
     const std::vector<graph::Constraint>& constraints,
     const AugmentOptions& options) {
+  {
+    const util::Result<void> valid = options.Validate();
+    if (!valid.ok()) return valid.status();
+  }
   if (!g.finalized()) {
     return util::Status::FailedPrecondition("GAugment: graph not finalized");
   }

@@ -39,6 +39,10 @@ struct AugmentOptions {
   // Error-type mix of the synthetic pollution.
   std::vector<double> synthetic_mix = {1.0 / 3, 1.0 / 3, 1.0 / 3};
   uint64_t seed = 99;
+
+  // kInvalidArgument when any field is outside its documented domain;
+  // checked at the top of GAugment before any encoding work.
+  util::Result<void> Validate() const;
 };
 
 struct AugmentResult {

@@ -8,6 +8,23 @@
 
 namespace gale::core {
 
+util::Result<void> GaleConfig::Validate() const {
+  if (local_budget == 0) {
+    return util::Status::InvalidArgument(
+        "GaleConfig: local_budget must be > 0");
+  }
+  if (iterations <= 0) {
+    return util::Status::InvalidArgument("GaleConfig: iterations must be > 0");
+  }
+  if (sample_eta < 0.0 || sample_eta > 1.0) {
+    return util::Status::InvalidArgument(
+        "GaleConfig: sample_eta must be in [0, 1]");
+  }
+  const util::Result<void> sgan_valid = sgan.Validate();
+  if (!sgan_valid.ok()) return sgan_valid;
+  return selector.Validate();
+}
+
 Gale::Gale(const graph::AttributedGraph* g,
            const detect::DetectorLibrary* library,
            const std::vector<graph::Constraint>* constraints,
@@ -28,15 +45,17 @@ util::Result<GaleResult> Gale::Run(const la::Matrix& x_real,
                                    const la::Matrix& x_synthetic,
                                    detect::Oracle& oracle,
                                    const GaleRunInputs& inputs) {
+  // Reject bad configs with a coded error before any compute happens.
+  {
+    const util::Result<void> valid = config_.Validate();
+    if (!valid.ok()) return valid.status();
+  }
   const size_t n = graph_->num_nodes();
   if (x_real.rows() != n) {
     return util::Status::InvalidArgument("Gale::Run: X_R rows != |V|");
   }
   if (!inputs.initial_labels.empty() && inputs.initial_labels.size() != n) {
     return util::Status::InvalidArgument("Gale::Run: initial_labels size");
-  }
-  if (config_.local_budget == 0 || config_.iterations <= 0) {
-    return util::Status::InvalidArgument("Gale::Run: zero budget");
   }
 
   // Resolve the observability sinks: explicit inputs win, then the calling
@@ -168,6 +187,7 @@ util::Result<GaleResult> Gale::Run(const la::Matrix& x_real,
 
     result.predicted = sgan.PredictLabels(x_real);
     result.probabilities = sgan.PredictProbabilities(x_real);
+    result.discriminator = sgan.ExportDiscriminator();
     // Known example labels override model output (an oracle-labeled node's
     // label is definitive). Other non-unlabeled markers (e.g. excluded
     // evaluation nodes) keep the model's prediction.

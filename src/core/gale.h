@@ -58,6 +58,11 @@ struct GaleConfig {
   // Run the annotator on each query batch (oracle context + Exp-4).
   bool annotate_queries = true;
   uint64_t seed = 123;
+
+  // Validates this config and its nested sgan/selector configs.
+  // kInvalidArgument on the first field outside its documented domain;
+  // called at the top of Gale::Run so bad configs fail before compute.
+  util::Result<void> Validate() const;
 };
 
 // Per-iteration cost view over the span tree (see
@@ -94,6 +99,9 @@ struct GaleResult {
   la::Matrix probabilities;        // n x 2
   std::vector<int> example_labels;  // final V_T (kUnlabeled where unqueried)
   std::vector<Annotation> last_annotations;  // Q̃ of the final round
+  // The trained discriminator's parameters, frozen for the serving layer
+  // (serve::ScoringSnapshot::FromResult consumes this).
+  DiscriminatorSnapshot discriminator;
   // Every counter, gauge, histogram, and span of the run. The accessors
   // below are views over this one report.
   obs::Report report;
@@ -182,6 +190,10 @@ class Gale {
                                const GaleRunInputs& inputs = {});
 
   const GaleConfig& config() const { return config_; }
+
+  // The symmetric normalized adjacency D̃^{-1/2}ÃD̃^{-1/2} the run walks
+  // on; the serving snapshot freezes a copy of it.
+  const la::SparseMatrix& walk_matrix() const { return walk_matrix_; }
 
  private:
   const graph::AttributedGraph* graph_;

@@ -84,6 +84,34 @@ const char* QueryStrategyName(QueryStrategy s) {
   return "?";
 }
 
+util::Result<void> QuerySelectorOptions::Validate() const {
+  if (lambda_diversity < 0.0) {
+    return util::Status::InvalidArgument(
+        "QuerySelectorOptions: lambda_diversity must be >= 0");
+  }
+  if (cluster_multiplier < 1.0) {
+    return util::Status::InvalidArgument(
+        "QuerySelectorOptions: cluster_multiplier must be >= 1");
+  }
+  if (max_class_samples == 0) {
+    return util::Status::InvalidArgument(
+        "QuerySelectorOptions: max_class_samples must be > 0");
+  }
+  if (ppr_alpha <= 0.0 || ppr_alpha >= 1.0) {
+    return util::Status::InvalidArgument(
+        "QuerySelectorOptions: ppr_alpha must be in (0, 1)");
+  }
+  if (ppr_batch_size == 0) {
+    return util::Status::InvalidArgument(
+        "QuerySelectorOptions: ppr_batch_size must be > 0");
+  }
+  if (embedding_tolerance < 0.0) {
+    return util::Status::InvalidArgument(
+        "QuerySelectorOptions: embedding_tolerance must be >= 0");
+  }
+  return {};
+}
+
 QuerySelector::QuerySelector(const la::SparseMatrix* walk_matrix,
                              QuerySelectorOptions options)
     : walk_matrix_(walk_matrix),
@@ -131,6 +159,8 @@ void QuerySelector::RefreshChangeFlags(const la::Matrix& embeddings) {
 util::Result<std::vector<size_t>> QuerySelector::Select(
     const la::Matrix& embeddings, const std::vector<int>& example_labels,
     const la::Matrix& class_probs, size_t k) {
+  const util::Result<void> valid = options_.Validate();
+  if (!valid.ok()) return valid.status();
   if (embeddings.rows() == 0) {
     return util::Status::InvalidArgument("QuerySelector: empty embeddings");
   }

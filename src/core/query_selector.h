@@ -85,6 +85,10 @@ struct QuerySelectorOptions {
   // distances d'(u, v).
   double embedding_tolerance = 0.3;
   uint64_t seed = 11;
+
+  // kInvalidArgument when any field is outside its documented domain;
+  // checked at the top of QuerySelector::Select before any compute.
+  util::Result<void> Validate() const;
 };
 
 // Telemetry view for the learning-cost experiments (Fig. 7(e)/(f)) —

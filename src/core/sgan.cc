@@ -39,6 +39,57 @@ void VStack3Into(const la::Matrix& a, const la::Matrix& b, const la::Matrix& c,
 
 }  // namespace
 
+util::Result<void> SganConfig::Validate() const {
+  if (hidden_dim == 0) {
+    return util::Status::InvalidArgument("SganConfig: hidden_dim must be > 0");
+  }
+  if (embedding_dim == 0) {
+    return util::Status::InvalidArgument(
+        "SganConfig: embedding_dim must be > 0");
+  }
+  if (dropout < 0.0 || dropout >= 1.0) {
+    return util::Status::InvalidArgument(
+        "SganConfig: dropout must be in [0, 1)");
+  }
+  if (learning_rate <= 0.0) {
+    return util::Status::InvalidArgument(
+        "SganConfig: learning_rate must be > 0");
+  }
+  if (lr_decay <= 0.0 || lr_decay > 1.0) {
+    return util::Status::InvalidArgument(
+        "SganConfig: lr_decay must be in (0, 1]");
+  }
+  if (lambda_unsupervised < 0.0) {
+    return util::Status::InvalidArgument(
+        "SganConfig: lambda_unsupervised must be >= 0");
+  }
+  if (synthetic_example_weight < 0.0) {
+    return util::Status::InvalidArgument(
+        "SganConfig: synthetic_example_weight must be >= 0");
+  }
+  if (unlabeled_correct_weight < 0.0) {
+    return util::Status::InvalidArgument(
+        "SganConfig: unlabeled_correct_weight must be >= 0");
+  }
+  if (generator_noise < 0.0) {
+    return util::Status::InvalidArgument(
+        "SganConfig: generator_noise must be >= 0");
+  }
+  if (train_epochs <= 0) {
+    return util::Status::InvalidArgument(
+        "SganConfig: train_epochs must be > 0");
+  }
+  if (update_epochs <= 0) {
+    return util::Status::InvalidArgument(
+        "SganConfig: update_epochs must be > 0");
+  }
+  if (early_stop_patience < 0) {
+    return util::Status::InvalidArgument(
+        "SganConfig: early_stop_patience must be >= 0");
+  }
+  return {};
+}
+
 Sgan::Sgan(size_t feature_dim, const SganConfig& config)
     : feature_dim_(feature_dim),
       config_(config),
@@ -48,15 +99,17 @@ Sgan::Sgan(size_t feature_dim, const SganConfig& config)
       g_optimizer_(nn::AdamOptions{.learning_rate = config.learning_rate,
                                    .lr_decay = config.lr_decay}) {
   GALE_CHECK_GT(feature_dim, 0u);
+  const util::Result<void> valid = config_.Validate();
+  GALE_CHECK(valid.ok()) << valid.status();
   // Discriminator: Dense -> LeakyReLU -> Dropout -> Dense -> LeakyReLU
   // (penultimate embedding H_n) -> Dense(3 logits).
   discriminator_.Add(
       std::make_unique<nn::Dense>(feature_dim, config_.hidden_dim, rng_));
-  discriminator_.Add(std::make_unique<nn::LeakyRelu>(0.2));
+  discriminator_.Add(std::make_unique<nn::LeakyRelu>(kSganLeakySlope));
   discriminator_.Add(std::make_unique<nn::Dropout>(config_.dropout, rng_));
   discriminator_.Add(std::make_unique<nn::Dense>(config_.hidden_dim,
                                                  config_.embedding_dim, rng_));
-  discriminator_.Add(std::make_unique<nn::LeakyRelu>(0.2));
+  discriminator_.Add(std::make_unique<nn::LeakyRelu>(kSganLeakySlope));
   embed_layer_index_ = discriminator_.num_layers() - 1;
   discriminator_.Add(
       std::make_unique<nn::Dense>(config_.embedding_dim, 3, rng_));
@@ -66,7 +119,7 @@ Sgan::Sgan(size_t feature_dim, const SganConfig& config)
   generator_.Add(
       std::make_unique<nn::Dense>(feature_dim, config_.hidden_dim, rng_));
   generator_.Add(std::make_unique<nn::BatchNorm>(config_.hidden_dim));
-  generator_.Add(std::make_unique<nn::LeakyRelu>(0.2));
+  generator_.Add(std::make_unique<nn::LeakyRelu>(kSganLeakySlope));
   generator_.Add(
       std::make_unique<nn::Dense>(config_.hidden_dim, feature_dim, rng_));
 }
@@ -335,6 +388,18 @@ la::Matrix Sgan::Embeddings(const la::Matrix& x) {
 la::Matrix Sgan::Generate(const la::Matrix& x_synthetic) {
   GALE_CHECK_EQ(x_synthetic.cols(), feature_dim_);
   return generator_.Forward(x_synthetic, /*training=*/false);
+}
+
+DiscriminatorSnapshot Sgan::ExportDiscriminator() const {
+  DiscriminatorSnapshot snap;
+  snap.leaky_slope = kSganLeakySlope;
+  for (size_t i = 0; i < discriminator_.num_layers(); ++i) {
+    const auto* dense = dynamic_cast<const nn::Dense*>(&discriminator_.layer(i));
+    if (dense == nullptr) continue;
+    snap.weights.push_back(dense->weight());
+    snap.biases.push_back(dense->bias());
+  }
+  return snap;
 }
 
 }  // namespace gale::core

@@ -45,6 +45,22 @@ inline constexpr int kLabelCorrect = 1;
 inline constexpr int kLabelSynthetic = 2;
 inline constexpr int kUnlabeled = -1;
 
+// Negative slope of every LeakyReLU in the SGAN stacks (the paper's
+// activation); exported with the discriminator so a serving snapshot
+// reproduces D's forward bitwise.
+inline constexpr double kSganLeakySlope = 0.2;
+
+// Value copy of the trained discriminator's Dense parameters in layer
+// order (input -> hidden -> embedding -> 3 logits). The serving layer
+// (serve/snapshot.h) rebuilds D's eval-mode forward from this — Dropout
+// is identity in eval, so Dense + LeakyReLU alone reproduce
+// PredictProbabilities bitwise.
+struct DiscriminatorSnapshot {
+  std::vector<la::Matrix> weights;  // weights[i]: in_i x out_i
+  std::vector<la::Matrix> biases;   // biases[i]: 1 x out_i
+  double leaky_slope = kSganLeakySlope;
+};
+
 struct SganConfig {
   size_t hidden_dim = 64;
   // Width of D's penultimate layer = dimension of H_n embeddings.
@@ -65,6 +81,10 @@ struct SganConfig {
   int update_epochs = 20;            // paper: 20 epochs per active round
   int early_stop_patience = 20;      // epochs without val improvement
   uint64_t seed = 42;
+
+  // kInvalidArgument when any field is outside its documented domain;
+  // called by GaleConfig::Validate and at Sgan construction.
+  util::Result<void> Validate() const;
 };
 
 // Per-epoch telemetry (exposed for the learning-cost experiments).
@@ -104,6 +124,9 @@ class Sgan {
 
   // Fake representations G produces from synthetic features (eval mode).
   la::Matrix Generate(const la::Matrix& x_synthetic);
+
+  // Copies D's current Dense parameters out for the serving layer.
+  DiscriminatorSnapshot ExportDiscriminator() const;
 
   const std::vector<SganEpochStats>& epoch_stats() const {
     return epoch_stats_;

@@ -27,14 +27,7 @@ core::SganConfig BenchSganConfig(uint64_t seed) {
 }
 
 util::Result<ExampleSet> MakeExamples(const PreparedDataset& ds,
-                                      uint64_t seed, double train_ratio,
-                                      double initial_fraction,
-                                      double forced_error_share) {
-  ExampleSetOptions options;
-  options.train_ratio = train_ratio;
-  options.initial_fraction = initial_fraction;
-  options.forced_error_share = forced_error_share;
-  options.seed = seed;
+                                      const ExampleSetOptions& options) {
   return BuildExamples(ds.truth, ds.splits, options);
 }
 

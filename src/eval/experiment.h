@@ -36,12 +36,12 @@ struct MethodOutcome {
 // what the reproduction tracks (EXPERIMENTS.md).
 core::SganConfig BenchSganConfig(uint64_t seed);
 
-// Convenience: BuildExamples with the competitor defaults (full V_T).
+// Convenience: BuildExamples over the dataset's ground truth and folds.
+// ExampleSetOptions defaults are the competitor setting (full V_T);
+// callers override fields with designated initializers, e.g.
+//   MakeExamples(ds, {.initial_fraction = 0.1, .seed = seed})
 util::Result<ExampleSet> MakeExamples(const PreparedDataset& ds,
-                                      uint64_t seed,
-                                      double train_ratio = 0.10,
-                                      double initial_fraction = 1.0,
-                                      double forced_error_share = -1.0);
+                                      const ExampleSetOptions& options);
 
 util::Result<MethodOutcome> RunVioDet(const PreparedDataset& ds);
 util::Result<MethodOutcome> RunAlad(const PreparedDataset& ds,

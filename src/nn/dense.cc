@@ -1,5 +1,7 @@
 #include "nn/dense.h"
 
+#include <utility>
+
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -10,6 +12,15 @@ Dense::Dense(size_t in_features, size_t out_features, util::Rng& rng)
       bias_(1, out_features),
       grad_weight_(in_features, out_features),
       grad_bias_(1, out_features) {}
+
+Dense::Dense(la::Matrix weight, la::Matrix bias)
+    : weight_(std::move(weight)),
+      bias_(std::move(bias)),
+      grad_weight_(weight_.rows(), weight_.cols()),
+      grad_bias_(1, bias_.cols()) {
+  GALE_CHECK_EQ(bias_.rows(), 1u);
+  GALE_CHECK_EQ(bias_.cols(), weight_.cols());
+}
 
 const la::Matrix& Dense::Forward(const la::Matrix& input, bool /*training*/) {
   GALE_CHECK_EQ(input.cols(), weight_.rows()) << "Dense input width";

@@ -16,6 +16,10 @@ class Dense : public Layer {
  public:
   Dense(size_t in_features, size_t out_features, util::Rng& rng);
 
+  // Wraps existing parameters (e.g. weights thawed from a serving
+  // snapshot). `weight` is in x out, `bias` 1 x out.
+  Dense(la::Matrix weight, la::Matrix bias);
+
   const la::Matrix& Forward(const la::Matrix& input, bool training) override;
   const la::Matrix& Backward(const la::Matrix& grad_output) override;
 

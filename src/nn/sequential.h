@@ -38,6 +38,7 @@ class Sequential : public Layer {
 
   size_t num_layers() const { return layers_.size(); }
   Layer& layer(size_t i) { return *layers_[i]; }
+  const Layer& layer(size_t i) const { return *layers_[i]; }
 
   // Output of layer `i` (0-based) during the last Forward call. Useful as
   // the "intermediate layer" h_n of the paper's discriminator. Refers to

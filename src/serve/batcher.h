@@ -1,0 +1,145 @@
+// Coalescing request batcher over a ScoringSnapshot (DESIGN.md §13).
+//
+// Callers from any thread submit ScoreRequests and block until their
+// scores are ready. A single worker thread drains the queue: it lingers
+// briefly (arrival-quiescence polling, bounded by max_wait_micros) for
+// the pending node count to reach max_batch,
+// coalesces the queued requests into one deduplicated node batch
+// (epoch-stamped — a node asked for by five concurrent requests is scored
+// once), runs one fused snapshot forward over the batch on the scorer's
+// allocation-free workspaces, and fans the per-node scores back out to
+// every waiting request.
+//
+// Determinism: each node's scores come out of SnapshotScorer::ScoreInto,
+// whose kernels compute every output row from only the matching input row
+// with a fixed accumulation order. Batch composition, arrival order,
+// coalescing timing, and GALE_NUM_THREADS therefore cannot change a
+// single bit of any node's scores — serve_replay_test memcmp's the
+// batcher's output against a serial one-node-at-a-time reference across
+// all of those axes.
+//
+// Error codes (assert on code(), not message text):
+//   kInvalidArgument     — node id out of range, or bad ServeOptions.
+//   kOverloaded          — admission control: accepting the request would
+//                          push the pending node count past
+//                          queue_capacity. The caller retries later.
+//   kFailedPrecondition  — Score after Stop.
+//
+// Observability: the worker owns a private Trace + Registry (logical time
+// under GALE_OBS_LOGICAL_TIME=1). Every batch runs inside a
+// "gale.serve.batch" span (the span's auto-histogram is the batch latency
+// distribution), records the batch size into gale.serve.batch_size, and
+// refreshes the gale.serve.queue_depth gauge. Request/rejection totals
+// are folded into counters when the worker drains. ObsReport() snapshots
+// it all after Stop.
+
+#ifndef GALE_SERVE_BATCHER_H_
+#define GALE_SERVE_BATCHER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "serve/snapshot.h"
+#include "util/status.h"
+
+namespace gale::serve {
+
+struct ServeOptions {
+  // Most nodes a single fused forward scores; also the coalescing target.
+  size_t max_batch = 8;
+  // Approximate upper bound on how long the worker lingers for more
+  // requests once it has at least one but fewer than max_batch pending
+  // nodes. Implemented as bounded yield-polling that cuts the batch as
+  // soon as arrivals go quiet (a timed wait cannot express a
+  // microsecond-scale window), so a batch is never delayed once the
+  // concurrent callers have all been heard. 0 = cut batches eagerly.
+  int64_t max_wait_micros = 200;
+  // Admission bound on the total node count sitting in the queue;
+  // requests that would push past it are rejected with kOverloaded.
+  size_t queue_capacity = 1024;
+
+  // kInvalidArgument on the first field outside its documented domain;
+  // checked before the worker starts (a bad config never spawns one).
+  util::Result<void> Validate() const;
+};
+
+// A scoring request: node ids to score (duplicates allowed; ids must be
+// < snapshot->num_nodes()).
+struct ScoreRequest {
+  std::vector<size_t> node_ids;
+};
+
+class RequestBatcher {
+ public:
+  // `snapshot` must outlive the batcher. Starts the worker thread unless
+  // `options` fails validation (then every Score returns that status).
+  explicit RequestBatcher(const ScoringSnapshot* snapshot,
+                          ServeOptions options = {});
+  ~RequestBatcher();  // Stop()s if the caller has not.
+
+  RequestBatcher(const RequestBatcher&) = delete;
+  RequestBatcher& operator=(const RequestBatcher&) = delete;
+
+  // Blocks until the worker has scored the request (or rejects it
+  // immediately — see the code table in the file header). scores[i]
+  // corresponds to request.node_ids[i].
+  util::Result<std::vector<NodeScore>> Score(const ScoreRequest& request);
+
+  // Drains the queue (every accepted request still completes), stops the
+  // worker, and joins it. Idempotent; after it returns, Score rejects
+  // with kFailedPrecondition.
+  void Stop();
+
+  // Snapshot of the worker's metrics + span tree. Only valid after
+  // Stop() — the worker's Registry/Trace are its private unsynchronized
+  // state while it runs.
+  obs::Report ObsReport() const;
+
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  // One queued request; lives on the submitting caller's stack.
+  struct Pending {
+    const std::vector<size_t>* nodes = nullptr;
+    std::vector<NodeScore> scores;
+    bool done = false;
+  };
+
+  void WorkerLoop();
+
+  const ScoringSnapshot* snapshot_;
+  ServeOptions options_;
+  util::Status init_status_;  // options validation result
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;  // worker wakeups
+  std::condition_variable done_cv_;   // caller wakeups
+  std::deque<Pending*> queue_;
+  size_t pending_nodes_ = 0;  // total node ids sitting in queue_
+  bool stop_ = false;
+  bool worker_joined_ = false;
+
+  // Caller-side totals, guarded by mu_; folded into the worker's
+  // registry counters at drain time (the Registry itself is
+  // worker-thread-only state).
+  uint64_t accepted_requests_ = 0;
+  uint64_t accepted_nodes_ = 0;
+  uint64_t rejected_requests_ = 0;
+
+  // Worker-owned observability (ScopedObs installed in WorkerLoop).
+  obs::Trace trace_;
+  obs::Registry registry_;
+
+  std::thread worker_;
+};
+
+}  // namespace gale::serve
+
+#endif  // GALE_SERVE_BATCHER_H_

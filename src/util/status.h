@@ -34,6 +34,13 @@ enum class StatusCode {
   kAlreadyExists,
   kUnimplemented,
   kInternal,
+  // Admission control: the operation was rejected because a bounded
+  // queue/budget is full right now; retrying later may succeed (the
+  // serving layer's backpressure signal).
+  kOverloaded,
+  // Stored data is unreadable: truncated, corrupt, or failing its
+  // checksum. Unlike kNotFound the data exists but cannot be trusted.
+  kDataLoss,
 };
 
 // Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -73,6 +80,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -138,6 +151,26 @@ class Result {
 
   std::optional<T> value_;
   Status status_;  // OK iff value_ holds a value.
+};
+
+// Result<void>: success-or-error with no payload, so option validators and
+// other value-less fallible APIs share the Result vocabulary. Implicitly
+// constructible from a Status like the primary template; default
+// construction is success.
+template <>
+class Result<void> {
+ public:
+  Result() = default;
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {}
+
+  static Result Ok() { return Result(); }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
 };
 
 }  // namespace gale::util

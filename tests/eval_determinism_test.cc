@@ -66,7 +66,7 @@ TEST(RunnerConsistencyTest, GaleRunIsSeedDeterministic) {
   spec.value().local_budget = 5;
   auto ds = PrepareDataset(spec.value(), 9);
   ASSERT_TRUE(ds.ok());
-  auto examples = MakeExamples(*ds.value(), 9, 0.10, 0.1);
+  auto examples = MakeExamples(*ds.value(), {.initial_fraction = 0.1, .seed = 9});
   ASSERT_TRUE(examples.ok());
 
   GaleRunOptions options;
@@ -97,7 +97,7 @@ TEST(EnsembleOracleOptionTest, SwitchesOracle) {
   spec.value().local_budget = 5;
   auto ds = PrepareDataset(spec.value(), 13);
   ASSERT_TRUE(ds.ok());
-  auto examples = MakeExamples(*ds.value(), 13, 0.10, 0.1);
+  auto examples = MakeExamples(*ds.value(), {.initial_fraction = 0.1, .seed = 13});
   ASSERT_TRUE(examples.ok());
 
   GaleRunOptions options;

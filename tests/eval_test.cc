@@ -216,7 +216,7 @@ TEST(ExperimentTest, RunnersProduceTestFoldMetrics) {
   ASSERT_TRUE(prepared.ok());
   const PreparedDataset& ds = *prepared.value();
 
-  auto examples = MakeExamples(ds, 23);
+  auto examples = MakeExamples(ds, {.seed = 23});
   ASSERT_TRUE(examples.ok());
 
   auto viodet = RunVioDet(ds);
@@ -231,7 +231,7 @@ TEST(ExperimentTest, RunnersProduceTestFoldMetrics) {
   auto raha = RunRaha(ds, examples.value(), 23);
   ASSERT_TRUE(raha.ok());
 
-  auto gale_examples = MakeExamples(ds, 23, 0.10, 0.1);
+  auto gale_examples = MakeExamples(ds, {.initial_fraction = 0.1, .seed = 23});
   ASSERT_TRUE(gale_examples.ok());
   GaleRunOptions options;
   options.total_budget = 20;

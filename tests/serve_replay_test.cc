@@ -1,0 +1,265 @@
+// RequestBatcher replay harness: concurrent callers at several batch
+// sizes and arrival orders, memcmp'd against a serial one-node-at-a-time
+// reference. Runs under GALE_OBS_LOGICAL_TIME=1 (ctest sets it), and the
+// _mt4 ctest leg re-runs the whole file with GALE_NUM_THREADS=4 —
+// per-node scores must be bitwise identical in every configuration.
+
+#include "serve/batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/sgan.h"
+#include "la/matrix.h"
+#include "la/sparse_matrix.h"
+#include "serve/snapshot.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace gale::serve {
+namespace {
+
+constexpr size_t kNodes = 120;
+constexpr size_t kDim = 5;
+
+ScoringSnapshot MakeSnapshot() {
+  la::Matrix x(kNodes, kDim);
+  util::Rng rng(77);
+  for (size_t r = 0; r < kNodes; ++r) {
+    for (size_t c = 0; c < kDim; ++c) {
+      *(x.RowPtr(r) + c) = rng.Uniform(-1.0, 1.0);
+    }
+  }
+  std::vector<std::pair<size_t, size_t>> edges;
+  for (size_t v = 0; v < kNodes; ++v) {
+    edges.emplace_back(v, (v + 1) % kNodes);
+    edges.emplace_back(v, (v + 11) % kNodes);
+  }
+  std::vector<int> labels(kNodes, core::kUnlabeled);
+  labels[2] = core::kLabelError;
+  labels[50] = core::kLabelError;
+  labels[9] = core::kLabelCorrect;
+
+  core::SganConfig config;
+  config.hidden_dim = 9;
+  config.embedding_dim = 6;
+  config.seed = 99;
+  core::Sgan sgan(kDim, config);
+
+  auto snap = ScoringSnapshot::FromParts(
+      sgan.ExportDiscriminator(), std::move(x),
+      la::SparseMatrix::NormalizedAdjacency(kNodes, edges),
+      std::move(labels));
+  EXPECT_TRUE(snap.ok()) << snap.status();
+  return std::move(snap).value();
+}
+
+// The serial reference: every node scored alone, one at a time.
+std::vector<NodeScore> SerialReference(const ScoringSnapshot& snap) {
+  SnapshotScorer scorer(&snap, 1);
+  std::vector<NodeScore> ref(kNodes);
+  for (size_t v = 0; v < kNodes; ++v) {
+    std::vector<size_t> one{v};
+    scorer.ScoreInto(one, &ref[v]);
+  }
+  return ref;
+}
+
+// The request mix one caller thread submits: overlapping windows (so
+// concurrent requests share nodes and exercise the dedup), plus repeats
+// inside a single request.
+std::vector<std::vector<size_t>> RequestsForThread(size_t thread,
+                                                   bool reversed) {
+  std::vector<std::vector<size_t>> requests;
+  for (size_t j = 0; j < 6; ++j) {
+    std::vector<size_t> ids;
+    const size_t base = (thread * 37 + j * 13) % kNodes;
+    for (size_t i = 0; i < 9; ++i) ids.push_back((base + i * 5) % kNodes);
+    ids.push_back(ids.front());  // in-request duplicate
+    requests.push_back(std::move(ids));
+  }
+  if (reversed) {
+    std::reverse(requests.begin(), requests.end());
+    for (auto& ids : requests) std::reverse(ids.begin(), ids.end());
+  }
+  return requests;
+}
+
+void RunReplay(const ScoringSnapshot& snap,
+               const std::vector<NodeScore>& ref, size_t max_batch,
+               bool reversed) {
+  ServeOptions options;
+  options.max_batch = max_batch;
+  options.max_wait_micros = 50;
+  RequestBatcher batcher(&snap, options);
+
+  constexpr size_t kCallers = 4;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> callers;
+  for (size_t t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      for (const std::vector<size_t>& ids : RequestsForThread(t, reversed)) {
+        ScoreRequest request;
+        request.node_ids = ids;
+        auto scores = batcher.Score(request);
+        if (!scores.ok() || scores.value().size() != ids.size()) {
+          mismatches.fetch_add(1000);
+          continue;
+        }
+        for (size_t i = 0; i < ids.size(); ++i) {
+          if (std::memcmp(&scores.value()[i], &ref[ids[i]],
+                          sizeof(NodeScore)) != 0) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& c : callers) c.join();
+  batcher.Stop();
+  EXPECT_EQ(mismatches.load(), 0)
+      << "max_batch=" << max_batch << " reversed=" << reversed;
+
+  const obs::Report report = batcher.ObsReport();
+  EXPECT_EQ(report.CounterOr("gale.serve.requests"), kCallers * 6);
+  EXPECT_EQ(report.CounterOr("gale.serve.nodes"), kCallers * 6 * 10);
+  EXPECT_EQ(report.CounterOr("gale.serve.rejected"), 0u);
+}
+
+TEST(ServeReplayTest, BatchedScoresMatchSerialReference) {
+  ScoringSnapshot snap = MakeSnapshot();
+  const std::vector<NodeScore> ref = SerialReference(snap);
+  for (size_t max_batch : {size_t{1}, size_t{8}, size_t{64}}) {
+    for (bool reversed : {false, true}) {
+      RunReplay(snap, ref, max_batch, reversed);
+    }
+  }
+}
+
+TEST(ServeReplayTest, DedupScoresSharedNodesOnce) {
+  ScoringSnapshot snap = MakeSnapshot();
+  ServeOptions options;
+  options.max_batch = 16;
+  options.max_wait_micros = 0;
+  RequestBatcher batcher(&snap, options);
+
+  // One request repeating a single node: the batch dedups it to one slot.
+  ScoreRequest request;
+  request.node_ids.assign(6, 42);
+  auto scores = batcher.Score(request);
+  ASSERT_TRUE(scores.ok()) << scores.status();
+  ASSERT_EQ(scores.value().size(), 6u);
+  for (size_t i = 1; i < 6; ++i) {
+    EXPECT_EQ(std::memcmp(&scores.value()[i], &scores.value()[0],
+                          sizeof(NodeScore)),
+              0);
+  }
+  batcher.Stop();
+
+  const obs::Report report = batcher.ObsReport();
+  EXPECT_EQ(report.CounterOr("gale.serve.nodes"), 6u);
+  const auto hist = report.histograms.find("gale.serve.batch_size");
+  ASSERT_NE(hist, report.histograms.end());
+  EXPECT_EQ(hist->second.count, 1u) << "one request -> one batch";
+  EXPECT_EQ(hist->second.sum, 1u) << "six duplicate ids -> one scored node";
+}
+
+TEST(ServeReplayTest, OversizedRequestIsRejectedAsOverloaded) {
+  ScoringSnapshot snap = MakeSnapshot();
+  ServeOptions options;
+  options.max_batch = 4;
+  options.queue_capacity = 4;
+  RequestBatcher batcher(&snap, options);
+
+  // More nodes than the queue can ever hold: deterministic rejection
+  // regardless of worker timing.
+  ScoreRequest request;
+  for (size_t v = 0; v < 5; ++v) request.node_ids.push_back(v);
+  auto rejected = batcher.Score(request);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), util::StatusCode::kOverloaded);
+
+  // A fitting request still goes through afterwards.
+  request.node_ids.resize(3);
+  EXPECT_TRUE(batcher.Score(request).ok());
+  batcher.Stop();
+  EXPECT_EQ(batcher.ObsReport().CounterOr("gale.serve.rejected"), 1u);
+}
+
+TEST(ServeReplayTest, ScoreAfterStopIsFailedPrecondition) {
+  ScoringSnapshot snap = MakeSnapshot();
+  RequestBatcher batcher(&snap);
+  ScoreRequest request;
+  request.node_ids = {1, 2};
+  EXPECT_TRUE(batcher.Score(request).ok());
+  batcher.Stop();
+  auto late = batcher.Score(request);
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), util::StatusCode::kFailedPrecondition);
+  batcher.Stop();  // idempotent
+}
+
+TEST(ServeReplayTest, OutOfRangeNodeIsInvalidArgument) {
+  ScoringSnapshot snap = MakeSnapshot();
+  RequestBatcher batcher(&snap);
+  ScoreRequest request;
+  request.node_ids = {kNodes};
+  auto bad = batcher.Score(request);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(ServeReplayTest, InvalidOptionsSurfaceThroughScore) {
+  ScoringSnapshot snap = MakeSnapshot();
+  ServeOptions options;
+  options.max_batch = 0;
+  ASSERT_EQ(options.Validate().status().code(),
+            util::StatusCode::kInvalidArgument);
+  RequestBatcher batcher(&snap, options);
+  ScoreRequest request;
+  request.node_ids = {0};
+  auto bad = batcher.Score(request);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(ServeReplayTest, EmptyRequestSucceedsWithNoScores) {
+  ScoringSnapshot snap = MakeSnapshot();
+  RequestBatcher batcher(&snap);
+  auto empty = batcher.Score(ScoreRequest{});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+}
+
+TEST(ServeReplayTest, ReportCarriesBatchSpansAndGauge) {
+  ScoringSnapshot snap = MakeSnapshot();
+  ServeOptions options;
+  options.max_wait_micros = 0;
+  RequestBatcher batcher(&snap, options);
+  ScoreRequest request;
+  request.node_ids = {3, 7, 7, 11};
+  ASSERT_TRUE(batcher.Score(request).ok());
+  batcher.Stop();
+
+  const obs::Report report = batcher.ObsReport();
+  size_t batch_spans = 0;
+  for (const obs::SpanRecord& span : report.spans) {
+    batch_spans += span.name == "gale.serve.batch";
+  }
+  EXPECT_GE(batch_spans, 1u);
+  // The span auto-histogram shares the span's name.
+  EXPECT_NE(report.histograms.find("gale.serve.batch"),
+            report.histograms.end());
+  EXPECT_NE(report.gauges.find("gale.serve.queue_depth"),
+            report.gauges.end());
+}
+
+}  // namespace
+}  // namespace gale::serve

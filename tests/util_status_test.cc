@@ -22,6 +22,8 @@ TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
   EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Overloaded("x").code(), StatusCode::kOverloaded);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
   EXPECT_EQ(Status::Internal("boom").message(), "boom");
 }
 
@@ -35,6 +37,30 @@ TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOverloaded), "Overloaded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDataLoss), "DataLoss");
+}
+
+TEST(ResultVoidTest, DefaultIsOk) {
+  Result<void> r;
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOk);
+}
+
+TEST(ResultVoidTest, HoldsError) {
+  Result<void> r = Status::InvalidArgument("bad option");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+Status PropagatesVoidResult() {
+  Result<void> validated = Status::Overloaded("queue full");
+  GALE_RETURN_IF_ERROR(validated.status());
+  return Status::Ok();
+}
+
+TEST(ResultVoidTest, StatusFeedsReturnIfError) {
+  EXPECT_EQ(PropagatesVoidResult().code(), StatusCode::kOverloaded);
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -13,15 +13,19 @@ namespace fs = std::filesystem;
 // lower = includable from above.
 const std::map<std::string, int>& ModuleLayers() {
   static const std::map<std::string, int> kLayers = {
-      {"util", 0}, {"obs", 1},    {"la", 2},   {"nn", 3},        {"graph", 3},
-      {"prop", 4}, {"detect", 5}, {"core", 6}, {"baselines", 7}, {"eval", 8},
+      {"util", 0},  {"obs", 1},       {"la", 2},        {"nn", 3},
+      {"graph", 3}, {"prop", 4},      {"detect", 5},    {"core", 6},
+      {"serve", 7}, {"baselines", 7}, {"eval", 8},
   };
   return kLayers;
 }
 
+// serve and baselines share a layer: both build on core, and neither may
+// include the other (or eval — the serving path never reaches into the
+// experiment harness).
 const char kDagSpelling[] =
     "util -> obs -> la -> {nn, graph} -> prop -> detect -> core -> "
-    "baselines -> eval";
+    "{serve, baselines} -> eval";
 
 // "src/nn/adam.cc" -> "nn"; "tools/analyze/rules.cc" -> "tools".
 std::string ModuleOf(const std::string& rel) {

@@ -508,6 +508,27 @@ const char* Isa() { return std::getenv("GALE_SIMD_ISA"); }
         {"src/eval/experiment.h", R"__(struct E {};
 )__"}},
        "include-layering", 0},
+      {"include-layering-bad-serve-into-eval",
+       {{"src/serve/x.cc", R"__(#include "eval/experiment.h"
+)__"},
+        {"src/eval/experiment.h", R"__(struct E {};
+)__"}},
+       "include-layering", 1},
+      {"include-layering-bad-serve-into-baselines",
+       {{"src/serve/x.cc", R"__(#include "baselines/b.h"
+)__"},
+        {"src/baselines/b.h", R"__(struct B {};
+)__"}},
+       "include-layering", 1},
+      {"include-layering-good-serve-uses-core",
+       {{"src/serve/x.cc", R"__(#include "core/gale.h"
+#include "prop/y.h"
+)__"},
+        {"src/core/gale.h", R"__(struct Gale {};
+)__"},
+        {"src/prop/y.h", R"__(struct Y {};
+)__"}},
+       "include-layering", 0},
       {"include-layering-suppressed",
        {{"src/la/x.h",
          R"__(// gale-lint: allow(include-layering): transitional, tracked in ROADMAP

@@ -39,7 +39,7 @@ if [ ! -d "${build_dir}" ]; then
 fi
 cmake --build "${build_dir}" -j "$(nproc)" --target \
   bench_parallel_scaling bench_micro bench_simd_scaling bench_analyze \
-  bench_ppr_batch
+  bench_ppr_batch bench_serve
 
 json_dir="$(mktemp -d)"
 trap 'rm -rf "${json_dir}"' EXIT
@@ -56,6 +56,8 @@ GALE_BENCH_JSON_DIR="${json_dir}" "${build_dir}/bench/bench_analyze" \
   --repo "${repo_root}"
 echo "bench_check: running bench_ppr_batch"
 GALE_BENCH_JSON_DIR="${json_dir}" "${build_dir}/bench/bench_ppr_batch"
+echo "bench_check: running bench_serve"
+GALE_BENCH_JSON_DIR="${json_dir}" "${build_dir}/bench/bench_serve"
 
 if [ "${update}" -eq 1 ]; then
   mkdir -p "${baseline_dir}"
@@ -63,7 +65,8 @@ if [ "${update}" -eq 1 ]; then
      "${json_dir}/BENCH_micro.json" \
      "${json_dir}/BENCH_simd_scaling.json" \
      "${json_dir}/BENCH_analyze.json" \
-     "${json_dir}/BENCH_ppr_batch.json" "${baseline_dir}/"
+     "${json_dir}/BENCH_ppr_batch.json" \
+     "${json_dir}/BENCH_serve.json" "${baseline_dir}/"
   echo "bench_check: baselines updated in bench/baselines/"
   exit 0
 fi
@@ -84,7 +87,7 @@ done
 
 for name in BENCH_parallel_scaling.json BENCH_micro.json \
             BENCH_simd_scaling.json BENCH_analyze.json \
-            BENCH_ppr_batch.json; do
+            BENCH_ppr_batch.json BENCH_serve.json; do
   baseline="${baseline_dir}/${name}"
   fresh="${json_dir}/${name}"
   if [ ! -f "${baseline}" ]; then

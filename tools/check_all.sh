@@ -17,6 +17,11 @@
 #   simdoff GALE_SIMD=OFF scalar-fallback build, full ctest suite — keeps
 #           the non-vectorized path green (it is the bitwise reference
 #           the SIMD kernels are checked against)
+#   serve   serving-path gate: the batcher replay harness under TSan
+#           (races between callers and the worker) and ASan (the
+#           snapshot's binary loader on corrupt/truncated files), plus an
+#           8-thread replay leg. Reuses build-tsan/build-asan, so after
+#           those stages it is incremental.
 #
 # Opt-in stages (never run by default; name them explicitly):
 #   bench   tools/bench_check.sh — benchmark-regression gate against the
@@ -30,7 +35,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-  stages=(lint analyze werror asan ubsan tsan simdoff)
+  stages=(lint analyze werror asan ubsan tsan simdoff serve)
 fi
 jobs="$(nproc)"
 
@@ -138,6 +143,33 @@ for stage in "${stages[@]}"; do
         -DCMAKE_BUILD_TYPE=Release \
         -DGALE_SIMD=OFF -DGALE_DEBUG_CHECKS=ON
       ;;
+    serve)
+      run_stage "serving path (replay under TSan + ASan, corruption cases)"
+      # TSan: concurrent callers vs the batcher worker. Same configure
+      # flags as the tsan stage so the build tree is shared.
+      build_dir="${repo_root}/build-tsan"
+      cmake -B "${build_dir}" -S "${repo_root}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DGALE_SANITIZE=thread
+      cmake --build "${build_dir}" -j "${jobs}" --target \
+        serve_replay_test serve_snapshot_test
+      ctest --test-dir "${build_dir}" --output-on-failure \
+        -R '^serve_(replay|snapshot)_test(_mt4)?$'
+      # Wider interleavings than the pinned _mt4 leg.
+      GALE_NUM_THREADS=8 GALE_OBS_LOGICAL_TIME=1 \
+        ctest --test-dir "${build_dir}" --output-on-failure \
+        -R '^serve_replay_test$'
+      # ASan: the snapshot loader walking truncated / bit-flipped files
+      # must never read out of bounds. Same flags as the asan stage.
+      build_dir="${repo_root}/build-asan"
+      cmake -B "${build_dir}" -S "${repo_root}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DGALE_SANITIZE=address -DGALE_DEBUG_CHECKS=ON
+      cmake --build "${build_dir}" -j "${jobs}" --target \
+        serve_replay_test serve_snapshot_test
+      ctest --test-dir "${build_dir}" --output-on-failure \
+        -R '^serve_(replay|snapshot)_test(_mt4)?$'
+      ;;
     bench)
       run_stage "benchmark-regression gate (opt-in)"
       GALE_BENCH_BUILD_DIR="${repo_root}/build-bench" \
@@ -145,7 +177,8 @@ for stage in "${stages[@]}"; do
       ;;
     *)
       echo "check_all: unknown stage '${stage}'" >&2
-      echo "stages: lint analyze werror asan ubsan tsan simdoff bench" >&2
+      echo "stages: lint analyze werror asan ubsan tsan simdoff serve" \
+           "bench" >&2
       exit 2
       ;;
   esac
