@@ -78,6 +78,7 @@ util::Result<size_t> AttributedGraph::AttributeIndex(
 
 size_t AttributedGraph::AddNode(size_t type_id,
                                 std::vector<AttributeValue> values) {
+  GALE_CHECK(!finalized_) << "AddNode after Finalize (Unfreeze first)";
   GALE_CHECK_LT(type_id, node_types_.size());
   GALE_CHECK_EQ(values.size(), node_types_[type_id].attributes.size())
       << "value count mismatch for type " << node_types_[type_id].name;
@@ -110,6 +111,43 @@ void AttributedGraph::Finalize() {
     if (u != v) adj_entries_[cursor[v]++] = {u, t};
   }
   finalized_ = true;
+}
+
+void AttributedGraph::Unfreeze() {
+  GALE_CHECK(finalized_) << "Unfreeze on an unfinalized graph";
+  finalized_ = false;
+}
+
+bool AttributedGraph::RemoveEdge(size_t u, size_t v, size_t edge_type) {
+  GALE_CHECK(!finalized_) << "RemoveEdge after Finalize (Unfreeze first)";
+  GALE_CHECK_LT(u, num_nodes());
+  GALE_CHECK_LT(v, num_nodes());
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    const auto& [a, b, t] = edges_[i];
+    if (t == edge_type && ((a == u && b == v) || (a == v && b == u))) {
+      edges_.erase(edges_.begin() + static_cast<ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+bool AttributedGraph::HasEdge(size_t u, size_t v, size_t edge_type) const {
+  GALE_CHECK(finalized_) << "HasEdge before Finalize";
+  GALE_CHECK_LT(u, num_nodes());
+  GALE_CHECK_LT(v, num_nodes());
+  for (const Neighbor* it = NeighborsBegin(u); it != NeighborsEnd(u); ++it) {
+    if (it->node == v && it->edge_type == edge_type) return true;
+  }
+  return false;
+}
+
+void AttributedGraph::ReplaceNodeValues(size_t v,
+                                        std::vector<AttributeValue> values) {
+  GALE_CHECK_LT(v, num_nodes());
+  GALE_CHECK_EQ(values.size(), node_values_[v].size())
+      << "value count mismatch for node " << v;
+  node_values_[v] = std::move(values);
 }
 
 size_t AttributedGraph::degree(size_t v) const {

@@ -11,6 +11,12 @@
 //
 // After Finalize() the topology is immutable, but attribute *values* stay
 // mutable (the error injector perturbs them in place).
+//
+// Mutation protocol (the versioned store, DESIGN.md §14): Unfreeze()
+// reopens a finalized graph for topology edits — AddNode/AddEdge/
+// RemoveEdge — after which Finalize() rebuilds the CSR index. Between
+// Unfreeze and Finalize the CSR accessors (degree, Neighbors*, HasEdge)
+// are unavailable; callers batch their edits and re-finalize once.
 
 #ifndef GALE_GRAPH_ATTRIBUTED_GRAPH_H_
 #define GALE_GRAPH_ATTRIBUTED_GRAPH_H_
@@ -101,13 +107,28 @@ class AttributedGraph {
                                       const std::string& name) const;
 
   // --- construction ---
-  // Adds a node of `type_id` with one value per declared attribute.
+  // Adds a node of `type_id` with one value per declared attribute. Must
+  // be called before Finalize() (or after Unfreeze()).
   size_t AddNode(size_t type_id, std::vector<AttributeValue> values);
   // Adds an undirected edge. Must be called before Finalize().
   void AddEdge(size_t u, size_t v, size_t edge_type);
   // Freezes the topology and builds the CSR neighbor index.
   void Finalize();
   bool finalized() const { return finalized_; }
+
+  // --- mutation (see file header) ---
+  // Reopens a finalized graph for topology edits; Finalize() re-freezes.
+  void Unfreeze();
+  // Removes one copy of the undirected edge (u, v, edge_type) — either
+  // stored orientation matches. Returns false when no such edge exists.
+  // Must be called between Unfreeze() and Finalize().
+  bool RemoveEdge(size_t u, size_t v, size_t edge_type);
+  // True when an undirected (u, v) edge of `edge_type` exists, in either
+  // orientation. Requires a finalized graph (CSR scan of u's neighbors).
+  bool HasEdge(size_t u, size_t v, size_t edge_type) const;
+  // Replaces every attribute value of `v` (one per declared attribute).
+  // Values stay mutable after Finalize(), so this works frozen or not.
+  void ReplaceNodeValues(size_t v, std::vector<AttributeValue> values);
 
   // --- topology access ---
   size_t num_nodes() const { return node_type_of_.size(); }

@@ -80,14 +80,35 @@ PprEngine::PprEngine(const la::SparseMatrix* walk_matrix, PprOptions options)
 void PprEngine::ClearCache() {
   std::fill(cache_slot_.begin(), cache_slot_.end(), kNoSlot);
   cached_rows_.clear();
+  free_slots_.clear();
   // The memoization telemetry (Fig. 7f) counts computations against the
   // current cache generation; a reset restarts both together so the
   // counters never report more cached rows than computations.
   computed_rows_ = 0;
 }
 
+void PprEngine::EvictRows(std::span<const size_t> seeds) {
+  for (size_t v : seeds) {
+    GALE_CHECK_LT(v, walk_matrix_->rows());
+    const uint32_t slot = cache_slot_[v];
+    if (slot == kNoSlot) continue;
+    cache_slot_[v] = kNoSlot;
+    // Release the row's memory now; the slot itself is recycled by the
+    // next insert (LIFO pop, so the assignment order is deterministic).
+    std::vector<double>().swap(cached_rows_[slot]);
+    free_slots_.push_back(slot);
+  }
+}
+
 void PprEngine::InsertRow(size_t v, std::vector<double> row) {
   GALE_DCHECK_EQ(cache_slot_[v], kNoSlot);
+  if (!free_slots_.empty()) {
+    const uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    cache_slot_[v] = slot;
+    cached_rows_[slot] = std::move(row);
+    return;
+  }
   cache_slot_[v] = static_cast<uint32_t>(cached_rows_.size());
   cached_rows_.push_back(std::move(row));
 }

@@ -56,7 +56,8 @@ class PprEngine {
   PprEngine(const la::SparseMatrix* walk_matrix, PprOptions options = {});
 
   // Row v of P (length n, sums to ~1). Cached when caching is enabled.
-  // Cached references stay valid until ClearCache(). A cache miss (or any
+  // Cached references stay valid until ClearCache() or an EvictRows()
+  // naming the seed. A cache miss (or any
   // call with caching disabled) computes on the calling thread and must
   // not happen inside a parallel region — prefetch via ComputeRows first.
   const std::vector<double>& Row(size_t v);
@@ -76,8 +77,17 @@ class PprEngine {
   // a parallel scan (reads the slot table only, which ComputeRows never
   // mutates concurrently with readers).
   bool IsCached(size_t v) const { return cache_slot_[v] != kNoSlot; }
-  size_t num_cached_rows() const { return cached_rows_.size(); }
+  size_t num_cached_rows() const {
+    return cached_rows_.size() - free_slots_.size();
+  }
   size_t num_computed_rows() const { return computed_rows_; }
+  // Targeted eviction (the store's incremental-invalidation hook): drops
+  // exactly the cached rows of `seeds` (uncached seeds are skipped) and
+  // recycles their slots for later inserts (LIFO, so slot assignment
+  // stays deterministic). References previously returned by Row() for an
+  // evicted seed are invalidated; num_computed_rows() is NOT reset — an
+  // eviction is cache churn within one generation, not a cold restart.
+  void EvictRows(std::span<const size_t> seeds);
   // Drops every cached row AND resets num_computed_rows() to zero: after
   // a reset the memoization counters (Fig. 7f) restart from a cold cache,
   // so computed == cached until the next miss-free steady state.
@@ -106,9 +116,11 @@ class PprEngine {
   PprOptions options_;
   // Deterministic flat cache: cache_slot_[v] indexes cached_rows_, or
   // kNoSlot. A deque keeps cached-row references stable across
-  // insertions (Row hands out long-lived const references).
+  // insertions (Row hands out long-lived const references). Evicted
+  // slots park on free_slots_ and are recycled before the deque grows.
   std::vector<uint32_t> cache_slot_;
   std::deque<std::vector<double>> cached_rows_;
+  std::vector<uint32_t> free_slots_;
   // Epoch-stamped dedup table for ComputeRows (no per-call hash set).
   std::vector<uint64_t> seen_stamp_;
   uint64_t seen_epoch_ = 0;

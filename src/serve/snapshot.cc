@@ -165,6 +165,22 @@ util::Result<ScoringSnapshot> ScoringSnapshot::FromParts(
   return snap;
 }
 
+util::Result<ScoringSnapshot> ScoringSnapshot::FromPartsWithInfluence(
+    core::DiscriminatorSnapshot discriminator, la::Matrix features,
+    la::SparseMatrix walk, std::vector<int> example_labels,
+    std::vector<double> error_influence, double ppr_alpha) {
+  ScoringSnapshot snap;
+  snap.discriminator_ = std::move(discriminator);
+  snap.features_ = std::move(features);
+  snap.walk_ = std::move(walk);
+  snap.example_labels_ = std::move(example_labels);
+  snap.error_influence_ = std::move(error_influence);
+  snap.ppr_alpha_ = ppr_alpha;
+  const util::Result<void> built = snap.FinishBuild(/*bake_influence=*/false);
+  if (!built.ok()) return built.status();
+  return snap;
+}
+
 util::Result<void> ScoringSnapshot::FinishBuild(bool bake_influence) {
   const size_t n = features_.rows();
   const size_t d = features_.cols();

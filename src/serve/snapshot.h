@@ -71,6 +71,19 @@ class ScoringSnapshot {
       la::SparseMatrix walk, std::vector<int> example_labels,
       double ppr_alpha = 0.15);
 
+  // Like FromParts, but adopts a caller-computed influence vector (length
+  // n) instead of baking one — the incremental-publish path of
+  // store::VersionedGraphStore, which maintains the warm PPR rows across
+  // delta batches and only refreshes the dirtied seeds. The caller owns
+  // the correctness of `error_influence`; every PPR row is bitwise
+  // deterministic (ppr_batch_equivalence_test), so a vector summed from
+  // warm rows in ascending seed order is memcmp-identical to the one
+  // FromParts would bake from scratch.
+  static util::Result<ScoringSnapshot> FromPartsWithInfluence(
+      core::DiscriminatorSnapshot discriminator, la::Matrix features,
+      la::SparseMatrix walk, std::vector<int> example_labels,
+      std::vector<double> error_influence, double ppr_alpha = 0.15);
+
   // Versioned binary serialization (header + FNV-1a payload checksum).
   util::Status Save(const std::string& path) const;
   // kNotFound (no file), kDataLoss (truncated / corrupt / checksum

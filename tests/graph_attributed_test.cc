@@ -123,5 +123,56 @@ TEST(AttributedGraphTest, IsolatedNodeHasNoNeighbors) {
   EXPECT_EQ(g.NeighborsBegin(0), g.NeighborsEnd(0));
 }
 
+TEST(AttributedGraphTest, HasEdgeMatchesEitherOrientation) {
+  AttributedGraph g = TinyFilmGraph();
+  EXPECT_TRUE(g.HasEdge(0, 1, 0));   // subsequent, stored as (0, 1)
+  EXPECT_TRUE(g.HasEdge(1, 0, 0));   // reverse orientation
+  EXPECT_TRUE(g.HasEdge(2, 0, 1));   // directedBy, stored as (0, 2)
+  EXPECT_FALSE(g.HasEdge(0, 1, 1));  // right pair, wrong type
+  EXPECT_FALSE(g.HasEdge(0, 2, 0));  // right pair, wrong type
+}
+
+TEST(AttributedGraphTest, UnfreezeEditFinalizeRebuildsAdjacency) {
+  AttributedGraph g = TinyFilmGraph();
+  ASSERT_TRUE(g.finalized());
+
+  g.Unfreeze();
+  EXPECT_FALSE(g.finalized());
+  EXPECT_TRUE(g.RemoveEdge(1, 0, 0));  // reverse orientation removes too
+  const size_t v3 =
+      g.AddNode(0, {AttributeValue::Text("Avengers 3"),
+                    AttributeValue::Number(2018)});
+  g.AddEdge(1, v3, 0);
+  g.Finalize();
+
+  // The rebuilt CSR reflects the edit: (0, 1) gone, (1, 3) present.
+  EXPECT_FALSE(g.HasEdge(0, 1, 0));
+  EXPECT_TRUE(g.HasEdge(1, v3, 0));
+  EXPECT_EQ(g.degree(0), 1u);  // only directedBy(0, 2) remains
+  EXPECT_EQ(g.degree(v3), 1u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(AttributedGraphTest, RemoveEdgeReturnsFalseWhenAbsent) {
+  AttributedGraph g = TinyFilmGraph();
+  g.Unfreeze();
+  EXPECT_FALSE(g.RemoveEdge(1, 2, 0));  // pair exists only as directedBy
+  EXPECT_TRUE(g.RemoveEdge(1, 2, 1));
+  EXPECT_FALSE(g.RemoveEdge(1, 2, 1));  // already gone
+  g.Finalize();
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(AttributedGraphTest, ReplaceNodeValuesSwapsTheWholeTuple) {
+  AttributedGraph g = TinyFilmGraph();
+  // Works on a finalized graph — values stay mutable after Finalize().
+  g.ReplaceNodeValues(
+      0, {AttributeValue::Text("Avengers (4K)"), AttributeValue::Number(2023)});
+  EXPECT_EQ(g.value(0, 0), AttributeValue::Text("Avengers (4K)"));
+  EXPECT_EQ(g.value(0, 1), AttributeValue::Number(2023));
+  // Other nodes untouched.
+  EXPECT_EQ(g.value(1, 0), AttributeValue::Text("Avengers 2"));
+}
+
 }  // namespace
 }  // namespace gale::graph

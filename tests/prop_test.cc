@@ -1,6 +1,7 @@
 // Tests for personalized PageRank and label propagation.
 
 #include <cmath>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
@@ -116,6 +117,55 @@ TEST(PprTest, BatchPrefetchCountsEachRowOnce) {
   EXPECT_EQ(ppr.num_cached_rows(), 4u);
   for (size_t v : {0u, 2u, 4u, 6u}) EXPECT_TRUE(ppr.IsCached(v));
   EXPECT_FALSE(ppr.IsCached(1));
+}
+
+TEST(PprTest, EvictRowsDropsOnlyTheNamedSeeds) {
+  la::SparseMatrix walk = PathGraph(8);
+  PprEngine ppr(&walk);
+  ppr.ComputeRows(std::vector<size_t>{1, 3, 5});
+  EXPECT_EQ(ppr.num_cached_rows(), 3u);
+
+  // Evicting a mix of cached and never-cached seeds drops exactly the
+  // cached ones; the computed counter keeps its generation total.
+  ppr.EvictRows(std::vector<size_t>{3, 6});
+  EXPECT_EQ(ppr.num_cached_rows(), 2u);
+  EXPECT_TRUE(ppr.IsCached(1));
+  EXPECT_FALSE(ppr.IsCached(3));
+  EXPECT_TRUE(ppr.IsCached(5));
+  EXPECT_EQ(ppr.num_computed_rows(), 3u);
+}
+
+TEST(PprTest, RowAfterEvictionIsBitwiseIdentical) {
+  la::SparseMatrix walk = PathGraph(8);
+  PprEngine ppr(&walk);
+  const std::vector<double> before = ppr.Row(4);  // copy before eviction
+  ppr.ComputeRows(std::vector<size_t>{2, 6});
+
+  ppr.EvictRows(std::vector<size_t>{4});
+  EXPECT_FALSE(ppr.IsCached(4));
+  // The recomputed row lands in 4's recycled slot and must be the exact
+  // same bytes — eviction is cache churn, never a numeric event.
+  const std::vector<double>& after = ppr.Row(4);
+  ASSERT_EQ(after.size(), before.size());
+  EXPECT_EQ(std::memcmp(after.data(), before.data(),
+                        before.size() * sizeof(double)),
+            0);
+  // Untouched seeds kept their rows through the eviction.
+  EXPECT_TRUE(ppr.IsCached(2));
+  EXPECT_TRUE(ppr.IsCached(6));
+}
+
+TEST(PprTest, EvictedSlotsAreRecycledBeforeGrowth) {
+  la::SparseMatrix walk = PathGraph(10);
+  PprEngine ppr(&walk);
+  ppr.ComputeRows(std::vector<size_t>{0, 1, 2, 3});
+  ppr.EvictRows(std::vector<size_t>{1, 2});
+  EXPECT_EQ(ppr.num_cached_rows(), 2u);
+  // Two inserts refill the freed slots, the third grows the cache.
+  ppr.ComputeRows(std::vector<size_t>{5, 6, 7});
+  EXPECT_EQ(ppr.num_cached_rows(), 5u);
+  for (size_t v : {0u, 3u, 5u, 6u, 7u}) EXPECT_TRUE(ppr.IsCached(v));
+  for (size_t v : {1u, 2u}) EXPECT_FALSE(ppr.IsCached(v));
 }
 
 TEST(PprTest, DisabledCacheRecomputes) {

@@ -200,6 +200,43 @@ TEST(ScoringSnapshotTest, InfluenceMatchesManualPprSum) {
   }
 }
 
+TEST(ScoringSnapshotTest, FromPartsWithInfluenceMatchesBakedSnapshot) {
+  // Precompute the influence exactly the way FromParts bakes it...
+  const la::SparseMatrix walk = MakeWalk();
+  prop::PprEngine engine(&walk, prop::PprOptions{.alpha = 0.2});
+  std::vector<double> influence(kNodes, 0.0);
+  for (size_t u : {size_t{3}, size_t{17}}) {
+    const std::vector<double>& row = engine.Row(u);
+    for (size_t v = 0; v < kNodes; ++v) influence[v] += row[v];
+  }
+  auto adopted = ScoringSnapshot::FromPartsWithInfluence(
+      MakeDiscriminator(11), MakeFeatures(11 ^ 0x9), MakeWalk(), MakeLabels(),
+      std::move(influence), 0.2);
+  ASSERT_TRUE(adopted.ok()) << adopted.status();
+
+  // ...and the two construction paths must serialize byte-identically
+  // (the store's incremental publish leans on this).
+  ScoringSnapshot baked = MakeSnapshot(11);
+  const std::string path_baked = TempPath("snap_baked.bin");
+  const std::string path_adopted = TempPath("snap_adopted.bin");
+  ASSERT_TRUE(baked.Save(path_baked).ok());
+  ASSERT_TRUE(adopted.value().Save(path_adopted).ok());
+  const std::string bytes_baked = ReadFileBytes(path_baked);
+  const std::string bytes_adopted = ReadFileBytes(path_adopted);
+  ASSERT_EQ(bytes_baked.size(), bytes_adopted.size());
+  EXPECT_EQ(std::memcmp(bytes_baked.data(), bytes_adopted.data(),
+                        bytes_baked.size()),
+            0);
+}
+
+TEST(ScoringSnapshotTest, FromPartsWithInfluenceRejectsWrongLength) {
+  auto short_vec = ScoringSnapshot::FromPartsWithInfluence(
+      MakeDiscriminator(1), MakeFeatures(1), MakeWalk(), MakeLabels(),
+      std::vector<double>(kNodes - 1, 0.0));
+  ASSERT_FALSE(short_vec.ok());
+  EXPECT_EQ(short_vec.status().code(), util::StatusCode::kInvalidArgument);
+}
+
 TEST(ScoringSnapshotTest, SaveLoadRoundTripIsByteIdentical) {
   ScoringSnapshot snap = MakeSnapshot();
   const std::string path_a = TempPath("snap_a.bin");

@@ -13,19 +13,22 @@ namespace fs = std::filesystem;
 // lower = includable from above.
 const std::map<std::string, int>& ModuleLayers() {
   static const std::map<std::string, int> kLayers = {
-      {"util", 0},  {"obs", 1},       {"la", 2},        {"nn", 3},
-      {"graph", 3}, {"prop", 4},      {"detect", 5},    {"core", 6},
-      {"serve", 7}, {"baselines", 7}, {"eval", 8},
+      {"util", 0},  {"obs", 1},       {"la", 2},    {"nn", 3},
+      {"graph", 3}, {"prop", 4},      {"detect", 5}, {"core", 6},
+      {"serve", 7}, {"baselines", 7}, {"store", 8},  {"eval", 8},
   };
   return kLayers;
 }
 
 // serve and baselines share a layer: both build on core, and neither may
-// include the other (or eval — the serving path never reaches into the
-// experiment harness).
+// include the other. store and eval sit above serve — the store
+// assembles serve::ScoringSnapshots at publish time, and eval drives
+// everything — but may not include each other (the versioned store never
+// reaches into the experiment harness, nor vice versa; see DESIGN.md
+// §14 for why store is a serve *producer*, not a layer below it).
 const char kDagSpelling[] =
     "util -> obs -> la -> {nn, graph} -> prop -> detect -> core -> "
-    "{serve, baselines} -> eval";
+    "{serve, baselines} -> {store, eval}";
 
 // "src/nn/adam.cc" -> "nn"; "tools/analyze/rules.cc" -> "tools".
 std::string ModuleOf(const std::string& rel) {

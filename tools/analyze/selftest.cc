@@ -529,6 +529,27 @@ const char* Isa() { return std::getenv("GALE_SIMD_ISA"); }
         {"src/prop/y.h", R"__(struct Y {};
 )__"}},
        "include-layering", 0},
+      {"include-layering-good-store-uses-serve",
+       {{"src/store/store.cc", R"__(#include "serve/snapshot.h"
+#include "graph/attributed_graph.h"
+)__"},
+        {"src/serve/snapshot.h", R"__(struct Snap {};
+)__"},
+        {"src/graph/attributed_graph.h", R"__(struct G {};
+)__"}},
+       "include-layering", 0},
+      {"include-layering-bad-serve-into-store",
+       {{"src/serve/x.cc", R"__(#include "store/delta_log.h"
+)__"},
+        {"src/store/delta_log.h", R"__(struct D {};
+)__"}},
+       "include-layering", 1},
+      {"include-layering-bad-store-into-eval",
+       {{"src/store/x.cc", R"__(#include "eval/experiment.h"
+)__"},
+        {"src/eval/experiment.h", R"__(struct E {};
+)__"}},
+       "include-layering", 1},
       {"include-layering-suppressed",
        {{"src/la/x.h",
          R"__(// gale-lint: allow(include-layering): transitional, tracked in ROADMAP

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Benchmark-regression gate: runs the instrumented benches
 # (bench_parallel_scaling, bench_micro, bench_simd_scaling,
-# bench_analyze, bench_ppr_batch) with
+# bench_analyze, bench_ppr_batch, bench_serve, bench_store) with
 # GALE_BENCH_JSON_DIR set, then compares every (name, threads) record
 # against the committed baselines in bench/baselines/. A record FAILS only if its median_ns is more than
 # GALE_BENCH_TOLERANCE (default 1.00, i.e. 2x) slower than the baseline —
@@ -39,7 +39,7 @@ if [ ! -d "${build_dir}" ]; then
 fi
 cmake --build "${build_dir}" -j "$(nproc)" --target \
   bench_parallel_scaling bench_micro bench_simd_scaling bench_analyze \
-  bench_ppr_batch bench_serve
+  bench_ppr_batch bench_serve bench_store
 
 json_dir="$(mktemp -d)"
 trap 'rm -rf "${json_dir}"' EXIT
@@ -58,6 +58,8 @@ echo "bench_check: running bench_ppr_batch"
 GALE_BENCH_JSON_DIR="${json_dir}" "${build_dir}/bench/bench_ppr_batch"
 echo "bench_check: running bench_serve"
 GALE_BENCH_JSON_DIR="${json_dir}" "${build_dir}/bench/bench_serve"
+echo "bench_check: running bench_store"
+GALE_BENCH_JSON_DIR="${json_dir}" "${build_dir}/bench/bench_store"
 
 if [ "${update}" -eq 1 ]; then
   mkdir -p "${baseline_dir}"
@@ -66,7 +68,8 @@ if [ "${update}" -eq 1 ]; then
      "${json_dir}/BENCH_simd_scaling.json" \
      "${json_dir}/BENCH_analyze.json" \
      "${json_dir}/BENCH_ppr_batch.json" \
-     "${json_dir}/BENCH_serve.json" "${baseline_dir}/"
+     "${json_dir}/BENCH_serve.json" \
+     "${json_dir}/BENCH_store.json" "${baseline_dir}/"
   echo "bench_check: baselines updated in bench/baselines/"
   exit 0
 fi
@@ -87,7 +90,7 @@ done
 
 for name in BENCH_parallel_scaling.json BENCH_micro.json \
             BENCH_simd_scaling.json BENCH_analyze.json \
-            BENCH_ppr_batch.json BENCH_serve.json; do
+            BENCH_ppr_batch.json BENCH_serve.json BENCH_store.json; do
   baseline="${baseline_dir}/${name}"
   fresh="${json_dir}/${name}"
   if [ ! -f "${baseline}" ]; then

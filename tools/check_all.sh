@@ -22,6 +22,11 @@
 #           snapshot's binary loader on corrupt/truncated files), plus an
 #           8-thread replay leg. Reuses build-tsan/build-asan, so after
 #           those stages it is incremental.
+#   store   versioned-store gate: the publish pipeline (apply batches,
+#           incremental PPR reuse, epoch snapshots) under TSan at the
+#           default/_mt4/8-thread legs, and the delta-log loader walking
+#           truncated / bit-flipped logs under ASan. Reuses
+#           build-tsan/build-asan like the serve stage.
 #
 # Opt-in stages (never run by default; name them explicitly):
 #   bench   tools/bench_check.sh — benchmark-regression gate against the
@@ -35,7 +40,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-  stages=(lint analyze werror asan ubsan tsan simdoff serve)
+  stages=(lint analyze werror asan ubsan tsan simdoff serve store)
 fi
 jobs="$(nproc)"
 
@@ -170,6 +175,34 @@ for stage in "${stages[@]}"; do
       ctest --test-dir "${build_dir}" --output-on-failure \
         -R '^serve_(replay|snapshot)_test(_mt4)?$'
       ;;
+    store)
+      run_stage "versioned store (publish pipeline under TSan + ASan)"
+      # TSan: the publish path runs feature encode + batched PPR on the
+      # pool; the bitwise incremental-vs-scratch contract must hold with
+      # races instrumented. Shares build-tsan with the tsan/serve stages.
+      build_dir="${repo_root}/build-tsan"
+      cmake -B "${build_dir}" -S "${repo_root}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DGALE_SANITIZE=thread
+      cmake --build "${build_dir}" -j "${jobs}" --target \
+        store_publish_test store_delta_log_test
+      ctest --test-dir "${build_dir}" --output-on-failure \
+        -R '^store_(publish|delta_log)_test(_mt4)?$'
+      # Wider interleavings than the pinned _mt4 leg.
+      GALE_NUM_THREADS=8 GALE_OBS_LOGICAL_TIME=1 \
+        ctest --test-dir "${build_dir}" --output-on-failure \
+        -R '^store_publish_test$'
+      # ASan: the delta-log reader walking truncated / bit-flipped /
+      # version-skewed logs must never read out of bounds.
+      build_dir="${repo_root}/build-asan"
+      cmake -B "${build_dir}" -S "${repo_root}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DGALE_SANITIZE=address -DGALE_DEBUG_CHECKS=ON
+      cmake --build "${build_dir}" -j "${jobs}" --target \
+        store_publish_test store_delta_log_test
+      ctest --test-dir "${build_dir}" --output-on-failure \
+        -R '^store_(publish|delta_log)_test(_mt4)?$'
+      ;;
     bench)
       run_stage "benchmark-regression gate (opt-in)"
       GALE_BENCH_BUILD_DIR="${repo_root}/build-bench" \
@@ -178,7 +211,7 @@ for stage in "${stages[@]}"; do
     *)
       echo "check_all: unknown stage '${stage}'" >&2
       echo "stages: lint analyze werror asan ubsan tsan simdoff serve" \
-           "bench" >&2
+           "store bench" >&2
       exit 2
       ;;
   esac
